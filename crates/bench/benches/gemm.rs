@@ -1,0 +1,49 @@
+//! GEMM backend comparison: the generic scalar path, the NEON-shaped
+//! lane-blocked path, and the low-precision (gemmlowp-analog) path — the
+//! building blocks behind §III-D.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tincy_simd::{gemm_f32, gemm_f32_lanes, gemm_lowp};
+use tincy_tensor::Mat;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    // The first-layer GEMM shape: 16 x 27 weights times 27 x N columns.
+    let n = 64 * 64;
+    let a_f = Mat::from_fn(16, 27, |_, _| rng.gen_range(-1.0f32..1.0));
+    let b_f = Mat::from_fn(27, n, |_, _| rng.gen_range(0.0f32..1.0));
+    let a_q = a_f.map(|v| (v * 127.0).round() as i8);
+    let b_q = b_f.map(|v| (v * 255.0).round() as u8);
+
+    let mut group = c.benchmark_group("gemm_16x27");
+    group.sample_size(20);
+    group.bench_function("scalar_f32", |b| {
+        b.iter(|| black_box(gemm_f32(black_box(&a_f), black_box(&b_f))))
+    });
+    group.bench_function("lanes_f32", |b| {
+        b.iter(|| black_box(gemm_f32_lanes(black_box(&a_f), black_box(&b_f))))
+    });
+    group.bench_function("lowp_u8", |b| {
+        b.iter(|| black_box(gemm_lowp(black_box(&a_q), black_box(&b_q), 128)))
+    });
+    group.finish();
+
+    // A hidden-layer-like GEMM: 512 x 4608 times 4608 x 169 (Tincy L14).
+    let a2 = Mat::from_fn(128, 1152, |_, _| rng.gen_range(-1.0f32..1.0));
+    let b2 = Mat::from_fn(1152, 169, |_, _| rng.gen_range(0.0f32..1.0));
+    let mut group = c.benchmark_group("gemm_hidden_slice");
+    group.sample_size(10);
+    group.bench_function("scalar_f32", |b| {
+        b.iter(|| black_box(gemm_f32(black_box(&a2), black_box(&b2))))
+    });
+    group.bench_function("lanes_f32", |b| {
+        b.iter(|| black_box(gemm_f32_lanes(black_box(&a2), black_box(&b2))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! MVTU throughput: the XNOR-popcount dot product against the naive signed
+//! reference, and a full engine layer invocation — the simulated-fabric
+//! side of §III-C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tincy_finn::{ConvEngine, EngineConfig, QnnLayerParams};
+use tincy_quant::{BinaryDot, ThresholdSet, ThresholdsForLayer};
+use tincy_tensor::{BitTensor, ConvGeom, Shape3, Tensor, U3Tensor};
+
+fn bench_mvtu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    // A Tincy L11-like dot: 256 channels x 3x3 = 2304 elements.
+    let cols = 2304;
+    let signs: Vec<i8> = (0..cols).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+    let weights = BitTensor::from_signs(1, cols, &signs).expect("sign count matches");
+    let dot = BinaryDot::new(weights);
+    let acts: Vec<u8> = (0..cols).map(|_| rng.gen_range(0..8)).collect();
+    let packed = U3Tensor::from_values(&acts).expect("3-bit values");
+
+    let mut group = c.benchmark_group("binary_dot_2304");
+    group.bench_function("naive_signed", |b| {
+        b.iter(|| black_box(dot.dot_naive(0, black_box(&acts))))
+    });
+    group.bench_function("xnor_popcount_planes", |b| {
+        b.iter(|| black_box(dot.dot_planes(0, black_box(&packed))))
+    });
+    group.finish();
+
+    // One full engine layer: 64->64 conv over 26x26 with fused pool.
+    let in_shape = Shape3::new(64, 26, 26);
+    let geom = ConvGeom::same(3, 1);
+    let out_c = 64;
+    let wsigns: Vec<i8> =
+        (0..out_c * geom.dot_length(64)).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+    let wmat = BitTensor::from_signs(out_c, geom.dot_length(64), &wsigns).expect("dims");
+    let thresholds = ThresholdsForLayer::new(
+        (0..out_c)
+            .map(|_| ThresholdSet::new((0..7).map(|k| k * 40 - 100).collect()).expect("monotone"))
+            .collect(),
+    )
+    .expect("uniform");
+    let layer = QnnLayerParams::new(in_shape, wmat, thresholds, geom, None).expect("valid");
+    let engine = ConvEngine::new(EngineConfig::default()).expect("valid config");
+    let input: Tensor<u8> = Tensor::from_fn(in_shape, |_, _, _| rng.gen_range(0..8));
+
+    let mut group = c.benchmark_group("engine_layer_64x26x26");
+    group.sample_size(10);
+    group.bench_function("behavioural_sim", |b| {
+        b.iter(|| black_box(engine.run_layer(black_box(&layer), black_box(&input)).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvtu);
+criterion_main!(benches);

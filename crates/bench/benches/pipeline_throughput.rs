@@ -1,0 +1,54 @@
+//! Pipeline scheduler throughput (§III-F): frames per second through the
+//! worker-pool pipeline with negligible-work stages (pure scheduling
+//! overhead) and with balanced sleep stages (the paper's regime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tincy_pipeline::{FnStage, Pipeline, Stage};
+
+fn run_pipeline(frames: u64, workers: usize, stage_delay: Duration, stages: usize) -> u64 {
+    let mut n = 0u64;
+    let mut stage_list: Vec<Box<dyn Stage<u64>>> = Vec::new();
+    for i in 0..stages {
+        stage_list.push(FnStage::boxed(format!("s{i}"), move |x: u64| {
+            if !stage_delay.is_zero() {
+                std::thread::sleep(stage_delay);
+            }
+            x.wrapping_add(1)
+        }));
+    }
+    let metrics = Pipeline::new(move || {
+        n += 1;
+        (n <= frames).then_some(n)
+    })
+    .with_stages(stage_list)
+    .run(|_| {}, workers);
+    assert!(metrics.in_order);
+    metrics.frames
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_scheduling_overhead");
+    group.sample_size(10);
+    // Pure scheduling cost: 200 frames through 6 zero-work stages.
+    for workers in [1usize, 4] {
+        group.bench_function(format!("zero_work_6_stages_{workers}w"), |b| {
+            b.iter(|| black_box(run_pipeline(200, workers, Duration::ZERO, 6)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pipeline_balanced_stages");
+    group.sample_size(10);
+    // The paper's regime: similar-cost stages, workers < stages.
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("1ms_x6_stages_{workers}w"), |b| {
+            b.iter(|| black_box(run_pipeline(30, workers, Duration::from_millis(1), 6)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

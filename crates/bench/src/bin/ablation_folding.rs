@@ -1,0 +1,47 @@
+//! Ablation: MVTU folding (PE × SIMD) versus hidden-layer latency and
+//! fabric resources — the design-space walk behind the paper's operating
+//! point (§III-A/C). The 16×16 engine at 300 MHz is the sweet spot: it
+//! meets the ~30 ms hidden-layer budget and fits the XCZU3EG; smaller
+//! foldings miss the budget, larger ones blow the LUT budget.
+//!
+//! ```text
+//! cargo run -p tincy-bench --bin ablation_folding
+//! ```
+
+use tincy_finn::engine::EngineConfig;
+use tincy_finn::{FpgaDevice, ResourceEstimate};
+use tincy_perf::fabric::{fabric_hidden_ms, tincy_hidden_dims};
+
+fn main() {
+    let device = FpgaDevice::XCZU3EG;
+    let dims = tincy_hidden_dims();
+    let max_bits = dims.iter().map(|d| d.weight_bits()).max().unwrap_or(0);
+
+    println!("MVTU folding ablation on {} (Tincy hidden stack)", device.name);
+    println!(
+        "{:>5} {:>5}  {:>12}  {:>9}  {:>8}  {:>8}  {:>6}",
+        "PE", "SIMD", "hidden (ms)", "net fps*", "LUTs", "BRAM36", "fits"
+    );
+    println!("{}", "-".repeat(66));
+    for (pe, simd) in [(4, 4), (8, 8), (8, 16), (16, 16), (16, 32), (32, 32), (64, 64)] {
+        let config = EngineConfig { pe, simd, ..Default::default() };
+        let ms = fabric_hidden_ms(&dims, config, 128);
+        let est = ResourceEstimate::conv_engine(pe, simd, max_bits, 8);
+        // Net frame rate with this fabric, everything else optimized
+        // (input conv 35 ms, §III-E budget), sequential.
+        let frame_ms = 40.0 + 35.0 + ms + 30.0 + 15.0 + 25.0;
+        println!(
+            "{:>5} {:>5}  {:>12.1}  {:>9.2}  {:>8}  {:>8}  {:>6}",
+            pe,
+            simd,
+            ms,
+            1000.0 / frame_ms,
+            est.luts,
+            est.bram36,
+            if device.fits(&est) { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    println!("* sequential frame rate with the §III-E optimized CPU stages.");
+    println!("paper operating point: 16x16 at 300 MHz -> ~30 ms hidden layers.");
+}

@@ -1,0 +1,49 @@
+//! Ablation: im2col slice width versus fused-convolution throughput —
+//! measured on the host. §III-D matches the slice width to the vector lane
+//! count; this sweep shows the locality trade-off that motivates slicing
+//! at all (a huge slice equals the fully materialized multiplicand).
+//!
+//! ```text
+//! cargo run -p tincy-bench --release --bin ablation_slice
+//! ```
+
+use std::time::Instant;
+use tincy_simd::fused_conv_f32;
+use tincy_tensor::{ConvGeom, Mat, Shape3, Tensor};
+
+fn main() {
+    // A mid-network layer: 16 channels, 104x104, 32 filters.
+    let shape = Shape3::new(16, 104, 104);
+    let geom = ConvGeom::same(3, 1);
+    let mut seed = 0x1234_5678_u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+    };
+    let input = Tensor::from_fn(shape, |_, _, _| next());
+    let weights = Mat::from_fn(32, geom.dot_length(16), |_, _| next());
+    let bias = vec![0.0f32; 32];
+
+    println!("fused im2col+GEMM slice-width sweep (16x104x104 -> 32, host CPU)");
+    println!("{:>12}  {:>12}  {:>10}", "slice width", "time (ms)", "rel.");
+    println!("{}", "-".repeat(40));
+    let mut base_ms = None;
+    for width in [1usize, 2, 4, 8, 16, 64, 256, 104 * 104] {
+        // Warm up once, then time a few repetitions.
+        let _ = fused_conv_f32(&input, &weights, &bias, geom, width).expect("valid");
+        let reps = 3;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let out = fused_conv_f32(&input, &weights, &bias, geom, width).expect("valid");
+            std::hint::black_box(out);
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+        let base = *base_ms.get_or_insert(ms);
+        println!("{:>12}  {:>12.2}  {:>9.2}x", width, ms, base / ms);
+    }
+    println!();
+    println!("slice width 4 matches the f32 NEON lane count (§III-D); the last row");
+    println!("is the fully materialized im2col working set.");
+}

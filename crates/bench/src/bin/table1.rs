@@ -1,0 +1,53 @@
+//! Reproduces **Table I**: the challenge posed by Tiny YOLO versus
+//! Tincy YOLO — per-layer operations per frame.
+//!
+//! ```text
+//! cargo run -p tincy-bench --bin table1
+//! ```
+
+use tincy_bench::{check, with_commas};
+use tincy_core::topology::{tincy_yolo, tiny_yolo};
+use tincy_perf::tables::{table1, table1_total};
+
+/// Σ rows printed in the paper.
+const PAPER_TINY_TOTAL: u64 = 6_971_272_984;
+const PAPER_TINCY_TOTAL: u64 = 4_445_001_496;
+
+fn main() {
+    let tiny = tiny_yolo();
+    let tincy = tincy_yolo();
+    let rows = table1(&tiny, &tincy);
+
+    println!("Table I: The challenge posed by Tiny YOLO versus Tincy YOLO");
+    println!("{:>5}  {:<6}  {:>16}  {:>16}", "Layer", "Type", "Tiny YOLO", "Tincy YOLO");
+    println!("{}", "-".repeat(50));
+    for row in &rows {
+        if row.kind == "region" {
+            continue; // the paper's table stops at layer 15
+        }
+        let tiny_ops = row.tiny_ops.map(with_commas).unwrap_or_else(|| "-".into());
+        let tincy_ops = row.tincy_ops.map(with_commas).unwrap_or_else(|| "-".into());
+        println!("{:>5}  {:<6}  {:>16}  {:>16}", row.layer, row.kind, tiny_ops, tincy_ops);
+    }
+    println!("{}", "-".repeat(50));
+    let tiny_total = table1_total(&rows, false);
+    let tincy_total = table1_total(&rows, true);
+    println!(
+        "{:>5}  {:<6}  {:>16}  {:>16}",
+        "Σ",
+        "",
+        with_commas(tiny_total),
+        with_commas(tincy_total)
+    );
+    println!();
+    println!(
+        "paper Σ Tiny  = {:>16}   reproduction: {}",
+        with_commas(PAPER_TINY_TOTAL),
+        check(tiny_total == PAPER_TINY_TOTAL)
+    );
+    println!(
+        "paper Σ Tincy = {:>16}   reproduction: {}",
+        with_commas(PAPER_TINCY_TOTAL),
+        check(tincy_total == PAPER_TINCY_TOTAL)
+    );
+}

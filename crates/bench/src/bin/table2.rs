@@ -1,0 +1,46 @@
+//! Reproduces **Table II**: dot-product workloads of QNN applications.
+//!
+//! ```text
+//! cargo run -p tincy-bench --bin table2
+//! ```
+
+use tincy_bench::in_millions;
+use tincy_core::topology::{cnv6, mlp4, tincy_yolo};
+use tincy_perf::tables::table2;
+
+fn main() {
+    let mlp = mlp4();
+    let cnv = cnv6();
+    let tincy = tincy_yolo();
+    let rows = table2(&[("MLP-4", &mlp), ("CNV-6", &cnv), ("Tincy YOLO", &tincy)]);
+
+    println!("Table II: Dot-product workloads of QNN applications (ops / frame)");
+    println!(
+        "{:<12}  {:>10} {:<7}  {:>8}  {:>10}",
+        "", "Reduced", "", "8-Bit", "Total"
+    );
+    println!("{}", "-".repeat(55));
+    for row in &rows {
+        let eight = if row.eight_bit_ops == 0 {
+            "-".to_owned()
+        } else {
+            in_millions(row.eight_bit_ops)
+        };
+        println!(
+            "{:<12}  {:>10} {:<7}  {:>8}  {:>10}",
+            row.name,
+            in_millions(row.reduced_ops),
+            row.reduced_precision,
+            eight,
+            in_millions(row.total()),
+        );
+    }
+    println!();
+    println!("paper:      MLP-4       6.0 M [W1A1]        -       6.0 M");
+    println!("paper:      CNV-6     115.8 M [W1A1]    3.1 M     118.9 M");
+    println!("paper:      Tincy    4385.9 M [W1A3]   59.0 M    4444.9 M");
+    println!();
+    println!("CNV-6 and Tincy YOLO match the paper digit-for-digit; MLP-4's");
+    println!("canonical 784-1024-1024-1024-10 topology gives 5.8 M against the");
+    println!("paper's rounded 6.0 M (see EXPERIMENTS.md).");
+}

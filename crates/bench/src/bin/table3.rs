@@ -1,0 +1,42 @@
+//! Reproduces **Table III**: inference processing time of video frames
+//! broken into stages — the calibrated baseline next to the modelled
+//! fully-optimized budget (hidden layers on the simulated fabric, the lean
+//! 35 ms input convolution of transformation (d)).
+//!
+//! ```text
+//! cargo run -p tincy-bench --bin table3
+//! ```
+
+use tincy_perf::tables::table3;
+
+fn main() {
+    let rows = table3();
+    println!("Table III: Inference processing time of video frames broken into stages");
+    println!("{:<20}  {:>14}  {:>18}", "Stage", "Baseline (ms)", "Optimized (ms)");
+    println!("{}", "-".repeat(58));
+    let mut baseline_total = 0.0;
+    let mut optimized_total = 0.0;
+    for row in &rows {
+        println!(
+            "{:<20}  {:>14.0}  {:>18.1}",
+            row.stage.label(),
+            row.baseline_ms,
+            row.optimized_ms
+        );
+        baseline_total += row.baseline_ms;
+        optimized_total += row.optimized_ms;
+    }
+    println!("{}", "-".repeat(58));
+    println!("{:<20}  {:>14.0}  {:>18.1}", "Total", baseline_total, optimized_total);
+    println!();
+    println!(
+        "baseline:  {:.2} fps (paper: 0.1 fps)   optimized sequential: {:.1} fps (paper: >5 fps)",
+        1000.0 / baseline_total,
+        1000.0 / optimized_total
+    );
+    println!();
+    println!("The baseline column is the calibration input (the paper's Table III);");
+    println!("the optimized column is derived: the hidden-layer entry comes from the");
+    println!("FINN cycle model (16x16 PEs @ 300 MHz) and the input-layer entry from");
+    println!("transformation (d)'s lean convolution.");
+}

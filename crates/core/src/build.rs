@@ -1,0 +1,173 @@
+//! System assembly: wiring the fabric backend into a Tincy YOLO network.
+//!
+//! Mirrors the paper's deployment (Fig 4): the network configuration keeps
+//! the CPU-resident input and output layers as ordinary `[convolutional]`
+//! sections and replaces the whole hidden stack with one `[offload]`
+//! section backed by `library=fabric.so` — here, the FINN simulator of
+//! `tincy-finn`.
+
+use crate::topology::tincy_yolo_with_input;
+use tincy_finn::{EngineConfig, FabricBackend, FABRIC_LIBRARY};
+use tincy_nn::{
+    BackendRegistry, ConvSpec, LayerSpec, Network, NetworkSpec, NnError, OffloadSpec, PoolSpec,
+};
+use tincy_tensor::Shape3;
+
+/// Configuration of the assembled system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Network input size (multiple of 32; the paper uses 416).
+    pub input_size: usize,
+    /// Uniform activation quantization step of the hidden feature maps.
+    pub act_step: f32,
+    /// Fabric engine folding/clock.
+    pub engine: EngineConfig,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self { input_size: 416, act_step: 0.125, engine: EngineConfig::default(), seed: 1 }
+    }
+}
+
+/// Extracts the offloaded hidden stack from the Tincy topology: every
+/// hidden binary conv layer paired with its immediately following pool.
+pub fn hidden_stack(input_size: usize) -> Vec<(ConvSpec, Option<PoolSpec>)> {
+    let spec = tincy_yolo_with_input(input_size);
+    let mut stack = Vec::new();
+    let mut iter = spec.layers.iter().peekable();
+    while let Some(layer) = iter.next() {
+        if let LayerSpec::Conv(c) = layer {
+            if !c.precision.offloadable() {
+                continue;
+            }
+            let pool = match iter.peek() {
+                Some(LayerSpec::MaxPool(p)) => {
+                    iter.next();
+                    Some(*p)
+                }
+                _ => None,
+            };
+            stack.push((c.clone(), pool));
+        }
+    }
+    stack
+}
+
+/// Builds a backend registry with the fabric simulator registered under
+/// [`FABRIC_LIBRARY`].
+pub fn fabric_registry(config: &SystemConfig) -> BackendRegistry {
+    let mut registry = BackendRegistry::new();
+    let hidden = hidden_stack(config.input_size);
+    let engine = config.engine;
+    let act_step = config.act_step;
+    registry.register(FABRIC_LIBRARY, move || {
+        Box::new(FabricBackend::new(hidden.clone(), engine, act_step))
+    });
+    registry
+}
+
+/// The offloaded network specification (Fig 4): input conv on the CPU,
+/// one `[offload]` section subsuming all hidden layers, output conv and
+/// region head on the CPU.
+pub fn offloaded_spec(input_size: usize) -> NetworkSpec {
+    let full = tincy_yolo_with_input(input_size);
+    let grid = input_size / 32;
+    let hidden_ops: u64 = {
+        let mut shape = full.input;
+        let mut total = 0;
+        for layer in &full.layers {
+            if let LayerSpec::Conv(c) = layer {
+                if c.precision.offloadable() {
+                    total += layer.ops(shape);
+                }
+            }
+            shape = layer.output_shape(shape);
+        }
+        total
+    };
+    let mut spec = NetworkSpec::new(full.input);
+    // L1 stays on the CPU.
+    spec.layers.push(full.layers[0].clone());
+    // The hidden stack becomes one offload layer.
+    spec.layers.push(LayerSpec::Offload(OffloadSpec {
+        library: FABRIC_LIBRARY.to_owned(),
+        network: "tincy-yolo-offload.json".to_owned(),
+        weights: "binparam-tincy-yolo/".to_owned(),
+        out_shape: Shape3::new(512, grid, grid),
+        ops: hidden_ops,
+    }));
+    // Output conv and region head stay on the CPU.
+    let tail = full.layers.len() - 2;
+    spec.layers.push(full.layers[tail].clone());
+    spec.layers.push(full.layers[tail + 1].clone());
+    spec
+}
+
+/// Builds the runnable offloaded network with random (deterministic)
+/// weights.
+///
+/// # Errors
+///
+/// Propagates network construction failures.
+pub fn build_offloaded_network(config: &SystemConfig) -> Result<Network, NnError> {
+    let registry = fabric_registry(config);
+    Network::from_spec(&offloaded_spec(config.input_size), &registry, config.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hidden_stack_covers_seven_convs_and_five_pools() {
+        let stack = hidden_stack(416);
+        assert_eq!(stack.len(), 7);
+        let pools = stack.iter().filter(|(_, p)| p.is_some()).count();
+        assert_eq!(pools, 5);
+        assert_eq!(stack[0].0.filters, 64);
+        assert_eq!(stack[6].0.filters, 512);
+        // The stride-1 pool rides with the fifth hidden conv.
+        assert_eq!(stack[4].1, Some(PoolSpec { size: 2, stride: 1 }));
+    }
+
+    #[test]
+    fn offloaded_spec_preserves_total_ops() {
+        // The offload declaration carries the subsumed ops, so total
+        // accounting is invariant under offloading (pools excepted: they
+        // ride inside the offload and their comparison ops are not dot
+        // products).
+        let full = tincy_yolo_with_input(416);
+        let off = offloaded_spec(416);
+        assert!(off.validate().is_ok());
+        let (reduced, _) = full.dot_product_ops();
+        match &off.layers[1] {
+            LayerSpec::Offload(o) => assert_eq!(o.ops, reduced),
+            other => panic!("expected offload, got {other:?}"),
+        }
+        assert_eq!(off.output_shape(), full.output_shape());
+    }
+
+    #[test]
+    fn offloaded_network_builds_and_runs_scaled() {
+        let config = SystemConfig { input_size: 32, seed: 3, ..Default::default() };
+        let mut net = build_offloaded_network(&config).unwrap();
+        assert_eq!(net.num_layers(), 4); // conv, offload, conv, region
+        let input = tincy_tensor::Tensor::from_fn(
+            Shape3::new(3, 32, 32),
+            |c, y, x| ((c + y + x) % 9) as f32 / 9.0,
+        );
+        let out = net.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape3::new(125, 1, 1));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn registry_serves_fabric_library() {
+        let registry = fabric_registry(&SystemConfig::default());
+        assert!(registry.create(FABRIC_LIBRARY).is_ok());
+        assert!(registry.create("other.so").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The end-to-end pipelined demo mode (Fig 5).
+//!
+//! "#0 Read Frame, #1 Letter Boxing, #2..N+1 the network layers, N+2 Object
+//! Boxing, N+3 Frame Drawing" — executed on the worker-pool pipeline of
+//! `tincy-pipeline` with the hidden layers running on the simulated fabric
+//! accelerator. The pipeline is four stages longer than the underlying
+//! network, exactly as in the paper.
+
+use crate::build::{build_offloaded_network, SystemConfig};
+use tincy_eval::{nms, Detection};
+use tincy_nn::{LayerSpec, NnError, RegionLayer, RegionParams};
+use tincy_pipeline::{FnStage, Pipeline, PipelineMetrics, Stage};
+use tincy_tensor::{Shape3, Tensor};
+use tincy_video::{draw_detections, Image, SceneConfig, SyntheticCamera};
+
+/// Demo-run configuration.
+#[derive(Debug, Clone)]
+pub struct DemoConfig {
+    /// Frames to stream.
+    pub frames: u64,
+    /// System (network + fabric) configuration.
+    pub system: SystemConfig,
+    /// Worker threads (the paper pins one per A53 core: 4).
+    pub workers: usize,
+    /// Detection score threshold.
+    pub score_threshold: f32,
+    /// Synthetic scene parameters.
+    pub scene: SceneConfig,
+}
+
+impl Default for DemoConfig {
+    fn default() -> Self {
+        Self {
+            frames: 12,
+            system: SystemConfig { input_size: 128, ..Default::default() },
+            workers: 4,
+            score_threshold: 0.2,
+            scene: SceneConfig::default(),
+        }
+    }
+}
+
+/// Result of a demo run.
+#[derive(Debug, Clone)]
+pub struct DemoReport {
+    /// Pipeline metrics (frame rate, per-stage occupancy, ordering).
+    pub metrics: PipelineMetrics,
+    /// Total detections drawn across all frames.
+    pub detections: u64,
+}
+
+/// One frame travelling through the demo pipeline.
+struct DemoFrame {
+    image: Image,
+    fmap: Tensor<f32>,
+    detections: Vec<Detection>,
+}
+
+/// Runs the pipelined demo end to end.
+///
+/// # Errors
+///
+/// Returns [`NnError`] if the network cannot be assembled.
+pub fn run_demo(config: &DemoConfig) -> Result<DemoReport, NnError> {
+    let net = build_offloaded_network(&config.system)?;
+    let spec = crate::build::offloaded_spec(config.system.input_size);
+    let region_params: RegionParams = match spec.layers.last() {
+        Some(LayerSpec::Region(r)) => RegionParams::from(r),
+        _ => unreachable!("offloaded spec ends in a region layer"),
+    };
+    let grid = config.system.input_size / 32;
+    let decoder = RegionLayer::new(
+        Shape3::new(region_params.expected_channels(), grid, grid),
+        region_params,
+    )?;
+
+    let input_size = config.system.input_size;
+    let mut camera =
+        SyntheticCamera::with_limit(config.scene.clone(), config.system.seed, config.frames);
+    let score_threshold = config.score_threshold;
+
+    // Stage #1: letter boxing (split out of acquisition, §III-F).
+    let mut stages: Vec<Box<dyn Stage<DemoFrame>>> = vec![FnStage::boxed(
+        "letterbox",
+        move |mut frame: DemoFrame| {
+            frame.fmap = frame.image.letterboxed(input_size).into_tensor();
+            frame
+        },
+    )];
+    // Stages #2..N+1: one stage per network layer; the offload stage is a
+    // tight wrapper around the accelerated computation (§III-F).
+    for (i, mut layer) in net.into_layers().into_iter().enumerate() {
+        let name = format!("L[{i}] {}", layer.kind());
+        stages.push(FnStage::boxed(name, move |mut frame: DemoFrame| {
+            frame.fmap = layer
+                .forward(&frame.fmap)
+                .expect("layer shapes are consistent by construction");
+            frame
+        }));
+    }
+    // Stage N+2: object boxing.
+    stages.push(FnStage::boxed("object boxing", move |mut frame: DemoFrame| {
+        frame.detections = nms(decoder.decode(&frame.fmap, score_threshold), 0.45);
+        frame
+    }));
+    // Stage N+3: frame drawing.
+    stages.push(FnStage::boxed("frame drawing", |mut frame: DemoFrame| {
+        draw_detections(&mut frame.image, &frame.detections);
+        frame
+    }));
+
+    let detections = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sink_count = std::sync::Arc::clone(&detections);
+    let metrics = Pipeline::new(move || {
+        camera.capture().map(|image| DemoFrame {
+            image,
+            fmap: Tensor::zeros(Shape3::new(1, 1, 1)),
+            detections: Vec::new(),
+        })
+    })
+    .with_stages(stages)
+    .run(
+        move |frame: DemoFrame| {
+            sink_count
+                .fetch_add(frame.detections.len() as u64, std::sync::atomic::Ordering::SeqCst);
+        },
+        config.workers,
+    );
+
+    Ok(DemoReport {
+        metrics,
+        detections: detections.load(std::sync::atomic::Ordering::SeqCst),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(frames: u64, workers: usize) -> DemoConfig {
+        DemoConfig {
+            frames,
+            system: SystemConfig { input_size: 32, seed: 2, ..Default::default() },
+            workers,
+            score_threshold: 0.0,
+            scene: SceneConfig { width: 48, height: 36, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn demo_processes_all_frames_in_order() {
+        let report = run_demo(&small_config(6, 4)).unwrap();
+        assert_eq!(report.metrics.frames, 6);
+        assert!(report.metrics.in_order);
+    }
+
+    #[test]
+    fn pipeline_is_four_stages_longer_than_the_network() {
+        // Fig 5: the pipeline is four stages longer than the network —
+        // source (#0), letterbox (#1), boxing (N+2) and drawing (N+3)
+        // around the N = 4 network layers. The metrics add one sink row:
+        // 4 layers + 4 extra stages + sink = 9 rows.
+        let report = run_demo(&small_config(2, 2)).unwrap();
+        assert_eq!(report.metrics.stages.len(), 9);
+        assert_eq!(report.metrics.stages[0].name, "source");
+        assert_eq!(report.metrics.stages[1].name, "letterbox");
+        assert_eq!(report.metrics.stages.last().unwrap().name, "sink");
+    }
+
+    #[test]
+    fn every_stage_processes_every_frame() {
+        let report = run_demo(&small_config(5, 3)).unwrap();
+        for stage in &report.metrics.stages[1..report.metrics.stages.len() - 1] {
+            assert_eq!(stage.invocations, 5, "stage {}", stage.name);
+        }
+    }
+
+    #[test]
+    fn single_worker_demo_still_completes() {
+        let report = run_demo(&small_config(3, 1)).unwrap();
+        assert_eq!(report.metrics.frames, 3);
+        assert!(report.metrics.in_order);
+    }
+}

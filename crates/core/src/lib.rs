@@ -1,0 +1,31 @@
+//! The paper's primary contribution, assembled: Tincy YOLO on a simulated
+//! heterogeneous all-programmable device.
+//!
+//! * [`topology`] — Tiny YOLO, Tincy YOLO, the FINN reference workloads
+//!   MLP-4 and CNV-6, exactly reproducing the op counts of Tables I and II,
+//! * [`variants`] — the §III-E transformations (a)–(d) as composable
+//!   topology rewrites,
+//! * [`build`] — system assembly: the fabric backend registry, the
+//!   offloaded network configuration of Fig 4, and scaled builds for fast
+//!   tests,
+//! * [`demo`] — the end-to-end pipelined demo mode of Fig 5: synthetic
+//!   camera → letterboxing → layers (with the hidden stack on the simulated
+//!   accelerator) → object boxing → frame drawing,
+//! * [`deploy`] — the offline FINN flow: a quantization-aware-trained
+//!   detector folded into fabric parameters (binary weight masks + integer
+//!   thresholds) and executed on the simulated accelerator.
+
+pub mod build;
+pub mod demo;
+pub mod deploy;
+pub mod topology;
+pub mod variants;
+
+pub use build::{build_offloaded_network, fabric_registry, offloaded_spec, SystemConfig};
+pub use demo::{run_demo, DemoConfig, DemoReport};
+pub use deploy::DeployedDetector;
+pub use topology::{cnv6, mlp4, tincy_yolo, tincy_yolo_with_input, tiny_yolo, VOC_ANCHORS};
+pub use variants::{
+    quantize_for_fabric, transform_a, transform_bc, transform_d, tiny_yolo_variant_a,
+    tiny_yolo_variant_abc,
+};

@@ -1,0 +1,49 @@
+use crate::BBox;
+
+/// A scored class prediction with localization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted bounding box.
+    pub bbox: BBox,
+    /// Predicted class index.
+    pub class: usize,
+    /// Confidence score in `0.0..=1.0` (objectness × class probability for
+    /// YOLO-style heads).
+    pub score: f32,
+}
+
+impl Detection {
+    /// Creates a detection.
+    pub const fn new(bbox: BBox, class: usize, score: f32) -> Self {
+        Self { bbox, class, score }
+    }
+}
+
+/// A ground-truth object annotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// Annotated bounding box.
+    pub bbox: BBox,
+    /// Class index.
+    pub class: usize,
+}
+
+impl GroundTruth {
+    /// Creates a ground-truth annotation.
+    pub const fn new(bbox: BBox, class: usize) -> Self {
+        Self { bbox, class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let d = Detection::new(BBox::new(0.5, 0.5, 0.1, 0.1), 3, 0.9);
+        assert_eq!(d.class, 3);
+        let g = GroundTruth::new(d.bbox, 3);
+        assert!((g.bbox.iou(&d.bbox) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,256 @@
+//! Pascal-VOC-style mean average precision (Table IV's metric).
+
+use crate::{Detection, GroundTruth};
+
+/// How average precision is integrated over the PR curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApMethod {
+    /// The classic VOC 11-point interpolation (used by the VOC 2007 protocol
+    /// and by Darknet's published mAP numbers).
+    Voc11Point,
+    /// Continuous interpolation (area under the interpolated PR curve).
+    Continuous,
+}
+
+/// One point of a precision/recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall at this operating point.
+    pub recall: f32,
+    /// Precision at this operating point.
+    pub precision: f32,
+}
+
+/// Result of a full mAP evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSummary {
+    /// Mean average precision over classes with ground truth.
+    pub map: f32,
+    /// Per-class average precision (`NaN`-free; classes without ground truth
+    /// are reported as `None`).
+    pub per_class_ap: Vec<Option<f32>>,
+}
+
+impl EvalSummary {
+    /// mAP as a percentage, the unit used in Table IV.
+    pub fn map_percent(&self) -> f32 {
+        self.map * 100.0
+    }
+}
+
+/// Computes average precision for one class.
+///
+/// `detections` and `ground_truth` carry `(image_id, ..)` pairs so that
+/// matches are constrained to the same image. Every ground-truth box may be
+/// matched at most once (VOC protocol); additional overlapping detections
+/// count as false positives.
+///
+/// Returns the AP and the raw PR curve.
+pub fn average_precision(
+    detections: &[(usize, Detection)],
+    ground_truth: &[(usize, GroundTruth)],
+    iou_threshold: f32,
+    method: ApMethod,
+) -> (f32, Vec<PrPoint>) {
+    if ground_truth.is_empty() {
+        return (0.0, Vec::new());
+    }
+    let mut dets: Vec<&(usize, Detection)> = detections.iter().collect();
+    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut matched = vec![false; ground_truth.len()];
+    let mut curve = Vec::with_capacity(dets.len());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for (img, det) in dets {
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, (gimg, gt)) in ground_truth.iter().enumerate() {
+            if gimg != img || matched[gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched[gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        curve.push(PrPoint {
+            recall: tp as f32 / ground_truth.len() as f32,
+            precision: tp as f32 / (tp + fp) as f32,
+        });
+    }
+    (integrate(&curve, method), curve)
+}
+
+fn integrate(curve: &[PrPoint], method: ApMethod) -> f32 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    match method {
+        ApMethod::Voc11Point => {
+            let mut ap = 0.0;
+            for i in 0..=10 {
+                let r = i as f32 / 10.0;
+                let p = curve
+                    .iter()
+                    .filter(|pt| pt.recall >= r - 1e-7)
+                    .map(|pt| pt.precision)
+                    .fold(0.0f32, f32::max);
+                ap += p / 11.0;
+            }
+            ap
+        }
+        ApMethod::Continuous => {
+            // Monotone envelope, then rectangle integration over recall.
+            let mut pts: Vec<PrPoint> = curve.to_vec();
+            let mut max_p = 0.0f32;
+            for pt in pts.iter_mut().rev() {
+                max_p = max_p.max(pt.precision);
+                pt.precision = max_p;
+            }
+            let mut ap = 0.0;
+            let mut prev_recall = 0.0;
+            for pt in &pts {
+                ap += (pt.recall - prev_recall).max(0.0) * pt.precision;
+                prev_recall = pt.recall;
+            }
+            ap
+        }
+    }
+}
+
+/// Computes mAP over a dataset.
+///
+/// `detections_per_image[i]` and `truths_per_image[i]` describe image `i`.
+/// Classes that never appear in the ground truth are excluded from the mean
+/// (reported as `None` in [`EvalSummary::per_class_ap`]).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn mean_average_precision(
+    detections_per_image: &[Vec<Detection>],
+    truths_per_image: &[Vec<GroundTruth>],
+    num_classes: usize,
+    iou_threshold: f32,
+    method: ApMethod,
+) -> EvalSummary {
+    assert_eq!(
+        detections_per_image.len(),
+        truths_per_image.len(),
+        "detections and ground truth must cover the same images"
+    );
+    let mut per_class_ap = Vec::with_capacity(num_classes);
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for class in 0..num_classes {
+        let dets: Vec<(usize, Detection)> = detections_per_image
+            .iter()
+            .enumerate()
+            .flat_map(|(i, v)| v.iter().filter(|d| d.class == class).map(move |&d| (i, d)))
+            .collect();
+        let gts: Vec<(usize, GroundTruth)> = truths_per_image
+            .iter()
+            .enumerate()
+            .flat_map(|(i, v)| v.iter().filter(|g| g.class == class).map(move |&g| (i, g)))
+            .collect();
+        if gts.is_empty() {
+            per_class_ap.push(None);
+            continue;
+        }
+        let (ap, _) = average_precision(&dets, &gts, iou_threshold, method);
+        per_class_ap.push(Some(ap));
+        sum += ap;
+        counted += 1;
+    }
+    EvalSummary { map: if counted == 0 { 0.0 } else { sum / counted as f32 }, per_class_ap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BBox;
+
+    fn gt(x: f32, class: usize) -> GroundTruth {
+        GroundTruth::new(BBox::new(x, 0.5, 0.2, 0.2), class)
+    }
+
+    fn det(x: f32, class: usize, score: f32) -> Detection {
+        Detection::new(BBox::new(x, 0.5, 0.2, 0.2), class, score)
+    }
+
+    #[test]
+    fn perfect_detections_give_ap_one() {
+        let gts = vec![(0, gt(0.3, 0)), (1, gt(0.7, 0))];
+        let dets = vec![(0, det(0.3, 0, 0.9)), (1, det(0.7, 0, 0.8))];
+        let (ap, _) = average_precision(&dets, &gts, 0.5, ApMethod::Voc11Point);
+        assert!((ap - 1.0).abs() < 1e-6);
+        let (ap, _) = average_precision(&dets, &gts, 0.5, ApMethod::Continuous);
+        assert!((ap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_detections_give_ap_zero() {
+        let gts = vec![(0, gt(0.3, 0))];
+        let (ap, curve) = average_precision(&[], &gts, 0.5, ApMethod::Voc11Point);
+        assert_eq!(ap, 0.0);
+        assert!(curve.is_empty());
+    }
+
+    #[test]
+    fn duplicate_detection_counts_as_false_positive() {
+        // One GT, two matching detections: second is FP (VOC protocol).
+        let gts = vec![(0, gt(0.3, 0))];
+        let dets = vec![(0, det(0.3, 0, 0.9)), (0, det(0.31, 0, 0.8))];
+        let (_, curve) = average_precision(&dets, &gts, 0.5, ApMethod::Voc11Point);
+        assert_eq!(curve.len(), 2);
+        assert!((curve[1].precision - 0.5).abs() < 1e-6);
+        assert!((curve[1].recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_image_matches_forbidden() {
+        let gts = vec![(0, gt(0.3, 0))];
+        let dets = vec![(1, det(0.3, 0, 0.9))]; // right place, wrong image
+        let (ap, _) = average_precision(&dets, &gts, 0.5, ApMethod::Voc11Point);
+        assert_eq!(ap, 0.0);
+    }
+
+    #[test]
+    fn eleven_point_ap_half_recall_case() {
+        // 2 GT, 1 perfect detection: recall tops out at 0.5 with
+        // precision 1.0 => 11-point AP = 6/11.
+        let gts = vec![(0, gt(0.2, 0)), (0, gt(0.8, 0))];
+        let dets = vec![(0, det(0.2, 0, 0.9))];
+        let (ap, _) = average_precision(&dets, &gts, 0.5, ApMethod::Voc11Point);
+        assert!((ap - 6.0 / 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_averages_only_present_classes() {
+        let truths = vec![vec![gt(0.3, 0), gt(0.7, 2)]];
+        let dets = vec![vec![det(0.3, 0, 0.9)]]; // class 2 missed entirely
+        let summary = mean_average_precision(&dets, &truths, 3, 0.5, ApMethod::Voc11Point);
+        assert_eq!(summary.per_class_ap.len(), 3);
+        assert!(summary.per_class_ap[0].unwrap() > 0.99);
+        assert!(summary.per_class_ap[1].is_none());
+        assert_eq!(summary.per_class_ap[2].unwrap(), 0.0);
+        assert!((summary.map - 0.5).abs() < 0.01);
+        assert!((summary.map_percent() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn higher_iou_threshold_is_stricter() {
+        let gts = vec![(0, gt(0.30, 0))];
+        let dets = vec![(0, det(0.35, 0, 0.9))]; // moderate overlap
+        let (lenient, _) = average_precision(&dets, &gts, 0.3, ApMethod::Voc11Point);
+        let (strict, _) = average_precision(&dets, &gts, 0.9, ApMethod::Voc11Point);
+        assert!(lenient > strict);
+    }
+}

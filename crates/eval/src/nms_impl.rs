@@ -1,0 +1,83 @@
+use crate::Detection;
+
+/// Greedy per-class non-maximum suppression.
+///
+/// Detections are processed in descending score order; a detection is kept
+/// unless it overlaps an already-kept detection *of the same class* with
+/// IoU above `iou_threshold`. The returned list is sorted by descending
+/// score.
+///
+/// # Example
+///
+/// ```
+/// use tincy_eval::{nms, BBox, Detection};
+///
+/// let dets = vec![
+///     Detection::new(BBox::new(0.5, 0.5, 0.2, 0.2), 0, 0.9),
+///     Detection::new(BBox::new(0.51, 0.5, 0.2, 0.2), 0, 0.8), // duplicate
+///     Detection::new(BBox::new(0.2, 0.2, 0.1, 0.1), 0, 0.7),
+/// ];
+/// let kept = nms(dets, 0.5);
+/// assert_eq!(kept.len(), 2);
+/// ```
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<Detection> = Vec::with_capacity(detections.len());
+    for det in detections {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.class == det.class && k.bbox.iou(&det.bbox) > iou_threshold);
+        if !suppressed {
+            kept.push(det);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BBox;
+
+    fn det(x: f32, class: usize, score: f32) -> Detection {
+        Detection::new(BBox::new(x, 0.5, 0.2, 0.2), class, score)
+    }
+
+    #[test]
+    fn suppresses_lower_scored_duplicates() {
+        let kept = nms(vec![det(0.50, 0, 0.6), det(0.51, 0, 0.9)], 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.9);
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress_each_other() {
+        let kept = nms(vec![det(0.5, 0, 0.9), det(0.5, 1, 0.8)], 0.5);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn distant_boxes_survive() {
+        let kept = nms(vec![det(0.2, 0, 0.9), det(0.8, 0, 0.8)], 0.5);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn output_sorted_by_score() {
+        let kept = nms(vec![det(0.2, 0, 0.3), det(0.8, 0, 0.9), det(0.5, 1, 0.6)], 0.5);
+        let scores: Vec<f32> = kept.iter().map(|d| d.score).collect();
+        assert_eq!(scores, vec![0.9, 0.6, 0.3]);
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything_overlapping() {
+        // IoU can never exceed 1, so threshold 1.0 disables suppression.
+        let kept = nms(vec![det(0.5, 0, 0.9), det(0.5, 0, 0.8)], 1.0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(nms(vec![], 0.5).is_empty());
+    }
+}

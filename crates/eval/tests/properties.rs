@@ -1,0 +1,100 @@
+//! Property-based tests for the detection metric pipeline.
+
+use proptest::prelude::*;
+use tincy_eval::{
+    average_precision, mean_average_precision, nms, ApMethod, BBox, Detection, GroundTruth,
+};
+
+fn bbox() -> impl Strategy<Value = BBox> {
+    (0.1f32..0.9, 0.1f32..0.9, 0.05f32..0.4, 0.05f32..0.4)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+fn detection() -> impl Strategy<Value = Detection> {
+    (bbox(), 0usize..4, 0.0f32..1.0).prop_map(|(b, c, s)| Detection::new(b, c, s))
+}
+
+proptest! {
+    #[test]
+    fn iou_is_bounded_and_symmetric(a in bbox(), b in bbox()) {
+        let ab = a.iou(&b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - b.iou(&a)).abs() < 1e-6);
+        // Self-IoU: corner recomputation rounds in f32, so demand 0.999+
+        // rather than exact unity.
+        prop_assert!(a.iou(&a) > 0.999);
+    }
+
+    #[test]
+    fn nms_output_invariants(
+        dets in proptest::collection::vec(detection(), 0..30),
+        threshold in 0.1f32..0.9
+    ) {
+        let kept = nms(dets.clone(), threshold);
+        // No frame invented, none duplicated beyond the input multiset.
+        prop_assert!(kept.len() <= dets.len());
+        // Score sorted.
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+        // No same-class surviving pair overlaps beyond the threshold.
+        for (i, a) in kept.iter().enumerate() {
+            for b in &kept[i + 1..] {
+                if a.class == b.class {
+                    prop_assert!(
+                        a.bbox.iou(&b.bbox) <= threshold + 1e-6,
+                        "surviving pair overlaps: {} > {threshold}",
+                        a.bbox.iou(&b.bbox)
+                    );
+                }
+            }
+        }
+        // The top-scored input detection always survives.
+        if let Some(best) = dets.iter().max_by(|a, b| a.score.total_cmp(&b.score)) {
+            prop_assert!(kept.iter().any(|k| (k.score - best.score).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn ap_is_bounded(
+        truths in proptest::collection::vec((0usize..5, bbox()), 1..10),
+        dets in proptest::collection::vec((0usize..5, detection()), 0..20)
+    ) {
+        let gts: Vec<(usize, GroundTruth)> =
+            truths.iter().map(|&(img, b)| (img, GroundTruth::new(b, 0))).collect();
+        let ds: Vec<(usize, Detection)> = dets
+            .iter()
+            .map(|&(img, d)| (img, Detection::new(d.bbox, 0, d.score)))
+            .collect();
+        for method in [ApMethod::Voc11Point, ApMethod::Continuous] {
+            let (ap, curve) = average_precision(&ds, &gts, 0.5, method);
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&ap), "{method:?}: ap {ap}");
+            for pt in &curve {
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&pt.recall));
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&pt.precision));
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_detector_always_scores_one(
+        truths in proptest::collection::vec(bbox(), 1..8),
+        classes in proptest::collection::vec(0usize..3, 8)
+    ) {
+        // Echoing the ground truth as detections gives mAP 1 over the
+        // classes present.
+        let gt_per_image: Vec<Vec<GroundTruth>> = truths
+            .iter()
+            .zip(&classes)
+            .map(|(b, &c)| vec![GroundTruth::new(*b, c)])
+            .collect();
+        let det_per_image: Vec<Vec<Detection>> = truths
+            .iter()
+            .zip(&classes)
+            .map(|(b, &c)| vec![Detection::new(*b, c, 0.9)])
+            .collect();
+        let summary =
+            mean_average_precision(&det_per_image, &gt_per_image, 3, 0.5, ApMethod::Voc11Point);
+        prop_assert!((summary.map - 1.0).abs() < 1e-5, "map {}", summary.map);
+    }
+}

@@ -1,0 +1,427 @@
+//! The `library=fabric.so` offload backend (§III-C, Fig 4).
+//!
+//! "Using this added offload mechanism, the QNN hardware accelerator within
+//! the PL was integrated into the inference path of Darknet." The backend
+//! owns the offline FINN flow: it receives the *float* parameters of the
+//! hidden layers from the regular weight stream, binarizes the weights,
+//! folds batch normalization and activation quantization into integer
+//! threshold sets, and hands the result to the [`QnnAccelerator`].
+
+use crate::accel::{AccelReport, QnnAccelerator, QnnLayerParams};
+use crate::engine::EngineConfig;
+use tincy_nn::{
+    ConvSpec, NnError, OffloadBackend, OffloadConfig, PoolSpec, WeightsReader, WeightsWriter,
+};
+use tincy_quant::{binarize, ThresholdSet, ThresholdsForLayer};
+use tincy_tensor::{BitTensor, Shape3, Tensor};
+
+/// The registry key the fabric backend is published under (the shared
+/// library name of Fig 4).
+pub const FABRIC_LIBRARY: &str = "fabric.so";
+
+/// Float parameters of one hidden layer in darknet stream order.
+#[derive(Debug, Clone)]
+struct FloatParams {
+    bias: Vec<f32>,
+    gamma: Vec<f32>,
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    weights: Vec<f32>,
+}
+
+/// The fabric offload backend: a QNN accelerator behind the Darknet
+/// offload interface.
+#[derive(Debug)]
+pub struct FabricBackend {
+    /// Offloaded sub-topology: each entry is a binary conv layer with an
+    /// optional fused max-pool.
+    hidden: Vec<(ConvSpec, Option<PoolSpec>)>,
+    engine_config: EngineConfig,
+    /// Uniform activation quantization step of the hidden feature maps.
+    act_step: f32,
+    input_shape: Option<Shape3>,
+    params: Vec<FloatParams>,
+    accel: Option<QnnAccelerator>,
+    last_report: Option<AccelReport>,
+}
+
+impl FabricBackend {
+    /// Creates the backend for a hidden sub-topology.
+    pub fn new(
+        hidden: Vec<(ConvSpec, Option<PoolSpec>)>,
+        engine_config: EngineConfig,
+        act_step: f32,
+    ) -> Self {
+        Self {
+            hidden,
+            engine_config,
+            act_step,
+            input_shape: None,
+            params: Vec::new(),
+            accel: None,
+            last_report: None,
+        }
+    }
+
+    /// The timing report of the most recent forward pass.
+    pub fn last_report(&self) -> Option<&AccelReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The built accelerator (after `load_weights`).
+    pub fn accelerator(&self) -> Option<&QnnAccelerator> {
+        self.accel.as_ref()
+    }
+
+    /// The uniform hidden activation step.
+    pub fn act_step(&self) -> f32 {
+        self.act_step
+    }
+
+    fn conv_param_count(spec: &ConvSpec, in_channels: usize) -> usize {
+        spec.num_params(in_channels)
+    }
+
+    /// Deterministic default parameters so a freshly initialized backend is
+    /// immediately runnable (mirroring Darknet's random layer init); a
+    /// later `load_weights` overrides them.
+    fn default_params(&self, input: Shape3) -> Vec<FloatParams> {
+        // Small xorshift generator — keeps finn free of a rand dependency.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (input.volume() as u64);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Uniform in [0, 1).
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        let shapes = self.shapes(input);
+        self.hidden
+            .iter()
+            .enumerate()
+            .map(|(i, (conv, _))| {
+                let in_c = shapes[i].channels;
+                let fan_in = conv.size * conv.size * in_c;
+                let std = (2.0 / fan_in as f32).sqrt();
+                FloatParams {
+                    bias: (0..conv.filters).map(|_| (next() - 0.5) * 0.1).collect(),
+                    gamma: (0..conv.filters).map(|_| 0.8 + 0.4 * next()).collect(),
+                    mean: (0..conv.filters).map(|_| (next() - 0.5) * 0.2).collect(),
+                    var: (0..conv.filters).map(|_| 0.5 + next()).collect(),
+                    weights: (0..conv.filters * fan_in)
+                        .map(|_| (next() - 0.5) * 2.0 * std)
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    fn shapes(&self, input: Shape3) -> Vec<Shape3> {
+        let mut shapes = vec![input];
+        let mut shape = input;
+        for (conv, pool) in &self.hidden {
+            shape = conv.geom().output_shape(shape, conv.filters);
+            if let Some(p) = pool {
+                shape = p.geom().output_shape(shape);
+            }
+            shapes.push(shape);
+        }
+        shapes
+    }
+
+    /// Runs the offline FINN flow: binarize weights, fold BN + activation
+    /// quantization into thresholds, assemble the accelerator.
+    fn build_accelerator(&mut self) -> Result<(), NnError> {
+        let input = self.input_shape.ok_or(NnError::InvalidSpec {
+            what: "fabric backend used before init".to_owned(),
+        })?;
+        let shapes = self.shapes(input);
+        let mut layers = Vec::with_capacity(self.hidden.len());
+        for (i, ((conv, pool), params)) in self.hidden.iter().zip(&self.params).enumerate() {
+            let in_shape = shapes[i];
+            let cols = conv.geom().dot_length(in_shape.channels);
+            // Per-layer mean-absolute weight scale α: folded into the
+            // thresholds so the fabric operates on pure ±1 weights.
+            let n = params.weights.len().max(1);
+            let alpha = params.weights.iter().map(|w| w.abs()).sum::<f32>() / n as f32;
+            let signs = binarize(&params.weights);
+            let weights = BitTensor::from_signs(conv.filters, cols, &signs)
+                .map_err(NnError::Tensor)?;
+            // One accumulator unit is worth α·q_in real units.
+            let acc_scale = alpha * self.act_step;
+            let mut channel_thresholds = Vec::with_capacity(conv.filters);
+            for c in 0..conv.filters {
+                let (a, b) = if conv.batch_normalize {
+                    let inv_std = 1.0 / (params.var[c] + 1e-5).sqrt();
+                    (
+                        params.gamma[c] * inv_std * acc_scale,
+                        params.gamma[c] * (params.bias[c] - params.mean[c]) * inv_std,
+                    )
+                } else {
+                    (acc_scale, params.bias[c])
+                };
+                channel_thresholds.push(ThresholdSet::from_affine(
+                    a,
+                    b,
+                    self.act_step,
+                    8,
+                )?);
+            }
+            layers.push(QnnLayerParams::new(
+                in_shape,
+                weights,
+                ThresholdsForLayer::new(channel_thresholds)?,
+                conv.geom(),
+                pool.map(|p| p.geom()),
+            )?);
+        }
+        self.accel = Some(QnnAccelerator::new(layers, self.engine_config)?);
+        Ok(())
+    }
+}
+
+impl OffloadBackend for FabricBackend {
+    fn library_name(&self) -> &str {
+        FABRIC_LIBRARY
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn init(&mut self, config: &OffloadConfig) -> Result<(), NnError> {
+        if self.hidden.is_empty() {
+            return Err(NnError::InvalidSpec {
+                what: "fabric backend has no hidden layers".to_owned(),
+            });
+        }
+        for (conv, _) in &self.hidden {
+            if !conv.precision.offloadable() {
+                return Err(NnError::InvalidSpec {
+                    what: format!(
+                        "hidden layer precision {} is not offloadable",
+                        conv.precision
+                    ),
+                });
+            }
+        }
+        let shapes = self.shapes(config.input_shape);
+        let produced = *shapes.last().expect("shapes includes the input");
+        if produced != config.output_shape {
+            return Err(NnError::ShapeMismatch {
+                expected: config.output_shape.to_string(),
+                actual: produced.to_string(),
+            });
+        }
+        self.input_shape = Some(config.input_shape);
+        // Make the backend runnable immediately (Darknet layers are usable
+        // with their init-time parameters); load_weights overrides.
+        if self.params.is_empty() {
+            self.params = self.default_params(config.input_shape);
+            self.build_accelerator()?;
+        }
+        Ok(())
+    }
+
+    fn load_weights(&mut self, reader: &mut WeightsReader<'_>) -> Result<(), NnError> {
+        let input = self.input_shape.ok_or(NnError::InvalidSpec {
+            what: "load_weights before init".to_owned(),
+        })?;
+        let shapes = self.shapes(input);
+        let mut params = Vec::with_capacity(self.hidden.len());
+        for (i, (conv, _)) in self.hidden.iter().enumerate() {
+            let in_channels = shapes[i].channels;
+            let bias = reader.read_f32s(conv.filters)?;
+            let (gamma, mean, var) = if conv.batch_normalize {
+                (
+                    reader.read_f32s(conv.filters)?,
+                    reader.read_f32s(conv.filters)?,
+                    reader.read_f32s(conv.filters)?,
+                )
+            } else {
+                (vec![1.0; conv.filters], vec![0.0; conv.filters], vec![1.0; conv.filters])
+            };
+            let weights =
+                reader.read_f32s(conv.filters * conv.size * conv.size * in_channels)?;
+            params.push(FloatParams { bias, gamma, mean, var, weights });
+        }
+        self.params = params;
+        self.build_accelerator()
+    }
+
+    fn write_weights(&self, writer: &mut WeightsWriter<'_>) -> Result<(), NnError> {
+        for ((conv, _), params) in self.hidden.iter().zip(&self.params) {
+            writer.write_f32s(&params.bias)?;
+            if conv.batch_normalize {
+                writer.write_f32s(&params.gamma)?;
+                writer.write_f32s(&params.mean)?;
+                writer.write_f32s(&params.var)?;
+            }
+            writer.write_f32s(&params.weights)?;
+        }
+        Ok(())
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        let accel = self.accel.as_ref().ok_or(NnError::InvalidSpec {
+            what: "fabric backend used before load_weights".to_owned(),
+        })?;
+        let step = self.act_step;
+        let quantized: Tensor<u8> =
+            input.map(|v| ((v / step).round().clamp(0.0, 7.0)) as u8);
+        let (levels, report) = accel.run(&quantized)?;
+        self.last_report = Some(report);
+        Ok(levels.map(|l| l as f32 * step))
+    }
+
+    fn num_params(&self) -> usize {
+        let Some(input) = self.input_shape else { return 0 };
+        let shapes = self.shapes(input);
+        self.hidden
+            .iter()
+            .enumerate()
+            .map(|(i, (conv, _))| Self::conv_param_count(conv, shapes[i].channels))
+            .sum()
+    }
+
+    fn ops_per_frame(&self) -> u64 {
+        self.accel.as_ref().map_or(0, QnnAccelerator::total_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tincy_nn::Activation;
+    use tincy_quant::PrecisionConfig;
+
+    fn hidden_spec() -> Vec<(ConvSpec, Option<PoolSpec>)> {
+        let conv = |filters: usize| ConvSpec {
+            filters,
+            size: 3,
+            stride: 1,
+            pad: 1,
+            activation: Activation::Relu,
+            batch_normalize: true,
+            precision: PrecisionConfig::W1A3,
+        };
+        vec![(conv(8), Some(PoolSpec { size: 2, stride: 2 })), (conv(6), None)]
+    }
+
+    fn config(input: Shape3, output: Shape3) -> OffloadConfig {
+        OffloadConfig {
+            library: FABRIC_LIBRARY.to_owned(),
+            network: "hidden.cfg".to_owned(),
+            weights: "hidden.weights".to_owned(),
+            input_shape: input,
+            output_shape: output,
+        }
+    }
+
+    fn loaded_backend() -> FabricBackend {
+        let mut backend = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
+        backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        // Deterministic pseudo-random float parameters.
+        let count = backend.num_params();
+        let values: Vec<f32> = (0..count)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1) >> 33)
+                    as f32
+                    / (1u64 << 31) as f32;
+                // Keep variances positive by construction below.
+                x - 0.5
+            })
+            .collect();
+        let mut fixed = values;
+        // Overwrite the BN variance slots with positive values: layout is
+        // bias, gamma, mean, var, weights per layer.
+        let mut offset = 0;
+        for (conv, _) in hidden_spec() {
+            offset += 2 * conv.filters; // bias + gamma
+            offset += conv.filters; // mean
+            for v in &mut fixed[offset..offset + conv.filters] {
+                *v = v.abs() + 0.5;
+            }
+            offset += conv.filters;
+            let in_c = if conv.filters == 8 { 4 } else { 8 };
+            offset += conv.filters * 9 * in_c;
+        }
+        let mut buf = Vec::new();
+        WeightsWriter::new(&mut buf).write_f32s(&fixed).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        backend.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+        backend
+    }
+
+    #[test]
+    fn init_validates_geometry() {
+        let mut backend = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
+        assert!(backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).is_ok());
+        assert!(backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(5, 4, 4))).is_err());
+    }
+
+    #[test]
+    fn rejects_non_offloadable_precision() {
+        let mut hidden = hidden_spec();
+        hidden[0].0.precision = PrecisionConfig::W8A8;
+        let mut backend = FabricBackend::new(hidden, EngineConfig::default(), 0.125);
+        assert!(backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).is_err());
+    }
+
+    #[test]
+    fn forward_before_init_fails_but_init_alone_suffices() {
+        let mut backend = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
+        let input = Tensor::filled(Shape3::new(4, 8, 8), 0.5f32);
+        // No init: unusable.
+        assert!(backend.forward(&input).is_err());
+        // After init the backend self-initializes deterministic parameters
+        // (like Darknet's layer init) and is runnable.
+        backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        let out = backend.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape3::new(6, 4, 4));
+        // Deterministic: a second identical backend agrees.
+        let mut other = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
+        other.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        assert_eq!(other.forward(&input).unwrap(), out);
+    }
+
+    #[test]
+    fn forward_produces_quantized_levels_and_report() {
+        let mut backend = loaded_backend();
+        let input = Tensor::from_fn(Shape3::new(4, 8, 8), |c, y, x| {
+            ((c + y + x) % 8) as f32 * 0.125
+        });
+        let out = backend.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape3::new(6, 4, 4));
+        // Outputs are multiples of the activation step.
+        for &v in out.as_slice() {
+            let level = v / 0.125;
+            assert!((level - level.round()).abs() < 1e-5);
+            assert!((0.0..=7.0).contains(&level));
+        }
+        let report = backend.last_report().expect("report recorded");
+        assert_eq!(report.layer_cycles.len(), 2);
+        assert!(backend.ops_per_frame() > 0);
+    }
+
+    #[test]
+    fn weight_stream_round_trip() {
+        let backend = loaded_backend();
+        let mut buf = Vec::new();
+        backend.write_weights(&mut WeightsWriter::new(&mut buf)).unwrap();
+        assert_eq!(buf.len(), backend.num_params() * 4);
+
+        let mut other = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
+        other.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        other.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+
+        let input = Tensor::from_fn(Shape3::new(4, 8, 8), |c, y, x| {
+            ((c * 2 + y + x) % 8) as f32 * 0.125
+        });
+        let mut a = backend;
+        let out_a = a.forward(&input).unwrap();
+        let out_b = other.forward(&input).unwrap();
+        assert_eq!(out_a, out_b);
+    }
+}

@@ -1,0 +1,90 @@
+//! Programmable-logic device models.
+
+use crate::resource::ResourceEstimate;
+
+/// A programmable-logic resource budget.
+///
+/// The paper targets "a rather small XCZU3EG chip" (§III-A); its fabric
+/// budget decides that only a single generalized conv engine fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Marketing name.
+    pub name: &'static str,
+    /// 6-input look-up tables.
+    pub luts: u64,
+    /// 36 Kib block RAMs.
+    pub bram36: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+}
+
+impl FpgaDevice {
+    /// The Zynq UltraScale+ XCZU3EG (Ultra96-class) fabric.
+    pub const XCZU3EG: Self =
+        Self { name: "XCZU3EG", luts: 70_560, bram36: 216, dsps: 360 };
+
+    /// A mid-range Zynq UltraScale+ (ZU7EV-class) for comparison.
+    pub const XCZU7EV: Self =
+        Self { name: "XCZU7EV", luts: 230_400, bram36: 312, dsps: 1_728 };
+
+    /// Whether an estimate fits within this device (with a utilization
+    /// ceiling — full occupation never routes).
+    pub fn fits(&self, estimate: &ResourceEstimate) -> bool {
+        self.fits_with_utilization(estimate, 0.9)
+    }
+
+    /// [`FpgaDevice::fits`] with an explicit utilization ceiling.
+    pub fn fits_with_utilization(&self, estimate: &ResourceEstimate, ceiling: f64) -> bool {
+        (estimate.luts as f64) <= self.luts as f64 * ceiling
+            && (estimate.bram36 as f64) <= self.bram36 as f64 * ceiling
+            && (estimate.dsps as f64) <= self.dsps as f64 * ceiling
+    }
+
+    /// Utilization fractions `(lut, bram, dsp)` of an estimate.
+    pub fn utilization(&self, estimate: &ResourceEstimate) -> (f64, f64, f64) {
+        (
+            estimate.luts as f64 / self.luts as f64,
+            estimate.bram36 as f64 / self.bram36 as f64,
+            estimate.dsps as f64 / self.dsps as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_respects_ceiling() {
+        let dev = FpgaDevice::XCZU3EG;
+        let small = ResourceEstimate { luts: 10_000, bram36: 50, dsps: 0 };
+        assert!(dev.fits(&small));
+        let lut_heavy = ResourceEstimate { luts: 69_000, bram36: 10, dsps: 0 };
+        assert!(!dev.fits(&lut_heavy)); // above the 90% ceiling
+        assert!(dev.fits_with_utilization(&lut_heavy, 1.0));
+    }
+
+    #[test]
+    fn bram_bound_detected() {
+        let dev = FpgaDevice::XCZU3EG;
+        let bram_heavy = ResourceEstimate { luts: 1_000, bram36: 217, dsps: 0 };
+        assert!(!dev.fits(&bram_heavy));
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let dev = FpgaDevice::XCZU3EG;
+        let est = ResourceEstimate { luts: 35_280, bram36: 108, dsps: 180 };
+        let (l, b, d) = dev.utilization(&est);
+        assert!((l - 0.5).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+        assert!((d - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_device_fits_more() {
+        let est = ResourceEstimate { luts: 100_000, bram36: 250, dsps: 0 };
+        assert!(!FpgaDevice::XCZU3EG.fits(&est));
+        assert!(FpgaDevice::XCZU7EV.fits(&est));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests: the MVTU hardware path is bit-exact with the
+//! naive integer reference over randomized layer configurations.
+
+use proptest::prelude::*;
+use tincy_finn::engine::EngineConfig;
+use tincy_finn::{ConvEngine, Mvtu, QnnLayerParams, SlidingWindow};
+use tincy_quant::{BinaryDot, ThresholdSet, ThresholdsForLayer};
+use tincy_tensor::{BitTensor, ConvGeom, PoolGeom, Shape3, Tensor, U3Tensor};
+
+#[derive(Debug, Clone)]
+struct LayerCase {
+    in_shape: Shape3,
+    out_channels: usize,
+    stride: usize,
+    pool: Option<PoolGeom>,
+    pe: usize,
+    simd: usize,
+    weight_seed: u64,
+    input_seed: u64,
+}
+
+fn layer_case() -> impl Strategy<Value = LayerCase> {
+    (
+        1usize..4,
+        4usize..9,
+        1usize..6,
+        1usize..3,
+        proptest::option::of((1usize..3).prop_map(|s| PoolGeom::new(2, s))),
+        1usize..6,
+        1usize..24,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(c, hw, oc, stride, pool, pe, simd, ws, is)| LayerCase {
+            in_shape: Shape3::new(c, hw, hw),
+            out_channels: oc,
+            stride,
+            pool,
+            pe,
+            simd,
+            weight_seed: ws,
+            input_seed: is,
+        })
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    }
+}
+
+fn build_layer(case: &LayerCase) -> QnnLayerParams {
+    let geom = ConvGeom::same(3, case.stride);
+    let cols = geom.dot_length(case.in_shape.channels);
+    let mut rng = lcg(case.weight_seed);
+    let signs: Vec<i8> =
+        (0..case.out_channels * cols).map(|_| if rng() & 1 == 0 { 1 } else { -1 }).collect();
+    let weights = BitTensor::from_signs(case.out_channels, cols, &signs).expect("dims");
+    let thresholds = ThresholdsForLayer::new(
+        (0..case.out_channels)
+            .map(|_| {
+                let base = (rng() % 40) as i32 - 25;
+                let step = (rng() % 6) as i32 + 1;
+                ThresholdSet::new((0..7).map(|k| base + k * step).collect()).expect("monotone")
+            })
+            .collect(),
+    )
+    .expect("uniform");
+    QnnLayerParams::new(case.in_shape, weights, thresholds, geom, case.pool).expect("valid")
+}
+
+fn build_input(case: &LayerCase) -> Tensor<u8> {
+    let mut rng = lcg(case.input_seed);
+    Tensor::from_fn(case.in_shape, |_, _, _| (rng() % 8) as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine output == naive reference output, for any folding.
+    #[test]
+    fn engine_bit_exact_with_reference(case in layer_case()) {
+        let layer = build_layer(&case);
+        let input = build_input(&case);
+        let engine = ConvEngine::new(EngineConfig {
+            pe: case.pe,
+            simd: case.simd,
+            ..Default::default()
+        }).expect("valid folding");
+        let (hw, _) = engine.run_layer(&layer, &input).expect("runs");
+        // Reference via a single-layer accelerator.
+        let accel = tincy_finn::QnnAccelerator::new(
+            vec![layer],
+            EngineConfig { pe: case.pe, simd: case.simd, ..Default::default() },
+        ).expect("single layer");
+        let sw = accel.reference_run(&input).expect("runs");
+        prop_assert_eq!(hw, sw);
+    }
+
+    /// MVTU accumulators equal the naive signed dot for random vectors.
+    #[test]
+    fn mvtu_accumulate_matches_binary_dot(
+        cols in 1usize..300,
+        rows in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let mut rng = lcg(seed);
+        let signs: Vec<i8> = (0..rows * cols).map(|_| if rng() & 1 == 0 { 1 } else { -1 }).collect();
+        let weights = BitTensor::from_signs(rows, cols, &signs).expect("dims");
+        let thresholds = ThresholdsForLayer::new(
+            vec![ThresholdSet::binary(); rows],
+        ).expect("uniform");
+        let mvtu = Mvtu::new(weights.clone(), thresholds, 2, 7).expect("valid");
+        let reference = BinaryDot::new(weights);
+        let acts: Vec<u8> = (0..cols).map(|_| (rng() % 8) as u8).collect();
+        let packed = U3Tensor::from_values(&acts).expect("3-bit");
+        for r in 0..rows {
+            prop_assert_eq!(mvtu.accumulate(r, &packed), reference.dot_naive(r, &acts));
+        }
+    }
+
+    /// The sliding window emits exactly the im2col column for its pixel.
+    #[test]
+    fn sliding_window_matches_im2col(
+        c in 1usize..4,
+        hw in 3usize..8,
+        stride in 1usize..3,
+        seed in any::<u64>()
+    ) {
+        let shape = Shape3::new(c, hw, hw);
+        let mut rng = lcg(seed);
+        let fmap: Tensor<u8> = Tensor::from_fn(shape, |_, _, _| (rng() % 8) as u8);
+        let geom = ConvGeom::same(3, stride);
+        let swu = SlidingWindow::new(shape, geom).expect("valid");
+        let cols = tincy_tensor::im2col(&fmap, geom).expect("valid");
+        let out_w = swu.out_width();
+        for oy in 0..swu.out_height() {
+            for ox in 0..out_w {
+                let fp = swu.footprint(&fmap, oy, ox).to_values();
+                let col = oy * out_w + ox;
+                for (r, &v) in fp.iter().enumerate() {
+                    prop_assert_eq!(v, cols.at(r, col), "pixel ({},{}) row {}", oy, ox, r);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+/// Activation functions used by the YOLO family.
+///
+/// Transformation (a) of §III-E replaces Darknet's leaky ReLU with plain
+/// ReLU — leaky slopes are awkward under aggressive quantization, while
+/// plain ReLU folds into the threshold activation for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(0, x)` — Tincy YOLO's choice.
+    #[default]
+    Relu,
+    /// Darknet's leaky ReLU with slope 0.1 — Tiny YOLO's original choice.
+    Leaky,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Leaky => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+        }
+    }
+
+    /// Applies the activation in place over a buffer.
+    pub fn apply_slice(&self, xs: &mut [f32]) {
+        if matches!(self, Activation::Linear) {
+            return;
+        }
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Derivative with respect to the *output* value (as Darknet computes
+    /// it), used by the training crate.
+    #[inline]
+    pub fn gradient(&self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+        }
+    }
+
+    /// The darknet cfg keyword for this activation.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Leaky => "leaky",
+        }
+    }
+
+    /// Parses a darknet cfg keyword.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        match kw {
+            "linear" => Some(Activation::Linear),
+            "relu" => Some(Activation::Relu),
+            "leaky" => Some(Activation::Leaky),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn leaky_scales_negative() {
+        assert!((Activation::Leaky.apply(-2.0) + 0.2).abs() < 1e-6);
+        assert_eq!(Activation::Leaky.apply(2.0), 2.0);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        let mut xs = vec![-1.0, 0.0, 2.0];
+        Activation::Linear.apply_slice(&mut xs);
+        assert_eq!(xs, vec![-1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients() {
+        assert_eq!(Activation::Relu.gradient(1.0), 1.0);
+        assert_eq!(Activation::Relu.gradient(0.0), 0.0);
+        assert_eq!(Activation::Leaky.gradient(-0.1), 0.1);
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        for a in [Activation::Linear, Activation::Relu, Activation::Leaky] {
+            assert_eq!(Activation::from_keyword(a.keyword()), Some(a));
+        }
+        assert_eq!(Activation::from_keyword("swish"), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Batch normalization and its folding into convolution parameters.
+
+use tincy_tensor::Tensor;
+
+/// Per-channel batch normalization parameters (inference form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    /// Learned scale γ, one per channel.
+    pub gamma: Vec<f32>,
+    /// Learned shift β, one per channel.
+    pub beta: Vec<f32>,
+    /// Rolling mean μ, one per channel.
+    pub mean: Vec<f32>,
+    /// Rolling variance σ², one per channel.
+    pub var: Vec<f32>,
+    /// Numerical stabilizer.
+    pub eps: f32,
+}
+
+impl BatchNorm {
+    /// Identity normalization for `channels` channels.
+    pub fn identity(channels: usize) -> Self {
+        Self {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            mean: vec![0.0; channels],
+            var: vec![1.0; channels],
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Applies `y = γ·(x−μ)/√(σ²+ε) + β` in place, channel by channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's channel count differs from the parameter
+    /// length.
+    pub fn apply(&self, x: &mut Tensor<f32>) {
+        assert_eq!(x.shape().channels, self.channels(), "channel count mismatch");
+        let spatial = x.shape().spatial();
+        for c in 0..self.channels() {
+            let scale = self.gamma[c] / (self.var[c] + self.eps).sqrt();
+            let shift = self.beta[c] - self.mean[c] * scale;
+            for v in &mut x.as_mut_slice()[c * spatial..(c + 1) * spatial] {
+                *v = *v * scale + shift;
+            }
+        }
+    }
+
+    /// The per-channel affine `(scale, shift)` this normalization reduces
+    /// to — the quantities folded into FINN threshold sets (§III-A).
+    pub fn affine(&self, c: usize) -> (f32, f32) {
+        let scale = self.gamma[c] / (self.var[c] + self.eps).sqrt();
+        (scale, self.beta[c] - self.mean[c] * scale)
+    }
+
+    /// Folds this normalization into convolution weights and biases:
+    /// `w' = w·scale`, `b' = (b−μ)·scale + β`. After folding, the conv layer
+    /// without batch norm computes the identical function.
+    ///
+    /// `weights_per_channel` is the weight row length (K²·C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the channel count.
+    pub fn fold_into(&self, weights: &mut [f32], bias: &mut [f32], weights_per_channel: usize) {
+        assert_eq!(bias.len(), self.channels(), "bias length mismatch");
+        assert_eq!(weights.len(), self.channels() * weights_per_channel, "weight length mismatch");
+        for c in 0..self.channels() {
+            let scale = self.gamma[c] / (self.var[c] + self.eps).sqrt();
+            for w in &mut weights[c * weights_per_channel..(c + 1) * weights_per_channel] {
+                *w *= scale;
+            }
+            bias[c] = (bias[c] - self.mean[c]) * scale + self.beta[c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tincy_tensor::Shape3;
+
+    #[test]
+    fn identity_is_noop() {
+        let bn = BatchNorm::identity(2);
+        let mut x = Tensor::from_fn(Shape3::new(2, 2, 2), |c, y, z| (c + y + z) as f32);
+        let before = x.clone();
+        bn.apply(&mut x);
+        // eps = 1e-5 perturbs the unit scale by ~5e-6.
+        assert!(x.max_abs_diff(&before) < 1e-4);
+    }
+
+    #[test]
+    fn normalizes_per_channel() {
+        let bn = BatchNorm {
+            gamma: vec![2.0, 1.0],
+            beta: vec![1.0, 0.0],
+            mean: vec![3.0, 0.0],
+            var: vec![4.0, 1.0],
+            eps: 0.0,
+        };
+        let mut x = Tensor::filled(Shape3::new(2, 1, 1), 5.0f32);
+        bn.apply(&mut x);
+        // Channel 0: 2*(5-3)/2 + 1 = 3; channel 1: 5.
+        assert!((x.at(0, 0, 0) - 3.0).abs() < 1e-6);
+        assert!((x.at(1, 0, 0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn folding_preserves_function() {
+        let bn = BatchNorm {
+            gamma: vec![1.5],
+            beta: vec![-0.25],
+            mean: vec![0.8],
+            var: vec![2.0],
+            eps: 1e-5,
+        };
+        // Conv output for some input: acc = w·x + b, then BN.
+        let w = 0.7f32;
+        let b = 0.1f32;
+        let x = 2.3f32;
+        let mut normalized = Tensor::filled(Shape3::new(1, 1, 1), w * x + b);
+        bn.apply(&mut normalized);
+
+        let mut wf = vec![w];
+        let mut bf = vec![b];
+        bn.fold_into(&mut wf, &mut bf, 1);
+        let folded = wf[0] * x + bf[0];
+        assert!((normalized.at(0, 0, 0) - folded).abs() < 1e-5);
+    }
+
+    #[test]
+    fn affine_agrees_with_apply() {
+        let bn = BatchNorm {
+            gamma: vec![0.9],
+            beta: vec![0.3],
+            mean: vec![-1.0],
+            var: vec![0.5],
+            eps: 1e-5,
+        };
+        let (a, b) = bn.affine(0);
+        let mut x = Tensor::filled(Shape3::new(1, 1, 1), 4.2f32);
+        bn.apply(&mut x);
+        assert!((x.at(0, 0, 0) - (a * 4.2 + b)).abs() < 1e-5);
+    }
+}

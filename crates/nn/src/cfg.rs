@@ -1,0 +1,423 @@
+//! The darknet-style textual network configuration format.
+//!
+//! The paper integrates its accelerator by manipulating Darknet's network
+//! configuration (Fig 4): standard `[convolutional]`/`[maxpool]` sections
+//! plus the new `[offload]` section carrying `library=`, `network=`,
+//! `weights=` and the output geometry. This module parses and renders that
+//! format for [`NetworkSpec`]s.
+//!
+//! ```text
+//! [net]
+//! channels=3
+//! height=416
+//! width=416
+//!
+//! [convolutional]
+//! filters=64
+//! size=3
+//! stride=1
+//! activation=relu
+//! binary=1
+//!
+//! [offload]
+//! library=fabric.so
+//! network=tincy-yolo-offload.json
+//! weights=binparam-tincy-yolo/
+//! height=13
+//! width=13
+//! channel=125
+//! ```
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::spec::{ConvSpec, LayerSpec, NetworkSpec, OffloadSpec, PoolSpec, RegionSpec};
+use tincy_quant::PrecisionConfig;
+use tincy_tensor::Shape3;
+
+#[derive(Debug)]
+struct Section {
+    name: String,
+    line: usize,
+    entries: Vec<(String, String, usize)>,
+}
+
+impl Section {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, v, _)| v.as_str())
+    }
+
+    fn parse_usize(&self, key: &str, default: Option<usize>) -> Result<usize, NnError> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| NnError::Parse {
+                line: self.line,
+                what: format!("key {key} is not an unsigned integer: {v:?}"),
+            }),
+            None => default.ok_or_else(|| NnError::Parse {
+                line: self.line,
+                what: format!("missing required key {key} in [{}]", self.name),
+            }),
+        }
+    }
+
+    fn parse_u64(&self, key: &str, default: u64) -> Result<u64, NnError> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| NnError::Parse {
+                line: self.line,
+                what: format!("key {key} is not an unsigned integer: {v:?}"),
+            }),
+            None => Ok(default),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, NnError> {
+        self.get(key).ok_or_else(|| NnError::Parse {
+            line: self.line,
+            what: format!("missing required key {key} in [{}]", self.name),
+        })
+    }
+}
+
+fn split_sections(text: &str) -> Result<Vec<Section>, NnError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name.strip_suffix(']').ok_or(NnError::Parse {
+                line: line_no,
+                what: format!("malformed section header {line:?}"),
+            })?;
+            sections.push(Section { name: name.to_owned(), line: line_no, entries: Vec::new() });
+        } else {
+            let (key, value) = line.split_once('=').ok_or(NnError::Parse {
+                line: line_no,
+                what: format!("expected key=value, got {line:?}"),
+            })?;
+            let section = sections.last_mut().ok_or(NnError::Parse {
+                line: line_no,
+                what: "key=value before any section header".to_owned(),
+            })?;
+            section.entries.push((key.trim().to_owned(), value.trim().to_owned(), line_no));
+        }
+    }
+    Ok(sections)
+}
+
+fn parse_precision(section: &Section) -> Result<PrecisionConfig, NnError> {
+    if let Some(p) = section.get("precision") {
+        return match p.to_ascii_lowercase().as_str() {
+            "float" => Ok(PrecisionConfig::FLOAT),
+            "w8a8" => Ok(PrecisionConfig::W8A8),
+            "w1a3" => Ok(PrecisionConfig::W1A3),
+            "w1a1" => Ok(PrecisionConfig::W1A1),
+            other => Err(NnError::Parse {
+                line: section.line,
+                what: format!("unknown precision {other:?}"),
+            }),
+        };
+    }
+    // Fig 4 shorthand: `binary=1` marks a binary-weight (W1A3) layer.
+    if section.parse_usize("binary", Some(0))? == 1 {
+        Ok(PrecisionConfig::W1A3)
+    } else {
+        Ok(PrecisionConfig::FLOAT)
+    }
+}
+
+fn parse_conv(section: &Section) -> Result<ConvSpec, NnError> {
+    let size = section.parse_usize("size", Some(1))?;
+    let pad = match section.get("padding") {
+        Some(_) => section.parse_usize("padding", None)?,
+        // Darknet convention: `pad=1` means "same" padding (size/2).
+        None => {
+            if section.parse_usize("pad", Some(0))? == 1 {
+                size / 2
+            } else {
+                0
+            }
+        }
+    };
+    let activation = match section.get("activation") {
+        Some(kw) => Activation::from_keyword(kw).ok_or(NnError::Parse {
+            line: section.line,
+            what: format!("unknown activation {kw:?}"),
+        })?,
+        None => Activation::Linear,
+    };
+    Ok(ConvSpec {
+        filters: section.parse_usize("filters", Some(1))?,
+        size,
+        stride: section.parse_usize("stride", Some(1))?,
+        pad,
+        activation,
+        batch_normalize: section.parse_usize("batch_normalize", Some(0))? == 1,
+        precision: parse_precision(section)?,
+    })
+}
+
+fn parse_anchors(section: &Section) -> Result<Vec<(f32, f32)>, NnError> {
+    let raw = section.get("anchors").unwrap_or("");
+    let values: Result<Vec<f32>, _> =
+        raw.split(',').filter(|s| !s.trim().is_empty()).map(|s| s.trim().parse()).collect();
+    let values = values.map_err(|_| NnError::Parse {
+        line: section.line,
+        what: format!("anchors must be a comma-separated float list, got {raw:?}"),
+    })?;
+    if values.len() % 2 != 0 {
+        return Err(NnError::Parse {
+            line: section.line,
+            what: "anchors must come in (w, h) pairs".to_owned(),
+        });
+    }
+    Ok(values.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+}
+
+/// Parses a darknet-style configuration into a [`NetworkSpec`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Parse`] with a line number on any malformed input and
+/// [`NnError::InvalidSpec`] if the parsed network is inconsistent.
+pub fn parse_cfg(text: &str) -> Result<NetworkSpec, NnError> {
+    let sections = split_sections(text)?;
+    let net = sections.first().filter(|s| s.name == "net").ok_or(NnError::Parse {
+        line: 1,
+        what: "configuration must start with a [net] section".to_owned(),
+    })?;
+    let input = Shape3::new(
+        net.parse_usize("channels", None)?,
+        net.parse_usize("height", None)?,
+        net.parse_usize("width", None)?,
+    );
+    let mut spec = NetworkSpec::new(input);
+    for section in &sections[1..] {
+        let layer = match section.name.as_str() {
+            "convolutional" | "conv" => LayerSpec::Conv(parse_conv(section)?),
+            "maxpool" => LayerSpec::MaxPool(PoolSpec {
+                size: section.parse_usize("size", Some(2))?,
+                stride: section.parse_usize("stride", Some(2))?,
+            }),
+            "region" => {
+                let anchors = parse_anchors(section)?;
+                LayerSpec::Region(RegionSpec {
+                    classes: section.parse_usize("classes", Some(20))?,
+                    num: section.parse_usize("num", Some(anchors.len().max(1)))?,
+                    anchors,
+                })
+            }
+            "offload" => LayerSpec::Offload(OffloadSpec {
+                library: section.require("library")?.to_owned(),
+                network: section.get("network").unwrap_or("").to_owned(),
+                weights: section.get("weights").unwrap_or("").to_owned(),
+                out_shape: Shape3::new(
+                    section.parse_usize("channel", None)?,
+                    section.parse_usize("height", None)?,
+                    section.parse_usize("width", None)?,
+                ),
+                ops: section.parse_u64("ops", 0)?,
+            }),
+            other => {
+                return Err(NnError::Parse {
+                    line: section.line,
+                    what: format!("unknown section [{other}]"),
+                })
+            }
+        };
+        spec.layers.push(layer);
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Renders a [`NetworkSpec`] back into the configuration format.
+///
+/// `parse_cfg(&render_cfg(spec))` reproduces `spec` exactly.
+pub fn render_cfg(spec: &NetworkSpec) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[net]\nchannels={}\nheight={}\nwidth={}",
+        spec.input.channels, spec.input.height, spec.input.width
+    );
+    for layer in &spec.layers {
+        let _ = writeln!(out);
+        match layer {
+            LayerSpec::Conv(c) => {
+                let precision = match c.precision {
+                    PrecisionConfig::FLOAT => "float",
+                    PrecisionConfig::W8A8 => "w8a8",
+                    PrecisionConfig::W1A3 => "w1a3",
+                    PrecisionConfig::W1A1 => "w1a1",
+                    _ => "float",
+                };
+                let _ = writeln!(
+                    out,
+                    "[convolutional]\nbatch_normalize={}\nfilters={}\nsize={}\nstride={}\npadding={}\nactivation={}\nprecision={}",
+                    u8::from(c.batch_normalize),
+                    c.filters,
+                    c.size,
+                    c.stride,
+                    c.pad,
+                    c.activation.keyword(),
+                    precision
+                );
+            }
+            LayerSpec::MaxPool(p) => {
+                let _ = writeln!(out, "[maxpool]\nsize={}\nstride={}", p.size, p.stride);
+            }
+            LayerSpec::Region(r) => {
+                let anchors = r
+                    .anchors
+                    .iter()
+                    .map(|(w, h)| format!("{w},{h}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "[region]\nclasses={}\nnum={}\nanchors={}",
+                    r.classes, r.num, anchors
+                );
+            }
+            LayerSpec::Offload(o) => {
+                let _ = writeln!(
+                    out,
+                    "[offload]\nlibrary={}\nnetwork={}\nweights={}\nheight={}\nwidth={}\nchannel={}\nops={}",
+                    o.library,
+                    o.network,
+                    o.weights,
+                    o.out_shape.height,
+                    o.out_shape.width,
+                    o.out_shape.channels,
+                    o.ops
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# A miniature Tincy-style configuration (cf. Fig 4).
+[net]
+channels=3
+height=32
+width=32
+
+[convolutional]
+batch_normalize=1
+filters=16
+size=3
+stride=2
+pad=1
+activation=relu
+precision=w8a8
+
+[offload]
+library=fabric.so
+network=tincy-yolo-offload.json
+weights=binparam-tincy-yolo/
+height=4
+width=4
+channel=18
+ops=1000
+
+[convolutional]
+filters=18
+size=1
+activation=linear
+
+[region]
+classes=1
+num=3
+anchors=1.0,1.0, 2.0,2.0, 0.5,0.5
+";
+
+    #[test]
+    fn parses_sample() {
+        let spec = parse_cfg(SAMPLE).unwrap();
+        assert_eq!(spec.input, Shape3::new(3, 32, 32));
+        assert_eq!(spec.layers.len(), 4);
+        match &spec.layers[0] {
+            LayerSpec::Conv(c) => {
+                assert_eq!(c.filters, 16);
+                assert_eq!(c.pad, 1);
+                assert_eq!(c.precision, PrecisionConfig::W8A8);
+                assert!(c.batch_normalize);
+            }
+            other => panic!("expected conv, got {other:?}"),
+        }
+        match &spec.layers[1] {
+            LayerSpec::Offload(o) => {
+                assert_eq!(o.library, "fabric.so");
+                assert_eq!(o.out_shape, Shape3::new(18, 4, 4));
+                assert_eq!(o.ops, 1000);
+            }
+            other => panic!("expected offload, got {other:?}"),
+        }
+        match &spec.layers[3] {
+            LayerSpec::Region(r) => {
+                assert_eq!(r.num, 3);
+                assert_eq!(r.anchors[1], (2.0, 2.0));
+            }
+            other => panic!("expected region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_shorthand_maps_to_w1a3() {
+        let cfg = "[net]\nchannels=1\nheight=4\nwidth=4\n[convolutional]\nfilters=2\nsize=3\npad=1\nbinary=1\nactivation=relu";
+        let spec = parse_cfg(cfg).unwrap();
+        assert_eq!(spec.layers[0].precision(), Some(PrecisionConfig::W1A3));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let spec = parse_cfg(SAMPLE).unwrap();
+        let rendered = render_cfg(&spec);
+        let reparsed = parse_cfg(&rendered).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "[net]\nchannels=3\nheight=4\nwidth=4\n[convolutional]\nfilters=abc";
+        match parse_cfg(bad) {
+            Err(NnError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_net_section_rejected() {
+        assert!(parse_cfg("[convolutional]\nfilters=2").is_err());
+    }
+
+    #[test]
+    fn key_before_section_rejected() {
+        assert!(matches!(
+            parse_cfg("channels=3\n[net]"),
+            Err(NnError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let cfg = "\n# leading comment\n[net]\nchannels=1 # trailing\nheight=4\nwidth=4\n";
+        let spec = parse_cfg(cfg).unwrap();
+        assert_eq!(spec.input, Shape3::new(1, 4, 4));
+    }
+
+    #[test]
+    fn odd_anchor_count_rejected() {
+        let cfg = "[net]\nchannels=18\nheight=4\nwidth=4\n[region]\nclasses=1\nnum=3\nanchors=1,2,3";
+        assert!(parse_cfg(cfg).is_err());
+    }
+}

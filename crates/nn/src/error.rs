@@ -1,0 +1,106 @@
+use std::fmt;
+use tincy_quant::QuantError;
+use tincy_tensor::TensorError;
+
+/// Errors raised by network construction, configuration and inference.
+#[derive(Debug)]
+pub enum NnError {
+    /// Underlying tensor/geometry failure.
+    Tensor(TensorError),
+    /// Underlying quantization failure.
+    Quant(QuantError),
+    /// I/O failure while reading or writing weights.
+    Io(std::io::Error),
+    /// A configuration file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// Human-readable description.
+        what: String,
+    },
+    /// An `[offload]` section referenced an unregistered backend library.
+    UnknownBackend {
+        /// The `library=` value that failed to resolve.
+        library: String,
+    },
+    /// A layer received an input of the wrong shape.
+    ShapeMismatch {
+        /// What the layer expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// The weight stream ended before all parameters were read.
+    WeightsExhausted {
+        /// The layer that could not be filled.
+        layer: String,
+    },
+    /// A spec or parameter was invalid.
+    InvalidSpec {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Quant(e) => write!(f, "quantization error: {e}"),
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+            NnError::Parse { line, what } => write!(f, "parse error at line {line}: {what}"),
+            NnError::UnknownBackend { library } => {
+                write!(f, "no offload backend registered for library {library:?}")
+            }
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            NnError::WeightsExhausted { layer } => {
+                write!(f, "weight stream exhausted while loading layer {layer}")
+            }
+            NnError::InvalidSpec { what } => write!(f, "invalid network spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Quant(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<QuantError> for NnError {
+    fn from(e: QuantError) -> Self {
+        NnError::Quant(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_with_source() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<NnError>();
+        let e = NnError::from(TensorError::InvalidShape { what: "x".into() });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

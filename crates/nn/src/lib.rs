@@ -1,0 +1,48 @@
+//! A Darknet-analog neural network framework (§III-C).
+//!
+//! The paper extends the open-source Darknet framework: its layers are
+//! virtualized through function pointers with an `init` / `load_weights` /
+//! `forward` / `destroy` life cycle (Fig 3), and a new generic `[offload]`
+//! layer redirects those pointers to an arbitrary backend — in the paper a
+//! shared library wrapping the FPGA accelerator (Fig 4). This crate
+//! reproduces that architecture in safe Rust:
+//!
+//! * [`spec`] — declarative layer/network descriptions with exact
+//!   operation counts (the basis of Tables I & II),
+//! * [`cfg`](mod@cfg) — the darknet-style textual configuration format including the
+//!   paper's `[offload]` section,
+//! * [`layer`] — the layer trait with the Fig 3 life cycle,
+//! * [`conv`], [`maxpool`], [`region`] — the layer implementations,
+//! * [`batchnorm`] — batch normalization and its folding,
+//! * [`offload`] — the offload layer and backend registry (the `dlopen`
+//!   analog),
+//! * [`network`] — the network container with whole-net *and* per-layer
+//!   forward entry points ("the network inference had to be disintegrated
+//!   to gain access to the invocations of the individual layers", §III-F),
+//! * [`weights`] — sequential weight-file I/O in Darknet's style.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod cfg;
+pub mod conv;
+pub mod error;
+pub mod layer;
+pub mod maxpool;
+pub mod network;
+pub mod offload;
+pub mod region;
+pub mod spec;
+pub mod weights;
+
+pub use activation::Activation;
+pub use batchnorm::BatchNorm;
+pub use cfg::{parse_cfg, render_cfg};
+pub use conv::{ConvCompute, ConvLayer};
+pub use error::NnError;
+pub use layer::Layer;
+pub use maxpool::MaxPoolLayer;
+pub use network::Network;
+pub use offload::{BackendRegistry, OffloadBackend, OffloadConfig, OffloadLayer};
+pub use region::{RegionLayer, RegionParams};
+pub use spec::{ConvSpec, LayerSpec, NetworkSpec, OffloadSpec, PoolSpec, RegionSpec};
+pub use weights::{WeightsReader, WeightsWriter};

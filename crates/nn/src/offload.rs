@@ -1,0 +1,357 @@
+//! The generic offload mechanism (§III-C, Figs 3 & 4).
+//!
+//! Darknet virtualizes layer functionality through function pointers; the
+//! paper's new `[offload]` layer redirects those pointers to an arbitrary
+//! user-defined shared library so that "the life cycle and functionality of
+//! the layer can be customized completely". The backing implementation "is
+//! only required to compute an output feature map from a given input feature
+//! map — internally, it may subsume the computation of multiple layers of
+//! various kinds", which is exactly what the fabric offload does with all of
+//! Tincy YOLO's hidden layers.
+//!
+//! Rust has no stable ABI for `dlopen`-style plugins, so the `library=`
+//! string resolves through a [`BackendRegistry`] instead; the architecture
+//! (config-driven backend substitution with the full Fig 3 life cycle) is
+//! preserved.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::spec::OffloadSpec;
+use crate::weights::{WeightsReader, WeightsWriter};
+use std::collections::HashMap;
+use std::fmt;
+use tincy_tensor::{Shape3, Tensor};
+
+/// Configuration handed to a backend at `init` time (the keys of Fig 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadConfig {
+    /// Backend library identifier (`library=fabric.so` analog).
+    pub library: String,
+    /// Sub-topology description identifier (`network=` key).
+    pub network: String,
+    /// Weight-store identifier (`weights=` key).
+    pub weights: String,
+    /// Input feature-map geometry (inferred from the preceding layer).
+    pub input_shape: Shape3,
+    /// Declared output geometry (`height`/`width`/`channel` keys).
+    pub output_shape: Shape3,
+}
+
+/// A pluggable offload implementation with the Fig 3 life cycle.
+///
+/// `init` ↦ [`OffloadBackend::init`], `load_weights` ↦
+/// [`OffloadBackend::load_weights`], `forward` ↦
+/// [`OffloadBackend::forward`], `destroy` ↦ [`Drop`].
+pub trait OffloadBackend: Send {
+    /// The library identifier this backend serves.
+    fn library_name(&self) -> &str;
+
+    /// Downcasting hook so integrations can reach backend-specific state
+    /// (e.g. the fabric simulator's timing report) through a
+    /// `&dyn OffloadBackend`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Initializes the layer with access to its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; typically configuration validation.
+    fn init(&mut self, config: &OffloadConfig) -> Result<(), NnError>;
+
+    /// Loads the backend's parameters from the sequential weight stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] if the stream is exhausted.
+    fn load_weights(&mut self, reader: &mut WeightsReader<'_>) -> Result<(), NnError>;
+
+    /// Writes the backend's parameters to the sequential weight stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on sink failure.
+    fn write_weights(&self, writer: &mut WeightsWriter<'_>) -> Result<(), NnError>;
+
+    /// Computes the output feature map for one input feature map.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific inference failures.
+    fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError>;
+
+    /// Number of parameters consumed from the weight stream.
+    fn num_params(&self) -> usize;
+
+    /// Operations per frame subsumed by this backend.
+    fn ops_per_frame(&self) -> u64;
+}
+
+type BackendFactory = Box<dyn Fn() -> Box<dyn OffloadBackend> + Send + Sync>;
+
+/// Maps `library=` identifiers to backend factories — the registry standing
+/// in for the dynamic loader.
+#[derive(Default)]
+pub struct BackendRegistry {
+    factories: HashMap<String, BackendFactory>,
+}
+
+impl BackendRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory under a library identifier, replacing any
+    /// previous registration.
+    pub fn register(
+        &mut self,
+        library: impl Into<String>,
+        factory: impl Fn() -> Box<dyn OffloadBackend> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(library.into(), Box::new(factory));
+    }
+
+    /// Instantiates a backend for a library identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownBackend`] if nothing is registered.
+    pub fn create(&self, library: &str) -> Result<Box<dyn OffloadBackend>, NnError> {
+        self.factories
+            .get(library)
+            .map(|f| f())
+            .ok_or_else(|| NnError::UnknownBackend { library: library.to_owned() })
+    }
+
+    /// Registered library identifiers.
+    pub fn libraries(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+}
+
+impl fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendRegistry").field("libraries", &self.libraries()).finish()
+    }
+}
+
+/// The offload layer: Darknet's view of an externally implemented layer.
+pub struct OffloadLayer {
+    config: OffloadConfig,
+    backend: Box<dyn OffloadBackend>,
+}
+
+impl OffloadLayer {
+    /// Builds the layer by resolving `spec.library` in the registry and
+    /// running the backend's `init` hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownBackend`] if the library is unregistered,
+    /// or the backend's own `init` failure.
+    pub fn new(
+        in_shape: Shape3,
+        spec: &OffloadSpec,
+        registry: &BackendRegistry,
+    ) -> Result<Self, NnError> {
+        let mut backend = registry.create(&spec.library)?;
+        let config = OffloadConfig {
+            library: spec.library.clone(),
+            network: spec.network.clone(),
+            weights: spec.weights.clone(),
+            input_shape: in_shape,
+            output_shape: spec.out_shape,
+        };
+        backend.init(&config)?;
+        Ok(Self { config, backend })
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &OffloadConfig {
+        &self.config
+    }
+
+    /// Immutable access to the backend.
+    pub fn backend(&self) -> &dyn OffloadBackend {
+        self.backend.as_ref()
+    }
+
+    /// Mutable access to the backend (e.g. to adjust simulator settings).
+    pub fn backend_mut(&mut self) -> &mut dyn OffloadBackend {
+        self.backend.as_mut()
+    }
+}
+
+impl fmt::Debug for OffloadLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OffloadLayer")
+            .field("config", &self.config)
+            .field("backend", &self.backend.library_name())
+            .finish()
+    }
+}
+
+impl Layer for OffloadLayer {
+    fn kind(&self) -> &'static str {
+        "offload"
+    }
+
+    fn input_shape(&self) -> Shape3 {
+        self.config.input_shape
+    }
+
+    fn output_shape(&self) -> Shape3 {
+        self.config.output_shape
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        self.check_input(input)?;
+        let out = self.backend.forward(input)?;
+        if out.shape() != self.config.output_shape {
+            return Err(NnError::ShapeMismatch {
+                expected: self.config.output_shape.to_string(),
+                actual: out.shape().to_string(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn load_weights(&mut self, reader: &mut WeightsReader<'_>) -> Result<(), NnError> {
+        self.backend.load_weights(reader)
+    }
+
+    fn write_weights(&self, writer: &mut WeightsWriter<'_>) -> Result<(), NnError> {
+        self.backend.write_weights(writer)
+    }
+
+    fn num_params(&self) -> usize {
+        self.backend.num_params()
+    }
+
+    fn ops_per_frame(&self) -> u64 {
+        self.backend.ops_per_frame()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A backend that scales its input by a loadable factor — small enough
+    /// to verify the whole life cycle.
+    pub struct ScaleBackend {
+        pub factor: f32,
+        pub out_shape: Shape3,
+        pub initialized: bool,
+    }
+
+    impl ScaleBackend {
+        pub fn boxed() -> Box<dyn OffloadBackend> {
+            Box::new(Self { factor: 1.0, out_shape: Shape3::new(1, 1, 1), initialized: false })
+        }
+    }
+
+    impl OffloadBackend for ScaleBackend {
+        fn library_name(&self) -> &str {
+            "scale.so"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn init(&mut self, config: &OffloadConfig) -> Result<(), NnError> {
+            if config.input_shape != config.output_shape {
+                return Err(NnError::InvalidSpec {
+                    what: "scale backend requires matching shapes".to_owned(),
+                });
+            }
+            self.out_shape = config.output_shape;
+            self.initialized = true;
+            Ok(())
+        }
+        fn load_weights(&mut self, reader: &mut WeightsReader<'_>) -> Result<(), NnError> {
+            self.factor = reader.read_f32s(1)?[0];
+            Ok(())
+        }
+        fn write_weights(&self, writer: &mut WeightsWriter<'_>) -> Result<(), NnError> {
+            writer.write_f32s(&[self.factor])
+        }
+        fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+            Ok(input.map(|v| v * self.factor))
+        }
+        fn num_params(&self) -> usize {
+            1
+        }
+        fn ops_per_frame(&self) -> u64 {
+            self.out_shape.volume() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::ScaleBackend;
+    use super::*;
+
+    fn registry() -> BackendRegistry {
+        let mut r = BackendRegistry::new();
+        r.register("scale.so", ScaleBackend::boxed);
+        r
+    }
+
+    fn spec(shape: Shape3) -> OffloadSpec {
+        OffloadSpec {
+            library: "scale.so".to_owned(),
+            network: "sub.cfg".to_owned(),
+            weights: "sub.weights".to_owned(),
+            out_shape: shape,
+            ops: 42,
+        }
+    }
+
+    #[test]
+    fn unknown_library_is_rejected() {
+        let r = BackendRegistry::new();
+        let err = OffloadLayer::new(Shape3::new(1, 2, 2), &spec(Shape3::new(1, 2, 2)), &r);
+        assert!(matches!(err, Err(NnError::UnknownBackend { .. })));
+    }
+
+    #[test]
+    fn full_life_cycle() {
+        let shape = Shape3::new(2, 3, 3);
+        let mut layer = OffloadLayer::new(shape, &spec(shape), &registry()).unwrap();
+
+        // load_weights hook.
+        let mut buf = Vec::new();
+        crate::weights::WeightsWriter::new(&mut buf).write_f32s(&[2.5]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        layer.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+
+        // forward hook.
+        let input = Tensor::filled(shape, 2.0f32);
+        let out = layer.forward(&input).unwrap();
+        assert!(out.as_slice().iter().all(|&v| (v - 5.0).abs() < 1e-6));
+        assert_eq!(layer.num_params(), 1);
+        assert_eq!(layer.kind(), "offload");
+        // destroy hook: dropping the layer runs Drop on the backend.
+        drop(layer);
+    }
+
+    #[test]
+    fn init_failure_propagates() {
+        let err = OffloadLayer::new(
+            Shape3::new(1, 2, 2),
+            &spec(Shape3::new(9, 9, 9)), // shape mismatch the backend rejects
+            &registry(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn registry_replaces_and_lists() {
+        let mut r = registry();
+        assert_eq!(r.libraries(), vec!["scale.so"]);
+        r.register("scale.so", ScaleBackend::boxed);
+        assert_eq!(r.libraries().len(), 1);
+        assert!(r.create("scale.so").is_ok());
+    }
+}

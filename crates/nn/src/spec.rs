@@ -1,0 +1,423 @@
+//! Declarative network descriptions and exact operation accounting.
+//!
+//! Tables I and II of the paper are pure functions of the network topology:
+//! a convolution costs `2·K²·C·H_out·W_out·C′` operations (multiply and
+//! accumulate counted separately) and a max-pool window costs `K²` per
+//! output pixel. [`NetworkSpec`] encodes topologies and reproduces those
+//! numbers digit for digit.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use tincy_quant::{PrecisionConfig, WeightPrecision};
+use tincy_tensor::{ConvGeom, PoolGeom, Shape3};
+
+/// Specification of a convolutional layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvSpec {
+    /// Number of output channels (`filters` in darknet).
+    pub filters: usize,
+    /// Kernel side length.
+    pub size: usize,
+    /// Application stride.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+    /// Activation applied after the (optional) batch normalization.
+    pub activation: Activation,
+    /// Whether the layer carries batch normalization parameters.
+    pub batch_normalize: bool,
+    /// Weight/activation precision of the layer.
+    pub precision: PrecisionConfig,
+}
+
+impl ConvSpec {
+    /// The convolution geometry.
+    pub fn geom(&self) -> ConvGeom {
+        ConvGeom::new(self.size, self.stride, self.pad)
+    }
+
+    /// Number of learned parameters (weights + bias + batch norm).
+    pub fn num_params(&self, in_channels: usize) -> usize {
+        let weights = self.filters * self.size * self.size * in_channels;
+        let bias = self.filters;
+        let bn = if self.batch_normalize { 3 * self.filters } else { 0 };
+        weights + bias + bn
+    }
+}
+
+/// Specification of a max-pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Window side length.
+    pub size: usize,
+    /// Application stride.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// The pooling geometry.
+    pub fn geom(&self) -> PoolGeom {
+        PoolGeom::new(self.size, self.stride)
+    }
+}
+
+/// Specification of a YOLO region (detection head) layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Number of object classes.
+    pub classes: usize,
+    /// Number of anchor boxes per cell.
+    pub num: usize,
+    /// Anchor priors `(w, h)` in grid-cell units.
+    pub anchors: Vec<(f32, f32)>,
+}
+
+impl RegionSpec {
+    /// Channels the region layer expects: `num · (5 + classes)`.
+    pub fn expected_channels(&self) -> usize {
+        self.num * (5 + self.classes)
+    }
+}
+
+/// Specification of the generic offload layer (Fig 4).
+///
+/// From Darknet's perspective the offload layer is a black box that turns an
+/// input feature map into an output feature map of declared geometry; the
+/// backing implementation "may, for instance, subsume the computation of
+/// multiple layers of various kinds" (§III-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadSpec {
+    /// Backend library identifier (the `library=fabric.so` analog).
+    pub library: String,
+    /// Name of the offloaded sub-topology description.
+    pub network: String,
+    /// Weight-store identifier for the offloaded layers.
+    pub weights: String,
+    /// Declared output geometry (`height`/`width`/`channel` keys of Fig 4).
+    pub out_shape: Shape3,
+    /// Operations per frame subsumed by the backend (for accounting).
+    pub ops: u64,
+}
+
+/// One layer of a network specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// Convolutional layer.
+    Conv(ConvSpec),
+    /// Max-pooling layer.
+    MaxPool(PoolSpec),
+    /// YOLO region head.
+    Region(RegionSpec),
+    /// Generic offload layer.
+    Offload(OffloadSpec),
+}
+
+impl LayerSpec {
+    /// Short darknet-style type name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerSpec::Conv(_) => "conv",
+            LayerSpec::MaxPool(_) => "pool",
+            LayerSpec::Region(_) => "region",
+            LayerSpec::Offload(_) => "offload",
+        }
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: Shape3) -> Shape3 {
+        match self {
+            LayerSpec::Conv(c) => c.geom().output_shape(input, c.filters),
+            LayerSpec::MaxPool(p) => p.geom().output_shape(input),
+            LayerSpec::Region(_) => input,
+            LayerSpec::Offload(o) => o.out_shape,
+        }
+    }
+
+    /// Operations per frame with the paper's accounting (Table I):
+    /// convolutions count multiply and accumulate separately
+    /// (`2·K²·C·H_out·W_out·C′`), pools count one comparison per window
+    /// element per output pixel (`K²·H_out·W_out`), the region head is free.
+    pub fn ops(&self, input: Shape3) -> u64 {
+        match self {
+            LayerSpec::Conv(c) => {
+                let out = c.geom().output_shape(input, c.filters);
+                2 * (c.size * c.size * input.channels) as u64
+                    * out.spatial() as u64
+                    * c.filters as u64
+            }
+            LayerSpec::MaxPool(p) => {
+                let out = p.geom().output_shape(input);
+                (p.size * p.size) as u64 * out.spatial() as u64
+            }
+            LayerSpec::Region(_) => 0,
+            LayerSpec::Offload(o) => o.ops,
+        }
+    }
+
+    /// The layer's precision (non-conv layers are precision-neutral).
+    pub fn precision(&self) -> Option<PrecisionConfig> {
+        match self {
+            LayerSpec::Conv(c) => Some(c.precision),
+            _ => None,
+        }
+    }
+}
+
+/// A full network specification: input geometry plus a layer stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Shape of the input feature map.
+    pub input: Shape3,
+    /// Layer stack in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Creates an empty spec with the given input shape.
+    pub fn new(input: Shape3) -> Self {
+        Self { input, layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: LayerSpec) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Input shape of layer `i` (the network input for `i == 0`).
+    pub fn input_shape_of(&self, i: usize) -> Shape3 {
+        let mut shape = self.input;
+        for layer in &self.layers[..i] {
+            shape = layer.output_shape(shape);
+        }
+        shape
+    }
+
+    /// Output shapes of every layer, in order.
+    pub fn output_shapes(&self) -> Vec<Shape3> {
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        let mut shape = self.input;
+        for layer in &self.layers {
+            shape = layer.output_shape(shape);
+            shapes.push(shape);
+        }
+        shapes
+    }
+
+    /// The network's final output shape.
+    pub fn output_shape(&self) -> Shape3 {
+        self.input_shape_of(self.layers.len())
+    }
+
+    /// Per-layer operations per frame (one entry per layer).
+    pub fn ops_per_layer(&self) -> Vec<u64> {
+        let mut ops = Vec::with_capacity(self.layers.len());
+        let mut shape = self.input;
+        for layer in &self.layers {
+            ops.push(layer.ops(shape));
+            shape = layer.output_shape(shape);
+        }
+        ops
+    }
+
+    /// Total operations per frame (the Σ row of Table I).
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_layer().iter().sum()
+    }
+
+    /// Splits convolutional dot-product work by precision (Table II):
+    /// returns `(reduced_ops, eight_bit_ops)` where *reduced* covers binary-
+    /// weight layers and *8-bit* covers `W8`/float conv layers. Pool ops are
+    /// excluded (they are not dot products).
+    pub fn dot_product_ops(&self) -> (u64, u64) {
+        let mut reduced = 0u64;
+        let mut eight_bit = 0u64;
+        let mut shape = self.input;
+        for layer in &self.layers {
+            if let LayerSpec::Conv(c) = layer {
+                let ops = layer.ops(shape);
+                match c.precision.weights {
+                    WeightPrecision::W1 | WeightPrecision::W2 => reduced += ops,
+                    WeightPrecision::W8 | WeightPrecision::Float => eight_bit += ops,
+                }
+            }
+            shape = layer.output_shape(shape);
+        }
+        (reduced, eight_bit)
+    }
+
+    /// Total learned parameters.
+    pub fn num_params(&self) -> usize {
+        let mut params = 0;
+        let mut shape = self.input;
+        for layer in &self.layers {
+            if let LayerSpec::Conv(c) = layer {
+                params += c.num_params(shape.channels);
+            }
+            shape = layer.output_shape(shape);
+        }
+        params
+    }
+
+    /// Validates geometric consistency of the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] if any layer cannot be applied to
+    /// its input or a region head's channel count is wrong.
+    pub fn validate(&self) -> Result<(), NnError> {
+        self.input.validate().map_err(|e| NnError::InvalidSpec { what: e.to_string() })?;
+        let mut shape = self.input;
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Conv(c) => {
+                    c.geom().validate(shape).map_err(|e| NnError::InvalidSpec {
+                        what: format!("layer {i} (conv): {e}"),
+                    })?;
+                    if c.filters == 0 {
+                        return Err(NnError::InvalidSpec {
+                            what: format!("layer {i} (conv): zero filters"),
+                        });
+                    }
+                }
+                LayerSpec::MaxPool(p) => {
+                    if p.size == 0 || p.stride == 0 {
+                        return Err(NnError::InvalidSpec {
+                            what: format!("layer {i} (pool): zero size or stride"),
+                        });
+                    }
+                }
+                LayerSpec::Region(r) => {
+                    if shape.channels != r.expected_channels() {
+                        return Err(NnError::InvalidSpec {
+                            what: format!(
+                                "layer {i} (region): expected {} channels, got {}",
+                                r.expected_channels(),
+                                shape.channels
+                            ),
+                        });
+                    }
+                    if r.anchors.len() != r.num {
+                        return Err(NnError::InvalidSpec {
+                            what: format!(
+                                "layer {i} (region): {} anchors for num={}",
+                                r.anchors.len(),
+                                r.num
+                            ),
+                        });
+                    }
+                }
+                LayerSpec::Offload(o) => {
+                    o.out_shape.validate().map_err(|e| NnError::InvalidSpec {
+                        what: format!("layer {i} (offload): {e}"),
+                    })?;
+                }
+            }
+            shape = layer.output_shape(shape);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(filters: usize, size: usize, stride: usize) -> LayerSpec {
+        LayerSpec::Conv(ConvSpec {
+            filters,
+            size,
+            stride,
+            pad: size / 2,
+            activation: Activation::Leaky,
+            batch_normalize: true,
+            precision: PrecisionConfig::FLOAT,
+        })
+    }
+
+    #[test]
+    fn first_tiny_yolo_layer_ops_match_table_one() {
+        // Table I row 1: conv 3x3x3 -> 16 over 416x416 at stride 1.
+        let spec = NetworkSpec::new(Shape3::new(3, 416, 416)).with(conv(16, 3, 1));
+        assert_eq!(spec.total_ops(), 149_520_384);
+    }
+
+    #[test]
+    fn first_tincy_yolo_layer_ops_match_table_one() {
+        // Table I Tincy row 1: same conv at stride 2.
+        let spec = NetworkSpec::new(Shape3::new(3, 416, 416)).with(conv(16, 3, 2));
+        assert_eq!(spec.total_ops(), 37_380_096);
+    }
+
+    #[test]
+    fn pool_ops_match_table_one() {
+        // Table I row 2: maxpool 2x2 stride 2 on 416x416 -> 173,056 ops.
+        let spec = NetworkSpec::new(Shape3::new(16, 416, 416))
+            .with(LayerSpec::MaxPool(PoolSpec { size: 2, stride: 2 }));
+        assert_eq!(spec.total_ops(), 173_056);
+    }
+
+    #[test]
+    fn stride_one_pool_keeps_extent() {
+        // Table I row 12: maxpool 2x2 stride 1 at 13x13 -> 676 ops, 13x13 out.
+        let spec = NetworkSpec::new(Shape3::new(512, 13, 13))
+            .with(LayerSpec::MaxPool(PoolSpec { size: 2, stride: 1 }));
+        assert_eq!(spec.total_ops(), 676);
+        assert_eq!(spec.output_shape(), Shape3::new(512, 13, 13));
+    }
+
+    #[test]
+    fn shapes_chain_through_layers() {
+        let spec = NetworkSpec::new(Shape3::new(3, 416, 416))
+            .with(conv(16, 3, 1))
+            .with(LayerSpec::MaxPool(PoolSpec { size: 2, stride: 2 }))
+            .with(conv(32, 3, 1));
+        assert_eq!(
+            spec.output_shapes(),
+            vec![
+                Shape3::new(16, 416, 416),
+                Shape3::new(16, 208, 208),
+                Shape3::new(32, 208, 208)
+            ]
+        );
+    }
+
+    #[test]
+    fn region_channel_validation() {
+        let bad = NetworkSpec::new(Shape3::new(100, 13, 13)).with(LayerSpec::Region(
+            RegionSpec { classes: 20, num: 5, anchors: vec![(1.0, 1.0); 5] },
+        ));
+        assert!(bad.validate().is_err());
+        let good = NetworkSpec::new(Shape3::new(125, 13, 13)).with(LayerSpec::Region(
+            RegionSpec { classes: 20, num: 5, anchors: vec![(1.0, 1.0); 5] },
+        ));
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn dot_product_split_by_precision() {
+        let mut c1 = match conv(16, 3, 2) {
+            LayerSpec::Conv(c) => c,
+            _ => unreachable!(),
+        };
+        c1.precision = PrecisionConfig::W8A8;
+        let mut c2 = c1.clone();
+        c2.filters = 64;
+        c2.precision = PrecisionConfig::W1A3;
+        let spec = NetworkSpec::new(Shape3::new(3, 416, 416))
+            .with(LayerSpec::Conv(c1))
+            .with(LayerSpec::Conv(c2));
+        let (reduced, eight) = spec.dot_product_ops();
+        assert_eq!(eight, 37_380_096);
+        assert!(reduced > 0);
+        assert_eq!(reduced + eight, spec.total_ops());
+    }
+
+    #[test]
+    fn param_count() {
+        // conv 3x3, 3 -> 16 with BN: 16*27 weights + 16 bias + 48 bn.
+        let spec = NetworkSpec::new(Shape3::new(3, 416, 416)).with(conv(16, 3, 1));
+        assert_eq!(spec.num_params(), 16 * 27 + 16 + 48);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the Darknet-analog framework.
+
+use proptest::prelude::*;
+use tincy_nn::{
+    parse_cfg, render_cfg, Activation, ConvSpec, LayerSpec, NetworkSpec, PoolSpec, RegionSpec,
+};
+use tincy_quant::PrecisionConfig;
+use tincy_tensor::Shape3;
+
+fn precision() -> impl Strategy<Value = PrecisionConfig> {
+    prop_oneof![
+        Just(PrecisionConfig::FLOAT),
+        Just(PrecisionConfig::W8A8),
+        Just(PrecisionConfig::W1A3),
+        Just(PrecisionConfig::W1A1),
+    ]
+}
+
+fn activation() -> impl Strategy<Value = Activation> {
+    prop_oneof![Just(Activation::Linear), Just(Activation::Relu), Just(Activation::Leaky)]
+}
+
+fn conv_spec() -> impl Strategy<Value = ConvSpec> {
+    (1usize..64, prop_oneof![Just(1usize), Just(3)], 1usize..3, any::<bool>(), activation(), precision())
+        .prop_map(|(filters, size, stride, bn, act, prec)| ConvSpec {
+            filters,
+            size,
+            stride,
+            pad: size / 2,
+            activation: act,
+            batch_normalize: bn,
+            precision: prec,
+        })
+}
+
+fn network_spec() -> impl Strategy<Value = NetworkSpec> {
+    (
+        2usize..5,
+        proptest::collection::vec(
+            prop_oneof![
+                conv_spec().prop_map(LayerSpec::Conv),
+                Just(LayerSpec::MaxPool(PoolSpec { size: 2, stride: 2 })),
+                Just(LayerSpec::MaxPool(PoolSpec { size: 2, stride: 1 })),
+            ],
+            1..6,
+        ),
+    )
+        .prop_map(|(scale, layers)| {
+            let mut spec = NetworkSpec::new(Shape3::new(3, 32 * scale, 32 * scale));
+            spec.layers = layers;
+            spec
+        })
+        .prop_filter("must validate", |spec| spec.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// cfg rendering and parsing are exact inverses.
+    #[test]
+    fn cfg_round_trip(spec in network_spec()) {
+        let text = render_cfg(&spec);
+        let reparsed = parse_cfg(&text).expect("rendered cfg must parse");
+        prop_assert_eq!(spec, reparsed);
+    }
+
+    /// Op accounting is invariant under re-rendering.
+    #[test]
+    fn ops_survive_round_trip(spec in network_spec()) {
+        let reparsed = parse_cfg(&render_cfg(&spec)).expect("parses");
+        prop_assert_eq!(spec.total_ops(), reparsed.total_ops());
+        prop_assert_eq!(spec.dot_product_ops(), reparsed.dot_product_ops());
+        prop_assert_eq!(spec.num_params(), reparsed.num_params());
+    }
+
+    /// Output shapes chain: the input shape of layer i+1 is the output of
+    /// layer i, and ops are consistent with per-layer recomputation.
+    #[test]
+    fn shape_chaining_consistency(spec in network_spec()) {
+        let shapes = spec.output_shapes();
+        let ops = spec.ops_per_layer();
+        prop_assert_eq!(shapes.len(), spec.layers.len());
+        let mut prev = spec.input;
+        for (i, layer) in spec.layers.iter().enumerate() {
+            prop_assert_eq!(layer.output_shape(prev), shapes[i]);
+            prop_assert_eq!(layer.ops(prev), ops[i]);
+            prev = shapes[i];
+        }
+        prop_assert_eq!(ops.iter().sum::<u64>(), spec.total_ops());
+    }
+
+    /// Region-headed networks validate iff the channel arithmetic works.
+    #[test]
+    fn region_channel_rule(classes in 1usize..25, num in 1usize..7, channels in 1usize..200) {
+        let region = RegionSpec {
+            classes,
+            num,
+            anchors: vec![(1.0, 1.0); num],
+        };
+        let expected = num * (5 + classes);
+        let spec = NetworkSpec::new(Shape3::new(channels, 13, 13))
+            .with(LayerSpec::Region(region));
+        prop_assert_eq!(spec.validate().is_ok(), channels == expected);
+    }
+}

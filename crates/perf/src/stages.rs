@@ -1,0 +1,160 @@
+//! The frame-time stage budget (Table III) and its transformations.
+
+use crate::calib;
+
+/// The processing stages of one video frame (Table III rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Camera read + internal scaling.
+    Acquisition,
+    /// First convolutional layer.
+    InputLayer,
+    /// First max-pool layer.
+    MaxPool,
+    /// All hidden layers.
+    HiddenLayers,
+    /// Output (detection head) layer.
+    OutputLayer,
+    /// Object boxing.
+    BoxDrawing,
+    /// Frame drawing / display.
+    ImageOutput,
+}
+
+impl StageId {
+    /// All stages in pipeline order.
+    pub const ALL: [StageId; 7] = [
+        StageId::Acquisition,
+        StageId::InputLayer,
+        StageId::MaxPool,
+        StageId::HiddenLayers,
+        StageId::OutputLayer,
+        StageId::BoxDrawing,
+        StageId::ImageOutput,
+    ];
+
+    /// The Table III row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageId::Acquisition => "Image Acquisition",
+            StageId::InputLayer => "Input Layer",
+            StageId::MaxPool => "Max Pool",
+            StageId::HiddenLayers => "Hidden Layers",
+            StageId::OutputLayer => "Output Layer",
+            StageId::BoxDrawing => "Box Drawing",
+            StageId::ImageOutput => "Image Output",
+        }
+    }
+}
+
+/// Per-stage frame-time budget in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBudget {
+    times: [f64; 7],
+}
+
+impl StageBudget {
+    /// The calibrated generic-Darknet baseline (Table III).
+    pub fn paper_baseline() -> Self {
+        Self {
+            times: [
+                calib::ACQUISITION_MS,
+                calib::INPUT_LAYER_MS,
+                calib::MAX_POOL_MS,
+                calib::HIDDEN_LAYERS_MS,
+                calib::OUTPUT_LAYER_MS,
+                calib::BOX_DRAWING_MS,
+                calib::IMAGE_OUTPUT_MS,
+            ],
+        }
+    }
+
+    /// Time of one stage in ms.
+    pub fn get(&self, stage: StageId) -> f64 {
+        self.times[Self::index(stage)]
+    }
+
+    /// Returns a budget with one stage replaced.
+    #[must_use]
+    pub fn with(&self, stage: StageId, ms: f64) -> Self {
+        let mut out = *self;
+        out.times[Self::index(stage)] = ms;
+        out
+    }
+
+    /// Returns a budget with one stage scaled by `1/speedup`.
+    #[must_use]
+    pub fn sped_up(&self, stage: StageId, speedup: f64) -> Self {
+        self.with(stage, self.get(stage) / speedup)
+    }
+
+    /// Total sequential frame time in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.times.iter().sum()
+    }
+
+    /// Sequential frame rate.
+    pub fn sequential_fps(&self) -> f64 {
+        1000.0 / self.total_ms()
+    }
+
+    /// The slowest stage (the pipelined throughput bound).
+    pub fn bottleneck(&self) -> (StageId, f64) {
+        let mut best = (StageId::Acquisition, f64::NEG_INFINITY);
+        for stage in StageId::ALL {
+            let t = self.get(stage);
+            if t > best.1 {
+                best = (stage, t);
+            }
+        }
+        best
+    }
+
+    /// Iterates `(stage, ms)` in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (StageId, f64)> + '_ {
+        StageId::ALL.into_iter().map(|s| (s, self.get(s)))
+    }
+
+    fn index(stage: StageId) -> usize {
+        StageId::ALL.iter().position(|&s| s == stage).expect("stage is in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_three() {
+        let b = StageBudget::paper_baseline();
+        assert_eq!(b.total_ms(), calib::TOTAL_MS);
+        assert_eq!(b.get(StageId::HiddenLayers), 9160.0);
+        assert!((b.sequential_fps() - 0.0997).abs() < 0.001);
+    }
+
+    #[test]
+    fn bottleneck_is_hidden_layers_at_baseline() {
+        let (stage, ms) = StageBudget::paper_baseline().bottleneck();
+        assert_eq!(stage, StageId::HiddenLayers);
+        assert_eq!(ms, 9160.0);
+    }
+
+    #[test]
+    fn transformations_compose() {
+        let b = StageBudget::paper_baseline()
+            .with(StageId::HiddenLayers, 30.0)
+            .sped_up(StageId::InputLayer, 2.0);
+        assert_eq!(b.get(StageId::HiddenLayers), 30.0);
+        assert_eq!(b.get(StageId::InputLayer), 310.0);
+        // Untouched stages unchanged.
+        assert_eq!(b.get(StageId::Acquisition), 40.0);
+    }
+
+    #[test]
+    fn offload_makes_input_layer_the_bottleneck() {
+        // §III-C: after offloading the hidden layers, "it is the input
+        // layer which now defines the bottleneck".
+        let b = StageBudget::paper_baseline().with(StageId::HiddenLayers, 30.0);
+        assert_eq!(b.bottleneck().0, StageId::InputLayer);
+    }
+}

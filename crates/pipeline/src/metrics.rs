@@ -1,0 +1,110 @@
+//! Pipeline throughput and occupancy metrics.
+
+use std::time::Duration;
+
+/// Per-stage execution statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage label.
+    pub name: String,
+    /// Number of frames the stage processed.
+    pub invocations: u64,
+    /// Accumulated busy time.
+    pub busy: Duration,
+}
+
+impl StageStats {
+    /// Mean processing time per frame.
+    pub fn mean_time(&self) -> Duration {
+        if self.invocations == 0 {
+            Duration::ZERO
+        } else {
+            self.busy / self.invocations as u32
+        }
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Frames delivered to the sink.
+    pub frames: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-stage statistics, pipeline order (source first, sink last).
+    pub stages: Vec<StageStats>,
+    /// Whether every frame arrived at the sink in source order.
+    pub in_order: bool,
+    /// Number of worker threads used.
+    pub workers: usize,
+}
+
+impl PipelineMetrics {
+    /// Achieved frame rate.
+    pub fn fps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.frames as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Total busy time across all stages — the sequential-equivalent cost.
+    pub fn total_busy(&self) -> Duration {
+        self.stages.iter().map(|s| s.busy).sum()
+    }
+
+    /// Parallel speedup estimate: sequential-equivalent time over wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.total_busy().as_secs_f64() / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fps_and_speedup() {
+        let metrics = PipelineMetrics {
+            frames: 20,
+            elapsed: Duration::from_secs(2),
+            stages: vec![
+                StageStats {
+                    name: "a".into(),
+                    invocations: 20,
+                    busy: Duration::from_secs(3),
+                },
+                StageStats {
+                    name: "b".into(),
+                    invocations: 20,
+                    busy: Duration::from_secs(3),
+                },
+            ],
+            in_order: true,
+            workers: 4,
+        };
+        assert!((metrics.fps() - 10.0).abs() < 1e-9);
+        assert_eq!(metrics.total_busy(), Duration::from_secs(6));
+        assert!((metrics.speedup() - 3.0).abs() < 1e-9);
+        assert_eq!(metrics.stages[0].mean_time(), Duration::from_millis(150));
+    }
+
+    #[test]
+    fn zero_frames_edge_cases() {
+        let metrics = PipelineMetrics {
+            frames: 0,
+            elapsed: Duration::ZERO,
+            stages: vec![StageStats { name: "a".into(), invocations: 0, busy: Duration::ZERO }],
+            in_order: true,
+            workers: 1,
+        };
+        assert_eq!(metrics.fps(), 0.0);
+        assert_eq!(metrics.speedup(), 0.0);
+        assert_eq!(metrics.stages[0].mean_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,437 @@
+//! The most-mature-job scheduler and worker pool.
+
+use crate::metrics::{PipelineMetrics, StageStats};
+use crate::slot::Slot;
+use crate::stage::Stage;
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A frame travelling through the pipeline with its source sequence number.
+struct Env<T> {
+    seq: u64,
+    frame: T,
+}
+
+struct StatsAcc {
+    name: String,
+    invocations: u64,
+    busy: Duration,
+}
+
+/// Everything guarded by the pipeline lock.
+struct Shared<T> {
+    /// `slots[i]` is the output buffer of task `i` (source = task 0,
+    /// stage `k` = task `k+1`); the sink consumes the last slot.
+    slots: Vec<Slot<Env<T>>>,
+    /// Task executors, taken out while a worker runs them (exclusivity).
+    source: Option<Box<dyn FnMut() -> Option<T> + Send>>,
+    stages: Vec<Option<Box<dyn Stage<T>>>>,
+    sink: Option<Box<dyn FnMut(T) + Send>>,
+    source_done: bool,
+    /// Set when any task panicked: all workers drain out so the panic can
+    /// propagate instead of deadlocking the pool.
+    panicked: bool,
+    next_seq: u64,
+    delivered: u64,
+    last_seq: Option<u64>,
+    in_order: bool,
+    stats: Vec<StatsAcc>,
+}
+
+impl<T> Shared<T> {
+    fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The most mature ready task, if any. Task indices: `0` = source,
+    /// `1..=n` = stages, `n+1` = sink. "Most mature" = highest index —
+    /// the frame that is furthest along advances first.
+    fn pick_job(&self) -> Option<usize> {
+        let n = self.num_stages();
+        // Sink: its input must be available; the sink itself is "always
+        // free" but must not run twice concurrently.
+        if self.sink.is_some() && self.slots[n].is_avail() {
+            return Some(n + 1);
+        }
+        for i in (1..=n).rev() {
+            if self.stages[i - 1].is_some()
+                && self.slots[i - 1].is_avail()
+                && self.slots[i].is_free()
+            {
+                return Some(i);
+            }
+        }
+        if self.source.is_some() && !self.source_done && self.slots[0].is_free() {
+            return Some(0);
+        }
+        None
+    }
+
+    fn finished(&self) -> bool {
+        self.panicked
+            || (self.source_done
+                && self.slots.iter().all(Slot::is_free)
+                && self.source.is_some()
+                && self.sink.is_some()
+                && self.stages.iter().all(Option::is_some))
+    }
+}
+
+/// A frame-processing pipeline: a source, a chain of stages and a sink,
+/// executed by a pool of worker threads with the paper's scheduling rules.
+///
+/// # Example
+///
+/// ```
+/// use tincy_pipeline::{FnStage, Pipeline};
+///
+/// let mut n = 0u32;
+/// let metrics = Pipeline::new(move || {
+///     n += 1;
+///     (n <= 10).then_some(n)
+/// })
+/// .with_stage(FnStage::new("square", |x: u32| x * x))
+/// .run(|_out| {}, 4);
+/// assert_eq!(metrics.frames, 10);
+/// assert!(metrics.in_order);
+/// ```
+pub struct Pipeline<T> {
+    source: Box<dyn FnMut() -> Option<T> + Send>,
+    stages: Vec<Box<dyn Stage<T>>>,
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// Creates a pipeline fed by `source`; the source returns `None` when
+    /// the stream ends.
+    pub fn new(source: impl FnMut() -> Option<T> + Send + 'static) -> Self {
+        Self { source: Box::new(source), stages: Vec::new() }
+    }
+
+    /// Appends a stage.
+    #[must_use]
+    pub fn with_stage(mut self, stage: impl Stage<T> + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Appends prebuilt stages (e.g. wrapped network layers).
+    #[must_use]
+    pub fn with_stages(mut self, stages: impl IntoIterator<Item = Box<dyn Stage<T>>>) -> Self {
+        self.stages.extend(stages);
+        self
+    }
+
+    /// Number of stages between source and sink.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs the pipeline to completion on `workers` threads (clamped to at
+    /// least one), delivering finished frames to `sink` in source order.
+    pub fn run(self, sink: impl FnMut(T) + Send + 'static, workers: usize) -> PipelineMetrics {
+        let workers = workers.max(1);
+        let n = self.stages.len();
+        let mut stats = Vec::with_capacity(n + 2);
+        stats.push(StatsAcc { name: "source".to_owned(), invocations: 0, busy: Duration::ZERO });
+        for s in &self.stages {
+            stats.push(StatsAcc {
+                name: s.name().to_owned(),
+                invocations: 0,
+                busy: Duration::ZERO,
+            });
+        }
+        stats.push(StatsAcc { name: "sink".to_owned(), invocations: 0, busy: Duration::ZERO });
+
+        let shared = Mutex::new(Shared {
+            slots: (0..=n).map(|_| Slot::Free).collect(),
+            source: Some(self.source),
+            stages: self.stages.into_iter().map(Some).collect(),
+            sink: Some(Box::new(sink)),
+            source_done: false,
+            panicked: false,
+            next_seq: 0,
+            delivered: 0,
+            last_seq: None,
+            in_order: true,
+            stats,
+        });
+        let condvar = Condvar::new();
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&shared, &condvar));
+            }
+        });
+
+        let state = shared.into_inner();
+        PipelineMetrics {
+            frames: state.delivered,
+            elapsed: started.elapsed(),
+            stages: state
+                .stats
+                .into_iter()
+                .map(|s| StageStats { name: s.name, invocations: s.invocations, busy: s.busy })
+                .collect(),
+            in_order: state.in_order,
+            workers,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Pipeline<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.stages.iter().map(|s| s.name().to_owned()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Runs a task body outside the lock; on panic, marks the pipeline failed
+/// (so the other workers drain out) and re-raises.
+fn run_task<T, R>(
+    shared: &Mutex<Shared<T>>,
+    condvar: &Condvar,
+    body: impl FnOnce() -> R,
+) -> (R, Duration) {
+    let t0 = Instant::now();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(result) => (result, t0.elapsed()),
+        Err(payload) => {
+            shared.lock().panicked = true;
+            condvar.notify_all();
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
+    loop {
+        let mut state = shared.lock();
+        let job = loop {
+            if state.finished() {
+                condvar.notify_all();
+                return;
+            }
+            match state.pick_job() {
+                Some(job) => break job,
+                None => condvar.wait(&mut state),
+            }
+        };
+        let n = state.num_stages();
+        if job == 0 {
+            // Source: produce the next frame (or learn the stream ended).
+            let mut source = state.source.take().expect("source present when picked");
+            drop(state);
+            let (produced, took) = run_task(shared, condvar, || source());
+            let mut state = shared.lock();
+            match produced {
+                Some(frame) => {
+                    let seq = state.next_seq;
+                    state.next_seq += 1;
+                    state.slots[0].deposit(Env { seq, frame });
+                }
+                None => state.source_done = true,
+            }
+            state.stats[0].invocations += 1;
+            state.stats[0].busy += took;
+            state.source = Some(source);
+        } else if job == n + 1 {
+            // Sink: deliver the most mature frame.
+            let env = state.slots[n].start_consume();
+            let mut sink = state.sink.take().expect("sink present when picked");
+            drop(state);
+            let seq = env.seq;
+            let (sink, took) = run_task(shared, condvar, move || {
+                sink(env.frame);
+                sink
+            });
+            let mut state = shared.lock();
+            state.slots[n].finish_consume();
+            if let Some(last) = state.last_seq {
+                if seq != last + 1 {
+                    state.in_order = false;
+                }
+            } else if seq != 0 {
+                state.in_order = false;
+            }
+            state.last_seq = Some(seq);
+            state.delivered += 1;
+            state.stats[n + 1].invocations += 1;
+            state.stats[n + 1].busy += took;
+            state.sink = Some(sink);
+        } else {
+            // Stage `job`: advance one frame one step.
+            let env = state.slots[job - 1].start_consume();
+            let mut stage = state.stages[job - 1].take().expect("stage present when picked");
+            drop(state);
+            let seq = env.seq;
+            let ((stage, frame), took) = run_task(shared, condvar, move || {
+                let frame = stage.process(env.frame);
+                (stage, frame)
+            });
+            let mut state = shared.lock();
+            state.slots[job - 1].finish_consume();
+            state.slots[job].deposit(Env { seq, frame });
+            state.stats[job].invocations += 1;
+            state.stats[job].busy += took;
+            state.stages[job - 1] = Some(stage);
+        }
+        condvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::FnStage;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn counting_source(n: u64) -> impl FnMut() -> Option<u64> + Send {
+        let mut i = 0;
+        move || {
+            i += 1;
+            (i <= n).then_some(i - 1)
+        }
+    }
+
+    #[test]
+    fn processes_all_frames_in_order() {
+        for workers in [1, 2, 4, 8] {
+            let collected = Arc::new(Mutex::new(Vec::new()));
+            let sink_frames = Arc::clone(&collected);
+            let metrics = Pipeline::new(counting_source(50))
+                .with_stage(FnStage::new("a", |x: u64| x + 1000))
+                .with_stage(FnStage::new("b", |x: u64| x * 2))
+                .run(move |x| sink_frames.lock().push(x), workers);
+            assert_eq!(metrics.frames, 50, "workers={workers}");
+            assert!(metrics.in_order, "workers={workers}");
+            let frames = collected.lock();
+            let expected: Vec<u64> = (0..50).map(|i| (i + 1000) * 2).collect();
+            assert_eq!(*frames, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_stage_pipeline_is_source_to_sink() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let metrics = Pipeline::new(counting_source(7)).run(
+            move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            },
+            3,
+        );
+        assert_eq!(metrics.frames, 7);
+        assert_eq!(count.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn empty_source_terminates() {
+        let metrics = Pipeline::new(|| None::<u64>)
+            .with_stage(FnStage::new("a", |x: u64| x))
+            .run(|_| {}, 4);
+        assert_eq!(metrics.frames, 0);
+        assert!(metrics.in_order);
+    }
+
+    #[test]
+    fn uneven_stage_times_still_preserve_order() {
+        // A fast stage behind a slow one tempts reordering; the single-slot
+        // handshake must forbid it.
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink_frames = Arc::clone(&collected);
+        let metrics = Pipeline::new(counting_source(30))
+            .with_stage(FnStage::new("slow-every-3", |x: u64| {
+                if x % 3 == 0 {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                x
+            }))
+            .with_stage(FnStage::new("fast", |x: u64| x))
+            .run(move |x| sink_frames.lock().push(x), 4);
+        assert!(metrics.in_order);
+        assert_eq!(*collected.lock(), (0..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stage_stats_recorded() {
+        let metrics = Pipeline::new(counting_source(10))
+            .with_stage(FnStage::new("work", |x: u64| {
+                std::thread::sleep(Duration::from_millis(1));
+                x
+            }))
+            .run(|_| {}, 2);
+        assert_eq!(metrics.stages.len(), 3); // source, work, sink
+        let work = &metrics.stages[1];
+        assert_eq!(work.name, "work");
+        assert_eq!(work.invocations, 10);
+        assert!(work.busy >= Duration::from_millis(10));
+        assert!(work.mean_time() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn panicking_stage_propagates_instead_of_deadlocking() {
+        // A stage panic must abort the whole run (and unblock every
+        // worker), not hang the pool.
+        let result = std::panic::catch_unwind(|| {
+            Pipeline::new(counting_source(10))
+                .with_stage(FnStage::new("ok", |x: u64| x))
+                .with_stage(FnStage::new("boom", |x: u64| {
+                    if x == 3 {
+                        panic!("stage exploded");
+                    }
+                    x
+                }))
+                .run(|_| {}, 4)
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn panicking_source_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut n = 0u64;
+            Pipeline::new(move || {
+                n += 1;
+                if n == 2 {
+                    panic!("source exploded");
+                }
+                Some(n)
+            })
+            .with_stage(FnStage::new("s", |x: u64| x))
+            .run(|_| {}, 2)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pipelining_overlaps_stage_time() {
+        // Four equal stages of ~4 ms on four workers should run
+        // substantially faster than the sequential sum. Generous margins
+        // keep this robust on loaded CI machines.
+        let delay = Duration::from_millis(4);
+        let frames = 24u64;
+        let stage = |name: &str| {
+            FnStage::new(name.to_owned(), move |x: u64| {
+                std::thread::sleep(delay);
+                x
+            })
+        };
+        let metrics = Pipeline::new(counting_source(frames))
+            .with_stage(stage("s1"))
+            .with_stage(stage("s2"))
+            .with_stage(stage("s3"))
+            .with_stage(stage("s4"))
+            .run(|_| {}, 4);
+        let sequential = delay * 4 * frames as u32;
+        assert!(
+            metrics.elapsed < sequential * 3 / 4,
+            "elapsed {:?} not faster than 3/4 of sequential {:?}",
+            metrics.elapsed,
+            sequential
+        );
+        assert!(metrics.speedup() > 1.2, "speedup {}", metrics.speedup());
+    }
+}

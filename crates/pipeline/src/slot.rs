@@ -1,0 +1,125 @@
+//! The single-slot stage buffer of Fig 6.
+
+/// State of a stage's output buffer.
+///
+/// The life cycle follows Fig 6: a producer may start only when the slot is
+/// [`Slot::Free`]; finishing makes it [`Slot::Avail`]. A consumer may start
+/// only on [`Slot::Avail`]; while it processes, the slot is
+/// [`Slot::InUse`] — neither free for the producer nor available to another
+/// consumer — and the consumer's *finish* returns it to [`Slot::Free`].
+#[derive(Debug, Default)]
+pub enum Slot<T> {
+    /// Empty and writable by the producer.
+    #[default]
+    Free,
+    /// Holds a finished frame awaiting its consumer.
+    Avail(T),
+    /// Reserved while the consumer processes the taken frame.
+    InUse,
+}
+
+impl<T> Slot<T> {
+    /// Whether a producer may deposit into this slot.
+    pub fn is_free(&self) -> bool {
+        matches!(self, Slot::Free)
+    }
+
+    /// Whether a consumer may start on this slot.
+    pub fn is_avail(&self) -> bool {
+        matches!(self, Slot::Avail(_))
+    }
+
+    /// Producer finish: deposits a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not free — the scheduler must never violate
+    /// the handshake.
+    pub fn deposit(&mut self, frame: T) {
+        assert!(self.is_free(), "deposit into a non-free slot violates the Fig 6 handshake");
+        *self = Slot::Avail(frame);
+    }
+
+    /// Consumer start: takes the frame, leaving the slot reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot holds no frame.
+    pub fn start_consume(&mut self) -> T {
+        match std::mem::replace(self, Slot::InUse) {
+            Slot::Avail(frame) => frame,
+            other => {
+                *self = other;
+                panic!("start_consume on a slot without data violates the Fig 6 handshake");
+            }
+        }
+    }
+
+    /// Consumer finish: releases the reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not reserved.
+    pub fn finish_consume(&mut self) {
+        assert!(
+            matches!(self, Slot::InUse),
+            "finish_consume on a non-reserved slot violates the Fig 6 handshake"
+        );
+        *self = Slot::Free;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_handshake_cycle() {
+        let mut slot: Slot<u32> = Slot::Free;
+        assert!(slot.is_free());
+        slot.deposit(7);
+        assert!(slot.is_avail());
+        assert!(!slot.is_free());
+        let frame = slot.start_consume();
+        assert_eq!(frame, 7);
+        assert!(!slot.is_free(), "slot stays reserved while the consumer runs");
+        assert!(!slot.is_avail());
+        slot.finish_consume();
+        assert!(slot.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "handshake")]
+    fn double_deposit_panics() {
+        let mut slot = Slot::Free;
+        slot.deposit(1);
+        slot.deposit(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "handshake")]
+    fn consume_empty_panics() {
+        let mut slot: Slot<u32> = Slot::Free;
+        slot.start_consume();
+    }
+
+    #[test]
+    #[should_panic(expected = "handshake")]
+    fn finish_without_start_panics() {
+        let mut slot: Slot<u32> = Slot::Free;
+        slot.finish_consume();
+    }
+
+    #[test]
+    fn producer_blocked_while_consumer_processes() {
+        // The property that prevents frame overtaking: during InUse the
+        // producer still sees a non-free slot.
+        let mut slot = Slot::Free;
+        slot.deposit("frame 1");
+        let _taken = slot.start_consume();
+        assert!(!slot.is_free());
+        slot.finish_consume();
+        slot.deposit("frame 2");
+        assert!(slot.is_avail());
+    }
+}

@@ -1,0 +1,93 @@
+//! Pipeline stage abstraction.
+
+/// One pipeline stage: advances a frame one processing step (Fig 5).
+///
+/// Stages own mutable state (layer weights, scratch buffers); the scheduler
+/// guarantees a stage is executed by at most one worker at a time, so no
+/// internal synchronization is needed.
+pub trait Stage<T>: Send {
+    /// Stage label for metrics and progress displays.
+    fn name(&self) -> &str;
+
+    /// Processes one frame.
+    fn process(&mut self, frame: T) -> T;
+}
+
+/// A stage built from a closure.
+///
+/// # Example
+///
+/// ```
+/// use tincy_pipeline::{FnStage, Stage};
+///
+/// let mut doubler = FnStage::new("double", |x: u32| x * 2);
+/// assert_eq!(doubler.process(21), 42);
+/// assert_eq!(doubler.name(), "double");
+/// ```
+pub struct FnStage<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnStage<F> {
+    /// Wraps a closure as a named stage.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+
+    /// Boxes the stage for heterogeneous stage lists.
+    pub fn boxed<T>(name: impl Into<String>, f: F) -> Box<dyn Stage<T>>
+    where
+        F: FnMut(T) -> T + Send + 'static,
+        T: 'static,
+    {
+        Box::new(Self::new(name, f))
+    }
+}
+
+impl<T, F: FnMut(T) -> T + Send> Stage<T> for FnStage<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, frame: T) -> T {
+        (self.f)(frame)
+    }
+}
+
+impl<F> std::fmt::Debug for FnStage<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnStage").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_is_object_safe() {
+        let mut stages: Vec<Box<dyn Stage<i32>>> = vec![
+            FnStage::boxed("inc", |x: i32| x + 1),
+            FnStage::boxed("neg", |x: i32| -x),
+        ];
+        let mut v = 5;
+        for s in &mut stages {
+            v = s.process(v);
+        }
+        assert_eq!(v, -6);
+    }
+
+    #[test]
+    fn stateful_stage() {
+        let mut counter = FnStage::new("count", {
+            let mut n = 0u32;
+            move |x: u32| {
+                n += 1;
+                x + n
+            }
+        });
+        assert_eq!(counter.process(0), 1);
+        assert_eq!(counter.process(0), 2);
+    }
+}

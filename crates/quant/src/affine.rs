@@ -1,0 +1,182 @@
+use crate::QuantError;
+
+/// Affine (asymmetric) 8-bit quantization: `real = scale · (q − zero_point)`.
+///
+/// This is the "safe" 8-bit scheme the paper uses for the quantization
+/// sensitive input and output layers (§III-A) and the numerical contract of
+/// the gemmlowp-style low-precision GEMM (§III-D).
+///
+/// # Example
+///
+/// ```
+/// use tincy_quant::AffineQuant;
+///
+/// let q = AffineQuant::fit(-1.0, 1.0)?;
+/// let byte = q.quantize(0.5);
+/// assert!((q.dequantize(byte) - 0.5).abs() <= q.scale());
+/// # Ok::<(), tincy_quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineQuant {
+    scale: f32,
+    zero_point: i32,
+}
+
+impl AffineQuant {
+    /// Creates a quantizer with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] if `scale` is not a positive
+    /// finite number or `zero_point` is outside `0..=255`.
+    pub fn new(scale: f32, zero_point: i32) -> Result<Self, QuantError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(QuantError::InvalidParameter {
+                what: format!("scale {scale} must be positive and finite"),
+            });
+        }
+        if !(0..=255).contains(&zero_point) {
+            return Err(QuantError::InvalidParameter {
+                what: format!("zero point {zero_point} must be in 0..=255"),
+            });
+        }
+        Ok(Self { scale, zero_point })
+    }
+
+    /// Fits a quantizer to the real range `[min, max]`.
+    ///
+    /// The range is widened to include zero so that zero is exactly
+    /// representable (a gemmlowp requirement for padding correctness).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] if the range is empty, reversed
+    /// or non-finite.
+    pub fn fit(min: f32, max: f32) -> Result<Self, QuantError> {
+        if !min.is_finite() || !max.is_finite() || min > max {
+            return Err(QuantError::InvalidRange { min, max });
+        }
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = max - min;
+        if span == 0.0 {
+            // Degenerate all-zero data: any positive scale works.
+            return Self::new(1.0, 0);
+        }
+        let scale = span / 255.0;
+        let zero_point = (-min / scale).round() as i32;
+        Self::new(scale, zero_point.clamp(0, 255))
+    }
+
+    /// Fits a quantizer to the extrema of a data slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] if the slice contains non-finite
+    /// values; an empty slice yields the degenerate unit quantizer.
+    pub fn fit_data(data: &[f32]) -> Result<Self, QuantError> {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if data.is_empty() {
+            return Self::new(1.0, 0);
+        }
+        Self::fit(min, max)
+    }
+
+    /// The quantization step size.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The quantized value representing real zero.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantizes a real value with round-to-nearest and saturation.
+    #[inline]
+    pub fn quantize(&self, real: f32) -> u8 {
+        let q = (real / self.scale).round() as i32 + self.zero_point;
+        q.clamp(0, 255) as u8
+    }
+
+    /// Dequantizes back to a real value.
+    #[inline]
+    pub fn dequantize(&self, q: u8) -> f32 {
+        self.scale * (q as i32 - self.zero_point) as f32
+    }
+
+    /// Quantizes a whole slice.
+    pub fn quantize_slice(&self, real: &[f32]) -> Vec<u8> {
+        real.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Dequantizes a whole slice.
+    pub fn dequantize_slice(&self, q: &[u8]) -> Vec<f32> {
+        q.iter().map(|&v| self.dequantize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        let q = AffineQuant::fit(-0.37, 1.93).unwrap();
+        let zq = q.quantize(0.0);
+        assert_eq!(q.dequantize(zq), 0.0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_scale() {
+        let q = AffineQuant::fit(-2.0, 2.0).unwrap();
+        for i in -200..=200 {
+            let v = i as f32 / 100.0;
+            assert!((q.dequantize(q.quantize(v)) - v).abs() <= q.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let q = AffineQuant::fit(0.0, 1.0).unwrap();
+        assert_eq!(q.quantize(100.0), 255);
+        assert_eq!(q.quantize(-100.0), 0);
+    }
+
+    #[test]
+    fn positive_only_range_gets_zero_point_zero() {
+        let q = AffineQuant::fit(0.0, 4.0).unwrap();
+        assert_eq!(q.zero_point(), 0);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn rejects_bad_ranges() {
+        assert!(AffineQuant::fit(1.0, -1.0).is_err());
+        assert!(AffineQuant::fit(f32::NAN, 1.0).is_err());
+        assert!(AffineQuant::new(0.0, 0).is_err());
+        assert!(AffineQuant::new(1.0, 300).is_err());
+    }
+
+    #[test]
+    fn fit_data_handles_empty_and_constant() {
+        assert!(AffineQuant::fit_data(&[]).is_ok());
+        let q = AffineQuant::fit_data(&[0.0, 0.0]).unwrap();
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let q = AffineQuant::fit(-1.0, 1.0).unwrap();
+        let data = vec![-1.0, -0.5, 0.0, 0.5, 1.0];
+        let deq = q.dequantize_slice(&q.quantize_slice(&data));
+        for (a, b) in data.iter().zip(&deq) {
+            assert!((a - b).abs() <= q.scale());
+        }
+    }
+}

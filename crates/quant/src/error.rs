@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors raised by quantizer construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// The value range handed to a quantizer fit was unusable.
+    InvalidRange {
+        /// Lower bound of the offending range.
+        min: f32,
+        /// Upper bound of the offending range.
+        max: f32,
+    },
+    /// A threshold list was not monotonically non-decreasing.
+    NonMonotoneThresholds,
+    /// A parameter was out of its documented domain.
+    InvalidParameter {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidRange { min, max } => {
+                write!(f, "invalid quantization range [{min}, {max}]")
+            }
+            QuantError::NonMonotoneThresholds => {
+                write!(f, "threshold list must be monotonically non-decreasing")
+            }
+            QuantError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<QuantError>();
+    }
+}

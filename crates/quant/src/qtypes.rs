@@ -1,0 +1,158 @@
+//! The precision vocabulary of the paper (`[W1A3]`, 8-bit, float…).
+
+use std::fmt;
+
+/// Weight precision of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightPrecision {
+    /// Single-precision floating point.
+    Float,
+    /// 8-bit affine quantization (the conservative choice, §II).
+    W8,
+    /// Ternary weights {−α, 0, +α} (Li et al., §II).
+    W2,
+    /// Binary weights {−1, +1} (Tincy YOLO hidden layers).
+    W1,
+}
+
+impl WeightPrecision {
+    /// Bits of storage per weight.
+    pub const fn bits(&self) -> u32 {
+        match self {
+            WeightPrecision::Float => 32,
+            WeightPrecision::W8 => 8,
+            WeightPrecision::W2 => 2,
+            WeightPrecision::W1 => 1,
+        }
+    }
+}
+
+/// Activation (feature-map) precision of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActPrecision {
+    /// Single-precision floating point.
+    Float,
+    /// 8-bit affine quantization.
+    A8,
+    /// 3-bit unsigned levels (Tincy YOLO hidden feature maps).
+    A3,
+    /// Binary activations.
+    A1,
+}
+
+impl ActPrecision {
+    /// Bits of storage per activation.
+    pub const fn bits(&self) -> u32 {
+        match self {
+            ActPrecision::Float => 32,
+            ActPrecision::A8 => 8,
+            ActPrecision::A3 => 3,
+            ActPrecision::A1 => 1,
+        }
+    }
+
+    /// Number of representable levels (meaningful for quantized precisions).
+    pub const fn levels(&self) -> usize {
+        match self {
+            ActPrecision::Float => usize::MAX,
+            ActPrecision::A8 => 256,
+            ActPrecision::A3 => 8,
+            ActPrecision::A1 => 2,
+        }
+    }
+}
+
+/// A layer's combined precision configuration, printable in the paper's
+/// `[W1A3]` notation.
+///
+/// # Example
+///
+/// ```
+/// use tincy_quant::PrecisionConfig;
+///
+/// assert_eq!(PrecisionConfig::W1A3.to_string(), "[W1A3]");
+/// assert_eq!(PrecisionConfig::FLOAT.to_string(), "[float]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrecisionConfig {
+    /// Weight precision.
+    pub weights: WeightPrecision,
+    /// Activation precision.
+    pub activations: ActPrecision,
+}
+
+impl PrecisionConfig {
+    /// Full single-precision floating point.
+    pub const FLOAT: Self =
+        Self { weights: WeightPrecision::Float, activations: ActPrecision::Float };
+    /// Binary weights, binary activations (FINN MLP-4 / CNV-6 workloads).
+    pub const W1A1: Self = Self { weights: WeightPrecision::W1, activations: ActPrecision::A1 };
+    /// Binary weights, 3-bit activations (Tincy YOLO hidden layers).
+    pub const W1A3: Self = Self { weights: WeightPrecision::W1, activations: ActPrecision::A3 };
+    /// Conservative 8-bit everywhere (input/output layers, TPU-style).
+    pub const W8A8: Self = Self { weights: WeightPrecision::W8, activations: ActPrecision::A8 };
+
+    /// Whether the configuration is aggressive enough to run on the QNN
+    /// accelerator (binary weights, few-bit activations).
+    pub const fn offloadable(&self) -> bool {
+        matches!(self.weights, WeightPrecision::W1)
+            && matches!(self.activations, ActPrecision::A1 | ActPrecision::A3)
+    }
+
+    /// Storage bytes for `n` weights under this precision.
+    pub const fn weight_bytes(&self, n: usize) -> usize {
+        (n * self.weights.bits() as usize).div_ceil(8)
+    }
+}
+
+impl fmt::Display for PrecisionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::FLOAT {
+            return write!(f, "[float]");
+        }
+        let w = match self.weights {
+            WeightPrecision::Float => "Wf".to_owned(),
+            other => format!("W{}", other.bits()),
+        };
+        let a = match self.activations {
+            ActPrecision::Float => "Af".to_owned(),
+            other => format!("A{}", other.bits()),
+        };
+        write!(f, "[{w}{a}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notation_matches_paper() {
+        assert_eq!(PrecisionConfig::W1A3.to_string(), "[W1A3]");
+        assert_eq!(PrecisionConfig::W1A1.to_string(), "[W1A1]");
+        assert_eq!(PrecisionConfig::W8A8.to_string(), "[W8A8]");
+    }
+
+    #[test]
+    fn offloadability() {
+        assert!(PrecisionConfig::W1A3.offloadable());
+        assert!(PrecisionConfig::W1A1.offloadable());
+        assert!(!PrecisionConfig::W8A8.offloadable());
+        assert!(!PrecisionConfig::FLOAT.offloadable());
+    }
+
+    #[test]
+    fn weight_storage_reduction() {
+        // §I: quantization reduces the parameter memory footprint
+        // accordingly — 32x for binarized weights.
+        let n = 1_000_000;
+        assert_eq!(PrecisionConfig::FLOAT.weight_bytes(n), 4_000_000);
+        assert_eq!(PrecisionConfig::W1A3.weight_bytes(n), 125_000);
+    }
+
+    #[test]
+    fn levels() {
+        assert_eq!(ActPrecision::A3.levels(), 8);
+        assert_eq!(ActPrecision::A1.levels(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Matrix multiplication backends for the GEMM lowering of convolution.
+//!
+//! Darknet's generic path is "a straightforward C implementation split into
+//! an explicit `im2col` followed by a matrix multiplication" (§III-D).
+//! [`gemm_f32`] is that reference; [`gemm_f32_lanes`] is the NEON-shaped
+//! variant that computes four result columns per instruction the way the
+//! fused implementation's inner loop does.
+
+use crate::lanes::F32x4;
+use tincy_tensor::Mat;
+
+/// Scalar reference GEMM: `C = A · B`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use tincy_simd::gemm_f32;
+/// use tincy_tensor::Mat;
+///
+/// let a = Mat::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+/// let b = Mat::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(gemm_f32(&a, &b), a);
+/// ```
+pub fn gemm_f32(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            let b_row = b.row(p);
+            for j in 0..n {
+                c_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    c
+}
+
+/// Lane-blocked GEMM: identical result to [`gemm_f32`], but the inner loop
+/// advances four output columns at a time through [`F32x4`] registers —
+/// the NEON execution shape.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm_f32_lanes(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Mat::zeros(m, n);
+    let full = n / F32x4::LANES * F32x4::LANES;
+    for i in 0..m {
+        let a_row = a.row(i);
+        // Vectorized body: four columns per lane register.
+        let mut j = 0;
+        while j < full {
+            let mut acc = F32x4::default();
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                acc = acc.mla(F32x4::splat(a_ip), F32x4::load(&b.row(p)[j..]));
+            }
+            acc.store(&mut c.row_mut(i)[j..]);
+            j += F32x4::LANES;
+        }
+        // Scalar tail.
+        for j in full..n {
+            let mut acc = 0.0f32;
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                acc += a_ip * b.at(p, j);
+            }
+            *c.at_mut(i, j) = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat<f32> {
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Mat::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let eye = Mat::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(gemm_f32(&a, &eye), a);
+        assert_eq!(gemm_f32(&eye, &a), a);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        let a = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Mat::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = gemm_f32(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn lanes_matches_scalar_on_awkward_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 7, 9), (16, 27, 33), (3, 8, 64)] {
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let c_ref = gemm_f32(&a, &b);
+            let c_lane = gemm_f32_lanes(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert!(
+                        (c_ref.at(i, j) - c_lane.at(i, j)).abs() < 1e-4,
+                        "mismatch at ({i},{j}) for {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Mat::<f32>::zeros(2, 3);
+        let b = Mat::<f32>::zeros(2, 2);
+        gemm_f32(&a, &b);
+    }
+}

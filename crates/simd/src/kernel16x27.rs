@@ -1,0 +1,385 @@
+//! The fully customized first-layer kernel (§III-D).
+//!
+//! "The weight matrix of the first convolutional layer has a rather small
+//! dimension of 16×27. The 16 divides nicely by all lane counts that a NEON
+//! implementation might use, and 27 is small enough to be unrolled
+//! explicitly." This module is that kernel, in the paper's three precision
+//! variants:
+//!
+//! | variant | accumulator | paper result |
+//! |---|---|---|
+//! | [`FirstLayerKernel::forward_f32`] | f32 | 620 ms → 160 ms (3.8×) |
+//! | [`FirstLayerKernel::accumulate_i32`] | i32 | 140 ms |
+//! | [`FirstLayerKernel::accumulate_i16`] | i16 + `vrshr #4` | 120 ms, small accuracy loss |
+//!
+//! The 16-bit variant performs a rounding right shift by 4 on every product
+//! *before* accumulation to avoid destructive overflow across the 27 terms;
+//! the paper keeps the float variant available "as drop in reference for
+//! case-to-case evaluation" — so do we.
+
+use crate::lanes::{F32x4, I16x8};
+use tincy_quant::rounding_right_shift_i16;
+use tincy_tensor::{ConvGeom, Mat, Tensor, TensorError};
+
+/// Number of output channels of the first layer.
+pub const OUT_CHANNELS: usize = 16;
+/// Dot-product length: 3×3 kernel over 3 image channels.
+pub const DOT_LENGTH: usize = 27;
+
+/// The specialized 16×27 first-layer convolution kernel.
+#[derive(Debug, Clone)]
+pub struct FirstLayerKernel {
+    /// Weights transposed to `[k][oc]` so each dot-product step is one
+    /// broadcast-multiply across output-channel lanes.
+    wt: [[f32; OUT_CHANNELS]; DOT_LENGTH],
+    /// Symmetrically quantized weights in the same layout.
+    wq: [[i8; OUT_CHANNELS]; DOT_LENGTH],
+    /// Real value of one quantized weight unit.
+    w_scale: f32,
+    bias: [f32; OUT_CHANNELS],
+}
+
+impl FirstLayerKernel {
+    /// Builds the kernel from a `16 × 27` weight matrix and 16 biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleGeometry`] if the dimensions are
+    /// not exactly 16×27 / 16.
+    pub fn new(weights: &Mat<f32>, bias: &[f32]) -> Result<Self, TensorError> {
+        if weights.rows() != OUT_CHANNELS || weights.cols() != DOT_LENGTH {
+            return Err(TensorError::IncompatibleGeometry {
+                what: format!(
+                    "first-layer kernel requires 16x27 weights, got {}x{}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        if bias.len() != OUT_CHANNELS {
+            return Err(TensorError::IncompatibleGeometry {
+                what: format!("first-layer kernel requires 16 biases, got {}", bias.len()),
+            });
+        }
+        let mut wt = [[0.0f32; OUT_CHANNELS]; DOT_LENGTH];
+        for oc in 0..OUT_CHANNELS {
+            for k in 0..DOT_LENGTH {
+                wt[k][oc] = weights.at(oc, k);
+            }
+        }
+        let max_abs = wt
+            .iter()
+            .flatten()
+            .fold(0.0f32, |m, &w| m.max(w.abs()))
+            .max(f32::MIN_POSITIVE);
+        let w_scale = max_abs / 127.0;
+        let mut wq = [[0i8; OUT_CHANNELS]; DOT_LENGTH];
+        for k in 0..DOT_LENGTH {
+            for oc in 0..OUT_CHANNELS {
+                wq[k][oc] = (wt[k][oc] / w_scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        let mut b = [0.0f32; OUT_CHANNELS];
+        b.copy_from_slice(bias);
+        Ok(Self { wt, wq, w_scale, bias: b })
+    }
+
+    /// Real value of one quantized-weight unit.
+    pub fn weight_scale(&self) -> f32 {
+        self.w_scale
+    }
+
+    fn check_input<T: Copy>(&self, input: &Tensor<T>, geom: ConvGeom) -> Result<(), TensorError> {
+        if input.shape().channels != 3 || geom.kernel != 3 {
+            return Err(TensorError::IncompatibleGeometry {
+                what: format!(
+                    "first-layer kernel expects 3 input channels and kernel 3, got {} / {}",
+                    input.shape().channels,
+                    geom.kernel
+                ),
+            });
+        }
+        geom.validate(input.shape())
+    }
+
+    /// Gathers the 27-element footprint at output position `(oy, ox)`.
+    #[inline]
+    fn gather<T: Copy>(
+        input: &Tensor<T>,
+        geom: ConvGeom,
+        oy: usize,
+        ox: usize,
+        pad: T,
+        buf: &mut [T; DOT_LENGTH],
+    ) {
+        let shape = input.shape();
+        let mut k = 0;
+        for c in 0..3 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                    buf[k] = if iy < 0
+                        || ix < 0
+                        || iy as usize >= shape.height
+                        || ix as usize >= shape.width
+                    {
+                        pad
+                    } else {
+                        input.at(c, iy as usize, ix as usize)
+                    };
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Float variant: 16 channels as four `F32x4` accumulators, the
+    /// 27-step dot product fully unrolled by the compiler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if the input is not a 3-channel map or the
+    /// geometry is not a 3×3 kernel.
+    pub fn forward_f32(
+        &self,
+        input: &Tensor<f32>,
+        geom: ConvGeom,
+    ) -> Result<Tensor<f32>, TensorError> {
+        self.check_input(input, geom)?;
+        let out_shape = geom.output_shape(input.shape(), OUT_CHANNELS);
+        let mut out = Tensor::zeros(out_shape);
+        let spatial = out_shape.spatial();
+        let mut x = [0.0f32; DOT_LENGTH];
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                Self::gather(input, geom, oy, ox, 0.0, &mut x);
+                let mut acc = [
+                    F32x4::load(&self.bias[0..]),
+                    F32x4::load(&self.bias[4..]),
+                    F32x4::load(&self.bias[8..]),
+                    F32x4::load(&self.bias[12..]),
+                ];
+                for k in 0..DOT_LENGTH {
+                    let xv = F32x4::splat(x[k]);
+                    acc[0] = acc[0].mla(xv, F32x4::load(&self.wt[k][0..]));
+                    acc[1] = acc[1].mla(xv, F32x4::load(&self.wt[k][4..]));
+                    acc[2] = acc[2].mla(xv, F32x4::load(&self.wt[k][8..]));
+                    acc[3] = acc[3].mla(xv, F32x4::load(&self.wt[k][12..]));
+                }
+                let pix = oy * out_shape.width + ox;
+                for v in 0..4 {
+                    for lane in 0..4 {
+                        out.as_mut_slice()[(v * 4 + lane) * spatial + pix] = acc[v].0[lane];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// 8-bit variant with exact 32-bit accumulation. Returns raw
+    /// accumulators; combine with [`FirstLayerKernel::dequantize_i32`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on shape/geometry mismatch.
+    pub fn accumulate_i32(
+        &self,
+        input: &Tensor<u8>,
+        zero_point: i32,
+        geom: ConvGeom,
+    ) -> Result<Tensor<i32>, TensorError> {
+        self.check_input(input, geom)?;
+        let out_shape = geom.output_shape(input.shape(), OUT_CHANNELS);
+        let mut out = Tensor::zeros(out_shape);
+        let spatial = out_shape.spatial();
+        let mut x = [0u8; DOT_LENGTH];
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                Self::gather(input, geom, oy, ox, zero_point as u8, &mut x);
+                let mut acc = [0i32; OUT_CHANNELS];
+                for k in 0..DOT_LENGTH {
+                    let d = x[k] as i32 - zero_point;
+                    for (oc, slot) in acc.iter_mut().enumerate() {
+                        *slot += d * self.wq[k][oc] as i32;
+                    }
+                }
+                let pix = oy * out_shape.width + ox;
+                for (oc, &a) in acc.iter().enumerate() {
+                    out.as_mut_slice()[oc * spatial + pix] = a;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// 8-bit variant with 16-bit accumulation: every product is rounding-
+    /// right-shifted by 4 (`vrshr #4`) before a saturating accumulate, so the
+    /// result carries an implicit factor of 1/16 and "some small loss of
+    /// detection accuracy" (§III-D). Combine with
+    /// [`FirstLayerKernel::dequantize_i16`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on shape/geometry mismatch.
+    pub fn accumulate_i16(
+        &self,
+        input: &Tensor<u8>,
+        zero_point: i32,
+        geom: ConvGeom,
+    ) -> Result<Tensor<i16>, TensorError> {
+        self.check_input(input, geom)?;
+        let out_shape = geom.output_shape(input.shape(), OUT_CHANNELS);
+        let mut out = Tensor::zeros(out_shape);
+        let spatial = out_shape.spatial();
+        let mut x = [0u8; DOT_LENGTH];
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                Self::gather(input, geom, oy, ox, zero_point as u8, &mut x);
+                // 16 output channels = two int16x8 accumulators.
+                let mut acc = [I16x8::default(); 2];
+                for k in 0..DOT_LENGTH {
+                    let d = (x[k] as i32 - zero_point) as i16;
+                    for half in 0..2 {
+                        let mut prod = [0i16; 8];
+                        for lane in 0..8 {
+                            // u8×i8 product fits i16 (|d| ≤ 255, |w| ≤ 127).
+                            let p = d as i32 * self.wq[k][half * 8 + lane] as i32;
+                            prod[lane] = rounding_right_shift_i16(p as i16, 4);
+                        }
+                        acc[half] = acc[half].saturating_add(I16x8(prod));
+                    }
+                }
+                let pix = oy * out_shape.width + ox;
+                for half in 0..2 {
+                    for lane in 0..8 {
+                        out.as_mut_slice()[(half * 8 + lane) * spatial + pix] =
+                            acc[half].0[lane];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts 32-bit accumulators to real outputs: `acc·(w_scale·a_scale) + bias`.
+    pub fn dequantize_i32(&self, acc: &Tensor<i32>, a_scale: f32) -> Tensor<f32> {
+        self.dequantize_scaled(acc.map(|v| v as f32), a_scale, 1.0)
+    }
+
+    /// Converts 16-bit accumulators to real outputs, compensating the
+    /// implicit 1/16 factor of the pre-shift.
+    pub fn dequantize_i16(&self, acc: &Tensor<i16>, a_scale: f32) -> Tensor<f32> {
+        self.dequantize_scaled(acc.map(|v| v as f32), a_scale, 16.0)
+    }
+
+    fn dequantize_scaled(&self, accf: Tensor<f32>, a_scale: f32, factor: f32) -> Tensor<f32> {
+        let spatial = accf.shape().spatial();
+        let scale = self.w_scale * a_scale * factor;
+        let mut out = accf;
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            *v = *v * scale + self.bias[i / spatial];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv_reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tincy_quant::AffineQuant;
+    use tincy_tensor::Shape3;
+
+    fn setup(rng: &mut StdRng) -> (Mat<f32>, Vec<f32>, FirstLayerKernel) {
+        let weights = Mat::from_fn(16, 27, |_, _| rng.gen_range(-1.0f32..1.0));
+        let bias: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.2..0.2)).collect();
+        let kernel = FirstLayerKernel::new(&weights, &bias).unwrap();
+        (weights, bias, kernel)
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let bad = Mat::<f32>::zeros(16, 25);
+        assert!(FirstLayerKernel::new(&bad, &[0.0; 16]).is_err());
+        let good = Mat::<f32>::zeros(16, 27);
+        assert!(FirstLayerKernel::new(&good, &[0.0; 15]).is_err());
+        assert!(FirstLayerKernel::new(&good, &[0.0; 16]).is_ok());
+    }
+
+    #[test]
+    fn float_variant_matches_reference_stride_one_and_two() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (weights, bias, kernel) = setup(&mut rng);
+        let input = Tensor::from_fn(Shape3::new(3, 10, 12), |_, _, _| rng.gen_range(0.0..1.0));
+        for geom in [ConvGeom::same(3, 1), ConvGeom::same(3, 2)] {
+            let fast = kernel.forward_f32(&input, geom).unwrap();
+            let reference = conv_reference(&input, &weights, &bias, geom).unwrap();
+            assert!(fast.max_abs_diff(&reference) < 1e-4, "geom {geom:?}");
+        }
+    }
+
+    #[test]
+    fn i32_variant_tracks_float_within_quantization_error() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let (weights, bias, kernel) = setup(&mut rng);
+        let geom = ConvGeom::same(3, 2);
+        let input_f = Tensor::from_fn(Shape3::new(3, 8, 8), |_, _, _| rng.gen_range(0.0..1.0));
+        let q = AffineQuant::fit(0.0, 1.0).unwrap();
+        let input_q = input_f.map(|v| q.quantize(v));
+
+        let acc = kernel.accumulate_i32(&input_q, q.zero_point(), geom).unwrap();
+        let out = kernel.dequantize_i32(&acc, q.scale());
+        let reference = conv_reference(&input_f, &weights, &bias, geom).unwrap();
+        assert!(out.max_abs_diff(&reference) < 0.1);
+    }
+
+    #[test]
+    fn i16_variant_is_sixteenth_of_i32_within_rounding() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let (_, _, kernel) = setup(&mut rng);
+        let geom = ConvGeom::same(3, 1);
+        let input: Tensor<u8> = Tensor::from_fn(Shape3::new(3, 6, 6), |_, _, _| rng.gen());
+        let zp = 128;
+        let acc32 = kernel.accumulate_i32(&input, zp, geom).unwrap();
+        let acc16 = kernel.accumulate_i16(&input, zp, geom).unwrap();
+        for (a32, a16) in acc32.as_slice().iter().zip(acc16.as_slice()) {
+            // 27 products each rounded by at most 1/2 unit of the shifted
+            // scale: |acc16·16 − acc32| ≤ 27·8.
+            assert!(
+                (*a16 as i32 * 16 - a32).abs() <= 27 * 8,
+                "acc16 {a16} vs acc32 {a32}"
+            );
+        }
+    }
+
+    #[test]
+    fn i16_variant_carries_small_accuracy_loss_but_not_divergence() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let (weights, bias, kernel) = setup(&mut rng);
+        let geom = ConvGeom::same(3, 2);
+        let input_f = Tensor::from_fn(Shape3::new(3, 8, 8), |_, _, _| rng.gen_range(0.0..1.0));
+        let q = AffineQuant::fit(0.0, 1.0).unwrap();
+        let input_q = input_f.map(|v| q.quantize(v));
+        let acc = kernel.accumulate_i16(&input_q, q.zero_point(), geom).unwrap();
+        let out = kernel.dequantize_i16(&acc, q.scale());
+        let reference = conv_reference(&input_f, &weights, &bias, geom).unwrap();
+        let err16 = out.max_abs_diff(&reference);
+        // Bounded, but measurably above the i32 path's error.
+        assert!(err16 < 0.5, "i16 error {err16} too large");
+        let acc32 = kernel.accumulate_i32(&input_q, q.zero_point(), geom).unwrap();
+        let out32 = kernel.dequantize_i32(&acc32, q.scale());
+        assert!(out32.max_abs_diff(&reference) <= err16 + 1e-6);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let (_, _, kernel) = setup(&mut rng);
+        let input = Tensor::<f32>::zeros(Shape3::new(4, 8, 8));
+        assert!(kernel.forward_f32(&input, ConvGeom::same(3, 1)).is_err());
+    }
+}

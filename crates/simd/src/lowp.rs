@@ -1,0 +1,136 @@
+//! Low-precision GEMM with the gemmlowp numerical contract (§III-D).
+//!
+//! The paper's second first-layer attempt quantizes the image data to 8 bits
+//! while arranging the multiplicand matrix and multiplies through the
+//! gemmlowp library. We reproduce the contract: unsigned 8-bit activations
+//! with a zero-point offset, signed 8-bit weights (symmetric), 32-bit
+//! integer accumulation, and a float requantization step.
+
+use tincy_tensor::Mat;
+
+/// Low-precision GEMM: `C[i][j] = Σ_k W[i][k] · (A[k][j] − zero_point)`.
+///
+/// `weights` are symmetric signed 8-bit; `activations` are unsigned 8-bit
+/// with the given zero point; accumulation is exact in `i32`.
+///
+/// # Panics
+///
+/// Panics if `weights.cols() != activations.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use tincy_simd::gemm_lowp;
+/// use tincy_tensor::Mat;
+///
+/// let w = Mat::from_vec(1, 2, vec![1i8, -1]).unwrap();
+/// let a = Mat::from_vec(2, 1, vec![130u8, 120]).unwrap();
+/// let c = gemm_lowp(&w, &a, 128);
+/// assert_eq!(c.at(0, 0), (130 - 128) - (120 - 128));
+/// ```
+pub fn gemm_lowp(weights: &Mat<i8>, activations: &Mat<u8>, zero_point: i32) -> Mat<i32> {
+    assert_eq!(weights.cols(), activations.rows(), "inner dimensions must agree");
+    let (m, k, n) = (weights.rows(), weights.cols(), activations.cols());
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        let w_row = weights.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &w_ip) in w_row.iter().enumerate().take(k) {
+            let w = w_ip as i32;
+            let a_row = activations.row(p);
+            for j in 0..n {
+                c_row[j] += w * (a_row[j] as i32 - zero_point);
+            }
+        }
+    }
+    c
+}
+
+/// Requantizes an integer accumulator matrix back to real values, adds a
+/// per-row bias and applies an optional ReLU.
+///
+/// `scale = weight_scale · activation_scale` is the real value of one
+/// accumulator unit.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != acc.rows()`.
+pub fn requantize_bias_relu(acc: &Mat<i32>, scale: f32, bias: &[f32], relu: bool) -> Mat<f32> {
+    assert_eq!(bias.len(), acc.rows(), "one bias per output row required");
+    Mat::from_fn(acc.rows(), acc.cols(), |i, j| {
+        let v = acc.at(i, j) as f32 * scale + bias[i];
+        if relu && v < 0.0 {
+            0.0
+        } else {
+            v
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tincy_quant::AffineQuant;
+
+    #[test]
+    fn zero_point_offset_is_subtracted() {
+        // An activation equal to the zero point contributes nothing.
+        let w = Mat::from_vec(1, 3, vec![5i8, -3, 2]).unwrap();
+        let a = Mat::from_vec(3, 1, vec![128u8, 128, 128]).unwrap();
+        assert_eq!(gemm_lowp(&w, &a, 128).at(0, 0), 0);
+    }
+
+    #[test]
+    fn exact_integer_accumulation() {
+        let w = Mat::from_vec(2, 2, vec![127i8, -128, 1, 1]).unwrap();
+        let a = Mat::from_vec(2, 2, vec![255u8, 0, 0, 255]).unwrap();
+        let c = gemm_lowp(&w, &a, 0);
+        assert_eq!(c.at(0, 0), 127 * 255);
+        assert_eq!(c.at(0, 1), -128 * 255);
+        assert_eq!(c.at(1, 0), 255);
+        assert_eq!(c.at(1, 1), 255);
+    }
+
+    #[test]
+    fn quantized_gemm_approximates_float_gemm() {
+        // End-to-end contract: quantize -> lowp gemm -> requantize tracks
+        // the float product within accumulated quantization error.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, k, n) = (4, 27, 10);
+        let wf = Mat::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+        let af = Mat::from_fn(k, n, |_, _| rng.gen_range(0.0f32..1.0));
+
+        let w_scale = 1.0 / 127.0;
+        let wq = wf.map(|v| (v / w_scale).round().clamp(-127.0, 127.0) as i8);
+        let aq_params = AffineQuant::fit(0.0, 1.0).unwrap();
+        let aq = af.map(|v| aq_params.quantize(v));
+
+        let acc = gemm_lowp(&wq, &aq, aq_params.zero_point());
+        let out = requantize_bias_relu(&acc, w_scale * aq_params.scale(), &vec![0.0; m], false);
+
+        let reference = crate::gemm_f32(&wf, &af);
+        for i in 0..m {
+            for j in 0..n {
+                let err = (out.at(i, j) - reference.at(i, j)).abs();
+                // k=27 accumulations of half-step errors.
+                assert!(err < 0.06, "error {err} too large at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative_requantized_values() {
+        let acc = Mat::from_vec(1, 2, vec![-100, 100]).unwrap();
+        let out = requantize_bias_relu(&acc, 0.01, &[0.0], true);
+        assert_eq!(out.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn bias_applies_per_row() {
+        let acc = Mat::from_vec(2, 1, vec![0, 0]).unwrap();
+        let out = requantize_bias_relu(&acc, 1.0, &[1.5, -2.5], false);
+        assert_eq!(out.as_slice(), &[1.5, -2.5]);
+    }
+}

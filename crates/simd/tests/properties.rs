@@ -1,0 +1,96 @@
+//! Property-based tests: all convolution implementations agree with the
+//! direct-loop reference across randomized geometries.
+
+use proptest::prelude::*;
+use tincy_simd::{conv_reference, convolve, fused_conv_lowp, ConvAlgo};
+use tincy_simd::conv::conv_lowp_im2col;
+use tincy_tensor::{ConvGeom, Mat, Shape3, Tensor};
+
+#[derive(Debug, Clone)]
+struct Case {
+    shape: Shape3,
+    out_c: usize,
+    geom: ConvGeom,
+    seed: u64,
+}
+
+fn case() -> impl Strategy<Value = Case> {
+    (1usize..4, 3usize..9, 3usize..9, 1usize..6, 1usize..4, 1usize..3, 0usize..2, any::<u64>())
+        .prop_map(|(c, h, w, out_c, k, s, p, seed)| Case {
+            shape: Shape3::new(c, h, w),
+            out_c,
+            geom: ConvGeom::new(k.min(h).min(w), s, p),
+            seed,
+        })
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> f32 {
+    let mut state = seed | 1;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn float_paths_agree(case in case()) {
+        let mut rng = lcg(case.seed);
+        let input = Tensor::from_fn(case.shape, |_, _, _| rng());
+        let weights = Mat::from_fn(case.out_c, case.geom.dot_length(case.shape.channels), |_, _| rng());
+        let bias: Vec<f32> = (0..case.out_c).map(|_| rng()).collect();
+        let reference = conv_reference(&input, &weights, &bias, case.geom).expect("valid");
+        for algo in [
+            ConvAlgo::Im2colGemm,
+            ConvAlgo::Im2colGemmLanes,
+            ConvAlgo::FusedF32 { slice_width: 3 },
+            ConvAlgo::FusedF32 { slice_width: 8 },
+        ] {
+            let out = convolve(algo, &input, &weights, &bias, case.geom).expect("valid");
+            prop_assert!(out.max_abs_diff(&reference) < 1e-3, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn lowp_paths_bit_exact(case in case()) {
+        let mut rng = lcg(case.seed);
+        let input: Tensor<u8> = Tensor::from_fn(case.shape, |_, _, _| (rng().abs() * 512.0) as u8);
+        let weights = Mat::from_fn(
+            case.out_c,
+            case.geom.dot_length(case.shape.channels),
+            |_, _| (rng() * 254.0).clamp(-127.0, 127.0) as i8,
+        );
+        let zp = 99;
+        let explicit = conv_lowp_im2col(&input, &weights, zp, case.geom).expect("valid");
+        for slice_width in [1usize, 4, 9] {
+            let fused = fused_conv_lowp(&input, &weights, zp, case.geom, slice_width)
+                .expect("valid");
+            prop_assert_eq!(&fused, &explicit, "slice width {}", slice_width);
+        }
+    }
+
+    /// Linearity of convolution: conv(a+b) == conv(a) + conv(b) with zero
+    /// bias — a structural property any correct implementation satisfies.
+    #[test]
+    fn convolution_is_linear(case in case()) {
+        let mut rng = lcg(case.seed);
+        let a = Tensor::from_fn(case.shape, |_, _, _| rng());
+        let b = Tensor::from_fn(case.shape, |_, _, _| rng());
+        let weights = Mat::from_fn(case.out_c, case.geom.dot_length(case.shape.channels), |_, _| rng());
+        let bias = vec![0.0f32; case.out_c];
+        let sum_in = Tensor::from_vec(
+            case.shape,
+            a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x + y).collect(),
+        ).expect("same shape");
+        let conv_sum = conv_reference(&sum_in, &weights, &bias, case.geom).expect("valid");
+        let ca = conv_reference(&a, &weights, &bias, case.geom).expect("valid");
+        let cb = conv_reference(&b, &weights, &bias, case.geom).expect("valid");
+        let sum_conv = Tensor::from_vec(
+            conv_sum.shape(),
+            ca.as_slice().iter().zip(cb.as_slice()).map(|(x, y)| x + y).collect(),
+        ).expect("same shape");
+        prop_assert!(conv_sum.max_abs_diff(&sum_conv) < 1e-3);
+    }
+}

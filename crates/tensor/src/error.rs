@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Errors raised by tensor construction and geometry checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape dimension was zero or otherwise unusable.
+    InvalidShape {
+        /// Human-readable description of the offending dimension.
+        what: String,
+    },
+    /// The supplied buffer length does not match the shape volume.
+    LengthMismatch {
+        /// Number of elements required by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// A convolution/pool geometry cannot be applied to the given input.
+    IncompatibleGeometry {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::InvalidShape { what } => write!(f, "invalid shape: {what}"),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::IncompatibleGeometry { what } => {
+                write!(f, "incompatible geometry: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = TensorError::LengthMismatch { expected: 4, actual: 2 };
+        assert_eq!(err.to_string(), "buffer length 2 does not match shape volume 4");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<TensorError>();
+    }
+}

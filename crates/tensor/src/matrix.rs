@@ -1,0 +1,151 @@
+use crate::TensorError;
+
+/// A dense row-major matrix.
+///
+/// Used for the GEMM lowering of convolution (§I): the multiplier holds one
+/// linearized kernel per row, the multiplicand is produced by `im2col`.
+///
+/// # Example
+///
+/// ```
+/// use tincy_tensor::Mat;
+///
+/// let m = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m.at(1, 2), 5.0);
+/// assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Mat<T> {
+    /// Creates a matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T: Copy> Mat<T> {
+    /// Creates a matrix from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a contiguous slice.
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable contiguous slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Immutable view of the row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Applies `f` elementwise, producing a matrix of a new element type.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Mat<U> {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// The transpose of this matrix.
+    pub fn transposed(&self) -> Mat<T> {
+        Mat::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let m = Mat::from_fn(2, 2, |r, c| r * 10 + c);
+        assert_eq!(m.as_slice(), &[0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Mat::from_vec(2, 2, vec![1u8; 3]).is_err());
+        assert!(Mat::from_vec(2, 2, vec![1u8; 4]).is_ok());
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let m = Mat::from_fn(3, 4, |r, c| (r, c));
+        assert_eq!(m.row(1), &[(1, 0), (1, 1), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat::from_fn(2, 3, |r, c| r * 3 + c);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().at(2, 1), m.at(1, 2));
+    }
+}

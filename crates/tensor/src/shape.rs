@@ -1,0 +1,241 @@
+use crate::TensorError;
+
+/// Shape of a 3-dimensional feature map in channel–height–width order.
+///
+/// The paper's convolutions consume an input feature map of `C` channels and
+/// spatial size `N×N` (Fig 1); this type generalizes to rectangular maps.
+///
+/// # Example
+///
+/// ```
+/// use tincy_tensor::Shape3;
+///
+/// let s = Shape3::new(16, 208, 208);
+/// assert_eq!(s.volume(), 16 * 208 * 208);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape3 {
+    /// Number of channels (`C` in the paper).
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+}
+
+impl Shape3 {
+    /// Creates a new shape.
+    pub const fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width }
+    }
+
+    /// Total number of elements.
+    pub const fn volume(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Number of spatial positions (`H·W`).
+    pub const fn spatial(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Returns an error if any dimension is zero.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        if self.channels == 0 || self.height == 0 || self.width == 0 {
+            return Err(TensorError::InvalidShape {
+                what: format!("{self:?} has a zero dimension"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+/// Geometry of a convolutional kernel application: size, stride and padding.
+///
+/// # Example
+///
+/// ```
+/// use tincy_tensor::{ConvGeom, Shape3};
+///
+/// // Tincy YOLO's first layer: 3x3 kernel, stride 2, "same" padding.
+/// let geom = ConvGeom::new(3, 2, 1);
+/// let out = geom.output_shape(Shape3::new(3, 416, 416), 16);
+/// assert_eq!(out, Shape3::new(16, 208, 208));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeom {
+    /// Kernel side length (`K`).
+    pub kernel: usize,
+    /// Application stride.
+    pub stride: usize,
+    /// Zero padding applied on every border.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Creates a new convolution geometry.
+    pub const fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Self { kernel, stride, pad }
+    }
+
+    /// Convenience constructor for "same" padding at stride 1 or the darknet
+    /// convention `pad = kernel / 2`.
+    pub const fn same(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride, pad: kernel / 2 }
+    }
+
+    /// Output spatial extent for a 1-D input extent.
+    pub const fn output_extent(&self, input: usize) -> usize {
+        (input + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output shape for a given input shape and output channel count.
+    pub const fn output_shape(&self, input: Shape3, out_channels: usize) -> Shape3 {
+        Shape3::new(
+            out_channels,
+            self.output_extent(input.height),
+            self.output_extent(input.width),
+        )
+    }
+
+    /// Validates that the geometry is applicable to `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleGeometry`] if the kernel is larger
+    /// than the padded input or stride is zero.
+    pub fn validate(&self, input: Shape3) -> Result<(), TensorError> {
+        if self.kernel == 0 || self.stride == 0 {
+            return Err(TensorError::IncompatibleGeometry {
+                what: format!("kernel {} / stride {} must be nonzero", self.kernel, self.stride),
+            });
+        }
+        if input.height + 2 * self.pad < self.kernel || input.width + 2 * self.pad < self.kernel {
+            return Err(TensorError::IncompatibleGeometry {
+                what: format!("kernel {} exceeds padded input {input}", self.kernel),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of multiply–accumulate inputs per output element (`K²·C`).
+    pub const fn dot_length(&self, in_channels: usize) -> usize {
+        self.kernel * self.kernel * in_channels
+    }
+}
+
+/// Geometry of a max-pooling window.
+///
+/// Darknet's maxpool uses implicit "same"-style padding when the stride does
+/// not evenly divide the input (e.g. the `size=2, stride=1` pool before the
+/// 13×13 layers of Tiny YOLO, which preserves spatial extent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolGeom {
+    /// Window side length.
+    pub size: usize,
+    /// Application stride.
+    pub stride: usize,
+}
+
+impl PoolGeom {
+    /// Creates a new pooling geometry.
+    pub const fn new(size: usize, stride: usize) -> Self {
+        Self { size, stride }
+    }
+
+    /// Output spatial extent following darknet's convention
+    /// `out = ceil(in / stride)` (achieved with asymmetric padding).
+    pub const fn output_extent(&self, input: usize) -> usize {
+        (input + self.stride - 1) / self.stride
+    }
+
+    /// Output shape: channel count is preserved.
+    pub const fn output_shape(&self, input: Shape3) -> Shape3 {
+        Shape3::new(
+            input.channels,
+            self.output_extent(input.height),
+            self.output_extent(input.width),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_spatial() {
+        let s = Shape3::new(3, 4, 5);
+        assert_eq!(s.volume(), 60);
+        assert_eq!(s.spatial(), 20);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Shape3::new(0, 4, 4).validate().is_err());
+        assert!(Shape3::new(1, 4, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_extent_at_stride_one() {
+        let geom = ConvGeom::same(3, 1);
+        assert_eq!(geom.output_extent(416), 416);
+    }
+
+    #[test]
+    fn conv_stride_two_halves_extent() {
+        let geom = ConvGeom::same(3, 2);
+        assert_eq!(geom.output_extent(416), 208);
+    }
+
+    #[test]
+    fn one_by_one_conv() {
+        let geom = ConvGeom::new(1, 1, 0);
+        let out = geom.output_shape(Shape3::new(1024, 13, 13), 125);
+        assert_eq!(out, Shape3::new(125, 13, 13));
+    }
+
+    #[test]
+    fn degenerate_full_size_kernel_is_fully_connected() {
+        // §I: a kernel of the input size degenerates into a single
+        // application, i.e. a fully connected layer.
+        let geom = ConvGeom::new(13, 1, 0);
+        let out = geom.output_shape(Shape3::new(1024, 13, 13), 125);
+        assert_eq!(out, Shape3::new(125, 1, 1));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let input = Shape3::new(3, 4, 4);
+        assert!(ConvGeom::new(3, 1, 0).validate(input).is_ok());
+        assert!(ConvGeom::new(7, 1, 0).validate(input).is_err());
+        assert!(ConvGeom::new(3, 0, 0).validate(input).is_err());
+        assert!(ConvGeom::new(0, 1, 0).validate(input).is_err());
+    }
+
+    #[test]
+    fn pool_halves_extent() {
+        let geom = PoolGeom::new(2, 2);
+        assert_eq!(geom.output_extent(416), 208);
+        assert_eq!(geom.output_extent(13), 7);
+    }
+
+    #[test]
+    fn pool_stride_one_preserves_extent() {
+        // The Tiny YOLO maxpool at 13x13 with stride 1 keeps 13x13.
+        let geom = PoolGeom::new(2, 1);
+        assert_eq!(geom.output_extent(13), 13);
+    }
+
+    #[test]
+    fn dot_length_matches_paper_formula() {
+        // K²·C multiplications per kernel application (§I).
+        assert_eq!(ConvGeom::same(3, 1).dot_length(16), 144);
+    }
+}

@@ -1,0 +1,219 @@
+use crate::{Shape3, TensorError};
+
+/// A dense feature map in CHW layout.
+///
+/// The element type is generic so the same container carries `f32` maps,
+/// `u8`/`i8` quantized maps, and `i32` accumulator maps.
+///
+/// # Example
+///
+/// ```
+/// use tincy_tensor::{Shape3, Tensor};
+///
+/// let mut t: Tensor<f32> = Tensor::zeros(Shape3::new(2, 3, 3));
+/// *t.at_mut(1, 2, 2) = 5.0;
+/// assert_eq!(t.at(1, 2, 2), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Shape3,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zero for numeric types).
+    pub fn zeros(shape: Shape3) -> Self {
+        Self { shape, data: vec![T::default(); shape.volume()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: Shape3, value: T) -> Self {
+        Self { shape, data: vec![value; shape.volume()] }
+    }
+
+    /// Creates a tensor from a generator `f(channel, y, x)`.
+    pub fn from_fn(shape: Shape3, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.volume());
+        for c in 0..shape.channels {
+            for y in 0..shape.height {
+                for x in 0..shape.width {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Reads the element at `(channel, y, x)`, returning the padding value
+    /// `T::default()` for out-of-bounds *signed* coordinates.
+    ///
+    /// This mirrors zero padding during convolution without materializing a
+    /// padded copy.
+    pub fn at_padded(&self, c: usize, y: isize, x: isize) -> T {
+        if y < 0 || x < 0 || y as usize >= self.shape.height || x as usize >= self.shape.width {
+            T::default()
+        } else {
+            self.at(c, y as usize, x as usize)
+        }
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(shape: Shape3, data: Vec<T>) -> Result<Self, TensorError> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Reads the element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> T {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Mutable access to the element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut T {
+        let i = self.index(c, y, x);
+        &mut self.data[i]
+    }
+
+    /// Linear CHW index of `(channel, y, x)`.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.shape.channels && y < self.shape.height && x < self.shape.width);
+        (c * self.shape.height + y) * self.shape.width + x
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying CHW buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying CHW buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// One channel plane as a contiguous slice.
+    pub fn channel(&self, c: usize) -> &[T] {
+        let plane = self.shape.spatial();
+        &self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Applies `f` elementwise, producing a tensor of a new element type.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+impl Tensor<f32> {
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_fill() {
+        let t: Tensor<i32> = Tensor::zeros(Shape3::new(2, 2, 2));
+        assert!(t.as_slice().iter().all(|&v| v == 0));
+        let t = Tensor::filled(Shape3::new(2, 2, 2), 7u8);
+        assert!(t.as_slice().iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn chw_layout_indexing() {
+        let t = Tensor::from_fn(Shape3::new(2, 3, 4), |c, y, x| (c * 100 + y * 10 + x) as i32);
+        assert_eq!(t.at(0, 0, 0), 0);
+        assert_eq!(t.at(1, 2, 3), 123);
+        // Channel plane 1 starts after 12 elements of channel 0.
+        assert_eq!(t.as_slice()[12], 100);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(Shape3::new(1, 2, 2), vec![0f32; 3]).is_err());
+        assert!(Tensor::from_vec(Shape3::new(1, 2, 2), vec![0f32; 4]).is_ok());
+    }
+
+    #[test]
+    fn padded_access_returns_default() {
+        let t = Tensor::filled(Shape3::new(1, 2, 2), 5i32);
+        assert_eq!(t.at_padded(0, -1, 0), 0);
+        assert_eq!(t.at_padded(0, 0, 2), 0);
+        assert_eq!(t.at_padded(0, 1, 1), 5);
+    }
+
+    #[test]
+    fn channel_slice() {
+        let t = Tensor::from_fn(Shape3::new(3, 2, 2), |c, _, _| c as u8);
+        assert_eq!(t.channel(2), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn map_changes_element_type() {
+        let t = Tensor::filled(Shape3::new(1, 1, 3), 2u8);
+        let f = t.map(|v| v as f32 * 0.5);
+        assert_eq!(f.as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::filled(Shape3::new(1, 1, 2), 1.0f32);
+        let mut b = a.clone();
+        *b.at_mut(0, 0, 1) = 1.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

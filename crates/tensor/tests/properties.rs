@@ -1,0 +1,87 @@
+//! Property-based tests for tensor invariants.
+
+use proptest::prelude::*;
+use tincy_tensor::{im2col, BitTensor, ConvGeom, Im2colSlices, Shape3, Tensor, U3Tensor};
+
+fn small_shape() -> impl Strategy<Value = Shape3> {
+    (1usize..4, 2usize..10, 2usize..10).prop_map(|(c, h, w)| Shape3::new(c, h, w))
+}
+
+fn geom_for(shape: Shape3) -> impl Strategy<Value = ConvGeom> {
+    let max_k = shape.height.min(shape.width).min(3);
+    (1usize..=max_k, 1usize..3, 0usize..2).prop_map(|(k, s, p)| ConvGeom::new(k, s, p))
+}
+
+proptest! {
+    #[test]
+    fn tensor_round_trip(shape in small_shape(), seed in any::<u32>()) {
+        let t = Tensor::from_fn(shape, |c, y, x| {
+            (c as u32).wrapping_mul(31).wrapping_add((y * 7 + x) as u32).wrapping_add(seed) as i32
+        });
+        let data = t.clone().into_vec();
+        let back = Tensor::from_vec(shape, data).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn im2col_column_count_equals_output_positions(
+        (shape, geom) in small_shape().prop_flat_map(|s| geom_for(s).prop_map(move |g| (s, g)))
+    ) {
+        let input: Tensor<f32> = Tensor::from_fn(shape, |c, y, x| (c + y + x) as f32);
+        let cols = im2col(&input, geom).unwrap();
+        let out = geom.output_shape(shape, 1);
+        prop_assert_eq!(cols.cols(), out.spatial());
+        prop_assert_eq!(cols.rows(), geom.dot_length(shape.channels));
+    }
+
+    #[test]
+    fn sliced_im2col_matches_explicit(
+        (shape, geom) in small_shape().prop_flat_map(|s| geom_for(s).prop_map(move |g| (s, g))),
+        slice_width in 1usize..9
+    ) {
+        let input: Tensor<f32> = Tensor::from_fn(shape, |c, y, x| (c * 97 + y * 13 + x) as f32);
+        let explicit = im2col(&input, geom).unwrap();
+        let mut slices = Im2colSlices::new(&input, geom, slice_width).unwrap();
+        let mut covered = 0usize;
+        while let Some((start, width)) = slices.next_slice() {
+            prop_assert_eq!(start, covered);
+            for r in 0..slices.rows() {
+                for i in 0..width {
+                    prop_assert_eq!(slices.row(r)[i], explicit.at(r, start + i));
+                }
+            }
+            covered += width;
+        }
+        prop_assert_eq!(covered, explicit.cols());
+    }
+
+    #[test]
+    fn u3_pack_unpack_round_trip(values in proptest::collection::vec(0u8..8, 0..300)) {
+        let t = U3Tensor::from_values(&values).unwrap();
+        prop_assert_eq!(t.to_values(), values);
+    }
+
+    #[test]
+    fn bit_tensor_sign_consistency(
+        rows in 1usize..5,
+        cols in 1usize..140,
+        seed in any::<u64>()
+    ) {
+        let signs: Vec<i8> = (0..rows * cols)
+            .map(|i| if (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) & 2 == 0 { 1 } else { -1 })
+            .collect();
+        let t = BitTensor::from_signs(rows, cols, &signs).unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(t.sign(r, c), signs[r * cols + c] as i32);
+            }
+        }
+        // Padding bits beyond `cols` must stay clear so popcount kernels
+        // can consume whole words.
+        for r in 0..rows {
+            let total: u32 = t.row_count_ones(r);
+            let logical = (0..cols).filter(|&c| t.get(r, c)).count() as u32;
+            prop_assert_eq!(total, logical);
+        }
+    }
+}

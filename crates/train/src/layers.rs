@@ -1,0 +1,509 @@
+//! Trainable layers with explicit backward passes.
+//!
+//! Convolution gradients follow the classic `im2col` formulation: with
+//! `Y = W·X_cols + b`, the gradients are `dW = dY·X_colsᵀ`,
+//! `db = Σ dY` and `dX = col2im(Wᵀ·dY)`.
+
+use crate::ste::{binarize_grad, binarize_weights, quantize_act3, quantize_act3_grad};
+use tincy_quant::ternarize;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tincy_tensor::{col2im_accumulate, im2col, ConvGeom, Mat, PoolGeom, Shape3, Tensor};
+
+/// Training-time activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Act {
+    /// Identity (detection heads).
+    Linear,
+    /// `max(0, x)` — transformation (a) of §III-E.
+    #[default]
+    Relu,
+    /// Leaky ReLU with slope 0.1 — Tiny YOLO's original activation.
+    Leaky,
+}
+
+impl Act {
+    #[inline]
+    fn apply(&self, x: f32) -> f32 {
+        match self {
+            Act::Linear => x,
+            Act::Relu => x.max(0.0),
+            Act::Leaky => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative as a function of the *output* (sign-preserving
+    /// activations make this well defined).
+    #[inline]
+    fn grad_from_output(&self, y: f32) -> f32 {
+        match self {
+            Act::Linear => 1.0,
+            Act::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Act::Leaky => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+        }
+    }
+}
+
+/// Quantization mode of a trainable conv layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantMode {
+    /// Plain float training.
+    Float,
+    /// Binary weights + 3-bit activations with STE gradients (`[W1A3]`).
+    W1A3 {
+        /// Activation quantization step.
+        act_step: f32,
+    },
+    /// Float weights, 3-bit *output* activations — used on the layer that
+    /// feeds the quantized hidden stack so the deployed fabric sees the
+    /// same discretized feature map the QAT model trained on.
+    A3Only {
+        /// Activation quantization step.
+        act_step: f32,
+    },
+    /// Ternary weights {−α, 0, +α} (Li et al. — the paper's §II "smallest
+    /// possible retreat" from full binarization) + 3-bit activations.
+    W2A3 {
+        /// Activation quantization step.
+        act_step: f32,
+    },
+}
+
+impl QuantMode {
+    /// The activation quantization step, if the mode quantizes outputs.
+    pub fn act_step(&self) -> Option<f32> {
+        match self {
+            QuantMode::Float => None,
+            QuantMode::W1A3 { act_step }
+            | QuantMode::A3Only { act_step }
+            | QuantMode::W2A3 { act_step } => Some(*act_step),
+        }
+    }
+}
+
+/// Specification of a trainable convolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConvSpec {
+    /// Output channels.
+    pub filters: usize,
+    /// Kernel side length.
+    pub size: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Activation.
+    pub act: Act,
+    /// Quantization mode.
+    pub quant: QuantMode,
+}
+
+/// One layer of a trainable network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainLayerSpec {
+    /// Convolution + activation (+ optional fake quantization).
+    Conv(TrainConvSpec),
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        size: usize,
+        /// Stride.
+        stride: usize,
+    },
+}
+
+/// A trainable convolution layer.
+#[derive(Debug)]
+pub(crate) struct ConvT {
+    pub(crate) in_shape: Shape3,
+    pub(crate) out_shape: Shape3,
+    pub(crate) geom: ConvGeom,
+    pub(crate) act: Act,
+    pub(crate) quant: QuantMode,
+    /// Weights, row-major `filters × K²·C`.
+    pub(crate) w: Vec<f32>,
+    pub(crate) b: Vec<f32>,
+    pub(crate) dw: Vec<f32>,
+    pub(crate) db: Vec<f32>,
+    filters: usize,
+    cols: usize,
+    // Forward caches for the backward pass.
+    cache_x_cols: Option<Mat<f32>>,
+    cache_post_act: Option<Tensor<f32>>,
+    cache_w_used: Option<Vec<f32>>,
+}
+
+impl ConvT {
+    pub(crate) fn new(in_shape: Shape3, spec: &TrainConvSpec, rng: &mut StdRng) -> Self {
+        let geom = ConvGeom::new(spec.size, spec.stride, spec.pad);
+        let cols = geom.dot_length(in_shape.channels);
+        let std = (2.0 / cols as f32).sqrt();
+        ConvT {
+            in_shape,
+            out_shape: geom.output_shape(in_shape, spec.filters),
+            geom,
+            act: spec.act,
+            quant: spec.quant,
+            w: (0..spec.filters * cols).map(|_| rng.gen_range(-1.0f32..1.0) * std).collect(),
+            b: vec![0.0; spec.filters],
+            dw: vec![0.0; spec.filters * cols],
+            db: vec![0.0; spec.filters],
+            filters: spec.filters,
+            cols,
+            cache_x_cols: None,
+            cache_post_act: None,
+            cache_w_used: None,
+        }
+    }
+
+    pub(crate) fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        let x_cols = im2col(x, self.geom).expect("geometry validated at construction");
+        let w_used: Vec<f32> = match self.quant {
+            QuantMode::Float | QuantMode::A3Only { .. } => self.w.clone(),
+            QuantMode::W1A3 { .. } => binarize_weights(&self.w).0,
+            QuantMode::W2A3 { .. } => {
+                ternarize(&self.w).expect("finite weights").to_dense()
+            }
+        };
+        let n = x_cols.cols();
+        let spatial = self.out_shape.spatial();
+        debug_assert_eq!(n, spatial);
+        let mut out = Tensor::zeros(self.out_shape);
+        {
+            let data = out.as_mut_slice();
+            for f in 0..self.filters {
+                let w_row = &w_used[f * self.cols..(f + 1) * self.cols];
+                let base = f * spatial;
+                for (k, &wv) in w_row.iter().enumerate() {
+                    let col_row = x_cols.row(k);
+                    for j in 0..n {
+                        data[base + j] += wv * col_row[j];
+                    }
+                }
+                for v in &mut data[base..base + spatial] {
+                    *v = self.act.apply(*v + self.b[f]);
+                }
+            }
+        }
+        self.cache_x_cols = Some(x_cols);
+        self.cache_post_act = Some(out.clone());
+        self.cache_w_used = Some(w_used);
+        if let Some(act_step) = self.quant.act_step() {
+            out = out.map(|v| quantize_act3(v, act_step));
+        }
+        out
+    }
+
+    pub(crate) fn backward(&mut self, dout: &Tensor<f32>) -> Tensor<f32> {
+        let x_cols = self.cache_x_cols.take().expect("backward requires a prior forward");
+        let post_act = self.cache_post_act.take().expect("backward requires a prior forward");
+        let w_used = self.cache_w_used.take().expect("backward requires a prior forward");
+        let spatial = self.out_shape.spatial();
+        let n = spatial;
+
+        // dz = upstream through (optional) activation quantizer and the
+        // activation function.
+        let mut dz = vec![0.0f32; self.filters * spatial];
+        for f in 0..self.filters {
+            for j in 0..spatial {
+                let idx = f * spatial + j;
+                let a = post_act.as_slice()[idx];
+                let mut g = dout.as_slice()[idx];
+                if let Some(act_step) = self.quant.act_step() {
+                    g = quantize_act3_grad(a, act_step, g);
+                }
+                dz[idx] = g * self.act.grad_from_output(a);
+            }
+        }
+
+        // Parameter gradients.
+        for f in 0..self.filters {
+            let dz_row = &dz[f * spatial..(f + 1) * spatial];
+            self.db[f] += dz_row.iter().sum::<f32>();
+            for k in 0..self.cols {
+                let col_row = x_cols.row(k);
+                let mut acc = 0.0f32;
+                for j in 0..n {
+                    acc += dz_row[j] * col_row[j];
+                }
+                let raw = self.w[f * self.cols + k];
+                self.dw[f * self.cols + k] += match self.quant {
+                    QuantMode::Float | QuantMode::A3Only { .. } => acc,
+                    // Both weight quantizers share the STE clip rule.
+                    QuantMode::W1A3 { .. } | QuantMode::W2A3 { .. } => binarize_grad(raw, acc),
+                };
+            }
+        }
+
+        // Input gradient: dX_cols = W_usedᵀ · dZ, scattered by col2im.
+        let mut dx_cols = Mat::zeros(self.cols, n);
+        for f in 0..self.filters {
+            let dz_row = &dz[f * spatial..(f + 1) * spatial];
+            let w_row = &w_used[f * self.cols..(f + 1) * self.cols];
+            for (k, &wv) in w_row.iter().enumerate() {
+                let dst = dx_cols.row_mut(k);
+                for j in 0..n {
+                    dst[j] += wv * dz_row[j];
+                }
+            }
+        }
+        col2im_accumulate(&dx_cols, self.in_shape, self.geom)
+            .expect("geometry validated at construction")
+    }
+}
+
+/// A trainable max-pool layer.
+#[derive(Debug)]
+pub(crate) struct PoolT {
+    pub(crate) in_shape: Shape3,
+    pub(crate) out_shape: Shape3,
+    pub(crate) geom: PoolGeom,
+    /// Argmax input index per output element.
+    cache_argmax: Option<Vec<usize>>,
+}
+
+impl PoolT {
+    pub(crate) fn new(in_shape: Shape3, size: usize, stride: usize) -> Self {
+        let geom = PoolGeom::new(size, stride);
+        PoolT { in_shape, out_shape: geom.output_shape(in_shape), geom, cache_argmax: None }
+    }
+
+    pub(crate) fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        let mut out = Tensor::zeros(self.out_shape);
+        let mut argmax = vec![0usize; self.out_shape.volume()];
+        for c in 0..self.out_shape.channels {
+            for oy in 0..self.out_shape.height {
+                for ox in 0..self.out_shape.width {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..self.geom.size {
+                        for kx in 0..self.geom.size {
+                            let iy = oy * self.geom.stride + ky;
+                            let ix = ox * self.geom.stride + kx;
+                            if iy < self.in_shape.height && ix < self.in_shape.width {
+                                let v = x.at(c, iy, ix);
+                                if v > best {
+                                    best = v;
+                                    best_idx = x.index(c, iy, ix);
+                                }
+                            }
+                        }
+                    }
+                    *out.at_mut(c, oy, ox) = best;
+                    argmax[out.index(c, oy, ox)] = best_idx;
+                }
+            }
+        }
+        self.cache_argmax = Some(argmax);
+        out
+    }
+
+    pub(crate) fn backward(&mut self, dout: &Tensor<f32>) -> Tensor<f32> {
+        let argmax = self.cache_argmax.take().expect("backward requires a prior forward");
+        let mut dx = Tensor::zeros(self.in_shape);
+        for (i, &src) in argmax.iter().enumerate() {
+            dx.as_mut_slice()[src] += dout.as_slice()[i];
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn conv_spec(filters: usize, quant: QuantMode) -> TrainConvSpec {
+        TrainConvSpec { filters, size: 3, stride: 1, pad: 1, act: Act::Relu, quant }
+    }
+
+    #[test]
+    fn conv_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = ConvT::new(Shape3::new(2, 5, 5), &conv_spec(4, QuantMode::Float), &mut rng);
+        let x = Tensor::filled(Shape3::new(2, 5, 5), 0.3f32);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), Shape3::new(4, 5, 5));
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    /// Finite-difference check of the convolution weight/bias/input
+    /// gradients — the load-bearing correctness test of this crate.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let in_shape = Shape3::new(2, 4, 4);
+        let mut conv = ConvT::new(
+            in_shape,
+            &TrainConvSpec {
+                filters: 3,
+                size: 3,
+                stride: 1,
+                pad: 1,
+                act: Act::Leaky, // differentiable almost everywhere
+                quant: QuantMode::Float,
+            },
+            &mut rng,
+        );
+        let x = Tensor::from_fn(in_shape, |_, _, _| rng.gen_range(-1.0f32..1.0));
+        // Scalar loss: L = 0.5 * Σ y².
+        let loss = |conv: &mut ConvT, x: &Tensor<f32>| -> f32 {
+            let y = conv.forward(x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        let y = conv.forward(&x);
+        let dx = conv.backward(&y); // dL/dy = y
+
+        let eps = 1e-3f32;
+        // Weight gradients.
+        for k in [0usize, 7, 20, conv.w.len() - 1] {
+            let orig = conv.w[k];
+            conv.w[k] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            conv.w[k] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            conv.w[k] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (conv.dw[k] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dw[{k}] analytic {} vs numeric {numeric}",
+                conv.dw[k]
+            );
+        }
+        // Bias gradient.
+        let orig = conv.b[1];
+        conv.b[1] = orig + eps;
+        let lp = loss(&mut conv, &x);
+        conv.b[1] = orig - eps;
+        let lm = loss(&mut conv, &x);
+        conv.b[1] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((conv.db[1] - numeric).abs() < 2e-2 * numeric.abs().max(1.0));
+        // Input gradient (spot check).
+        let mut x2 = x.clone();
+        let idx = 5;
+        x2.as_mut_slice()[idx] += eps;
+        let lp = loss(&mut conv, &x2);
+        x2.as_mut_slice()[idx] -= 2.0 * eps;
+        let lm = loss(&mut conv, &x2);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (dx.as_slice()[idx] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+            "dx analytic {} vs numeric {numeric}",
+            dx.as_slice()[idx]
+        );
+    }
+
+    #[test]
+    fn quantized_forward_emits_levels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let step = 0.25f32;
+        let mut conv = ConvT::new(
+            Shape3::new(2, 4, 4),
+            &conv_spec(4, QuantMode::W1A3 { act_step: step }),
+            &mut rng,
+        );
+        let x = Tensor::from_fn(Shape3::new(2, 4, 4), |_, _, _| rng.gen_range(0.0f32..1.0));
+        let y = conv.forward(&x);
+        for &v in y.as_slice() {
+            let level = v / step;
+            assert!((level - level.round()).abs() < 1e-5);
+            assert!((0.0..=7.0).contains(&level));
+        }
+    }
+
+    #[test]
+    fn quantized_backward_produces_finite_grads() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = ConvT::new(
+            Shape3::new(2, 4, 4),
+            &conv_spec(4, QuantMode::W1A3 { act_step: 0.25 }),
+            &mut rng,
+        );
+        let x = Tensor::from_fn(Shape3::new(2, 4, 4), |_, _, _| rng.gen_range(0.0f32..1.0));
+        let y = conv.forward(&x);
+        let dx = conv.backward(&y);
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+        assert!(conv.dw.iter().any(|&v| v != 0.0), "STE must pass some gradient through");
+    }
+
+    #[test]
+    fn ternary_forward_uses_three_weight_levels() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = ConvT::new(
+            Shape3::new(1, 1, 1),
+            &TrainConvSpec {
+                filters: 1,
+                size: 1,
+                stride: 1,
+                pad: 0,
+                act: Act::Linear,
+                quant: QuantMode::W2A3 { act_step: 0.25 },
+            },
+            &mut rng,
+        );
+        // A single weight below the ternary threshold quantizes to zero:
+        // output = bias regardless of input.
+        conv.w = vec![0.0];
+        conv.b = vec![0.5];
+        let y = conv.forward(&Tensor::filled(Shape3::new(1, 1, 1), 123.0f32));
+        assert_eq!(y.at(0, 0, 0), 0.5);
+    }
+
+    #[test]
+    fn ternary_backward_produces_finite_grads() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut conv = ConvT::new(
+            Shape3::new(2, 4, 4),
+            &conv_spec(4, QuantMode::W2A3 { act_step: 0.25 }),
+            &mut rng,
+        );
+        let x = Tensor::from_fn(Shape3::new(2, 4, 4), |_, _, _| rng.gen_range(0.0f32..1.0));
+        let y = conv.forward(&x);
+        let dx = conv.backward(&y);
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+        assert!(conv.dw.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn pool_routes_gradient_to_argmax() {
+        let mut pool = PoolT::new(Shape3::new(1, 2, 2), 2, 2);
+        let x = Tensor::from_vec(
+            Shape3::new(1, 2, 2),
+            vec![1.0f32, 5.0, 3.0, 2.0],
+        )
+        .unwrap();
+        let y = pool.forward(&x);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dout = Tensor::filled(Shape3::new(1, 1, 1), 2.0f32);
+        let dx = pool.backward(&dout);
+        assert_eq!(dx.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_clipped_window_stride_one() {
+        let mut pool = PoolT::new(Shape3::new(1, 3, 3), 2, 1);
+        let x = Tensor::from_fn(Shape3::new(1, 3, 3), |_, y, z| (y * 3 + z) as f32);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), Shape3::new(1, 3, 3));
+        assert_eq!(y.at(0, 2, 2), 8.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Straight-through-estimator fake quantization.
+//!
+//! Quantization functions have zero gradient almost everywhere; STE
+//! training (Hubara et al. \[8\], the lineage the paper builds on) runs the
+//! quantizer in the forward pass but passes gradients through as if it were
+//! the identity — clipped to the quantizer's active range so weights and
+//! activations outside it stop receiving spurious updates.
+
+/// Binary-weight fake quantization: `w ↦ α·sign(w)` with the per-tensor
+/// mean-absolute scale `α` (XNOR-Net style).
+///
+/// Returns the quantized weights and `α`.
+pub fn binarize_weights(weights: &[f32]) -> (Vec<f32>, f32) {
+    let n = weights.len().max(1);
+    let alpha = weights.iter().map(|w| w.abs()).sum::<f32>() / n as f32;
+    (weights.iter().map(|&w| if w < 0.0 { -alpha } else { alpha }).collect(), alpha)
+}
+
+/// STE gradient for [`binarize_weights`]: identity inside the clip range
+/// `|w| ≤ 1`, zero outside.
+#[inline]
+pub fn binarize_grad(w: f32, upstream: f32) -> f32 {
+    if w.abs() <= 1.0 {
+        upstream
+    } else {
+        0.0
+    }
+}
+
+/// 3-bit activation fake quantization with step `s`:
+/// `x ↦ s·clamp(round(x/s), 0, 7)`.
+#[inline]
+pub fn quantize_act3(x: f32, step: f32) -> f32 {
+    step * (x / step).round().clamp(0.0, 7.0)
+}
+
+/// STE gradient for [`quantize_act3`]: identity inside the active range
+/// `0 ≤ x ≤ 7s` (half a step of slack at each end), zero where the
+/// quantizer saturates.
+#[inline]
+pub fn quantize_act3_grad(x: f32, step: f32, upstream: f32) -> f32 {
+    if (-0.5 * step..=7.5 * step).contains(&x) {
+        upstream
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binarize_preserves_sign_and_scale() {
+        let (q, alpha) = binarize_weights(&[0.5, -1.5, 1.0]);
+        assert!((alpha - 1.0).abs() < 1e-6);
+        assert_eq!(q, vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn binarize_grad_clips() {
+        assert_eq!(binarize_grad(0.5, 2.0), 2.0);
+        assert_eq!(binarize_grad(-0.9, 2.0), 2.0);
+        assert_eq!(binarize_grad(1.5, 2.0), 0.0);
+    }
+
+    #[test]
+    fn act3_levels() {
+        let s = 0.25;
+        assert_eq!(quantize_act3(0.0, s), 0.0);
+        assert_eq!(quantize_act3(0.26, s), 0.25);
+        assert_eq!(quantize_act3(10.0, s), 7.0 * s);
+        assert_eq!(quantize_act3(-1.0, s), 0.0);
+    }
+
+    #[test]
+    fn act3_error_bounded_inside_range() {
+        let s = 0.125;
+        for i in 0..=70 {
+            let x = i as f32 * 0.0125;
+            if x <= 7.0 * s {
+                assert!((quantize_act3(x, s) - x).abs() <= s / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn act3_grad_saturates() {
+        let s = 0.25;
+        assert_eq!(quantize_act3_grad(0.5, s, 3.0), 3.0);
+        assert_eq!(quantize_act3_grad(-0.2, s, 3.0), 0.0);
+        assert_eq!(quantize_act3_grad(2.0, s, 3.0), 0.0);
+    }
+}

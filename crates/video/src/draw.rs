@@ -1,0 +1,115 @@
+//! Object boxing and frame drawing (pipeline stages N+2 and N+3).
+
+use crate::frame::Image;
+use tincy_eval::Detection;
+
+/// Distinct, saturated color for a class index (cycles beyond 8 classes).
+pub fn class_color(class: usize) -> [f32; 3] {
+    const PALETTE: [[f32; 3]; 8] = [
+        [0.95, 0.25, 0.20], // red
+        [0.20, 0.75, 0.30], // green
+        [0.25, 0.45, 0.95], // blue
+        [0.95, 0.80, 0.20], // yellow
+        [0.80, 0.30, 0.85], // magenta
+        [0.25, 0.85, 0.85], // cyan
+        [0.95, 0.55, 0.15], // orange
+        [0.90, 0.90, 0.90], // white
+    ];
+    PALETTE[class % PALETTE.len()]
+}
+
+/// Draws a rectangle outline in relative coordinates with the given stroke
+/// width in pixels. Coordinates outside the image are clipped.
+pub fn draw_box(
+    image: &mut Image,
+    cx: f32,
+    cy: f32,
+    w: f32,
+    h: f32,
+    color: [f32; 3],
+    stroke: usize,
+) {
+    let iw = image.width() as f32;
+    let ih = image.height() as f32;
+    let x0 = (((cx - w / 2.0) * iw) as isize).clamp(0, image.width() as isize - 1) as usize;
+    let x1 = (((cx + w / 2.0) * iw) as isize).clamp(0, image.width() as isize - 1) as usize;
+    let y0 = (((cy - h / 2.0) * ih) as isize).clamp(0, image.height() as isize - 1) as usize;
+    let y1 = (((cy + h / 2.0) * ih) as isize).clamp(0, image.height() as isize - 1) as usize;
+    for s in 0..stroke {
+        for x in x0..=x1 {
+            if y0 + s <= y1 {
+                image.set_pixel(x, y0 + s, color);
+            }
+            if y1 >= s && y1 - s >= y0 {
+                image.set_pixel(x, y1 - s, color);
+            }
+        }
+        for y in y0..=y1 {
+            if x0 + s <= x1 {
+                image.set_pixel(x0 + s, y, color);
+            }
+            if x1 >= s && x1 - s >= x0 {
+                image.set_pixel(x1 - s, y, color);
+            }
+        }
+    }
+}
+
+/// Annotates a frame with detection boxes in class colors — the "object
+/// boxing" pipeline stage.
+pub fn draw_detections(image: &mut Image, detections: &[Detection]) {
+    for det in detections {
+        draw_box(
+            image,
+            det.bbox.x,
+            det.bbox.y,
+            det.bbox.w,
+            det.bbox.h,
+            class_color(det.class),
+            1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tincy_eval::{BBox, Detection};
+
+    #[test]
+    fn colors_are_distinct_for_first_classes() {
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                assert_ne!(class_color(a), class_color(b));
+            }
+        }
+        assert_eq!(class_color(0), class_color(8)); // cycles
+    }
+
+    #[test]
+    fn box_outline_drawn_not_filled() {
+        let mut img = Image::filled(20, 20, [0.0, 0.0, 0.0]);
+        draw_box(&mut img, 0.5, 0.5, 0.5, 0.5, [1.0, 1.0, 1.0], 1);
+        // Edge pixel painted.
+        assert_eq!(img.pixel(10, 5), [1.0, 1.0, 1.0]);
+        // Interior untouched.
+        assert_eq!(img.pixel(10, 10), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_frame_boxes_clip() {
+        let mut img = Image::filled(10, 10, [0.0, 0.0, 0.0]);
+        draw_box(&mut img, 0.0, 0.0, 1.0, 1.0, [1.0, 0.0, 0.0], 2);
+        // Must not panic; some border pixels painted.
+        assert_eq!(img.pixel(0, 0), [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn detections_use_class_colors() {
+        let mut img = Image::filled(20, 20, [0.0, 0.0, 0.0]);
+        // Box edges at exactly representable coordinates (0.25/0.75).
+        let det = Detection::new(BBox::new(0.5, 0.5, 0.5, 0.5), 2, 0.9);
+        draw_detections(&mut img, &[det]);
+        assert_eq!(img.pixel(10, 5), class_color(2));
+    }
+}

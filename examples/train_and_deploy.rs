@@ -1,0 +1,133 @@
+//! The full paper pipeline in one program: train a detector with
+//! quantization-aware retraining, fold it into fabric parameters (binary
+//! weight masks + integer thresholds), deploy it onto the simulated FINN
+//! accelerator, and verify that the deployed system detects as well as the
+//! QAT model — with the accelerator's cycle report and resource estimate
+//! on the side.
+//!
+//! ```text
+//! cargo run --release --example train_and_deploy
+//! ```
+
+use tincy::core::DeployedDetector;
+use tincy::eval::{mean_average_precision, nms, ApMethod};
+use tincy::finn::{EngineConfig, FpgaDevice};
+use tincy::tensor::Shape3;
+use tincy::train::{
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
+    TrainLayerSpec, TrainNet,
+};
+use tincy::video::{generate_dataset, DatasetConfig, SceneConfig};
+
+const CLASSES: usize = 2;
+const STEP: f32 = 0.25;
+
+fn specs() -> Vec<TrainLayerSpec> {
+    let conv = |filters, stride, quant| {
+        TrainLayerSpec::Conv(TrainConvSpec {
+            filters,
+            size: 3,
+            stride,
+            pad: 1,
+            act: Act::Relu,
+            quant,
+        })
+    };
+    vec![
+        // Input conv: float weights, quantized output (feeds the fabric).
+        conv(8, 2, QuantMode::A3Only { act_step: STEP }),
+        TrainLayerSpec::MaxPool { size: 2, stride: 2 },
+        // Hidden stack: binary weights, 3-bit activations.
+        conv(16, 1, QuantMode::W1A3 { act_step: STEP }),
+        TrainLayerSpec::MaxPool { size: 2, stride: 2 },
+        conv(16, 1, QuantMode::W1A3 { act_step: STEP }),
+        // Head: float.
+        TrainLayerSpec::Conv(TrainConvSpec {
+            filters: 5 + CLASSES,
+            size: 1,
+            stride: 1,
+            pad: 0,
+            act: Act::Linear,
+            quant: QuantMode::Float,
+        }),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = |samples, seed| {
+        generate_dataset(&DatasetConfig {
+            scene: SceneConfig {
+                width: 40,
+                height: 32,
+                num_objects: 1,
+                num_classes: CLASSES,
+                size_range: (0.3, 0.5),
+                speed: 0.0,
+            },
+            samples,
+            seed,
+            input_size: 32,
+        })
+    };
+    let train_set = dataset(32, 1);
+    let eval_set = dataset(24, 777);
+    let loss = DetectionLoss::new(CLASSES, (0.4, 0.4));
+
+    // 1. Quantization-aware training (the whole net is QAT from scratch —
+    //    the retraining flow is shown in examples/accuracy_study.rs).
+    let mut net = TrainNet::new(Shape3::new(3, 32, 32), &specs(), 5)?;
+    println!("training the [W1A3] detector ({} parameters)...", net.num_params());
+    train(
+        &mut net,
+        &loss,
+        &train_set,
+        &TrainConfig { epochs: 60, lr: 0.02, ..Default::default() },
+    );
+    train(
+        &mut net,
+        &loss,
+        &train_set,
+        &TrainConfig { epochs: 30, lr: 0.005, ..Default::default() },
+    );
+    let qat_map = evaluate_map(&mut net, &loss, &eval_set, 0.25, 0.4).map_percent();
+    println!("QAT model held-out mAP: {qat_map:.1}%");
+
+    // 2. Fold into fabric parameters and deploy.
+    let deployed = DeployedDetector::compile(&net, EngineConfig::default())?;
+    println!(
+        "compiled {} hidden layers for the fabric (activation step {})",
+        deployed.accelerator().layers().len(),
+        deployed.act_step()
+    );
+    let resources = deployed.accelerator().engine_resources();
+    let device = FpgaDevice::XCZU3EG;
+    let (lut, bram, _) = device.utilization(&resources);
+    println!(
+        "engine estimate: {} LUTs ({:.0}%), {} BRAM36 ({:.0}%) on {} -> fits: {}",
+        resources.luts,
+        lut * 100.0,
+        resources.bram36,
+        bram * 100.0,
+        device.name,
+        device.fits(&resources)
+    );
+
+    // 3. Evaluate the deployed system (CPU first/last layers + simulated
+    //    fabric in the middle).
+    let mut detections = Vec::new();
+    let mut truths = Vec::new();
+    for sample in &eval_set {
+        let head = deployed.forward(sample.image.as_tensor())?;
+        detections.push(nms(loss.decode(&head, 0.25), 0.45));
+        truths.push(sample.truth.clone());
+    }
+    let deployed_map =
+        mean_average_precision(&detections, &truths, CLASSES, 0.4, ApMethod::Voc11Point)
+            .map_percent();
+    println!("deployed (fabric) held-out mAP: {deployed_map:.1}%");
+    println!(
+        "\nQAT {qat_map:.1}% vs deployed {deployed_map:.1}% — the fold to integer \
+         thresholds preserves the trained function"
+    );
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! `tincy` — a darknet-style command-line front end for the reproduction.
+//!
+//! ```text
+//! tincy ops <network.cfg>      per-layer operation accounting for a config
+//! tincy tables                 Tables I & II summary
+//! tincy ladder                 the §III/§IV speedup ladder
+//! tincy demo [frames [workers [input]]]
+//!                              run the pipelined live-detection demo
+//! ```
+
+use std::process::ExitCode;
+use tincy::core::demo::{run_demo, DemoConfig};
+use tincy::core::topology::{cnv6, mlp4, tincy_yolo, tiny_yolo};
+use tincy::core::SystemConfig;
+use tincy::nn::parse_cfg;
+use tincy::perf::speedup_ladder;
+use tincy::video::SceneConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("ops") => cmd_ops(args.get(1).map(String::as_str)),
+        Some("tables") => {
+            cmd_tables();
+            Ok(())
+        }
+        Some("ladder") => {
+            cmd_ladder();
+            Ok(())
+        }
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprintln!("usage: tincy <ops <cfg>|tables|ladder|demo [frames [workers [input]]]>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ops(path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let path = path.ok_or("ops requires a cfg file path")?;
+    let text = std::fs::read_to_string(path)?;
+    let spec = parse_cfg(&text)?;
+    println!("{:<4} {:<8} {:>14} {:>16}", "#", "type", "output", "ops/frame");
+    let shapes = spec.output_shapes();
+    for (i, (layer, ops)) in spec.layers.iter().zip(spec.ops_per_layer()).enumerate() {
+        println!(
+            "{:<4} {:<8} {:>14} {:>16}",
+            i + 1,
+            layer.kind(),
+            shapes[i].to_string(),
+            ops
+        );
+    }
+    println!("total: {} ops/frame, {} parameters", spec.total_ops(), spec.num_params());
+    Ok(())
+}
+
+fn cmd_tables() {
+    let tiny = tiny_yolo();
+    let tincy = tincy_yolo();
+    println!("Table I totals:  Tiny {}  Tincy {}", tiny.total_ops(), tincy.total_ops());
+    for (name, spec) in [("MLP-4", mlp4()), ("CNV-6", cnv6()), ("Tincy YOLO", tincy)] {
+        let (reduced, eight) = spec.dot_product_ops();
+        println!(
+            "Table II {name:<12} reduced {:>12}  8-bit {:>10}",
+            reduced, eight
+        );
+    }
+}
+
+fn cmd_ladder() {
+    for step in speedup_ladder() {
+        println!(
+            "[{}] {:<58} {:>8.2} fps",
+            step.section, step.name, step.fps
+        );
+    }
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let frames: u64 = args.first().map_or(Ok(16), |s| s.parse())?;
+    let workers: usize = args.get(1).map_or(Ok(4), |s| s.parse())?;
+    let input: usize = args.get(2).map_or(Ok(96), |s| s.parse())?;
+    let config = DemoConfig {
+        frames,
+        system: SystemConfig { input_size: input, ..Default::default() },
+        workers,
+        score_threshold: 0.02,
+        scene: SceneConfig::default(),
+    };
+    let report = run_demo(&config)?;
+    println!(
+        "{} frames at {:.2} fps ({} workers, {}x{} input), in order: {}, {} detections",
+        report.metrics.frames,
+        report.metrics.fps(),
+        workers,
+        input,
+        input,
+        report.metrics.in_order,
+        report.detections
+    );
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! End-to-end FINN flow: QAT training → fold to fabric parameters →
+//! deployed inference matches the trained model.
+
+use tincy::core::DeployedDetector;
+use tincy::eval::{mean_average_precision, nms, ApMethod};
+use tincy::finn::EngineConfig;
+use tincy::tensor::Shape3;
+use tincy::train::{
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
+    TrainLayerSpec, TrainNet,
+};
+use tincy::video::{generate_dataset, DatasetConfig, SceneConfig, Sample};
+
+const CLASSES: usize = 2;
+const STEP: f32 = 0.25;
+
+fn specs() -> Vec<TrainLayerSpec> {
+    let conv = |filters, stride, quant| {
+        TrainLayerSpec::Conv(TrainConvSpec {
+            filters,
+            size: 3,
+            stride,
+            pad: 1,
+            act: Act::Relu,
+            quant,
+        })
+    };
+    vec![
+        conv(6, 2, QuantMode::A3Only { act_step: STEP }),
+        TrainLayerSpec::MaxPool { size: 2, stride: 2 },
+        conv(8, 1, QuantMode::W1A3 { act_step: STEP }),
+        TrainLayerSpec::MaxPool { size: 2, stride: 2 },
+        conv(8, 1, QuantMode::W1A3 { act_step: STEP }),
+        TrainLayerSpec::Conv(TrainConvSpec {
+            filters: 5 + CLASSES,
+            size: 1,
+            stride: 1,
+            pad: 0,
+            act: Act::Linear,
+            quant: QuantMode::Float,
+        }),
+    ]
+}
+
+fn dataset(samples: usize, seed: u64) -> Vec<Sample> {
+    generate_dataset(&DatasetConfig {
+        scene: SceneConfig {
+            width: 40,
+            height: 32,
+            num_objects: 1,
+            num_classes: CLASSES,
+            size_range: (0.3, 0.5),
+            speed: 0.0,
+        },
+        samples,
+        seed,
+        input_size: 32,
+    })
+}
+
+#[test]
+fn deployed_detector_matches_qat_accuracy() {
+    let train_set = dataset(16, 3);
+    let eval_set = dataset(12, 900);
+    let loss = DetectionLoss::new(CLASSES, (0.4, 0.4));
+    let mut net = TrainNet::new(Shape3::new(3, 32, 32), &specs(), 9).expect("valid specs");
+    train(
+        &mut net,
+        &loss,
+        &train_set,
+        &TrainConfig { epochs: 25, lr: 0.02, ..Default::default() },
+    );
+    let deployed = DeployedDetector::compile(&net, EngineConfig::default()).expect("compiles");
+
+    let qat = evaluate_map(&mut net, &loss, &eval_set, 0.25, 0.4);
+    let mut detections = Vec::new();
+    let mut truths = Vec::new();
+    for sample in &eval_set {
+        let head = deployed.forward(sample.image.as_tensor()).expect("runs");
+        detections.push(nms(loss.decode(&head, 0.25), 0.45));
+        truths.push(sample.truth.clone());
+    }
+    let dep = mean_average_precision(&detections, &truths, CLASSES, 0.4, ApMethod::Voc11Point);
+    assert!(
+        (qat.map - dep.map).abs() < 0.05,
+        "QAT mAP {:.3} vs deployed mAP {:.3} diverged",
+        qat.map,
+        dep.map
+    );
+}
+
+#[test]
+fn deployed_head_matches_qat_head_per_image() {
+    let train_set = dataset(8, 5);
+    let loss = DetectionLoss::new(CLASSES, (0.4, 0.4));
+    let mut net = TrainNet::new(Shape3::new(3, 32, 32), &specs(), 4).expect("valid specs");
+    train(
+        &mut net,
+        &loss,
+        &train_set,
+        &TrainConfig { epochs: 10, lr: 0.02, ..Default::default() },
+    );
+    let deployed = DeployedDetector::compile(&net, EngineConfig::default()).expect("compiles");
+    for sample in &train_set[..4] {
+        let qat_head = net.forward(sample.image.as_tensor());
+        let dep_head = deployed.forward(sample.image.as_tensor()).expect("runs");
+        // Agreement up to rare float-boundary level flips.
+        let agree = qat_head
+            .as_slice()
+            .iter()
+            .zip(dep_head.as_slice())
+            .filter(|(a, b)| (*a - *b).abs() < 1e-3)
+            .count() as f32
+            / qat_head.len() as f32;
+        assert!(agree > 0.95, "only {agree:.3} of head values agree");
+    }
+}

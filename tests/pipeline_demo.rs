@@ -1,0 +1,60 @@
+//! Integration of the pipelined demo mode (§III-F) across crates.
+
+use tincy::core::demo::{run_demo, DemoConfig};
+use tincy::core::SystemConfig;
+use tincy::video::SceneConfig;
+
+fn config(frames: u64, workers: usize) -> DemoConfig {
+    DemoConfig {
+        frames,
+        system: SystemConfig { input_size: 32, seed: 21, ..Default::default() },
+        workers,
+        score_threshold: 0.0,
+        scene: SceneConfig { width: 48, height: 36, ..Default::default() },
+    }
+}
+
+#[test]
+fn demo_is_deterministic_in_output_count_across_worker_counts() {
+    // The pipeline must compute identical results regardless of
+    // parallelism: same frames, same number of drawn detections.
+    let detections: Vec<u64> = [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| {
+            let report = run_demo(&config(4, workers)).expect("demo runs");
+            assert_eq!(report.metrics.frames, 4);
+            assert!(report.metrics.in_order);
+            report.detections
+        })
+        .collect();
+    assert_eq!(detections[0], detections[1]);
+    assert_eq!(detections[1], detections[2]);
+}
+
+#[test]
+fn demo_scales_with_more_frames() {
+    let short = run_demo(&config(2, 4)).expect("demo runs");
+    let long = run_demo(&config(8, 4)).expect("demo runs");
+    assert_eq!(short.metrics.frames, 2);
+    assert_eq!(long.metrics.frames, 8);
+    // All processing stages saw all frames (the source row records one
+    // extra invocation: the end-of-stream probe that returned None).
+    let stages = &long.metrics.stages;
+    assert_eq!(stages[0].name, "source");
+    assert_eq!(stages[0].invocations, 9);
+    for stage in &stages[1..stages.len() - 1] {
+        assert_eq!(stage.invocations, 8, "stage {}", stage.name);
+    }
+}
+
+#[test]
+fn stage_names_follow_fig_five() {
+    let report = run_demo(&config(2, 2)).expect("demo runs");
+    let names: Vec<&str> = report.metrics.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names.first(), Some(&"source"));
+    assert_eq!(names.get(1), Some(&"letterbox"));
+    assert!(names.iter().any(|n| n.contains("offload")), "offload stage present: {names:?}");
+    assert!(names.iter().any(|n| *n == "object boxing"));
+    assert!(names.iter().any(|n| *n == "frame drawing"));
+    assert_eq!(names.last(), Some(&"sink"));
+}
