@@ -45,8 +45,14 @@ fn bench_first_layer(c: &mut Criterion) {
     group.bench_function("generic_im2col_gemm", |b| {
         b.iter(|| {
             black_box(
-                convolve(ConvAlgo::Im2colGemm, black_box(&input_f), &weights, &bias, geom)
-                    .expect("valid geometry"),
+                convolve(
+                    ConvAlgo::Im2colGemm,
+                    black_box(&input_f),
+                    &weights,
+                    &bias,
+                    geom,
+                )
+                .expect("valid geometry"),
             )
         })
     });
@@ -67,7 +73,13 @@ fn bench_first_layer(c: &mut Criterion) {
         })
     });
     group.bench_function("custom_f32", |b| {
-        b.iter(|| black_box(kernel.forward_f32(black_box(&input_f), geom).expect("3-channel")))
+        b.iter(|| {
+            black_box(
+                kernel
+                    .forward_f32(black_box(&input_f), geom)
+                    .expect("3-channel"),
+            )
+        })
     });
     group.bench_function("custom_i32", |b| {
         b.iter(|| {

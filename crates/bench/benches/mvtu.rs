@@ -33,8 +33,9 @@ fn bench_mvtu(c: &mut Criterion) {
     let in_shape = Shape3::new(64, 26, 26);
     let geom = ConvGeom::same(3, 1);
     let out_c = 64;
-    let wsigns: Vec<i8> =
-        (0..out_c * geom.dot_length(64)).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+    let wsigns: Vec<i8> = (0..out_c * geom.dot_length(64))
+        .map(|_| if rng.gen() { 1 } else { -1 })
+        .collect();
     let wmat = BitTensor::from_signs(out_c, geom.dot_length(64), &wsigns).expect("dims");
     let thresholds = ThresholdsForLayer::new(
         (0..out_c)
@@ -49,7 +50,13 @@ fn bench_mvtu(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_layer_64x26x26");
     group.sample_size(10);
     group.bench_function("behavioural_sim", |b| {
-        b.iter(|| black_box(engine.run_layer(black_box(&layer), black_box(&input)).expect("runs")))
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_layer(black_box(&layer), black_box(&input))
+                    .expect("runs"),
+            )
+        })
     });
     group.finish();
 }

@@ -17,14 +17,29 @@ fn main() {
     let dims = tincy_hidden_dims();
     let max_bits = dims.iter().map(|d| d.weight_bits()).max().unwrap_or(0);
 
-    println!("MVTU folding ablation on {} (Tincy hidden stack)", device.name);
+    println!(
+        "MVTU folding ablation on {} (Tincy hidden stack)",
+        device.name
+    );
     println!(
         "{:>5} {:>5}  {:>12}  {:>9}  {:>8}  {:>8}  {:>6}",
         "PE", "SIMD", "hidden (ms)", "net fps*", "LUTs", "BRAM36", "fits"
     );
     println!("{}", "-".repeat(66));
-    for (pe, simd) in [(4, 4), (8, 8), (8, 16), (16, 16), (16, 32), (32, 32), (64, 64)] {
-        let config = EngineConfig { pe, simd, ..Default::default() };
+    for (pe, simd) in [
+        (4, 4),
+        (8, 8),
+        (8, 16),
+        (16, 16),
+        (16, 32),
+        (32, 32),
+        (64, 64),
+    ] {
+        let config = EngineConfig {
+            pe,
+            simd,
+            ..Default::default()
+        };
         let ms = fabric_hidden_ms(&dims, config, 128);
         let est = ResourceEstimate::conv_engine(pe, simd, max_bits, 8);
         // Net frame rate with this fabric, everything else optimized

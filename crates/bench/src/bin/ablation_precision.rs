@@ -14,10 +14,10 @@
 use tincy_quant::PrecisionConfig;
 use tincy_tensor::Shape3;
 use tincy_train::{
-    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
-    TrainLayerSpec, TrainNet,
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec, TrainLayerSpec,
+    TrainNet,
 };
-use tincy_video::{generate_dataset, DatasetConfig, SceneConfig, Sample};
+use tincy_video::{generate_dataset, DatasetConfig, Sample, SceneConfig};
 
 const CLASSES: usize = 3;
 const STEP: f32 = 0.25;
@@ -73,7 +73,12 @@ fn run(hidden_quant: Option<QuantMode>, train_set: &[Sample], eval_set: &[Sample
         &mut net,
         &loss,
         train_set,
-        &TrainConfig { epochs: 80, lr: 0.015, lr_decay: 0.985, ..Default::default() },
+        &TrainConfig {
+            epochs: 80,
+            lr: 0.015,
+            lr_decay: 0.985,
+            ..Default::default()
+        },
     );
     if let Some(quant) = hidden_quant {
         net.set_hidden_quant(quant);
@@ -82,7 +87,12 @@ fn run(hidden_quant: Option<QuantMode>, train_set: &[Sample], eval_set: &[Sample
         &mut net,
         &loss,
         train_set,
-        &TrainConfig { epochs: 40, lr: 0.005, lr_decay: 0.99, ..Default::default() },
+        &TrainConfig {
+            epochs: 40,
+            lr: 0.005,
+            lr_decay: 0.99,
+            ..Default::default()
+        },
     );
     evaluate_map(&mut net, &loss, eval_set, 0.25, 0.4).map_percent()
 }
@@ -100,7 +110,11 @@ fn main() {
     );
     println!("{}", "-".repeat(54));
     let cases: Vec<(&str, Option<QuantMode>, usize)> = vec![
-        ("float", None, PrecisionConfig::FLOAT.weight_bytes(hidden_weights)),
+        (
+            "float",
+            None,
+            PrecisionConfig::FLOAT.weight_bytes(hidden_weights),
+        ),
         (
             "[W2A3] ternary",
             Some(QuantMode::W2A3 { act_step: STEP }),

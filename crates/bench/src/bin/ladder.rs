@@ -22,7 +22,10 @@ fn main() {
     );
     println!("{}", "-".repeat(92));
     for step in speedup_ladder() {
-        let paper = step.paper_fps.map(|f| format!("{f:.1}")).unwrap_or_else(|| "-".into());
+        let paper = step
+            .paper_fps
+            .map(|f| format!("{f:.1}"))
+            .unwrap_or_else(|| "-".into());
         println!(
             "{:<58}  {:>10.1}  {:>8.2}  {:>9}",
             format!("[{}] {}", step.section, step.name),

@@ -83,7 +83,10 @@ fn main() {
     println!("Experiment 2: live end-to-end demo (reduced 128x128 input)");
     let config = DemoConfig {
         frames: 24,
-        system: SystemConfig { input_size: 128, ..Default::default() },
+        system: SystemConfig {
+            input_size: 128,
+            ..Default::default()
+        },
         workers: 4,
         score_threshold: 0.2,
         scene: SceneConfig::default(),

@@ -19,7 +19,10 @@ fn main() {
     let rows = table1(&tiny, &tincy);
 
     println!("Table I: The challenge posed by Tiny YOLO versus Tincy YOLO");
-    println!("{:>5}  {:<6}  {:>16}  {:>16}", "Layer", "Type", "Tiny YOLO", "Tincy YOLO");
+    println!(
+        "{:>5}  {:<6}  {:>16}  {:>16}",
+        "Layer", "Type", "Tiny YOLO", "Tincy YOLO"
+    );
     println!("{}", "-".repeat(50));
     for row in &rows {
         if row.kind == "region" {
@@ -27,7 +30,10 @@ fn main() {
         }
         let tiny_ops = row.tiny_ops.map(with_commas).unwrap_or_else(|| "-".into());
         let tincy_ops = row.tincy_ops.map(with_commas).unwrap_or_else(|| "-".into());
-        println!("{:>5}  {:<6}  {:>16}  {:>16}", row.layer, row.kind, tiny_ops, tincy_ops);
+        println!(
+            "{:>5}  {:<6}  {:>16}  {:>16}",
+            row.layer, row.kind, tiny_ops, tincy_ops
+        );
     }
     println!("{}", "-".repeat(50));
     let tiny_total = table1_total(&rows, false);

@@ -12,7 +12,10 @@ use tincy_perf::tables::table3;
 fn main() {
     let rows = table3();
     println!("Table III: Inference processing time of video frames broken into stages");
-    println!("{:<20}  {:>14}  {:>18}", "Stage", "Baseline (ms)", "Optimized (ms)");
+    println!(
+        "{:<20}  {:>14}  {:>18}",
+        "Stage", "Baseline (ms)", "Optimized (ms)"
+    );
     println!("{}", "-".repeat(58));
     let mut baseline_total = 0.0;
     let mut optimized_total = 0.0;
@@ -27,7 +30,10 @@ fn main() {
         optimized_total += row.optimized_ms;
     }
     println!("{}", "-".repeat(58));
-    println!("{:<20}  {:>14.0}  {:>18.1}", "Total", baseline_total, optimized_total);
+    println!(
+        "{:<20}  {:>14.0}  {:>18.1}",
+        "Total", baseline_total, optimized_total
+    );
     println!();
     println!(
         "baseline:  {:.2} fps (paper: 0.1 fps)   optimized sequential: {:.1} fps (paper: >5 fps)",

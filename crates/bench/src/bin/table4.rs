@@ -14,12 +14,12 @@
 //! cargo run -p tincy-bench --release --bin table4
 //! ```
 
-use tincy_train::{
-    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
-    TrainLayerSpec, TrainNet,
-};
 use tincy_tensor::Shape3;
-use tincy_video::{generate_dataset, DatasetConfig, SceneConfig, Sample};
+use tincy_train::{
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec, TrainLayerSpec,
+    TrainNet,
+};
+use tincy_video::{generate_dataset, DatasetConfig, Sample, SceneConfig};
 
 const CLASSES: usize = 3;
 const INPUT: usize = 32;
@@ -97,8 +97,18 @@ fn run_variant(
     let mut net = TrainNet::new(Shape3::new(3, INPUT, INPUT), &specs, 42).expect("valid specs");
     // Every variant gets the identical two-phase training budget; the only
     // difference is whether phase two runs with quantized hidden layers.
-    let phase1 = TrainConfig { epochs: 60, lr: 0.02, lr_decay: 0.985, ..Default::default() };
-    let phase2 = TrainConfig { epochs: 40, lr: 0.005, lr_decay: 0.99, ..Default::default() };
+    let phase1 = TrainConfig {
+        epochs: 60,
+        lr: 0.02,
+        lr_decay: 0.985,
+        ..Default::default()
+    };
+    let phase2 = TrainConfig {
+        epochs: 40,
+        lr: 0.005,
+        lr_decay: 0.99,
+        ..Default::default()
+    };
     train(&mut net, &loss, train_set, &phase1);
     let float_map = evaluate_map(&mut net, &loss, eval_set, 0.25, 0.4).map_percent();
 
@@ -131,13 +141,41 @@ fn main() {
     let train_set = dataset(48, 100);
     let eval_set = dataset(32, 900);
     println!("Table IV (scaled study): accuracy of Tiny YOLO variants");
-    println!("training {} samples, evaluating {} held-out samples\n", train_set.len(), eval_set.len());
+    println!(
+        "training {} samples, evaluating {} held-out samples\n",
+        train_set.len(),
+        eval_set.len()
+    );
 
     let variants = vec![
-        run_variant("Tiny YOLO", tiny_mini(Act::Leaky, false, false, false), false, &train_set, &eval_set),
-        run_variant("Tiny YOLO + (a)", tiny_mini(Act::Relu, false, false, false), true, &train_set, &eval_set),
-        run_variant("Tiny YOLO + (a,b,c)", tiny_mini(Act::Relu, true, true, false), true, &train_set, &eval_set),
-        run_variant("Tincy YOLO (a,b,c,d)", tiny_mini(Act::Relu, true, true, true), true, &train_set, &eval_set),
+        run_variant(
+            "Tiny YOLO",
+            tiny_mini(Act::Leaky, false, false, false),
+            false,
+            &train_set,
+            &eval_set,
+        ),
+        run_variant(
+            "Tiny YOLO + (a)",
+            tiny_mini(Act::Relu, false, false, false),
+            true,
+            &train_set,
+            &eval_set,
+        ),
+        run_variant(
+            "Tiny YOLO + (a,b,c)",
+            tiny_mini(Act::Relu, true, true, false),
+            true,
+            &train_set,
+            &eval_set,
+        ),
+        run_variant(
+            "Tincy YOLO (a,b,c,d)",
+            tiny_mini(Act::Relu, true, true, true),
+            true,
+            &train_set,
+            &eval_set,
+        ),
     ];
 
     println!(
@@ -151,8 +189,12 @@ fn main() {
             v.name,
             v.precision,
             v.float_map,
-            v.quantized_map.map(|m| format!("{m:.1}")).unwrap_or_else(|| "-".into()),
-            v.retrained_map.map(|m| format!("{m:.1}")).unwrap_or_else(|| "-".into()),
+            v.quantized_map
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            v.retrained_map
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     println!();
@@ -161,8 +203,14 @@ fn main() {
 
     // Shape checks.
     let float_map = variants[0].float_map;
-    let retrained: Vec<f32> = variants[1..].iter().filter_map(|v| v.retrained_map).collect();
-    let raw: Vec<f32> = variants[1..].iter().filter_map(|v| v.quantized_map).collect();
+    let retrained: Vec<f32> = variants[1..]
+        .iter()
+        .filter_map(|v| v.retrained_map)
+        .collect();
+    let raw: Vec<f32> = variants[1..]
+        .iter()
+        .filter_map(|v| v.quantized_map)
+        .collect();
     let best_retrained = retrained.iter().cloned().fold(f32::MIN, f32::max);
     let spread = retrained.iter().cloned().fold(f32::MIN, f32::max)
         - retrained.iter().cloned().fold(f32::MAX, f32::min);

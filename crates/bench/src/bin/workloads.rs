@@ -48,7 +48,13 @@ fn main() {
         let (reduced, _) = spec.dot_product_ops();
         let cycles = fabric_cycles(spec, config);
         let fps = config.clock_hz as f64 / cycles as f64;
-        println!("{:<12}  {:>12}  {:>12}  {:>10.1}", name, in_millions(reduced), cycles, fps);
+        println!(
+            "{:<12}  {:>12}  {:>12}  {:>10.1}",
+            name,
+            in_millions(reduced),
+            cycles,
+            fps
+        );
     }
     println!();
     println!(

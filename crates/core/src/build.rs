@@ -7,9 +7,10 @@
 //! `tincy-finn`.
 
 use crate::topology::tincy_yolo_with_input;
-use tincy_finn::{EngineConfig, FabricBackend, FABRIC_LIBRARY};
+use tincy_finn::{EngineConfig, FabricBackend, FaultPlan, FABRIC_LIBRARY};
 use tincy_nn::{
-    BackendRegistry, ConvSpec, LayerSpec, Network, NetworkSpec, NnError, OffloadSpec, PoolSpec,
+    BackendRegistry, ConvSpec, LayerSpec, Network, NetworkSpec, NnError, OffloadHealth,
+    OffloadSpec, PoolSpec, RetryPolicy,
 };
 use tincy_tensor::Shape3;
 
@@ -24,11 +25,23 @@ pub struct SystemConfig {
     pub engine: EngineConfig,
     /// Weight-initialization seed.
     pub seed: u64,
+    /// Deterministic accelerator fault schedule ([`FaultPlan::none`] runs
+    /// fault-free).
+    pub fault_plan: FaultPlan,
+    /// Host-side retry/backoff/fallback policy for offload faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SystemConfig {
     fn default() -> Self {
-        Self { input_size: 416, act_step: 0.125, engine: EngineConfig::default(), seed: 1 }
+        Self {
+            input_size: 416,
+            act_step: 0.125,
+            engine: EngineConfig::default(),
+            seed: 1,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -63,10 +76,30 @@ pub fn fabric_registry(config: &SystemConfig) -> BackendRegistry {
     let hidden = hidden_stack(config.input_size);
     let engine = config.engine;
     let act_step = config.act_step;
+    let fault_plan = config.fault_plan;
     registry.register(FABRIC_LIBRARY, move || {
-        Box::new(FabricBackend::new(hidden.clone(), engine, act_step))
+        let mut backend = FabricBackend::new(hidden.clone(), engine, act_step);
+        backend.set_fault_plan(fault_plan);
+        Box::new(backend)
     });
     registry
+}
+
+/// Applies the system's retry policy to every offload layer in a layer
+/// stack and returns a combined health handle (the handle of the *last*
+/// offload layer; the paper's system has exactly one).
+pub fn arm_offload_resilience(
+    layers: &mut [Box<dyn tincy_nn::Layer>],
+    config: &SystemConfig,
+) -> Option<OffloadHealth> {
+    let mut health = None;
+    for layer in layers {
+        if let Some(offload) = layer.as_offload_mut() {
+            offload.set_retry_policy(config.retry);
+            health = Some(offload.health());
+        }
+    }
+    health
 }
 
 /// The offloaded network specification (Fig 4): input conv on the CPU,
@@ -152,13 +185,16 @@ mod tests {
 
     #[test]
     fn offloaded_network_builds_and_runs_scaled() {
-        let config = SystemConfig { input_size: 32, seed: 3, ..Default::default() };
+        let config = SystemConfig {
+            input_size: 32,
+            seed: 3,
+            ..Default::default()
+        };
         let mut net = build_offloaded_network(&config).unwrap();
         assert_eq!(net.num_layers(), 4); // conv, offload, conv, region
-        let input = tincy_tensor::Tensor::from_fn(
-            Shape3::new(3, 32, 32),
-            |c, y, x| ((c + y + x) % 9) as f32 / 9.0,
-        );
+        let input = tincy_tensor::Tensor::from_fn(Shape3::new(3, 32, 32), |c, y, x| {
+            ((c + y + x) % 9) as f32 / 9.0
+        });
         let out = net.forward(&input).unwrap();
         assert_eq!(out.shape(), Shape3::new(125, 1, 1));
         assert!(out.as_slice().iter().all(|v| v.is_finite()));
@@ -169,5 +205,42 @@ mod tests {
         let registry = fabric_registry(&SystemConfig::default());
         assert!(registry.create(FABRIC_LIBRARY).is_ok());
         assert!(registry.create("other.so").is_err());
+    }
+
+    #[test]
+    fn fault_plan_reaches_the_backend_through_the_registry() {
+        let config = SystemConfig {
+            input_size: 32,
+            seed: 3,
+            fault_plan: FaultPlan::outage(0, 1),
+            ..Default::default()
+        };
+        let backend = fabric_registry(&config).create(FABRIC_LIBRARY).unwrap();
+        let fabric = backend
+            .as_any()
+            .downcast_ref::<FabricBackend>()
+            .expect("registry serves the fabric backend");
+        assert!(fabric.fault_stats().is_some(), "fault injection is armed");
+    }
+
+    #[test]
+    fn arm_offload_resilience_finds_the_offload_layer() {
+        let config = SystemConfig {
+            input_size: 32,
+            seed: 3,
+            retry: tincy_nn::RetryPolicy::fail_fast(),
+            ..Default::default()
+        };
+        let net = build_offloaded_network(&config).unwrap();
+        let mut layers = net.into_layers();
+        let health = arm_offload_resilience(&mut layers, &config);
+        assert!(
+            health.is_some(),
+            "the offloaded network contains an offload layer"
+        );
+        assert_eq!(
+            health.unwrap().snapshot(),
+            tincy_nn::OffloadStats::default()
+        );
     }
 }

@@ -6,9 +6,9 @@
 //! accelerator. The pipeline is four stages longer than the underlying
 //! network, exactly as in the paper.
 
-use crate::build::{build_offloaded_network, SystemConfig};
+use crate::build::{arm_offload_resilience, build_offloaded_network, SystemConfig};
 use tincy_eval::{nms, Detection};
-use tincy_nn::{LayerSpec, NnError, RegionLayer, RegionParams};
+use tincy_nn::{LayerSpec, NnError, OffloadStats, RegionLayer, RegionParams};
 use tincy_pipeline::{FnStage, Pipeline, PipelineMetrics, Stage};
 use tincy_tensor::{Shape3, Tensor};
 use tincy_video::{draw_detections, Image, SceneConfig, SyntheticCamera};
@@ -32,7 +32,10 @@ impl Default for DemoConfig {
     fn default() -> Self {
         Self {
             frames: 12,
-            system: SystemConfig { input_size: 128, ..Default::default() },
+            system: SystemConfig {
+                input_size: 128,
+                ..Default::default()
+            },
             workers: 4,
             score_threshold: 0.2,
             scene: SceneConfig::default(),
@@ -43,10 +46,17 @@ impl Default for DemoConfig {
 /// Result of a demo run.
 #[derive(Debug, Clone)]
 pub struct DemoReport {
-    /// Pipeline metrics (frame rate, per-stage occupancy, ordering).
+    /// Pipeline metrics (frame rate, per-stage occupancy, ordering,
+    /// degraded-frame count).
     pub metrics: PipelineMetrics,
     /// Total detections drawn across all frames.
     pub detections: u64,
+    /// Offload health counters accumulated over the run (faults observed,
+    /// retries issued, CPU fallbacks taken).
+    pub offload: OffloadStats,
+    /// Detections per frame, in delivery (= source) order — lets callers
+    /// compare degraded runs against fault-free runs byte for byte.
+    pub frame_detections: Vec<Vec<Detection>>,
 }
 
 /// One frame travelling through the demo pipeline.
@@ -80,16 +90,18 @@ pub fn run_demo(config: &DemoConfig) -> Result<DemoReport, NnError> {
     let score_threshold = config.score_threshold;
 
     // Stage #1: letter boxing (split out of acquisition, §III-F).
-    let mut stages: Vec<Box<dyn Stage<DemoFrame>>> = vec![FnStage::boxed(
-        "letterbox",
-        move |mut frame: DemoFrame| {
+    let mut stages: Vec<Box<dyn Stage<DemoFrame>>> =
+        vec![FnStage::boxed("letterbox", move |mut frame: DemoFrame| {
             frame.fmap = frame.image.letterboxed(input_size).into_tensor();
             frame
-        },
-    )];
+        })];
     // Stages #2..N+1: one stage per network layer; the offload stage is a
-    // tight wrapper around the accelerated computation (§III-F).
-    for (i, mut layer) in net.into_layers().into_iter().enumerate() {
+    // tight wrapper around the accelerated computation (§III-F). The
+    // offload layer gets the system's retry/fallback policy, and its
+    // health counter doubles as the pipeline's degradation probe.
+    let mut layers = net.into_layers();
+    let health = arm_offload_resilience(&mut layers, &config.system);
+    for (i, mut layer) in layers.into_iter().enumerate() {
         let name = format!("L[{i}] {}", layer.kind());
         stages.push(FnStage::boxed(name, move |mut frame: DemoFrame| {
             frame.fmap = layer
@@ -99,37 +111,49 @@ pub fn run_demo(config: &DemoConfig) -> Result<DemoReport, NnError> {
         }));
     }
     // Stage N+2: object boxing.
-    stages.push(FnStage::boxed("object boxing", move |mut frame: DemoFrame| {
-        frame.detections = nms(decoder.decode(&frame.fmap, score_threshold), 0.45);
-        frame
-    }));
+    stages.push(FnStage::boxed(
+        "object boxing",
+        move |mut frame: DemoFrame| {
+            frame.detections = nms(decoder.decode(&frame.fmap, score_threshold), 0.45);
+            frame
+        },
+    ));
     // Stage N+3: frame drawing.
     stages.push(FnStage::boxed("frame drawing", |mut frame: DemoFrame| {
         draw_detections(&mut frame.image, &frame.detections);
         frame
     }));
 
-    let detections = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let sink_count = std::sync::Arc::clone(&detections);
-    let metrics = Pipeline::new(move || {
+    let collected = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink_frames = std::sync::Arc::clone(&collected);
+    let mut pipeline = Pipeline::new(move || {
         camera.capture().map(|image| DemoFrame {
             image,
             fmap: Tensor::zeros(Shape3::new(1, 1, 1)),
             detections: Vec::new(),
         })
     })
-    .with_stages(stages)
-    .run(
+    .with_stages(stages);
+    if let Some(h) = &health {
+        let probe = h.clone();
+        pipeline = pipeline.with_degradation_probe(move || probe.degraded());
+    }
+    let metrics = pipeline.run(
         move |frame: DemoFrame| {
-            sink_count
-                .fetch_add(frame.detections.len() as u64, std::sync::atomic::Ordering::SeqCst);
+            sink_frames
+                .lock()
+                .expect("sink mutex")
+                .push(frame.detections);
         },
         config.workers,
     );
 
+    let frame_detections = std::mem::take(&mut *collected.lock().expect("sink mutex"));
     Ok(DemoReport {
         metrics,
-        detections: detections.load(std::sync::atomic::Ordering::SeqCst),
+        detections: frame_detections.iter().map(|d| d.len() as u64).sum(),
+        offload: health.map(|h| h.snapshot()).unwrap_or_default(),
+        frame_detections,
     })
 }
 
@@ -140,10 +164,18 @@ mod tests {
     fn small_config(frames: u64, workers: usize) -> DemoConfig {
         DemoConfig {
             frames,
-            system: SystemConfig { input_size: 32, seed: 2, ..Default::default() },
+            system: SystemConfig {
+                input_size: 32,
+                seed: 2,
+                ..Default::default()
+            },
             workers,
             score_threshold: 0.0,
-            scene: SceneConfig { width: 48, height: 36, ..Default::default() },
+            scene: SceneConfig {
+                width: 48,
+                height: 36,
+                ..Default::default()
+            },
         }
     }
 
@@ -180,5 +212,48 @@ mod tests {
         let report = run_demo(&small_config(3, 1)).unwrap();
         assert_eq!(report.metrics.frames, 3);
         assert!(report.metrics.in_order);
+    }
+
+    #[test]
+    fn fault_free_run_reports_no_degradation() {
+        let report = run_demo(&small_config(4, 2)).unwrap();
+        assert_eq!(report.metrics.degraded, 0);
+        assert_eq!(report.offload.faults, 0);
+        assert_eq!(report.offload.fallbacks, 0);
+        assert_eq!(report.offload.forwards, 4);
+        assert_eq!(report.frame_detections.len(), 4);
+        let total: u64 = report.frame_detections.iter().map(|d| d.len() as u64).sum();
+        assert_eq!(total, report.detections);
+    }
+
+    #[test]
+    fn degraded_run_matches_fault_free_run_exactly() {
+        use tincy_finn::FaultPlan;
+        let clean = run_demo(&small_config(6, 4)).unwrap();
+
+        // A mid-run outage longer than the retry budget forces CPU
+        // fallback; detections must not change, frame for frame.
+        let mut config = small_config(6, 4);
+        config.system.fault_plan = FaultPlan::outage(2, 5);
+        let degraded = run_demo(&config).unwrap();
+
+        assert_eq!(degraded.metrics.frames, 6);
+        assert!(degraded.metrics.in_order);
+        assert!(degraded.offload.faults > 0);
+        assert!(
+            degraded.offload.fallbacks > 0,
+            "outage outlasts the retry budget"
+        );
+        assert!(degraded.metrics.degraded > 0);
+        assert_eq!(
+            degraded.frame_detections, clean.frame_detections,
+            "CPU fallback is bit-exact, so detections are identical"
+        );
+
+        // Determinism: the same plan + seed reproduces the same degraded
+        // run byte for byte.
+        let replay = run_demo(&config).unwrap();
+        assert_eq!(replay.frame_detections, degraded.frame_detections);
+        assert_eq!(replay.offload, degraded.offload);
     }
 }

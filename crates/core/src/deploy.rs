@@ -16,8 +16,10 @@
 //! deployed accelerator computes the *same function* up to float rounding
 //! at threshold boundaries — verified end to end in `tests/deployment.rs`.
 
-use tincy_finn::{max_pool_levels, EngineConfig, QnnAccelerator, QnnLayerParams};
-use tincy_nn::NnError;
+use tincy_finn::{
+    max_pool_levels, EngineConfig, FaultInjector, FaultPlan, QnnAccelerator, QnnLayerParams,
+};
+use tincy_nn::{run_with_resilience, NnError, OffloadHealth, RetryPolicy};
 use tincy_quant::{binarize, ThresholdSet, ThresholdsForLayer};
 use tincy_simd::conv_reference;
 use tincy_tensor::{BitTensor, ConvGeom, Mat, PoolGeom, Shape3, Tensor};
@@ -36,8 +38,15 @@ struct CpuConv {
 
 impl CpuConv {
     fn from_export(layer: &ExportedLayer) -> Result<Self, NnError> {
-        let ExportedLayer::Conv { weights, bias, in_shape, geom, act, quant, out_shape: _ } =
-            layer
+        let ExportedLayer::Conv {
+            weights,
+            bias,
+            in_shape,
+            geom,
+            act,
+            quant,
+            out_shape: _,
+        } = layer
         else {
             return Err(NnError::InvalidSpec {
                 what: "expected a convolution at the CPU boundary".to_owned(),
@@ -54,7 +63,13 @@ impl CpuConv {
                 })
             }
         };
-        Ok(Self { weights, bias: bias.clone(), geom: *geom, act: *act, act_step })
+        Ok(Self {
+            weights,
+            bias: bias.clone(),
+            geom: *geom,
+            act: *act,
+            act_step,
+        })
     }
 
     fn forward(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
@@ -87,6 +102,8 @@ pub struct DeployedDetector {
     accel: QnnAccelerator,
     head: CpuConv,
     act_step: f32,
+    retry: RetryPolicy,
+    health: OffloadHealth,
 }
 
 impl DeployedDetector {
@@ -111,8 +128,7 @@ impl DeployedDetector {
             .collect();
         if conv_indices.len() < 3 {
             return Err(NnError::InvalidSpec {
-                what: "deployment needs at least input conv, one hidden conv and a head"
-                    .to_owned(),
+                what: "deployment needs at least input conv, one hidden conv and a head".to_owned(),
             });
         }
         let first = CpuConv::from_export(&exported[conv_indices[0]])?;
@@ -157,7 +173,10 @@ impl DeployedDetector {
                     quant,
                     out_shape: _,
                 } => {
-                    let QuantMode::W1A3 { act_step: layer_step } = quant else {
+                    let QuantMode::W1A3 {
+                        act_step: layer_step,
+                    } = quant
+                    else {
                         return Err(NnError::InvalidSpec {
                             what: format!("hidden conv at index {i} is not [W1A3]"),
                         });
@@ -195,7 +214,32 @@ impl DeployedDetector {
             });
         }
         let accel = QnnAccelerator::new(layers, engine)?;
-        Ok(Self { first, prefix_pools, accel, head, act_step })
+        Ok(Self {
+            first,
+            prefix_pools,
+            accel,
+            head,
+            act_step,
+            retry: RetryPolicy::default(),
+            health: OffloadHealth::new(),
+        })
+    }
+
+    /// Arms deterministic fault injection on the compiled accelerator
+    /// ([`FaultPlan::none`] disarms it).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.accel
+            .set_fault_injector((!plan.is_empty()).then(|| FaultInjector::new(plan)));
+    }
+
+    /// Replaces the retry/fallback policy for accelerator faults.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// A shared handle on the detector's offload health counters.
+    pub fn health(&self) -> OffloadHealth {
+        self.health.clone()
     }
 
     /// Folds one trained `[W1A3]` layer into fabric parameters.
@@ -248,12 +292,20 @@ impl DeployedDetector {
         // is exact.
         let first_out = self.first.forward(image)?;
         let step = self.act_step;
-        let mut levels: Tensor<u8> =
-            first_out.map(|v| (v / step).round().clamp(0.0, 7.0) as u8);
+        let mut levels: Tensor<u8> = first_out.map(|v| (v / step).round().clamp(0.0, 7.0) as u8);
         for pool in &self.prefix_pools {
             levels = max_pool_levels(&levels, *pool);
         }
-        let (hidden_levels, _report) = self.accel.run(&levels)?;
+        // The hidden stack runs under the retry/fallback policy: a faulted
+        // accelerator invocation is retried with bounded backoff and, past
+        // the budget, completed on the bit-exact software reference.
+        let hidden_levels = run_with_resilience(&self.retry, &self.health, |use_reference| {
+            if use_reference {
+                self.accel.reference_run(&levels)
+            } else {
+                self.accel.run(&levels).map(|(out, _report)| out)
+            }
+        })?;
         let hidden_f32 = hidden_levels.map(|l| l as f32 * step);
         self.head.forward(&hidden_f32)
     }
@@ -325,7 +377,10 @@ mod tests {
         // Float-vs-integer threshold boundaries can flip an occasional
         // level; demand near-exact agreement.
         let diff = qat_head.max_abs_diff(&deployed_head);
-        assert!(diff < 0.35, "deployed head diverges from QAT head by {diff}");
+        assert!(
+            diff < 0.35,
+            "deployed head diverges from QAT head by {diff}"
+        );
         let close = qat_head
             .as_slice()
             .iter()
@@ -334,6 +389,37 @@ mod tests {
             .count();
         let frac = close as f32 / qat_head.len() as f32;
         assert!(frac > 0.95, "only {frac:.3} of head values agree");
+    }
+
+    #[test]
+    fn deployed_forward_survives_an_outage_bit_exactly() {
+        let net = TrainNet::new(Shape3::new(3, 32, 32), &qat_specs(), 7).unwrap();
+        let image = Tensor::from_fn(Shape3::new(3, 32, 32), |c, y, x| {
+            ((c * 7 + y * 3 + x) % 16) as f32 / 16.0
+        });
+        let clean = DeployedDetector::compile(&net, EngineConfig::default())
+            .unwrap()
+            .forward(&image)
+            .unwrap();
+
+        let mut faulty = DeployedDetector::compile(&net, EngineConfig::default()).unwrap();
+        faulty.set_fault_plan(FaultPlan::outage(0, 10));
+        faulty.set_retry_policy(RetryPolicy {
+            backoff_base: std::time::Duration::ZERO,
+            ..RetryPolicy::default()
+        });
+        let degraded = faulty.forward(&image).unwrap();
+        assert_eq!(degraded, clean, "CPU fallback output is bit-exact");
+        let stats = faulty.health().snapshot();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.degraded, 1);
+        assert!(stats.faults >= 1);
+
+        // Fail-fast surfaces the fault instead.
+        let mut strict = DeployedDetector::compile(&net, EngineConfig::default()).unwrap();
+        strict.set_fault_plan(FaultPlan::outage(0, 10));
+        strict.set_retry_policy(RetryPolicy::fail_fast());
+        assert!(strict.forward(&image).unwrap_err().is_retryable());
     }
 
     #[test]
@@ -354,7 +440,10 @@ mod tests {
         }
         let net = TrainNet::new(Shape3::new(3, 32, 32), &specs, 1).unwrap();
         let err = DeployedDetector::compile(&net, EngineConfig::default());
-        assert!(err.is_err(), "leaky hidden layers must be rejected (transformation (a))");
+        assert!(
+            err.is_err(),
+            "leaky hidden layers must be rejected (transformation (a))"
+        );
     }
 
     #[test]

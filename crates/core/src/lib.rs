@@ -26,6 +26,6 @@ pub use demo::{run_demo, DemoConfig, DemoReport};
 pub use deploy::DeployedDetector;
 pub use topology::{cnv6, mlp4, tincy_yolo, tincy_yolo_with_input, tiny_yolo, VOC_ANCHORS};
 pub use variants::{
-    quantize_for_fabric, transform_a, transform_bc, transform_d, tiny_yolo_variant_a,
-    tiny_yolo_variant_abc,
+    quantize_for_fabric, tiny_yolo_variant_a, tiny_yolo_variant_abc, transform_a, transform_bc,
+    transform_d,
 };

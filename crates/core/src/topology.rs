@@ -5,8 +5,13 @@ use tincy_quant::PrecisionConfig;
 use tincy_tensor::Shape3;
 
 /// The Tiny YOLO VOC anchor priors, in 13×13-grid cell units.
-pub const VOC_ANCHORS: [(f32, f32); 5] =
-    [(1.08, 1.19), (3.42, 4.41), (6.63, 11.38), (9.42, 5.11), (16.62, 10.52)];
+pub const VOC_ANCHORS: [(f32, f32); 5] = [
+    (1.08, 1.19),
+    (3.42, 4.41),
+    (6.63, 11.38),
+    (9.42, 5.11),
+    (16.62, 10.52),
+];
 
 fn conv(
     filters: usize,
@@ -31,7 +36,11 @@ fn pool(size: usize, stride: usize) -> LayerSpec {
 }
 
 fn region() -> LayerSpec {
-    LayerSpec::Region(RegionSpec { classes: 20, num: 5, anchors: VOC_ANCHORS.to_vec() })
+    LayerSpec::Region(RegionSpec {
+        classes: 20,
+        num: 5,
+        anchors: VOC_ANCHORS.to_vec(),
+    })
 }
 
 /// Tiny YOLO for Pascal VOC (the paper's starting point; Table I left
@@ -73,7 +82,10 @@ pub fn tincy_yolo() -> NetworkSpec {
 ///
 /// Panics if `input` is not a positive multiple of 32.
 pub fn tincy_yolo_with_input(input: usize) -> NetworkSpec {
-    assert!(input > 0 && input % 32 == 0, "input size {input} must be a multiple of 32");
+    assert!(
+        input > 0 && input.is_multiple_of(32),
+        "input size {input} must be a multiple of 32"
+    );
     use Activation::Relu;
     let io = PrecisionConfig::W8A8;
     let hidden = PrecisionConfig::W1A3;

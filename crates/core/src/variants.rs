@@ -51,7 +51,11 @@ pub fn transform_d(mut spec: NetworkSpec) -> NetworkSpec {
             c.stride = 2;
         }
     }
-    if let Some(pos) = spec.layers.iter().position(|l| matches!(l, LayerSpec::MaxPool(_))) {
+    if let Some(pos) = spec
+        .layers
+        .iter()
+        .position(|l| matches!(l, LayerSpec::MaxPool(_)))
+    {
         spec.layers.remove(pos);
     }
     spec
@@ -97,8 +101,7 @@ mod tests {
 
     #[test]
     fn composed_transformations_yield_tincy_yolo() {
-        let derived =
-            quantize_for_fabric(transform_d(transform_bc(transform_a(tiny_yolo()))));
+        let derived = quantize_for_fabric(transform_d(transform_bc(transform_a(tiny_yolo()))));
         assert_eq!(derived, tincy_yolo());
     }
 
@@ -126,8 +129,14 @@ mod tests {
                 })
                 .collect()
         };
-        assert_eq!(filters(&before), vec![16, 32, 64, 128, 256, 512, 1024, 1024, 125]);
-        assert_eq!(filters(&after), vec![16, 64, 64, 128, 256, 512, 512, 512, 125]);
+        assert_eq!(
+            filters(&before),
+            vec![16, 32, 64, 128, 256, 512, 1024, 1024, 125]
+        );
+        assert_eq!(
+            filters(&after),
+            vec![16, 64, 64, 128, 256, 512, 512, 512, 125]
+        );
     }
 
     #[test]
@@ -155,7 +164,10 @@ mod tests {
         // first (already removed) one... it would; guard: it removes the
         // *next* pool. Idempotence therefore only holds for the stride.
         // What we guarantee instead: applying (a) twice is a no-op.
-        assert_eq!(transform_a(transform_a(tiny_yolo())), transform_a(tiny_yolo()));
+        assert_eq!(
+            transform_a(transform_a(tiny_yolo())),
+            transform_a(tiny_yolo())
+        );
         drop(twice);
         assert_eq!(once.output_shape(), tiny_yolo().output_shape());
     }

@@ -29,7 +29,12 @@ impl BBox {
 
     /// Creates a box from corner coordinates.
     pub fn from_corners(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
-        Self { x: (x0 + x1) / 2.0, y: (y0 + y1) / 2.0, w: x1 - x0, h: y1 - y0 }
+        Self {
+            x: (x0 + x1) / 2.0,
+            y: (y0 + y1) / 2.0,
+            w: x1 - x0,
+            h: y1 - y0,
+        }
     }
 
     /// Left edge.

@@ -56,7 +56,11 @@ pub fn average_precision(
         return (0.0, Vec::new());
     }
     let mut dets: Vec<&(usize, Detection)> = detections.iter().collect();
-    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.1.score
+            .partial_cmp(&a.1.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut matched = vec![false; ground_truth.len()];
     let mut curve = Vec::with_capacity(dets.len());
@@ -69,7 +73,7 @@ pub fn average_precision(
                 continue;
             }
             let iou = det.bbox.iou(&gt.bbox);
-            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -169,7 +173,14 @@ pub fn mean_average_precision(
         sum += ap;
         counted += 1;
     }
-    EvalSummary { map: if counted == 0 { 0.0 } else { sum / counted as f32 }, per_class_ap }
+    EvalSummary {
+        map: if counted == 0 {
+            0.0
+        } else {
+            sum / counted as f32
+        },
+        per_class_ap,
+    }
 }
 
 #[cfg(test)]

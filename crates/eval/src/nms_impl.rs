@@ -21,7 +21,11 @@ use crate::Detection;
 /// assert_eq!(kept.len(), 2);
 /// ```
 pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
-    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    detections.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Detection> = Vec::with_capacity(detections.len());
     for det in detections {
         let suppressed = kept
@@ -64,7 +68,10 @@ mod tests {
 
     #[test]
     fn output_sorted_by_score() {
-        let kept = nms(vec![det(0.2, 0, 0.3), det(0.8, 0, 0.9), det(0.5, 1, 0.6)], 0.5);
+        let kept = nms(
+            vec![det(0.2, 0, 0.3), det(0.8, 0, 0.9), det(0.5, 1, 0.6)],
+            0.5,
+        );
         let scores: Vec<f32> = kept.iter().map(|d| d.score).collect();
         assert_eq!(scores, vec![0.9, 0.6, 0.3]);
     }

@@ -9,6 +9,7 @@
 
 use crate::device::FpgaDevice;
 use crate::engine::{ConvEngine, EngineConfig};
+use crate::fault::{result_checksum, FaultInjector, FaultKind};
 use crate::resource::ResourceEstimate;
 use tincy_nn::NnError;
 use tincy_quant::{BinaryDot, ThresholdsForLayer};
@@ -37,7 +38,9 @@ impl QnnLayerParams {
         geom: ConvGeom,
         pool: Option<PoolGeom>,
     ) -> Result<Self, NnError> {
-        geom.validate(in_shape).map_err(|e| NnError::InvalidSpec { what: e.to_string() })?;
+        geom.validate(in_shape).map_err(|e| NnError::InvalidSpec {
+            what: e.to_string(),
+        })?;
         if weights.cols() != geom.dot_length(in_shape.channels) {
             return Err(NnError::InvalidSpec {
                 what: format!(
@@ -56,7 +59,13 @@ impl QnnLayerParams {
                 ),
             });
         }
-        Ok(Self { in_shape, weights, thresholds, geom, pool })
+        Ok(Self {
+            in_shape,
+            weights,
+            thresholds,
+            geom,
+            pool,
+        })
     }
 
     /// Expected input feature-map shape.
@@ -112,14 +121,17 @@ pub struct AccelReport {
     pub layer_cycles: Vec<u64>,
     /// Cycles spent streaming weights between layer invocations.
     pub weight_swap_cycles: u64,
+    /// Cycles spent reloading the bitstream after a configuration loss
+    /// (0 unless a [`FaultKind::BitstreamLost`] preceded this invocation).
+    pub reload_cycles: u64,
     /// Fabric clock the cycles refer to.
     pub clock_hz: u64,
 }
 
 impl AccelReport {
-    /// Total cycles including weight swaps.
+    /// Total cycles including weight swaps and any bitstream reload.
     pub fn total_cycles(&self) -> u64 {
-        self.layer_cycles.iter().sum::<u64>() + self.weight_swap_cycles
+        self.layer_cycles.iter().sum::<u64>() + self.weight_swap_cycles + self.reload_cycles
     }
 
     /// Total wall-clock seconds.
@@ -135,6 +147,8 @@ pub struct QnnAccelerator {
     engine: ConvEngine,
     /// AXI weight-stream width in bits per cycle.
     axi_bits_per_cycle: u64,
+    /// Fault-injection harness; `None` runs the fabric fault-free.
+    injector: Option<FaultInjector>,
 }
 
 impl QnnAccelerator {
@@ -161,7 +175,31 @@ impl QnnAccelerator {
                 });
             }
         }
-        Ok(Self { layers, engine: ConvEngine::new(config)?, axi_bits_per_cycle: 128 })
+        Ok(Self {
+            layers,
+            engine: ConvEngine::new(config)?,
+            axi_bits_per_cycle: 128,
+            injector: None,
+        })
+    }
+
+    /// Attaches a fault-injection harness (builder style). The injector's
+    /// counters are shared through its handle, so re-attaching a clone
+    /// after a rebuild continues the same invocation stream.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches or detaches the fault-injection harness in place.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// The offloaded layers.
@@ -176,15 +214,38 @@ impl QnnAccelerator {
 
     /// Produced output shape (last layer).
     pub fn output_shape(&self) -> Shape3 {
-        self.layers.last().expect("nonempty by construction").out_shape()
+        self.layers
+            .last()
+            .expect("nonempty by construction")
+            .out_shape()
     }
 
     /// Runs the whole hidden stack on one engine, layer by layer.
     ///
+    /// With a fault injector attached, the invocation first draws its fault
+    /// decision: transfer-class faults (DMA timeout, busy fabric, lost
+    /// bitstream) abort before any compute; a corrupted result buffer is
+    /// computed, corrupted on the simulated DMA return path, and *detected*
+    /// by the checksum compare — injected faults never escape as silently
+    /// wrong data. A successful invocation after a bitstream loss pays the
+    /// reload penalty in its report.
+    ///
     /// # Errors
     ///
-    /// Returns [`NnError`] on a shape mismatch.
+    /// Returns [`NnError`] on a shape mismatch or an injected
+    /// (retryable) accelerator fault.
     pub fn run(&self, input: &Tensor<u8>) -> Result<(Tensor<u8>, AccelReport), NnError> {
+        let fault = self.injector.as_ref().and_then(FaultInjector::next_fault);
+        if let Some(
+            kind @ (FaultKind::DmaTimeout | FaultKind::TransientBusy | FaultKind::BitstreamLost),
+        ) = fault
+        {
+            return Err(kind.to_error());
+        }
+        let reload_cycles = self
+            .injector
+            .as_ref()
+            .map_or(0, FaultInjector::take_reload_penalty);
         let mut fmap = input.clone();
         let mut layer_cycles = Vec::with_capacity(self.layers.len());
         let mut swap = 0u64;
@@ -195,9 +256,19 @@ impl QnnAccelerator {
             layer_cycles.push(cycles);
             fmap = out;
         }
+        if fault == Some(FaultKind::CorruptResult) {
+            let injector = self.injector.as_ref().expect("fault implies injector");
+            let expected = result_checksum(fmap.as_slice());
+            let mut wire = fmap.clone();
+            injector.corrupt_in_place(wire.as_mut_slice());
+            if result_checksum(wire.as_slice()) != expected {
+                return Err(FaultKind::CorruptResult.to_error());
+            }
+        }
         let report = AccelReport {
             layer_cycles,
             weight_swap_cycles: swap,
+            reload_cycles,
             clock_hz: self.engine.config().clock_hz,
         };
         Ok((fmap, report))
@@ -222,7 +293,12 @@ impl QnnAccelerator {
     /// plus a weight buffer sized for the *largest* layer.
     pub fn engine_resources(&self) -> ResourceEstimate {
         let config = self.engine.config();
-        let max_bits = self.layers.iter().map(QnnLayerParams::weight_bits).max().unwrap_or(0);
+        let max_bits = self
+            .layers
+            .iter()
+            .map(QnnLayerParams::weight_bits)
+            .max()
+            .unwrap_or(0);
         ResourceEstimate::conv_engine(config.pe, config.simd, max_bits, 8)
     }
 
@@ -317,7 +393,9 @@ mod tests {
     ) -> QnnLayerParams {
         let geom = ConvGeom::same(3, stride);
         let cols = geom.dot_length(in_shape.channels);
-        let signs: Vec<i8> = (0..out_c * cols).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+        let signs: Vec<i8> = (0..out_c * cols)
+            .map(|_| if rng.gen() { 1 } else { -1 })
+            .collect();
         let weights = BitTensor::from_signs(out_c, cols, &signs).unwrap();
         let thresholds = ThresholdsForLayer::new(
             (0..out_c)
@@ -346,7 +424,10 @@ mod tests {
             let input = Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8);
             let (hw, _) = accel.run(&input).unwrap();
             let sw = accel.reference_run(&input).unwrap();
-            assert_eq!(hw, sw, "MVTU path must match the naive integer reference bit-exactly");
+            assert_eq!(
+                hw, sw,
+                "MVTU path must match the naive integer reference bit-exactly"
+            );
         }
     }
 
@@ -371,6 +452,80 @@ mod tests {
         assert_eq!(
             report.total_cycles(),
             report.layer_cycles.iter().sum::<u64>() + report.weight_swap_cycles
+        );
+    }
+
+    #[test]
+    fn injected_outage_fails_then_recovers_bit_exactly() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(104);
+        let accel = two_layer_accel(&mut rng)
+            .with_fault_injector(FaultInjector::new(FaultPlan::outage(0, 2)));
+        let input = Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8);
+        for _ in 0..2 {
+            let err = accel.run(&input).unwrap_err();
+            assert!(
+                err.is_retryable(),
+                "injected faults must be retryable: {err}"
+            );
+        }
+        let (out, _) = accel.run(&input).unwrap();
+        assert_eq!(out, accel.reference_run(&input).unwrap());
+        let stats = accel.fault_injector().unwrap().stats();
+        assert_eq!(
+            (stats.invocations, stats.faults, stats.dma_timeouts),
+            (3, 2, 2)
+        );
+    }
+
+    #[test]
+    fn bitstream_loss_charges_reload_on_next_success() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
+        let mut rng = StdRng::seed_from_u64(105);
+        let plan = FaultPlan {
+            outage: Some(FaultWindow {
+                start: 0,
+                length: 1,
+                kind: FaultKind::BitstreamLost,
+            }),
+            reload_penalty_cycles: 9_999,
+            ..FaultPlan::default()
+        };
+        let accel = two_layer_accel(&mut rng).with_fault_injector(FaultInjector::new(plan));
+        let input = Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8);
+        assert!(accel.run(&input).is_err());
+        let (_, report) = accel.run(&input).unwrap();
+        assert_eq!(report.reload_cycles, 9_999);
+        assert_eq!(
+            report.total_cycles(),
+            report.layer_cycles.iter().sum::<u64>() + report.weight_swap_cycles + 9_999
+        );
+        let (_, report) = accel.run(&input).unwrap();
+        assert_eq!(report.reload_cycles, 0, "reload penalty paid exactly once");
+    }
+
+    #[test]
+    fn corrupt_result_is_detected_never_escapes() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
+        let mut rng = StdRng::seed_from_u64(106);
+        let plan = FaultPlan::default().with_outage(FaultWindow {
+            start: 0,
+            length: 1,
+            kind: FaultKind::CorruptResult,
+        });
+        let accel = two_layer_accel(&mut rng).with_fault_injector(FaultInjector::new(plan));
+        let input = Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8);
+        let err = accel.run(&input).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(
+            err.to_string().contains("checksum"),
+            "corruption is CRC-detected: {err}"
+        );
+        let (out, _) = accel.run(&input).unwrap();
+        assert_eq!(
+            out,
+            accel.reference_run(&input).unwrap(),
+            "clean retry is bit-exact"
         );
     }
 

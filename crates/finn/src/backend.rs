@@ -9,6 +9,7 @@
 
 use crate::accel::{AccelReport, QnnAccelerator, QnnLayerParams};
 use crate::engine::EngineConfig;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use tincy_nn::{
     ConvSpec, NnError, OffloadBackend, OffloadConfig, PoolSpec, WeightsReader, WeightsWriter,
 };
@@ -43,6 +44,9 @@ pub struct FabricBackend {
     params: Vec<FloatParams>,
     accel: Option<QnnAccelerator>,
     last_report: Option<AccelReport>,
+    /// Fault-injection harness; cloned onto every (re)built accelerator so
+    /// its counters and invocation stream survive weight reloads.
+    injector: Option<FaultInjector>,
 }
 
 impl FabricBackend {
@@ -60,7 +64,23 @@ impl FabricBackend {
             params: Vec::new(),
             accel: None,
             last_report: None,
+            injector: None,
         }
+    }
+
+    /// Arms fault injection: every subsequent accelerator invocation draws
+    /// from `plan`'s deterministic schedule. Passing an empty plan
+    /// ([`FaultPlan::none`]) disarms it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = (!plan.is_empty()).then(|| FaultInjector::new(plan));
+        if let Some(accel) = self.accel.as_mut() {
+            accel.set_fault_injector(self.injector.clone());
+        }
+    }
+
+    /// Fault counters, if injection is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// The timing report of the most recent forward pass.
@@ -145,8 +165,8 @@ impl FabricBackend {
             let n = params.weights.len().max(1);
             let alpha = params.weights.iter().map(|w| w.abs()).sum::<f32>() / n as f32;
             let signs = binarize(&params.weights);
-            let weights = BitTensor::from_signs(conv.filters, cols, &signs)
-                .map_err(NnError::Tensor)?;
+            let weights =
+                BitTensor::from_signs(conv.filters, cols, &signs).map_err(NnError::Tensor)?;
             // One accumulator unit is worth α·q_in real units.
             let acc_scale = alpha * self.act_step;
             let mut channel_thresholds = Vec::with_capacity(conv.filters);
@@ -160,12 +180,7 @@ impl FabricBackend {
                 } else {
                     (acc_scale, params.bias[c])
                 };
-                channel_thresholds.push(ThresholdSet::from_affine(
-                    a,
-                    b,
-                    self.act_step,
-                    8,
-                )?);
+                channel_thresholds.push(ThresholdSet::from_affine(a, b, self.act_step, 8)?);
             }
             layers.push(QnnLayerParams::new(
                 in_shape,
@@ -175,7 +190,11 @@ impl FabricBackend {
                 pool.map(|p| p.geom()),
             )?);
         }
-        self.accel = Some(QnnAccelerator::new(layers, self.engine_config)?);
+        let mut accel = QnnAccelerator::new(layers, self.engine_config)?;
+        // Reattach the injector so rebuilds (weight reloads) keep the same
+        // fault schedule position and counters.
+        accel.set_fault_injector(self.injector.clone());
+        self.accel = Some(accel);
         Ok(())
     }
 }
@@ -239,11 +258,20 @@ impl OffloadBackend for FabricBackend {
                     reader.read_f32s(conv.filters)?,
                 )
             } else {
-                (vec![1.0; conv.filters], vec![0.0; conv.filters], vec![1.0; conv.filters])
+                (
+                    vec![1.0; conv.filters],
+                    vec![0.0; conv.filters],
+                    vec![1.0; conv.filters],
+                )
             };
-            let weights =
-                reader.read_f32s(conv.filters * conv.size * conv.size * in_channels)?;
-            params.push(FloatParams { bias, gamma, mean, var, weights });
+            let weights = reader.read_f32s(conv.filters * conv.size * conv.size * in_channels)?;
+            params.push(FloatParams {
+                bias,
+                gamma,
+                mean,
+                var,
+                weights,
+            });
         }
         self.params = params;
         self.build_accelerator()
@@ -267,15 +295,30 @@ impl OffloadBackend for FabricBackend {
             what: "fabric backend used before load_weights".to_owned(),
         })?;
         let step = self.act_step;
-        let quantized: Tensor<u8> =
-            input.map(|v| ((v / step).round().clamp(0.0, 7.0)) as u8);
+        let quantized: Tensor<u8> = input.map(|v| ((v / step).round().clamp(0.0, 7.0)) as u8);
         let (levels, report) = accel.run(&quantized)?;
         self.last_report = Some(report);
         Ok(levels.map(|l| l as f32 * step))
     }
 
+    /// CPU fallback: the golden software reference, which the hardware path
+    /// matches **bit exactly** — so frames completed in degraded mode are
+    /// byte-identical to fault-free frames.
+    fn forward_reference(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        let accel = self.accel.as_ref().ok_or(NnError::InvalidSpec {
+            what: "fabric backend used before load_weights".to_owned(),
+        })?;
+        let step = self.act_step;
+        let quantized: Tensor<u8> = input.map(|v| ((v / step).round().clamp(0.0, 7.0)) as u8);
+        let levels = accel.reference_run(&quantized)?;
+        // No hardware report for a host-side pass; leave the last one.
+        Ok(levels.map(|l| l as f32 * step))
+    }
+
     fn num_params(&self) -> usize {
-        let Some(input) = self.input_shape else { return 0 };
+        let Some(input) = self.input_shape else {
+            return 0;
+        };
         let shapes = self.shapes(input);
         self.hidden
             .iter()
@@ -305,7 +348,10 @@ mod tests {
             batch_normalize: true,
             precision: PrecisionConfig::W1A3,
         };
-        vec![(conv(8), Some(PoolSpec { size: 2, stride: 2 })), (conv(6), None)]
+        vec![
+            (conv(8), Some(PoolSpec { size: 2, stride: 2 })),
+            (conv(6), None),
+        ]
     }
 
     fn config(input: Shape3, output: Shape3) -> OffloadConfig {
@@ -320,13 +366,14 @@ mod tests {
 
     fn loaded_backend() -> FabricBackend {
         let mut backend = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
-        backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        backend
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4)))
+            .unwrap();
         // Deterministic pseudo-random float parameters.
         let count = backend.num_params();
         let values: Vec<f32> = (0..count)
             .map(|i| {
-                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1) >> 33)
-                    as f32
+                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1) >> 33) as f32
                     / (1u64 << 31) as f32;
                 // Keep variances positive by construction below.
                 x - 0.5
@@ -349,15 +396,21 @@ mod tests {
         let mut buf = Vec::new();
         WeightsWriter::new(&mut buf).write_f32s(&fixed).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        backend.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+        backend
+            .load_weights(&mut WeightsReader::new(&mut cursor))
+            .unwrap();
         backend
     }
 
     #[test]
     fn init_validates_geometry() {
         let mut backend = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
-        assert!(backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).is_ok());
-        assert!(backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(5, 4, 4))).is_err());
+        assert!(backend
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4)))
+            .is_ok());
+        assert!(backend
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(5, 4, 4)))
+            .is_err());
     }
 
     #[test]
@@ -365,7 +418,9 @@ mod tests {
         let mut hidden = hidden_spec();
         hidden[0].0.precision = PrecisionConfig::W8A8;
         let mut backend = FabricBackend::new(hidden, EngineConfig::default(), 0.125);
-        assert!(backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).is_err());
+        assert!(backend
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4)))
+            .is_err());
     }
 
     #[test]
@@ -376,12 +431,16 @@ mod tests {
         assert!(backend.forward(&input).is_err());
         // After init the backend self-initializes deterministic parameters
         // (like Darknet's layer init) and is runnable.
-        backend.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        backend
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4)))
+            .unwrap();
         let out = backend.forward(&input).unwrap();
         assert_eq!(out.shape(), Shape3::new(6, 4, 4));
         // Deterministic: a second identical backend agrees.
         let mut other = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
-        other.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        other
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4)))
+            .unwrap();
         assert_eq!(other.forward(&input).unwrap(), out);
     }
 
@@ -405,16 +464,64 @@ mod tests {
     }
 
     #[test]
+    fn reference_forward_matches_hardware_forward() {
+        let mut backend = loaded_backend();
+        let input = Tensor::from_fn(Shape3::new(4, 8, 8), |c, y, x| {
+            ((c + 2 * y + x) % 8) as f32 * 0.125
+        });
+        let hw = backend.forward(&input).unwrap();
+        let sw = backend.forward_reference(&input).unwrap();
+        assert_eq!(hw, sw, "fallback path must be bit-exact with the fabric");
+    }
+
+    #[test]
+    fn fault_plan_survives_weight_reload() {
+        use crate::fault::FaultPlan;
+        let mut backend = loaded_backend();
+        backend.set_fault_plan(FaultPlan::outage(0, 1));
+        let input = Tensor::filled(Shape3::new(4, 8, 8), 0.25f32);
+        assert!(
+            backend.forward(&input).is_err(),
+            "invocation 0 is inside the outage"
+        );
+
+        // Reload weights (rebuilds the accelerator) — the injector keeps
+        // its position, so invocation 1 is past the outage and succeeds.
+        let mut buf = Vec::new();
+        backend
+            .write_weights(&mut WeightsWriter::new(&mut buf))
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        backend
+            .load_weights(&mut WeightsReader::new(&mut cursor))
+            .unwrap();
+        assert!(backend.forward(&input).is_ok());
+        let stats = backend.fault_stats().unwrap();
+        assert_eq!((stats.invocations, stats.faults), (2, 1));
+
+        // Disarming clears injection entirely.
+        backend.set_fault_plan(FaultPlan::none());
+        assert!(backend.fault_stats().is_none());
+        assert!(backend.forward(&input).is_ok());
+    }
+
+    #[test]
     fn weight_stream_round_trip() {
         let backend = loaded_backend();
         let mut buf = Vec::new();
-        backend.write_weights(&mut WeightsWriter::new(&mut buf)).unwrap();
+        backend
+            .write_weights(&mut WeightsWriter::new(&mut buf))
+            .unwrap();
         assert_eq!(buf.len(), backend.num_params() * 4);
 
         let mut other = FabricBackend::new(hidden_spec(), EngineConfig::default(), 0.125);
-        other.init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4))).unwrap();
+        other
+            .init(&config(Shape3::new(4, 8, 8), Shape3::new(6, 4, 4)))
+            .unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        other.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+        other
+            .load_weights(&mut WeightsReader::new(&mut cursor))
+            .unwrap();
 
         let input = Tensor::from_fn(Shape3::new(4, 8, 8), |c, y, x| {
             ((c * 2 + y + x) % 8) as f32 * 0.125

@@ -20,12 +20,20 @@ pub struct FpgaDevice {
 
 impl FpgaDevice {
     /// The Zynq UltraScale+ XCZU3EG (Ultra96-class) fabric.
-    pub const XCZU3EG: Self =
-        Self { name: "XCZU3EG", luts: 70_560, bram36: 216, dsps: 360 };
+    pub const XCZU3EG: Self = Self {
+        name: "XCZU3EG",
+        luts: 70_560,
+        bram36: 216,
+        dsps: 360,
+    };
 
     /// A mid-range Zynq UltraScale+ (ZU7EV-class) for comparison.
-    pub const XCZU7EV: Self =
-        Self { name: "XCZU7EV", luts: 230_400, bram36: 312, dsps: 1_728 };
+    pub const XCZU7EV: Self = Self {
+        name: "XCZU7EV",
+        luts: 230_400,
+        bram36: 312,
+        dsps: 1_728,
+    };
 
     /// Whether an estimate fits within this device (with a utilization
     /// ceiling — full occupation never routes).
@@ -38,6 +46,20 @@ impl FpgaDevice {
         (estimate.luts as f64) <= self.luts as f64 * ceiling
             && (estimate.bram36 as f64) <= self.bram36 as f64 * ceiling
             && (estimate.dsps as f64) <= self.dsps as f64 * ceiling
+    }
+
+    /// Configuration-bitstream size in bits, approximated from the fabric
+    /// size (UltraScale+ frames hold config for roughly 100 bits/LUT of
+    /// fabric state; the XCZU3EG bitstream is ~5.6 MiB).
+    pub fn bitstream_bits(&self) -> u64 {
+        self.luts * 640
+    }
+
+    /// Cycles to stream the full bitstream back into the PL over a
+    /// `bits_per_cycle`-wide configuration port — the cost a running system
+    /// pays when the fabric loses its configuration and must be reloaded.
+    pub fn bitstream_reload_cycles(&self, bits_per_cycle: u64) -> u64 {
+        self.bitstream_bits().div_ceil(bits_per_cycle.max(1))
     }
 
     /// Utilization fractions `(lut, bram, dsp)` of an estimate.
@@ -57,9 +79,17 @@ mod tests {
     #[test]
     fn fits_respects_ceiling() {
         let dev = FpgaDevice::XCZU3EG;
-        let small = ResourceEstimate { luts: 10_000, bram36: 50, dsps: 0 };
+        let small = ResourceEstimate {
+            luts: 10_000,
+            bram36: 50,
+            dsps: 0,
+        };
         assert!(dev.fits(&small));
-        let lut_heavy = ResourceEstimate { luts: 69_000, bram36: 10, dsps: 0 };
+        let lut_heavy = ResourceEstimate {
+            luts: 69_000,
+            bram36: 10,
+            dsps: 0,
+        };
         assert!(!dev.fits(&lut_heavy)); // above the 90% ceiling
         assert!(dev.fits_with_utilization(&lut_heavy, 1.0));
     }
@@ -67,14 +97,22 @@ mod tests {
     #[test]
     fn bram_bound_detected() {
         let dev = FpgaDevice::XCZU3EG;
-        let bram_heavy = ResourceEstimate { luts: 1_000, bram36: 217, dsps: 0 };
+        let bram_heavy = ResourceEstimate {
+            luts: 1_000,
+            bram36: 217,
+            dsps: 0,
+        };
         assert!(!dev.fits(&bram_heavy));
     }
 
     #[test]
     fn utilization_fractions() {
         let dev = FpgaDevice::XCZU3EG;
-        let est = ResourceEstimate { luts: 35_280, bram36: 108, dsps: 180 };
+        let est = ResourceEstimate {
+            luts: 35_280,
+            bram36: 108,
+            dsps: 180,
+        };
         let (l, b, d) = dev.utilization(&est);
         assert!((l - 0.5).abs() < 1e-9);
         assert!((b - 0.5).abs() < 1e-9);
@@ -82,8 +120,23 @@ mod tests {
     }
 
     #[test]
+    fn reload_cycles_scale_with_port_width() {
+        let dev = FpgaDevice::XCZU3EG;
+        let narrow = dev.bitstream_reload_cycles(32);
+        let wide = dev.bitstream_reload_cycles(128);
+        assert!(narrow > wide);
+        assert_eq!(narrow, dev.bitstream_bits().div_ceil(32));
+        // Zero width must not divide by zero.
+        assert_eq!(dev.bitstream_reload_cycles(0), dev.bitstream_bits());
+    }
+
+    #[test]
     fn bigger_device_fits_more() {
-        let est = ResourceEstimate { luts: 100_000, bram36: 250, dsps: 0 };
+        let est = ResourceEstimate {
+            luts: 100_000,
+            bram36: 250,
+            dsps: 0,
+        };
         assert!(!FpgaDevice::XCZU3EG.fits(&est));
         assert!(FpgaDevice::XCZU7EV.fits(&est));
     }

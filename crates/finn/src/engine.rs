@@ -29,7 +29,12 @@ impl Default for EngineConfig {
     fn default() -> Self {
         // 16x16 at 300 MHz: 256 binary MACs/cycle, the operating point that
         // reproduces the paper's 30 ms hidden-layer budget.
-        Self { pe: 16, simd: 16, clock_hz: 300_000_000, pipeline_latency: 256 }
+        Self {
+            pe: 16,
+            simd: 16,
+            clock_hz: 300_000_000,
+            pipeline_latency: 256,
+        }
     }
 }
 
@@ -83,8 +88,7 @@ impl ConvEngine {
             self.config.pe,
             self.config.simd,
         )?;
-        let conv_shape =
-            Shape3::new(mvtu.out_channels(), swu.out_height(), swu.out_width());
+        let conv_shape = Shape3::new(mvtu.out_channels(), swu.out_height(), swu.out_width());
         let mut conv_out = Tensor::zeros(conv_shape);
         for oy in 0..swu.out_height() {
             for ox in 0..swu.out_width() {
@@ -94,8 +98,8 @@ impl ConvEngine {
                 }
             }
         }
-        let cycles = conv_shape.spatial() as u64 * mvtu.cycles_per_vector()
-            + self.config.pipeline_latency;
+        let cycles =
+            conv_shape.spatial() as u64 * mvtu.cycles_per_vector() + self.config.pipeline_latency;
         let out = match params.pool() {
             // The in-stream pool unit adds no cycles: it consumes the MVTU
             // output stream at line rate.
@@ -121,8 +125,8 @@ pub fn conv_layer_cycles(
     config: EngineConfig,
 ) -> u64 {
     let out = geom.output_shape(in_shape, out_channels);
-    let fold = geom.dot_length(in_shape.channels).div_ceil(config.simd)
-        * out_channels.div_ceil(config.pe);
+    let fold =
+        geom.dot_length(in_shape.channels).div_ceil(config.simd) * out_channels.div_ceil(config.pe);
     out.spatial() as u64 * fold as u64 + config.pipeline_latency
 }
 
@@ -167,7 +171,9 @@ mod tests {
         pool: Option<PoolGeom>,
     ) -> QnnLayerParams {
         let cols = geom.dot_length(in_shape.channels);
-        let signs: Vec<i8> = (0..out_c * cols).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+        let signs: Vec<i8> = (0..out_c * cols)
+            .map(|_| if rng.gen() { 1 } else { -1 })
+            .collect();
         let weights = BitTensor::from_signs(out_c, cols, &signs).unwrap();
         let thresholds = ThresholdsForLayer::new(
             (0..out_c)
@@ -217,10 +223,18 @@ mod tests {
         let in_shape = Shape3::new(16, 8, 8);
         let params = layer_params(&mut rng, in_shape, 32, ConvGeom::same(3, 1), None);
         let input = Tensor::from_fn(in_shape, |_, _, _| rng.gen_range(0..8) as u8);
-        let fast = ConvEngine::new(EngineConfig { pe: 32, simd: 16, ..Default::default() })
-            .unwrap();
-        let slow =
-            ConvEngine::new(EngineConfig { pe: 8, simd: 4, ..Default::default() }).unwrap();
+        let fast = ConvEngine::new(EngineConfig {
+            pe: 32,
+            simd: 16,
+            ..Default::default()
+        })
+        .unwrap();
+        let slow = ConvEngine::new(EngineConfig {
+            pe: 8,
+            simd: 4,
+            ..Default::default()
+        })
+        .unwrap();
         let (out_fast, cycles_fast) = fast.run_layer(&params, &input).unwrap();
         let (out_slow, cycles_slow) = slow.run_layer(&params, &input).unwrap();
         // Folding changes time, never results.
@@ -231,8 +245,13 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let mut rng = StdRng::seed_from_u64(12);
-        let params =
-            layer_params(&mut rng, Shape3::new(4, 6, 6), 8, ConvGeom::same(3, 1), None);
+        let params = layer_params(
+            &mut rng,
+            Shape3::new(4, 6, 6),
+            8,
+            ConvGeom::same(3, 1),
+            None,
+        );
         let engine = ConvEngine::new(EngineConfig::default()).unwrap();
         let wrong = Tensor::<u8>::zeros(Shape3::new(4, 7, 7));
         assert!(engine.run_layer(&params, &wrong).is_err());

@@ -18,6 +18,9 @@
 //! * [`engine`] — one generalized conv(+pool) engine with a cycle model.
 //! * [`accel`] — the layer-at-a-time accelerator executing a whole hidden
 //!   stack on one engine, including weight-swap traffic.
+//! * [`fault`] — deterministic fault injection for the offload boundary
+//!   (DMA timeouts, busy fabric, corrupted result buffers, bitstream
+//!   loss), driving the host-side retry/fallback machinery.
 //! * [`resource`] / [`device`] — LUT/BRAM/DSP estimates and the XCZU3EG
 //!   budget, reproducing the §III-A feasibility argument.
 //! * [`backend`] — the `library=fabric.so` offload backend plugging the
@@ -27,6 +30,7 @@ pub mod accel;
 pub mod backend;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod mvtu;
 pub mod resource;
 pub mod sliding;
@@ -35,6 +39,7 @@ pub use accel::{AccelReport, QnnAccelerator, QnnLayerParams};
 pub use backend::{FabricBackend, FABRIC_LIBRARY};
 pub use device::FpgaDevice;
 pub use engine::{conv_layer_cycles, max_pool_levels, ConvEngine, EngineConfig};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow};
 pub use mvtu::Mvtu;
 pub use resource::ResourceEstimate;
 pub use sliding::SlidingWindow;

@@ -48,7 +48,12 @@ impl Mvtu {
                 what: "PE and SIMD folding must be nonzero".to_owned(),
             });
         }
-        Ok(Self { weights, thresholds, pe, simd })
+        Ok(Self {
+            weights,
+            thresholds,
+            pe,
+            simd,
+        })
     }
 
     /// Output channels (weight matrix rows).
@@ -84,7 +89,11 @@ impl Mvtu {
     /// Panics if the activation vector length differs from
     /// [`Mvtu::dot_length`].
     pub fn accumulate(&self, channel: usize, activations: &U3Tensor) -> i32 {
-        assert_eq!(activations.len(), self.dot_length(), "activation vector length mismatch");
+        assert_eq!(
+            activations.len(),
+            self.dot_length(),
+            "activation vector length mismatch"
+        );
         let w = self.weights.row_words(channel);
         (0..3)
             .map(|p| (1 << p) * xnor_popcount_dot(w, activations.plane_words(p)))
@@ -123,11 +132,13 @@ mod tests {
     use tincy_quant::{BinaryDot, ThresholdSet};
 
     fn random_mvtu(rng: &mut StdRng, rows: usize, cols: usize) -> Mvtu {
-        let signs: Vec<i8> = (0..rows * cols).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+        let signs: Vec<i8> = (0..rows * cols)
+            .map(|_| if rng.gen() { 1 } else { -1 })
+            .collect();
         let weights = BitTensor::from_signs(rows, cols, &signs).unwrap();
         let thresholds = ThresholdsForLayer::new(
             (0..rows)
-                .map(|c| {
+                .map(|_| {
                     let base = rng.gen_range(-20i32..0);
                     let step = rng.gen_range(1i32..6);
                     ThresholdSet::new((0..7).map(|k| base + k * step).collect()).unwrap()
@@ -160,11 +171,11 @@ mod tests {
     fn process_applies_thresholds() {
         // Single weight row of +1s with thresholds at 0, 10, 20, ...
         let weights = BitTensor::from_signs(1, 4, &[1, 1, 1, 1]).unwrap();
-        let thresholds = ThresholdsForLayer::new(vec![ThresholdSet::new(
-            (0..7).map(|k| k * 10).collect(),
-        )
-        .unwrap()])
-        .unwrap();
+        let thresholds =
+            ThresholdsForLayer::new(vec![
+                ThresholdSet::new((0..7).map(|k| k * 10).collect()).unwrap()
+            ])
+            .unwrap();
         let mvtu = Mvtu::new(weights, thresholds, 1, 1).unwrap();
         // acc = 7+7+7+7 = 28 -> passes thresholds 0, 10, 20 -> level 3.
         let acts = U3Tensor::from_values(&[7, 7, 7, 7]).unwrap();
@@ -185,8 +196,7 @@ mod tests {
     #[test]
     fn validation() {
         let weights = BitTensor::zeros(2, 9);
-        let one_channel =
-            ThresholdsForLayer::new(vec![ThresholdSet::binary()]).unwrap();
+        let one_channel = ThresholdsForLayer::new(vec![ThresholdSet::binary()]).unwrap();
         assert!(Mvtu::new(weights.clone(), one_channel, 1, 1).is_err());
         let two = ThresholdsForLayer::new(vec![ThresholdSet::binary(); 2]).unwrap();
         assert!(Mvtu::new(weights.clone(), two.clone(), 0, 1).is_err());

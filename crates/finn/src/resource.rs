@@ -81,14 +81,32 @@ mod tests {
         // One 16x16 engine holding the largest hidden layer
         // (512x512x3x3 = 2,359,296 weight bits, double buffered).
         let est = ResourceEstimate::conv_engine(16, 16, 2_359_296, 8);
-        assert!(FpgaDevice::XCZU3EG.fits(&est), "single engine must fit: {est:?}");
+        assert!(
+            FpgaDevice::XCZU3EG.fits(&est),
+            "single engine must fit: {est:?}"
+        );
     }
 
     #[test]
     fn addition_accumulates() {
-        let a = ResourceEstimate { luts: 1, bram36: 2, dsps: 3 };
-        let b = ResourceEstimate { luts: 10, bram36: 20, dsps: 30 };
-        assert_eq!(a + b, ResourceEstimate { luts: 11, bram36: 22, dsps: 33 });
+        let a = ResourceEstimate {
+            luts: 1,
+            bram36: 2,
+            dsps: 3,
+        };
+        let b = ResourceEstimate {
+            luts: 10,
+            bram36: 20,
+            dsps: 30,
+        };
+        assert_eq!(
+            a + b,
+            ResourceEstimate {
+                luts: 11,
+                bram36: 22,
+                dsps: 33
+            }
+        );
     }
 
     #[test]

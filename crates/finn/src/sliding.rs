@@ -27,7 +27,9 @@ impl SlidingWindow {
     /// Returns [`NnError::InvalidSpec`] if the geometry does not fit the
     /// input shape.
     pub fn new(shape: Shape3, geom: ConvGeom) -> Result<Self, NnError> {
-        geom.validate(shape).map_err(|e| NnError::InvalidSpec { what: e.to_string() })?;
+        geom.validate(shape).map_err(|e| NnError::InvalidSpec {
+            what: e.to_string(),
+        })?;
         Ok(Self {
             shape,
             geom,
@@ -62,7 +64,10 @@ impl SlidingWindow {
     /// disagrees with the construction shape.
     pub fn footprint(&self, fmap: &Tensor<u8>, oy: usize, ox: usize) -> U3Tensor {
         assert_eq!(fmap.shape(), self.shape, "feature map shape mismatch");
-        assert!(oy < self.out_h && ox < self.out_w, "output pixel out of range");
+        assert!(
+            oy < self.out_h && ox < self.out_w,
+            "output pixel out of range"
+        );
         let mut out = U3Tensor::zeros(self.vector_len());
         let mut i = 0;
         for c in 0..self.shape.channels {
@@ -93,7 +98,9 @@ mod tests {
     use super::*;
 
     fn fmap() -> Tensor<u8> {
-        Tensor::from_fn(Shape3::new(2, 4, 4), |c, y, x| ((c * 3 + y * 2 + x) % 8) as u8)
+        Tensor::from_fn(Shape3::new(2, 4, 4), |c, y, x| {
+            ((c * 3 + y * 2 + x) % 8) as u8
+        })
     }
 
     #[test]

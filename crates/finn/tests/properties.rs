@@ -46,7 +46,9 @@ fn layer_case() -> impl Strategy<Value = LayerCase> {
 fn lcg(seed: u64) -> impl FnMut() -> u64 {
     let mut state = seed | 1;
     move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     }
 }
@@ -55,8 +57,9 @@ fn build_layer(case: &LayerCase) -> QnnLayerParams {
     let geom = ConvGeom::same(3, case.stride);
     let cols = geom.dot_length(case.in_shape.channels);
     let mut rng = lcg(case.weight_seed);
-    let signs: Vec<i8> =
-        (0..case.out_channels * cols).map(|_| if rng() & 1 == 0 { 1 } else { -1 }).collect();
+    let signs: Vec<i8> = (0..case.out_channels * cols)
+        .map(|_| if rng() & 1 == 0 { 1 } else { -1 })
+        .collect();
     let weights = BitTensor::from_signs(case.out_channels, cols, &signs).expect("dims");
     let thresholds = ThresholdsForLayer::new(
         (0..case.out_channels)

@@ -41,7 +41,11 @@ impl BatchNorm {
     /// Panics if the tensor's channel count differs from the parameter
     /// length.
     pub fn apply(&self, x: &mut Tensor<f32>) {
-        assert_eq!(x.shape().channels, self.channels(), "channel count mismatch");
+        assert_eq!(
+            x.shape().channels,
+            self.channels(),
+            "channel count mismatch"
+        );
         let spatial = x.shape().spatial();
         for c in 0..self.channels() {
             let scale = self.gamma[c] / (self.var[c] + self.eps).sqrt();
@@ -70,7 +74,11 @@ impl BatchNorm {
     /// Panics if slice lengths disagree with the channel count.
     pub fn fold_into(&self, weights: &mut [f32], bias: &mut [f32], weights_per_channel: usize) {
         assert_eq!(bias.len(), self.channels(), "bias length mismatch");
-        assert_eq!(weights.len(), self.channels() * weights_per_channel, "weight length mismatch");
+        assert_eq!(
+            weights.len(),
+            self.channels() * weights_per_channel,
+            "weight length mismatch"
+        );
         for c in 0..self.channels() {
             let scale = self.gamma[c] / (self.var[c] + self.eps).sqrt();
             for w in &mut weights[c * weights_per_channel..(c + 1) * weights_per_channel] {

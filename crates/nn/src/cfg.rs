@@ -43,7 +43,10 @@ struct Section {
 
 impl Section {
     fn get(&self, key: &str) -> Option<&str> {
-        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, v, _)| v.as_str())
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v.as_str())
     }
 
     fn parse_usize(&self, key: &str, default: Option<usize>) -> Result<usize, NnError> {
@@ -90,7 +93,11 @@ fn split_sections(text: &str) -> Result<Vec<Section>, NnError> {
                 line: line_no,
                 what: format!("malformed section header {line:?}"),
             })?;
-            sections.push(Section { name: name.to_owned(), line: line_no, entries: Vec::new() });
+            sections.push(Section {
+                name: name.to_owned(),
+                line: line_no,
+                entries: Vec::new(),
+            });
         } else {
             let (key, value) = line.split_once('=').ok_or(NnError::Parse {
                 line: line_no,
@@ -100,7 +107,9 @@ fn split_sections(text: &str) -> Result<Vec<Section>, NnError> {
                 line: line_no,
                 what: "key=value before any section header".to_owned(),
             })?;
-            section.entries.push((key.trim().to_owned(), value.trim().to_owned(), line_no));
+            section
+                .entries
+                .push((key.trim().to_owned(), value.trim().to_owned(), line_no));
         }
     }
     Ok(sections)
@@ -160,8 +169,11 @@ fn parse_conv(section: &Section) -> Result<ConvSpec, NnError> {
 
 fn parse_anchors(section: &Section) -> Result<Vec<(f32, f32)>, NnError> {
     let raw = section.get("anchors").unwrap_or("");
-    let values: Result<Vec<f32>, _> =
-        raw.split(',').filter(|s| !s.trim().is_empty()).map(|s| s.trim().parse()).collect();
+    let values: Result<Vec<f32>, _> = raw
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse())
+        .collect();
     let values = values.map_err(|_| NnError::Parse {
         line: section.line,
         what: format!("anchors must be a comma-separated float list, got {raw:?}"),
@@ -183,10 +195,13 @@ fn parse_anchors(section: &Section) -> Result<Vec<(f32, f32)>, NnError> {
 /// [`NnError::InvalidSpec`] if the parsed network is inconsistent.
 pub fn parse_cfg(text: &str) -> Result<NetworkSpec, NnError> {
     let sections = split_sections(text)?;
-    let net = sections.first().filter(|s| s.name == "net").ok_or(NnError::Parse {
-        line: 1,
-        what: "configuration must start with a [net] section".to_owned(),
-    })?;
+    let net = sections
+        .first()
+        .filter(|s| s.name == "net")
+        .ok_or(NnError::Parse {
+            line: 1,
+            what: "configuration must start with a [net] section".to_owned(),
+        })?;
     let input = Shape3::new(
         net.parse_usize("channels", None)?,
         net.parse_usize("height", None)?,
@@ -417,7 +432,8 @@ anchors=1.0,1.0, 2.0,2.0, 0.5,0.5
 
     #[test]
     fn odd_anchor_count_rejected() {
-        let cfg = "[net]\nchannels=18\nheight=4\nwidth=4\n[region]\nclasses=1\nnum=3\nanchors=1,2,3";
+        let cfg =
+            "[net]\nchannels=18\nheight=4\nwidth=4\n[region]\nclasses=1\nnum=3\nanchors=1,2,3";
         assert!(parse_cfg(cfg).is_err());
     }
 }

@@ -78,13 +78,18 @@ impl ConvLayer {
     /// input.
     pub fn new(in_shape: Shape3, spec: &ConvSpec, rng: &mut StdRng) -> Result<Self, NnError> {
         let geom = spec.geom();
-        geom.validate(in_shape).map_err(|e| NnError::InvalidSpec { what: e.to_string() })?;
+        geom.validate(in_shape).map_err(|e| NnError::InvalidSpec {
+            what: e.to_string(),
+        })?;
         let fan_in = geom.dot_length(in_shape.channels);
         let std = (2.0 / fan_in as f32).sqrt();
-        let weights =
-            Mat::from_fn(spec.filters, fan_in, |_, _| rng.gen_range(-1.0f32..1.0) * std);
+        let weights = Mat::from_fn(spec.filters, fan_in, |_, _| {
+            rng.gen_range(-1.0f32..1.0) * std
+        });
         let bias = vec![0.0; spec.filters];
-        let batchnorm = spec.batch_normalize.then(|| BatchNorm::identity(spec.filters));
+        let batchnorm = spec
+            .batch_normalize
+            .then(|| BatchNorm::identity(spec.filters));
         Ok(Self {
             in_shape,
             out_shape: geom.output_shape(in_shape, spec.filters),
@@ -200,7 +205,9 @@ impl ConvLayer {
                 .fold(0.0f32, |m, &w| m.max(w.abs()))
                 .max(f32::MIN_POSITIVE);
             let scale = max_abs / 127.0;
-            let q = self.weights.map(|w| (w / scale).round().clamp(-127.0, 127.0) as i8);
+            let q = self
+                .weights
+                .map(|w| (w / scale).round().clamp(-127.0, 127.0) as i8);
             self.lowp_cache = Some((q, scale));
         }
         self.lowp_cache.clone().expect("cache populated above")
@@ -210,8 +217,7 @@ impl ConvLayer {
         if self.binary_cache.is_none() {
             // Per-layer mean-absolute scale α (XNOR-Net style).
             let n = self.weights.as_slice().len().max(1);
-            let alpha =
-                self.weights.as_slice().iter().map(|w| w.abs()).sum::<f32>() / n as f32;
+            let alpha = self.weights.as_slice().iter().map(|w| w.abs()).sum::<f32>() / n as f32;
             let signs = binarize(self.weights.as_slice());
             let binarized = Mat::from_vec(
                 self.weights.rows(),
@@ -239,14 +245,19 @@ impl ConvLayer {
             }
             ConvCompute::BinaryRef => {
                 let bw = self.binary_weights();
-                Ok(convolve(ConvAlgo::Im2colGemm, input, &bw, &self.bias, self.geom)?)
+                Ok(convolve(
+                    ConvAlgo::Im2colGemm,
+                    input,
+                    &bw,
+                    &self.bias,
+                    self.geom,
+                )?)
             }
             ConvCompute::Lowp { slice_width } => {
                 let (wq, w_scale) = self.lowp_weights();
                 let q = AffineQuant::fit_data(input.as_slice())?;
                 let input_q = input.map(|v| q.quantize(v));
-                let acc =
-                    fused_conv_lowp(&input_q, &wq, q.zero_point(), self.geom, slice_width)?;
+                let acc = fused_conv_lowp(&input_q, &wq, q.zero_point(), self.geom, slice_width)?;
                 let spatial = self.out_shape.spatial();
                 let scale = w_scale * q.scale();
                 let mut out = acc.map(|v| v as f32 * scale);
@@ -360,23 +371,29 @@ mod tests {
     fn float_forward_shape_and_relu() {
         let mut rng = StdRng::seed_from_u64(1);
         let shape = Shape3::new(3, 8, 8);
-        let mut layer = ConvLayer::new(shape, &spec(16, 3, 2, PrecisionConfig::FLOAT), &mut rng)
-            .unwrap();
+        let mut layer =
+            ConvLayer::new(shape, &spec(16, 3, 2, PrecisionConfig::FLOAT), &mut rng).unwrap();
         let out = layer.forward(&input(&mut rng, shape)).unwrap();
         assert_eq!(out.shape(), Shape3::new(16, 4, 4));
-        assert!(out.as_slice().iter().all(|&v| v >= 0.0), "relu output must be nonnegative");
+        assert!(
+            out.as_slice().iter().all(|&v| v >= 0.0),
+            "relu output must be nonnegative"
+        );
     }
 
     #[test]
     fn all_first_layer_paths_agree_with_generic() {
         let mut rng = StdRng::seed_from_u64(2);
         let shape = Shape3::new(3, 10, 10);
-        let mut layer = ConvLayer::new(shape, &spec(16, 3, 2, PrecisionConfig::FLOAT), &mut rng)
-            .unwrap();
+        let mut layer =
+            ConvLayer::new(shape, &spec(16, 3, 2, PrecisionConfig::FLOAT), &mut rng).unwrap();
         let x = input(&mut rng, shape);
         let reference = layer.forward(&x).unwrap();
         for (compute, tol) in [
-            (ConvCompute::Float(ConvAlgo::FusedF32 { slice_width: 4 }), 1e-4),
+            (
+                ConvCompute::Float(ConvAlgo::FusedF32 { slice_width: 4 }),
+                1e-4,
+            ),
             (ConvCompute::FirstLayerF32, 1e-4),
             (ConvCompute::Lowp { slice_width: 8 }, 0.1),
             (ConvCompute::FirstLayerI32, 0.1),
@@ -425,13 +442,17 @@ mod tests {
         let before = layer.forward(&x).unwrap();
 
         let mut buf = Vec::new();
-        layer.write_weights(&mut WeightsWriter::new(&mut buf)).unwrap();
+        layer
+            .write_weights(&mut WeightsWriter::new(&mut buf))
+            .unwrap();
         assert_eq!(buf.len(), layer.num_params() * 4);
 
         let mut other =
             ConvLayer::new(shape, &spec(4, 3, 1, PrecisionConfig::FLOAT), &mut rng).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        other.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+        other
+            .load_weights(&mut WeightsReader::new(&mut cursor))
+            .unwrap();
         let after = other.forward(&x).unwrap();
         assert!(before.max_abs_diff(&after) < 1e-6);
     }
@@ -481,7 +502,11 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(layer.set_parameters(Mat::zeros(2, 5), vec![0.0; 2]).is_err());
-        assert!(layer.set_parameters(Mat::zeros(2, 27), vec![0.0; 2]).is_ok());
+        assert!(layer
+            .set_parameters(Mat::zeros(2, 5), vec![0.0; 2])
+            .is_err());
+        assert!(layer
+            .set_parameters(Mat::zeros(2, 27), vec![0.0; 2])
+            .is_ok());
     }
 }

@@ -40,6 +40,29 @@ pub enum NnError {
         /// Human-readable description.
         what: String,
     },
+    /// An accelerator fault (injected or real) interrupted an offloaded
+    /// forward pass.
+    Accel {
+        /// Human-readable description of the fault.
+        what: String,
+        /// Whether the operation may succeed if simply retried (transient
+        /// faults) as opposed to a persistent hardware condition.
+        retryable: bool,
+    },
+}
+
+impl NnError {
+    /// Whether this error represents a transient accelerator fault worth
+    /// retrying (the retry/backoff policy consults this).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NnError::Accel {
+                retryable: true,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for NnError {
@@ -59,6 +82,14 @@ impl fmt::Display for NnError {
                 write!(f, "weight stream exhausted while loading layer {layer}")
             }
             NnError::InvalidSpec { what } => write!(f, "invalid network spec: {what}"),
+            NnError::Accel { what, retryable } => {
+                let class = if *retryable {
+                    "transient"
+                } else {
+                    "persistent"
+                };
+                write!(f, "accelerator fault ({class}): {what}")
+            }
         }
     }
 }

@@ -63,6 +63,13 @@ pub trait Layer: Send {
     /// Operations per frame with the paper's accounting.
     fn ops_per_frame(&self) -> u64;
 
+    /// Downcasting hook to the offload layer, so integrations holding
+    /// `Box<dyn Layer>` stacks can configure retry policies and observe
+    /// offload health. `None` for every other layer kind.
+    fn as_offload_mut(&mut self) -> Option<&mut crate::offload::OffloadLayer> {
+        None
+    }
+
     /// Validates an incoming feature map against [`Layer::input_shape`].
     ///
     /// # Errors
@@ -112,7 +119,10 @@ mod tests {
         let ok = Tensor::<f32>::zeros(Shape3::new(1, 2, 2));
         assert!(layer.forward(&ok).is_ok());
         let bad = Tensor::<f32>::zeros(Shape3::new(2, 2, 2));
-        assert!(matches!(layer.forward(&bad), Err(NnError::ShapeMismatch { .. })));
+        assert!(matches!(
+            layer.forward(&bad),
+            Err(NnError::ShapeMismatch { .. })
+        ));
         assert_eq!(layer.num_params(), 0);
     }
 }

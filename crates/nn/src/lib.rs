@@ -42,7 +42,10 @@ pub use error::NnError;
 pub use layer::Layer;
 pub use maxpool::MaxPoolLayer;
 pub use network::Network;
-pub use offload::{BackendRegistry, OffloadBackend, OffloadConfig, OffloadLayer};
+pub use offload::{
+    run_with_resilience, BackendRegistry, OffloadBackend, OffloadConfig, OffloadHealth,
+    OffloadLayer, OffloadStats, RetryPolicy,
+};
 pub use region::{RegionLayer, RegionParams};
 pub use spec::{ConvSpec, LayerSpec, NetworkSpec, OffloadSpec, PoolSpec, RegionSpec};
 pub use weights::{WeightsReader, WeightsWriter};

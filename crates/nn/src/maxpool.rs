@@ -31,7 +31,11 @@ impl MaxPoolLayer {
             });
         }
         let geom = spec.geom();
-        Ok(Self { in_shape, out_shape: geom.output_shape(in_shape), geom })
+        Ok(Self {
+            in_shape,
+            out_shape: geom.output_shape(in_shape),
+            geom,
+        })
     }
 
     /// The pooling geometry.
@@ -88,8 +92,7 @@ mod tests {
     #[test]
     fn two_by_two_stride_two() {
         let input = Tensor::from_fn(Shape3::new(1, 4, 4), |_, y, x| (y * 4 + x) as f32);
-        let mut layer =
-            MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 2 }).unwrap();
+        let mut layer = MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 2 }).unwrap();
         let out = layer.forward(&input).unwrap();
         assert_eq!(out.shape(), Shape3::new(1, 2, 2));
         assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
@@ -98,8 +101,7 @@ mod tests {
     #[test]
     fn stride_one_preserves_extent_with_clipped_windows() {
         let input = Tensor::from_fn(Shape3::new(1, 3, 3), |_, y, x| (y * 3 + x) as f32);
-        let mut layer =
-            MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 1 }).unwrap();
+        let mut layer = MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 1 }).unwrap();
         let out = layer.forward(&input).unwrap();
         assert_eq!(out.shape(), Shape3::new(1, 3, 3));
         // Bottom-right output sees only the single clipped element.
@@ -110,10 +112,13 @@ mod tests {
     #[test]
     fn channels_pool_independently() {
         let input = Tensor::from_fn(Shape3::new(2, 2, 2), |c, y, x| {
-            if c == 0 { (y * 2 + x) as f32 } else { -((y * 2 + x) as f32) }
+            if c == 0 {
+                (y * 2 + x) as f32
+            } else {
+                -((y * 2 + x) as f32)
+            }
         });
-        let mut layer =
-            MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 2 }).unwrap();
+        let mut layer = MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 2 }).unwrap();
         let out = layer.forward(&input).unwrap();
         assert_eq!(out.at(0, 0, 0), 3.0);
         assert_eq!(out.at(1, 0, 0), 0.0);
@@ -122,8 +127,7 @@ mod tests {
     #[test]
     fn negative_values_handled() {
         let input = Tensor::filled(Shape3::new(1, 2, 2), -5.0f32);
-        let mut layer =
-            MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 2 }).unwrap();
+        let mut layer = MaxPoolLayer::new(input.shape(), &PoolSpec { size: 2, stride: 2 }).unwrap();
         let out = layer.forward(&input).unwrap();
         assert_eq!(out.at(0, 0, 0), -5.0);
     }
@@ -131,8 +135,7 @@ mod tests {
     #[test]
     fn ops_accounting() {
         let layer =
-            MaxPoolLayer::new(Shape3::new(16, 416, 416), &PoolSpec { size: 2, stride: 2 })
-                .unwrap();
+            MaxPoolLayer::new(Shape3::new(16, 416, 416), &PoolSpec { size: 2, stride: 2 }).unwrap();
         assert_eq!(layer.ops_per_frame(), 173_056); // Table I row 2
     }
 

@@ -30,7 +30,10 @@ impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("input_shape", &self.input_shape)
-            .field("layers", &self.layers.iter().map(|l| l.kind()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.kind()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -56,15 +59,16 @@ impl Network {
             let layer: Box<dyn Layer> = match layer_spec {
                 LayerSpec::Conv(c) => Box::new(ConvLayer::new(shape, c, &mut rng)?),
                 LayerSpec::MaxPool(p) => Box::new(MaxPoolLayer::new(shape, p)?),
-                LayerSpec::Region(r) => {
-                    Box::new(RegionLayer::new(shape, RegionParams::from(r))?)
-                }
+                LayerSpec::Region(r) => Box::new(RegionLayer::new(shape, RegionParams::from(r))?),
                 LayerSpec::Offload(o) => Box::new(OffloadLayer::new(shape, o, registry)?),
             };
             shape = layer.output_shape();
             layers.push(layer);
         }
-        Ok(Self { input_shape: spec.input, layers })
+        Ok(Self {
+            input_shape: spec.input,
+            layers,
+        })
     }
 
     /// Assembles a network from prebuilt layers.
@@ -72,10 +76,7 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidSpec`] if consecutive shapes do not chain.
-    pub fn from_layers(
-        input_shape: Shape3,
-        layers: Vec<Box<dyn Layer>>,
-    ) -> Result<Self, NnError> {
+    pub fn from_layers(input_shape: Shape3, layers: Vec<Box<dyn Layer>>) -> Result<Self, NnError> {
         let mut shape = input_shape;
         for (i, layer) in layers.iter().enumerate() {
             if layer.input_shape() != shape {
@@ -89,7 +90,10 @@ impl Network {
             }
             shape = layer.output_shape();
         }
-        Ok(Self { input_shape, layers })
+        Ok(Self {
+            input_shape,
+            layers,
+        })
     }
 
     /// The expected input shape.
@@ -99,7 +103,9 @@ impl Network {
 
     /// The final output shape.
     pub fn output_shape(&self) -> Shape3 {
-        self.layers.last().map_or(self.input_shape, |l| l.output_shape())
+        self.layers
+            .last()
+            .map_or(self.input_shape, |l| l.output_shape())
     }
 
     /// Number of layers.

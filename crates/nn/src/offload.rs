@@ -20,6 +20,9 @@ use crate::spec::OffloadSpec;
 use crate::weights::{WeightsReader, WeightsWriter};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 use tincy_tensor::{Shape3, Tensor};
 
 /// Configuration handed to a backend at `init` time (the keys of Fig 4).
@@ -79,11 +82,193 @@ pub trait OffloadBackend: Send {
     /// Implementation-specific inference failures.
     fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError>;
 
+    /// Host-side (CPU) reference evaluation of the same function — the
+    /// graceful-degradation path taken when the accelerator stays faulted
+    /// past the retry budget. Implementations backed by hardware should
+    /// override this with a **bit-exact** software model so a degraded run
+    /// produces identical results; the default delegates to
+    /// [`OffloadBackend::forward`], which is already a pure CPU path for
+    /// software backends.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific inference failures.
+    fn forward_reference(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        self.forward(input)
+    }
+
     /// Number of parameters consumed from the weight stream.
     fn num_params(&self) -> usize;
 
     /// Operations per frame subsumed by this backend.
     fn ops_per_frame(&self) -> u64;
+}
+
+/// Bounded-backoff retry policy for transient accelerator faults.
+///
+/// A faulted offload invocation is retried up to `max_retries` times with
+/// an exponentially growing (but capped) pause; if the fault persists and
+/// `cpu_fallback` is set, the frame completes on the host-side reference
+/// path instead of failing the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial try (0 disables retrying).
+    pub max_retries: u32,
+    /// Pause before the first retry.
+    pub backoff_base: Duration,
+    /// Growth factor applied per subsequent retry.
+    pub backoff_multiplier: u32,
+    /// Upper bound on any single pause.
+    pub backoff_cap: Duration,
+    /// Whether to complete the frame on [`OffloadBackend::forward_reference`]
+    /// once the retry budget is exhausted.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(50),
+            backoff_multiplier: 2,
+            backoff_cap: Duration::from_millis(5),
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast policy: no retries, no fallback — every accelerator fault
+    /// surfaces as an error.
+    pub fn fail_fast() -> Self {
+        Self {
+            max_retries: 0,
+            cpu_fallback: false,
+            ..Self::default()
+        }
+    }
+
+    /// The pause before retry `attempt` (1-based), exponentially grown and
+    /// capped. Saturates instead of overflowing for absurd attempt counts.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = self
+            .backoff_multiplier
+            .max(1)
+            .saturating_pow(attempt.saturating_sub(1).min(16));
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Shared health counters of one offload path.
+///
+/// Handles are cheap clones over the same atomics, so the pipeline and the
+/// demo can observe degradation while inference threads update it.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadHealth {
+    inner: Arc<HealthCounters>,
+}
+
+#[derive(Debug, Default)]
+struct HealthCounters {
+    forwards: AtomicU64,
+    faults: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl OffloadHealth {
+    /// Creates a fresh health record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> OffloadStats {
+        OffloadStats {
+            forwards: self.inner.forwards.load(Ordering::Relaxed),
+            faults: self.inner.faults.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            fallbacks: self.inner.fallbacks.load(Ordering::Relaxed),
+            degraded: self.inner.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Frames completed in degraded mode so far (retried or fallen back) —
+    /// a cheap probe for pipeline metrics.
+    pub fn degraded(&self) -> u64 {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+}
+
+/// A snapshot of [`OffloadHealth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OffloadStats {
+    /// Successfully completed forward passes (any path).
+    pub forwards: u64,
+    /// Accelerator faults observed (each failed attempt counts once).
+    pub faults: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Frames completed on the CPU reference path.
+    pub fallbacks: u64,
+    /// Frames that needed *any* recovery (retry or fallback) to complete.
+    pub degraded: u64,
+}
+
+/// Runs one offload invocation under a retry/fallback policy, updating
+/// `health`.
+///
+/// `run(false)` must attempt the accelerated path; `run(true)` must run the
+/// host-side reference path. Shared by [`OffloadLayer`] and integrations
+/// that drive an accelerator directly.
+///
+/// # Errors
+///
+/// Propagates non-retryable errors immediately; propagates the last
+/// retryable error when the retry budget is exhausted and fallback is
+/// disabled (or the fallback itself fails).
+pub fn run_with_resilience<T>(
+    policy: &RetryPolicy,
+    health: &OffloadHealth,
+    mut run: impl FnMut(bool) -> Result<T, NnError>,
+) -> Result<T, NnError> {
+    let counters = &health.inner;
+    let mut attempt = 0u32;
+    loop {
+        match run(false) {
+            Ok(value) => {
+                counters.forwards.fetch_add(1, Ordering::Relaxed);
+                if attempt > 0 {
+                    counters.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(value);
+            }
+            Err(e) if e.is_retryable() => {
+                counters.faults.fetch_add(1, Ordering::Relaxed);
+                if attempt < policy.max_retries {
+                    attempt += 1;
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let pause = policy.backoff_for(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    continue;
+                }
+                if policy.cpu_fallback {
+                    let value = run(true)?;
+                    counters.forwards.fetch_add(1, Ordering::Relaxed);
+                    counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 type BackendFactory = Box<dyn Fn() -> Box<dyn OffloadBackend> + Send + Sync>;
@@ -120,7 +305,9 @@ impl BackendRegistry {
         self.factories
             .get(library)
             .map(|f| f())
-            .ok_or_else(|| NnError::UnknownBackend { library: library.to_owned() })
+            .ok_or_else(|| NnError::UnknownBackend {
+                library: library.to_owned(),
+            })
     }
 
     /// Registered library identifiers.
@@ -131,7 +318,9 @@ impl BackendRegistry {
 
 impl fmt::Debug for BackendRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("BackendRegistry").field("libraries", &self.libraries()).finish()
+        f.debug_struct("BackendRegistry")
+            .field("libraries", &self.libraries())
+            .finish()
     }
 }
 
@@ -139,6 +328,8 @@ impl fmt::Debug for BackendRegistry {
 pub struct OffloadLayer {
     config: OffloadConfig,
     backend: Box<dyn OffloadBackend>,
+    retry: RetryPolicy,
+    health: OffloadHealth,
 }
 
 impl OffloadLayer {
@@ -163,12 +354,32 @@ impl OffloadLayer {
             output_shape: spec.out_shape,
         };
         backend.init(&config)?;
-        Ok(Self { config, backend })
+        Ok(Self {
+            config,
+            backend,
+            retry: RetryPolicy::default(),
+            health: OffloadHealth::new(),
+        })
     }
 
     /// The resolved configuration.
     pub fn config(&self) -> &OffloadConfig {
         &self.config
+    }
+
+    /// The active retry/fallback policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the retry/fallback policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// A shared handle on this layer's health counters.
+    pub fn health(&self) -> OffloadHealth {
+        self.health.clone()
     }
 
     /// Immutable access to the backend.
@@ -206,7 +417,14 @@ impl Layer for OffloadLayer {
 
     fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
         self.check_input(input)?;
-        let out = self.backend.forward(input)?;
+        let backend = self.backend.as_mut();
+        let out = run_with_resilience(&self.retry, &self.health, |use_reference| {
+            if use_reference {
+                backend.forward_reference(input)
+            } else {
+                backend.forward(input)
+            }
+        })?;
         if out.shape() != self.config.output_shape {
             return Err(NnError::ShapeMismatch {
                 expected: self.config.output_shape.to_string(),
@@ -231,6 +449,10 @@ impl Layer for OffloadLayer {
     fn ops_per_frame(&self) -> u64 {
         self.backend.ops_per_frame()
     }
+
+    fn as_offload_mut(&mut self) -> Option<&mut OffloadLayer> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +469,11 @@ pub(crate) mod test_support {
 
     impl ScaleBackend {
         pub fn boxed() -> Box<dyn OffloadBackend> {
-            Box::new(Self { factor: 1.0, out_shape: Shape3::new(1, 1, 1), initialized: false })
+            Box::new(Self {
+                factor: 1.0,
+                out_shape: Shape3::new(1, 1, 1),
+                initialized: false,
+            })
         }
     }
 
@@ -285,17 +511,101 @@ pub(crate) mod test_support {
             self.out_shape.volume() as u64
         }
     }
+
+    /// A backend whose accelerated path fails the first `faults_left`
+    /// invocations with a retryable fault; the reference path always works
+    /// (scaling by `factor`, like [`ScaleBackend`]).
+    pub struct FlakyBackend {
+        pub inner: ScaleBackend,
+        pub faults_left: u32,
+        pub hw_calls: u32,
+        pub reference_calls: u32,
+    }
+
+    impl FlakyBackend {
+        pub fn failing(faults: u32) -> Box<dyn OffloadBackend> {
+            let inner = ScaleBackend {
+                factor: 1.0,
+                out_shape: Shape3::new(1, 1, 1),
+                initialized: false,
+            };
+            Box::new(Self {
+                inner,
+                faults_left: faults,
+                hw_calls: 0,
+                reference_calls: 0,
+            })
+        }
+    }
+
+    impl OffloadBackend for FlakyBackend {
+        fn library_name(&self) -> &str {
+            "flaky.so"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn init(&mut self, config: &OffloadConfig) -> Result<(), NnError> {
+            self.inner.init(config)
+        }
+        fn load_weights(&mut self, reader: &mut WeightsReader<'_>) -> Result<(), NnError> {
+            self.inner.load_weights(reader)
+        }
+        fn write_weights(&self, writer: &mut WeightsWriter<'_>) -> Result<(), NnError> {
+            self.inner.write_weights(writer)
+        }
+        fn forward(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+            self.hw_calls += 1;
+            if self.faults_left > 0 {
+                self.faults_left -= 1;
+                return Err(NnError::Accel {
+                    what: "injected flake".to_owned(),
+                    retryable: true,
+                });
+            }
+            self.inner.forward(input)
+        }
+        fn forward_reference(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+            self.reference_calls += 1;
+            self.inner.forward(input)
+        }
+        fn num_params(&self) -> usize {
+            self.inner.num_params()
+        }
+        fn ops_per_frame(&self) -> u64 {
+            self.inner.ops_per_frame()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::test_support::ScaleBackend;
+    use super::test_support::{FlakyBackend, ScaleBackend};
     use super::*;
 
     fn registry() -> BackendRegistry {
         let mut r = BackendRegistry::new();
         r.register("scale.so", ScaleBackend::boxed);
         r
+    }
+
+    fn flaky_layer(faults: u32, policy: RetryPolicy) -> OffloadLayer {
+        let mut r = BackendRegistry::new();
+        r.register("flaky.so", move || FlakyBackend::failing(faults));
+        let shape = Shape3::new(1, 2, 2);
+        let spec = OffloadSpec {
+            library: "flaky.so".to_owned(),
+            network: "sub.cfg".to_owned(),
+            weights: "sub.weights".to_owned(),
+            out_shape: shape,
+            ops: 1,
+        };
+        let mut layer = OffloadLayer::new(shape, &spec, &r).unwrap();
+        layer.set_retry_policy(RetryPolicy {
+            backoff_base: Duration::ZERO,
+            ..policy
+        });
+        layer
     }
 
     fn spec(shape: Shape3) -> OffloadSpec {
@@ -322,9 +632,13 @@ mod tests {
 
         // load_weights hook.
         let mut buf = Vec::new();
-        crate::weights::WeightsWriter::new(&mut buf).write_f32s(&[2.5]).unwrap();
+        crate::weights::WeightsWriter::new(&mut buf)
+            .write_f32s(&[2.5])
+            .unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        layer.load_weights(&mut WeightsReader::new(&mut cursor)).unwrap();
+        layer
+            .load_weights(&mut WeightsReader::new(&mut cursor))
+            .unwrap();
 
         // forward hook.
         let input = Tensor::filled(shape, 2.0f32);
@@ -344,6 +658,89 @@ mod tests {
             &registry(),
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        let mut layer = flaky_layer(2, RetryPolicy::default());
+        let input = Tensor::filled(Shape3::new(1, 2, 2), 3.0f32);
+        let out = layer.forward(&input).unwrap();
+        assert!(out.as_slice().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+        let stats = layer.health().snapshot();
+        assert_eq!(stats.faults, 2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.degraded, 1, "one frame needed recovery");
+        assert_eq!(stats.forwards, 1);
+    }
+
+    #[test]
+    fn fallback_completes_frame_when_retries_exhaust() {
+        let mut layer = flaky_layer(100, RetryPolicy::default());
+        let input = Tensor::filled(Shape3::new(1, 2, 2), 4.0f32);
+        let out = layer.forward(&input).unwrap();
+        assert!(out.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        let stats = layer.health().snapshot();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.faults, 3, "initial try plus two retries all faulted");
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.degraded, 1);
+        let backend = layer
+            .backend()
+            .as_any()
+            .downcast_ref::<FlakyBackend>()
+            .expect("flaky backend");
+        assert_eq!(backend.hw_calls, 3);
+        assert_eq!(backend.reference_calls, 1);
+    }
+
+    #[test]
+    fn fail_fast_policy_surfaces_the_fault() {
+        let mut layer = flaky_layer(1, RetryPolicy::fail_fast());
+        let input = Tensor::filled(Shape3::new(1, 2, 2), 1.0f32);
+        let err = layer.forward(&input).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(layer.health().snapshot().fallbacks, 0);
+    }
+
+    #[test]
+    fn non_retryable_errors_bypass_retry_and_fallback() {
+        let mut layer = flaky_layer(0, RetryPolicy::default());
+        let bad = Tensor::filled(Shape3::new(2, 2, 2), 1.0f32);
+        assert!(matches!(
+            layer.forward(&bad),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+        assert_eq!(layer.health().snapshot().faults, 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            backoff_base: Duration::from_micros(100),
+            backoff_multiplier: 2,
+            backoff_cap: Duration::from_micros(350),
+            cpu_fallback: true,
+        };
+        assert_eq!(policy.backoff_for(1), Duration::from_micros(100));
+        assert_eq!(policy.backoff_for(2), Duration::from_micros(200));
+        assert_eq!(policy.backoff_for(3), Duration::from_micros(350), "capped");
+        assert_eq!(
+            policy.backoff_for(100),
+            Duration::from_micros(350),
+            "no overflow"
+        );
+    }
+
+    #[test]
+    fn layer_downcast_hook_reaches_offload() {
+        let shape = Shape3::new(2, 3, 3);
+        let mut layer: Box<dyn Layer> =
+            Box::new(OffloadLayer::new(shape, &spec(shape), &registry()).unwrap());
+        let offload = layer.as_offload_mut().expect("offload layer downcasts");
+        offload.set_retry_policy(RetryPolicy::fail_fast());
+        assert_eq!(offload.retry_policy(), RetryPolicy::fail_fast());
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl RegionParams {
 
 impl From<&RegionSpec> for RegionParams {
     fn from(spec: &RegionSpec) -> Self {
-        Self { classes: spec.classes, num: spec.num, anchors: spec.anchors.clone() }
+        Self {
+            classes: spec.classes,
+            num: spec.num,
+            anchors: spec.anchors.clone(),
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl RegionLayer {
                 what: format!("{} anchors for num={}", params.anchors.len(), params.num),
             });
         }
-        Ok(Self { shape: in_shape, params })
+        Ok(Self {
+            shape: in_shape,
+            params,
+        })
     }
 
     /// The head parameters.
@@ -173,7 +180,11 @@ mod tests {
     use super::*;
 
     fn params() -> RegionParams {
-        RegionParams { classes: 3, num: 2, anchors: vec![(1.0, 1.0), (2.0, 2.0)] }
+        RegionParams {
+            classes: 3,
+            num: 2,
+            anchors: vec![(1.0, 1.0), (2.0, 2.0)],
+        }
     }
 
     fn layer() -> RegionLayer {
@@ -240,7 +251,13 @@ mod tests {
         let params = RegionParams {
             classes: 20,
             num: 5,
-            anchors: vec![(1.08, 1.19), (3.42, 4.41), (6.63, 11.38), (9.42, 5.11), (16.62, 10.52)],
+            anchors: vec![
+                (1.08, 1.19),
+                (3.42, 4.41),
+                (6.63, 11.38),
+                (9.42, 5.11),
+                (16.62, 10.52),
+            ],
         };
         assert_eq!(params.expected_channels(), 125);
         assert!(RegionLayer::new(Shape3::new(125, 13, 13), params).is_ok());

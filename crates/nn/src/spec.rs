@@ -40,7 +40,11 @@ impl ConvSpec {
     pub fn num_params(&self, in_channels: usize) -> usize {
         let weights = self.filters * self.size * self.size * in_channels;
         let bias = self.filters;
-        let bn = if self.batch_normalize { 3 * self.filters } else { 0 };
+        let bn = if self.batch_normalize {
+            3 * self.filters
+        } else {
+            0
+        };
         weights + bias + bn
     }
 }
@@ -175,7 +179,10 @@ pub struct NetworkSpec {
 impl NetworkSpec {
     /// Creates an empty spec with the given input shape.
     pub fn new(input: Shape3) -> Self {
-        Self { input, layers: Vec::new() }
+        Self {
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -267,7 +274,9 @@ impl NetworkSpec {
     /// Returns [`NnError::InvalidSpec`] if any layer cannot be applied to
     /// its input or a region head's channel count is wrong.
     pub fn validate(&self) -> Result<(), NnError> {
-        self.input.validate().map_err(|e| NnError::InvalidSpec { what: e.to_string() })?;
+        self.input.validate().map_err(|e| NnError::InvalidSpec {
+            what: e.to_string(),
+        })?;
         let mut shape = self.input;
         for (i, layer) in self.layers.iter().enumerate() {
             match layer {
@@ -385,13 +394,17 @@ mod tests {
 
     #[test]
     fn region_channel_validation() {
-        let bad = NetworkSpec::new(Shape3::new(100, 13, 13)).with(LayerSpec::Region(
-            RegionSpec { classes: 20, num: 5, anchors: vec![(1.0, 1.0); 5] },
-        ));
+        let bad = NetworkSpec::new(Shape3::new(100, 13, 13)).with(LayerSpec::Region(RegionSpec {
+            classes: 20,
+            num: 5,
+            anchors: vec![(1.0, 1.0); 5],
+        }));
         assert!(bad.validate().is_err());
-        let good = NetworkSpec::new(Shape3::new(125, 13, 13)).with(LayerSpec::Region(
-            RegionSpec { classes: 20, num: 5, anchors: vec![(1.0, 1.0); 5] },
-        ));
+        let good = NetworkSpec::new(Shape3::new(125, 13, 13)).with(LayerSpec::Region(RegionSpec {
+            classes: 20,
+            num: 5,
+            anchors: vec![(1.0, 1.0); 5],
+        }));
         assert!(good.validate().is_ok());
     }
 

@@ -23,7 +23,10 @@ impl<'a> WeightsReader<'a> {
     /// Wraps a byte stream positioned at the first parameter. A `&mut`
     /// reference to any [`Read`] implementor can be passed.
     pub fn new(inner: &'a mut dyn Read) -> Self {
-        Self { inner, read_count: 0 }
+        Self {
+            inner,
+            read_count: 0,
+        }
     }
 
     /// Reads and validates the stream header, returning the declared
@@ -37,7 +40,10 @@ impl<'a> WeightsReader<'a> {
         let mut buf = [0u8; 4];
         self.inner.read_exact(&mut buf)?;
         if u32::from_le_bytes(buf) != WEIGHTS_MAGIC {
-            return Err(NnError::Parse { line: 0, what: "bad weight file magic".to_owned() });
+            return Err(NnError::Parse {
+                line: 0,
+                what: "bad weight file magic".to_owned(),
+            });
         }
         self.inner.read_exact(&mut buf)?;
         let version = u32::from_le_bytes(buf);
@@ -75,7 +81,9 @@ impl<'a> WeightsReader<'a> {
 
 impl std::fmt::Debug for WeightsReader<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WeightsReader").field("read_count", &self.read_count).finish()
+        f.debug_struct("WeightsReader")
+            .field("read_count", &self.read_count)
+            .finish()
     }
 }
 
@@ -89,7 +97,10 @@ impl<'a> WeightsWriter<'a> {
     /// Wraps a byte sink. A `&mut` reference to any [`Write`] implementor
     /// can be passed.
     pub fn new(inner: &'a mut dyn Write) -> Self {
-        Self { inner, written_count: 0 }
+        Self {
+            inner,
+            written_count: 0,
+        }
     }
 
     /// Writes the stream header with the declared parameter count.
@@ -125,7 +136,9 @@ impl<'a> WeightsWriter<'a> {
 
 impl std::fmt::Debug for WeightsWriter<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WeightsWriter").field("written_count", &self.written_count).finish()
+        f.debug_struct("WeightsWriter")
+            .field("written_count", &self.written_count)
+            .finish()
     }
 }
 

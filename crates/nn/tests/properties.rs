@@ -17,11 +17,22 @@ fn precision() -> impl Strategy<Value = PrecisionConfig> {
 }
 
 fn activation() -> impl Strategy<Value = Activation> {
-    prop_oneof![Just(Activation::Linear), Just(Activation::Relu), Just(Activation::Leaky)]
+    prop_oneof![
+        Just(Activation::Linear),
+        Just(Activation::Relu),
+        Just(Activation::Leaky)
+    ]
 }
 
 fn conv_spec() -> impl Strategy<Value = ConvSpec> {
-    (1usize..64, prop_oneof![Just(1usize), Just(3)], 1usize..3, any::<bool>(), activation(), precision())
+    (
+        1usize..64,
+        prop_oneof![Just(1usize), Just(3)],
+        1usize..3,
+        any::<bool>(),
+        activation(),
+        precision(),
+    )
         .prop_map(|(filters, size, stride, bn, act, prec)| ConvSpec {
             filters,
             size,

@@ -35,8 +35,10 @@ pub fn fabric_hidden_ms(
         .iter()
         .map(|l| conv_layer_cycles(l.in_shape, l.out_channels, l.geom, config))
         .sum();
-    let swap: u64 =
-        layers.iter().map(|l| l.weight_bits().div_ceil(axi_bits_per_cycle)).sum();
+    let swap: u64 = layers
+        .iter()
+        .map(|l| l.weight_bits().div_ceil(axi_bits_per_cycle))
+        .sum();
     (compute + swap) as f64 / config.clock_hz as f64 * 1000.0
 }
 
@@ -80,8 +82,16 @@ mod tests {
 
     #[test]
     fn bigger_engine_is_faster() {
-        let small = EngineConfig { pe: 8, simd: 8, ..Default::default() };
-        let big = EngineConfig { pe: 32, simd: 32, ..Default::default() };
+        let small = EngineConfig {
+            pe: 8,
+            simd: 8,
+            ..Default::default()
+        };
+        let big = EngineConfig {
+            pe: 32,
+            simd: 32,
+            ..Default::default()
+        };
         let dims = tincy_hidden_dims();
         assert!(fabric_hidden_ms(&dims, big, 128) < fabric_hidden_ms(&dims, small, 128));
     }

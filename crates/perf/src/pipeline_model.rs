@@ -16,7 +16,10 @@ pub struct PipelineModel {
 
 impl Default for PipelineModel {
     fn default() -> Self {
-        Self { workers: 4, efficiency: 0.78 }
+        Self {
+            workers: 4,
+            efficiency: 0.78,
+        }
     }
 }
 
@@ -85,8 +88,20 @@ mod tests {
             .with(StageId::OutputLayer, 10.0)
             .with(StageId::BoxDrawing, 10.0)
             .with(StageId::ImageOutput, 10.0);
-        let two = pipelined_fps(&budget, PipelineModel { workers: 2, efficiency: 1.0 });
-        let seven = pipelined_fps(&budget, PipelineModel { workers: 7, efficiency: 1.0 });
+        let two = pipelined_fps(
+            &budget,
+            PipelineModel {
+                workers: 2,
+                efficiency: 1.0,
+            },
+        );
+        let seven = pipelined_fps(
+            &budget,
+            PipelineModel {
+                workers: 7,
+                efficiency: 1.0,
+            },
+        );
         assert!((two - budget.sequential_fps() * 2.0).abs() < 1e-9);
         assert!((seven - 100.0).abs() < 1e-9); // stage bound: 10 ms
     }

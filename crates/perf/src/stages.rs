@@ -116,7 +116,10 @@ impl StageBudget {
     }
 
     fn index(stage: StageId) -> usize {
-        StageId::ALL.iter().position(|&s| s == stage).expect("stage is in ALL")
+        StageId::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage is in ALL")
     }
 }
 

@@ -30,7 +30,11 @@ pub fn table1(tiny: &NetworkSpec, tincy: &NetworkSpec) -> Vec<Table1Row> {
     let mut j = 0usize;
     for (i, layer) in tiny.layers.iter().enumerate() {
         let kind = layer.kind();
-        let matched = tincy.layers.get(j).map(|l| l.kind() == kind).unwrap_or(false);
+        let matched = tincy
+            .layers
+            .get(j)
+            .map(|l| l.kind() == kind)
+            .unwrap_or(false);
         let tincy_entry = if matched {
             let ops = tincy_ops[j];
             j += 1;
@@ -167,7 +171,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert!(rows[0].tincy_ops.is_some());
         assert_eq!(rows[1].kind, "pool");
-        assert!(rows[1].tincy_ops.is_none(), "removed pool must show as None");
+        assert!(
+            rows[1].tincy_ops.is_none(),
+            "removed pool must show as None"
+        );
         assert!(rows[2].tincy_ops.is_some());
         assert_eq!(table1_total(&rows, false), tiny.total_ops());
         assert_eq!(table1_total(&rows, true), tincy.total_ops());

@@ -15,11 +15,15 @@ pub struct StageStats {
 
 impl StageStats {
     /// Mean processing time per frame.
+    ///
+    /// Computed in nanoseconds: dividing a `Duration` by
+    /// `invocations as u32` silently truncates counts above `u32::MAX`
+    /// (and `2^32` exactly would divide by zero).
     pub fn mean_time(&self) -> Duration {
         if self.invocations == 0 {
             Duration::ZERO
         } else {
-            self.busy / self.invocations as u32
+            Duration::from_nanos((self.busy.as_nanos() / u128::from(self.invocations)) as u64)
         }
     }
 }
@@ -37,6 +41,10 @@ pub struct PipelineMetrics {
     pub in_order: bool,
     /// Number of worker threads used.
     pub workers: usize,
+    /// Frames completed in degraded mode during this run (retried or
+    /// CPU-fallback offloads), as observed through the pipeline's
+    /// degradation probe; 0 when no probe is installed.
+    pub degraded: u64,
 }
 
 impl PipelineMetrics {
@@ -87,6 +95,7 @@ mod tests {
             ],
             in_order: true,
             workers: 4,
+            degraded: 0,
         };
         assert!((metrics.fps() - 10.0).abs() < 1e-9);
         assert_eq!(metrics.total_busy(), Duration::from_secs(6));
@@ -99,12 +108,38 @@ mod tests {
         let metrics = PipelineMetrics {
             frames: 0,
             elapsed: Duration::ZERO,
-            stages: vec![StageStats { name: "a".into(), invocations: 0, busy: Duration::ZERO }],
+            stages: vec![StageStats {
+                name: "a".into(),
+                invocations: 0,
+                busy: Duration::ZERO,
+            }],
             in_order: true,
             workers: 1,
+            degraded: 0,
         };
         assert_eq!(metrics.fps(), 0.0);
         assert_eq!(metrics.speedup(), 0.0);
         assert_eq!(metrics.stages[0].mean_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_time_survives_invocation_counts_beyond_u32() {
+        // Regression: `busy / invocations as u32` truncated the divisor —
+        // at exactly 2^32 invocations it became a division by zero, and
+        // just above it the mean was wildly overestimated.
+        let stats = StageStats {
+            name: "hot".into(),
+            invocations: u64::from(u32::MAX) + 2,
+            busy: Duration::from_secs(8_589_934_594), // 2 s per invocation
+        };
+        assert_eq!(stats.mean_time(), Duration::from_secs(2));
+
+        // Sub-nanosecond means truncate to zero instead of panicking.
+        let tiny = StageStats {
+            name: "tiny".into(),
+            invocations: u64::from(u32::MAX) + 2,
+            busy: Duration::from_nanos(1),
+        };
+        assert_eq!(tiny.mean_time(), Duration::ZERO);
     }
 }

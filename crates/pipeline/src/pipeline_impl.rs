@@ -98,13 +98,30 @@ impl<T> Shared<T> {
 pub struct Pipeline<T> {
     source: Box<dyn FnMut() -> Option<T> + Send>,
     stages: Vec<Box<dyn Stage<T>>>,
+    /// Samples the cumulative degraded-frame count of whatever fault
+    /// domain the stages run in (e.g. an offload layer's health counter).
+    degradation_probe: Option<Box<dyn Fn() -> u64 + Send>>,
 }
 
 impl<T: Send + 'static> Pipeline<T> {
     /// Creates a pipeline fed by `source`; the source returns `None` when
     /// the stream ends.
     pub fn new(source: impl FnMut() -> Option<T> + Send + 'static) -> Self {
-        Self { source: Box::new(source), stages: Vec::new() }
+        Self {
+            source: Box::new(source),
+            stages: Vec::new(),
+            degradation_probe: None,
+        }
+    }
+
+    /// Installs a degradation probe: a monotone counter of degraded frames
+    /// (sampled before and after the run; the difference lands in
+    /// [`PipelineMetrics::degraded`]). Keeps the pipeline agnostic of *what*
+    /// degrades — typically an offload health counter.
+    #[must_use]
+    pub fn with_degradation_probe(mut self, probe: impl Fn() -> u64 + Send + 'static) -> Self {
+        self.degradation_probe = Some(Box::new(probe));
+        self
     }
 
     /// Appends a stage.
@@ -132,7 +149,11 @@ impl<T: Send + 'static> Pipeline<T> {
         let workers = workers.max(1);
         let n = self.stages.len();
         let mut stats = Vec::with_capacity(n + 2);
-        stats.push(StatsAcc { name: "source".to_owned(), invocations: 0, busy: Duration::ZERO });
+        stats.push(StatsAcc {
+            name: "source".to_owned(),
+            invocations: 0,
+            busy: Duration::ZERO,
+        });
         for s in &self.stages {
             stats.push(StatsAcc {
                 name: s.name().to_owned(),
@@ -140,7 +161,11 @@ impl<T: Send + 'static> Pipeline<T> {
                 busy: Duration::ZERO,
             });
         }
-        stats.push(StatsAcc { name: "sink".to_owned(), invocations: 0, busy: Duration::ZERO });
+        stats.push(StatsAcc {
+            name: "sink".to_owned(),
+            invocations: 0,
+            busy: Duration::ZERO,
+        });
 
         let shared = Mutex::new(Shared {
             slots: (0..=n).map(|_| Slot::Free).collect(),
@@ -157,6 +182,7 @@ impl<T: Send + 'static> Pipeline<T> {
         });
         let condvar = Condvar::new();
         let started = Instant::now();
+        let degraded_before = self.degradation_probe.as_ref().map_or(0, |p| p());
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -164,6 +190,10 @@ impl<T: Send + 'static> Pipeline<T> {
             }
         });
 
+        let degraded = self
+            .degradation_probe
+            .as_ref()
+            .map_or(0, |p| p().saturating_sub(degraded_before));
         let state = shared.into_inner();
         PipelineMetrics {
             frames: state.delivered,
@@ -171,10 +201,15 @@ impl<T: Send + 'static> Pipeline<T> {
             stages: state
                 .stats
                 .into_iter()
-                .map(|s| StageStats { name: s.name, invocations: s.invocations, busy: s.busy })
+                .map(|s| StageStats {
+                    name: s.name,
+                    invocations: s.invocations,
+                    busy: s.busy,
+                })
                 .collect(),
             in_order: state.in_order,
             workers,
+            degraded,
         }
     }
 }
@@ -182,7 +217,14 @@ impl<T: Send + 'static> Pipeline<T> {
 impl<T> std::fmt::Debug for Pipeline<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
-            .field("stages", &self.stages.iter().map(|s| s.name().to_owned()).collect::<Vec<_>>())
+            .field(
+                "stages",
+                &self
+                    .stages
+                    .iter()
+                    .map(|s| s.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -223,7 +265,7 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
             // Source: produce the next frame (or learn the stream ended).
             let mut source = state.source.take().expect("source present when picked");
             drop(state);
-            let (produced, took) = run_task(shared, condvar, || source());
+            let (produced, took) = run_task(shared, condvar, &mut source);
             let mut state = shared.lock();
             match produced {
                 Some(frame) => {
@@ -263,7 +305,9 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
         } else {
             // Stage `job`: advance one frame one step.
             let env = state.slots[job - 1].start_consume();
-            let mut stage = state.stages[job - 1].take().expect("stage present when picked");
+            let mut stage = state.stages[job - 1]
+                .take()
+                .expect("stage present when picked");
             drop(state);
             let seq = env.seq;
             let ((stage, frame), took) = run_task(shared, condvar, move || {
@@ -344,7 +388,7 @@ mod tests {
         let sink_frames = Arc::clone(&collected);
         let metrics = Pipeline::new(counting_source(30))
             .with_stage(FnStage::new("slow-every-3", |x: u64| {
-                if x % 3 == 0 {
+                if x.is_multiple_of(3) {
                     std::thread::sleep(Duration::from_millis(3));
                 }
                 x
@@ -369,6 +413,32 @@ mod tests {
         assert_eq!(work.invocations, 10);
         assert!(work.busy >= Duration::from_millis(10));
         assert!(work.mean_time() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn degradation_probe_reports_delta_only() {
+        // The probe counter already stands at 5 before the run; two frames
+        // degrade during it. The metrics must report 2, not 7.
+        let degraded = Arc::new(AtomicU64::new(5));
+        let stage_counter = Arc::clone(&degraded);
+        let probe_counter = Arc::clone(&degraded);
+        let metrics = Pipeline::new(counting_source(10))
+            .with_stage(FnStage::new("sometimes-degraded", move |x: u64| {
+                if x == 3 || x == 7 {
+                    stage_counter.fetch_add(1, Ordering::SeqCst);
+                }
+                x
+            }))
+            .with_degradation_probe(move || probe_counter.load(Ordering::SeqCst))
+            .run(|_| {}, 2);
+        assert_eq!(metrics.degraded, 2);
+        assert_eq!(metrics.frames, 10);
+    }
+
+    #[test]
+    fn no_probe_reports_zero_degraded() {
+        let metrics = Pipeline::new(counting_source(3)).run(|_| {}, 1);
+        assert_eq!(metrics.degraded, 0);
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl<T> Slot<T> {
     /// Panics if the slot is not free — the scheduler must never violate
     /// the handshake.
     pub fn deposit(&mut self, frame: T) {
-        assert!(self.is_free(), "deposit into a non-free slot violates the Fig 6 handshake");
+        assert!(
+            self.is_free(),
+            "deposit into a non-free slot violates the Fig 6 handshake"
+        );
         *self = Slot::Avail(frame);
     }
 
@@ -82,7 +85,10 @@ mod tests {
         assert!(!slot.is_free());
         let frame = slot.start_consume();
         assert_eq!(frame, 7);
-        assert!(!slot.is_free(), "slot stays reserved while the consumer runs");
+        assert!(
+            !slot.is_free(),
+            "slot stays reserved while the consumer runs"
+        );
         assert!(!slot.is_avail());
         slot.finish_consume();
         assert!(slot.is_free());

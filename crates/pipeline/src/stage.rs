@@ -32,7 +32,10 @@ pub struct FnStage<F> {
 impl<F> FnStage<F> {
     /// Wraps a closure as a named stage.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f }
+        Self {
+            name: name.into(),
+            f,
+        }
     }
 
     /// Boxes the stage for heterogeneous stage lists.

@@ -1,10 +1,10 @@
 //! Property-based tests: the scheduler preserves order and loses no frames
 //! for arbitrary stage counts, worker counts and (tiny) stage delays.
 
+use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
-use parking_lot::Mutex;
 use tincy_pipeline::{FnStage, Pipeline, Stage};
 
 proptest! {
@@ -49,6 +49,76 @@ proptest! {
         }
     }
 
+    /// A stage that faults on arbitrary frames but recovers internally
+    /// (the shape of the offload layer's retry/fallback) must not disturb
+    /// delivery: every frame arrives, in order, with the degraded count
+    /// visible through the probe.
+    #[test]
+    fn faulting_stage_with_recovery_preserves_order_and_counts(
+        frames in 1u64..30,
+        workers in 1usize..6,
+        fault_start in 0u64..30,
+        fault_len in 0u64..8,
+    ) {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink_frames = Arc::clone(&collected);
+        let degraded = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let stage_degraded = Arc::clone(&degraded);
+        let probe_degraded = Arc::clone(&degraded);
+        let mut n = 0u64;
+        let metrics = Pipeline::new(move || {
+            n += 1;
+            (n <= frames).then_some(n - 1)
+        })
+        .with_stage(FnStage::new("flaky-offload", move |x: u64| {
+            // Frames inside the outage window "fault" and take the
+            // recovery path: slower, counted, same result.
+            if x >= fault_start && x < fault_start + fault_len {
+                std::thread::sleep(Duration::from_micros(200));
+                stage_degraded.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            x * 3
+        }))
+        .with_degradation_probe(move || probe_degraded.load(std::sync::atomic::Ordering::SeqCst))
+        .run(move |x| sink_frames.lock().push(x), workers);
+
+        prop_assert_eq!(metrics.frames, frames);
+        prop_assert!(metrics.in_order);
+        let expected_degraded = frames.min(fault_start + fault_len).saturating_sub(fault_start.min(frames));
+        prop_assert_eq!(metrics.degraded, expected_degraded);
+        prop_assert_eq!(&*collected.lock(), &(0..frames).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    /// A stage panicking at an arbitrary frame position must abort the run
+    /// (propagating the panic) rather than deadlock the worker pool — for
+    /// any worker count and panic position.
+    #[test]
+    fn panicking_stage_never_deadlocks(
+        frames in 1u64..20,
+        workers in 1usize..6,
+        panic_at in 0u64..20,
+        panic_in_second_stage in proptest::arbitrary::any::<bool>(),
+    ) {
+        let boom = panic_at.min(frames - 1);
+        let result = std::panic::catch_unwind(|| {
+            let mut n = 0u64;
+            let hit = move |x: u64, armed: bool| {
+                if armed && x == boom {
+                    panic!("injected stage panic at frame {x}");
+                }
+                x
+            };
+            Pipeline::new(move || {
+                n += 1;
+                (n <= frames).then_some(n - 1)
+            })
+            .with_stage(FnStage::new("first", move |x: u64| hit(x, !panic_in_second_stage)))
+            .with_stage(FnStage::new("second", move |x: u64| hit(x, panic_in_second_stage)))
+            .run(|_| {}, workers)
+        });
+        prop_assert!(result.is_err(), "panic must propagate, not deadlock");
+    }
+
     /// Stateful stages observe frames in source order (the no-overtake
     /// guarantee seen from *inside* a stage, not just at the sink).
     #[test]
@@ -61,7 +131,7 @@ proptest! {
             (n <= frames).then_some(n - 1)
         })
         .with_stage(FnStage::new("jitter", |x: u64| {
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 std::thread::sleep(Duration::from_micros(300));
             }
             x

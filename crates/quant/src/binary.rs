@@ -29,7 +29,10 @@ use tincy_tensor::{BitTensor, U3Tensor};
 /// assert_eq!(binarize(&[0.3, -0.7, 0.0]), vec![1, -1, 1]);
 /// ```
 pub fn binarize(weights: &[f32]) -> Vec<i8> {
-    weights.iter().map(|&w| if w < 0.0 { -1i8 } else { 1i8 }).collect()
+    weights
+        .iter()
+        .map(|&w| if w < 0.0 { -1i8 } else { 1i8 })
+        .collect()
 }
 
 /// XNOR-popcount dot of one packed weight row against one packed bit plane.
@@ -82,7 +85,11 @@ impl BinaryDot {
     ///
     /// Panics if `activations.len()` differs from the weight row width.
     pub fn dot_naive(&self, row: usize, activations: &[u8]) -> i32 {
-        assert_eq!(activations.len(), self.weights.cols(), "activation length mismatch");
+        assert_eq!(
+            activations.len(),
+            self.weights.cols(),
+            "activation length mismatch"
+        );
         activations
             .iter()
             .enumerate()
@@ -99,7 +106,11 @@ impl BinaryDot {
     ///
     /// Panics if the activation vector length differs from the row width.
     pub fn dot_planes(&self, row: usize, activations: &U3Tensor) -> i32 {
-        assert_eq!(activations.len(), self.weights.cols(), "activation length mismatch");
+        assert_eq!(
+            activations.len(),
+            self.weights.cols(),
+            "activation length mismatch"
+        );
         let w = self.weights.row_words(row);
         (0..3)
             .map(|p| (1 << p) * xnor_popcount_dot(w, activations.plane_words(p)))
@@ -136,7 +147,11 @@ mod tests {
             let dot = BinaryDot::new(weights);
             let acts: Vec<u8> = (0..cols).map(|_| rng.gen_range(0..8)).collect();
             let packed = U3Tensor::from_values(&acts).unwrap();
-            assert_eq!(dot.dot_naive(0, &acts), dot.dot_planes(0, &packed), "cols={cols}");
+            assert_eq!(
+                dot.dot_naive(0, &acts),
+                dot.dot_planes(0, &packed),
+                "cols={cols}"
+            );
         }
     }
 

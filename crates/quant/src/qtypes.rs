@@ -83,14 +83,25 @@ pub struct PrecisionConfig {
 
 impl PrecisionConfig {
     /// Full single-precision floating point.
-    pub const FLOAT: Self =
-        Self { weights: WeightPrecision::Float, activations: ActPrecision::Float };
+    pub const FLOAT: Self = Self {
+        weights: WeightPrecision::Float,
+        activations: ActPrecision::Float,
+    };
     /// Binary weights, binary activations (FINN MLP-4 / CNV-6 workloads).
-    pub const W1A1: Self = Self { weights: WeightPrecision::W1, activations: ActPrecision::A1 };
+    pub const W1A1: Self = Self {
+        weights: WeightPrecision::W1,
+        activations: ActPrecision::A1,
+    };
     /// Binary weights, 3-bit activations (Tincy YOLO hidden layers).
-    pub const W1A3: Self = Self { weights: WeightPrecision::W1, activations: ActPrecision::A3 };
+    pub const W1A3: Self = Self {
+        weights: WeightPrecision::W1,
+        activations: ActPrecision::A3,
+    };
     /// Conservative 8-bit everywhere (input/output layers, TPU-style).
-    pub const W8A8: Self = Self { weights: WeightPrecision::W8, activations: ActPrecision::A8 };
+    pub const W8A8: Self = Self {
+        weights: WeightPrecision::W8,
+        activations: ActPrecision::A8,
+    };
 
     /// Whether the configuration is aggressive enough to run on the QNN
     /// accelerator (binary weights, few-bit activations).

@@ -63,10 +63,14 @@ impl TernaryWeights {
 /// ```
 pub fn ternarize(weights: &[f32]) -> Result<TernaryWeights, QuantError> {
     if weights.is_empty() {
-        return Err(QuantError::InvalidParameter { what: "empty weight slice".to_owned() });
+        return Err(QuantError::InvalidParameter {
+            what: "empty weight slice".to_owned(),
+        });
     }
     if weights.iter().any(|w| !w.is_finite()) {
-        return Err(QuantError::InvalidParameter { what: "non-finite weight".to_owned() });
+        return Err(QuantError::InvalidParameter {
+            what: "non-finite weight".to_owned(),
+        });
     }
     let mean_abs: f32 = weights.iter().map(|w| w.abs()).sum::<f32>() / weights.len() as f32;
     let delta = 0.7 * mean_abs;
@@ -93,7 +97,11 @@ pub fn ternarize(weights: &[f32]) -> Result<TernaryWeights, QuantError> {
     } else {
         surviving.iter().sum::<f32>() / surviving.len() as f32
     };
-    Ok(TernaryWeights { signs, alpha, delta })
+    Ok(TernaryWeights {
+        signs,
+        alpha,
+        delta,
+    })
 }
 
 #[cfg(test)]
@@ -124,11 +132,11 @@ mod tests {
         let t = ternarize(&w).unwrap();
         let tern = t.to_dense();
         let mean_abs: f32 = w.iter().map(|x| x.abs()).sum::<f32>() / w.len() as f32;
-        let bin: Vec<f32> =
-            w.iter().map(|&x| if x < 0.0 { -mean_abs } else { mean_abs }).collect();
-        let err = |a: &[f32]| -> f32 {
-            a.iter().zip(&w).map(|(p, q)| (p - q).powi(2)).sum()
-        };
+        let bin: Vec<f32> = w
+            .iter()
+            .map(|&x| if x < 0.0 { -mean_abs } else { mean_abs })
+            .collect();
+        let err = |a: &[f32]| -> f32 { a.iter().zip(&w).map(|(p, q)| (p - q).powi(2)).sum() };
         assert!(err(&tern) < err(&bin));
     }
 

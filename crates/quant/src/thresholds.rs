@@ -65,13 +65,19 @@ impl ThresholdSet {
         if thresholds.windows(2).any(|w| w[0] > w[1]) {
             return Err(QuantError::NonMonotoneThresholds);
         }
-        Ok(Self { thresholds, ascending })
+        Ok(Self {
+            thresholds,
+            ascending,
+        })
     }
 
     /// The single-threshold set of a binarized activation (`sign`): output 1
     /// for `acc ≥ 0`, else 0.
     pub fn binary() -> Self {
-        Self { thresholds: vec![0], ascending: true }
+        Self {
+            thresholds: vec![0],
+            ascending: true,
+        }
     }
 
     /// Folds the affine `y = a·acc + b` with a uniform `levels`-level
@@ -86,10 +92,14 @@ impl ThresholdSet {
     /// `levels < 2`, or any parameter is non-finite.
     pub fn from_affine(a: f32, b: f32, q: f32, levels: usize) -> Result<Self, QuantError> {
         if !a.is_finite() || !b.is_finite() || !q.is_finite() {
-            return Err(QuantError::InvalidParameter { what: "non-finite parameter".to_owned() });
+            return Err(QuantError::InvalidParameter {
+                what: "non-finite parameter".to_owned(),
+            });
         }
         if a == 0.0 {
-            return Err(QuantError::InvalidParameter { what: "scale a must be nonzero".to_owned() });
+            return Err(QuantError::InvalidParameter {
+                what: "scale a must be nonzero".to_owned(),
+            });
         }
         if q <= 0.0 {
             return Err(QuantError::InvalidParameter {
@@ -255,7 +265,11 @@ mod tests {
         let (a, b, q, levels) = (0.031, -1.7, 0.25, 8);
         let t = ThresholdSet::from_affine(a, b, q, levels).unwrap();
         for acc in -500..500 {
-            assert_eq!(t.activate(acc), float_level(a, b, q, levels, acc), "acc={acc}");
+            assert_eq!(
+                t.activate(acc),
+                float_level(a, b, q, levels, acc),
+                "acc={acc}"
+            );
         }
     }
 
@@ -265,21 +279,29 @@ mod tests {
         let t = ThresholdSet::from_affine(a, b, q, levels).unwrap();
         assert!(!t.is_ascending());
         for acc in -500..500 {
-            assert_eq!(t.activate(acc), float_level(a, b, q, levels, acc), "acc={acc}");
+            assert_eq!(
+                t.activate(acc),
+                float_level(a, b, q, levels, acc),
+                "acc={acc}"
+            );
         }
     }
 
     #[test]
     fn batchnorm_fold_matches_explicit_affine() {
-        let (gamma, beta, mean, var, eps, s, q, levels) =
-            (1.3f32, 0.2f32, 4.0f32, 2.0f32, 1e-5f32, 0.05f32, 0.25f32, 8usize);
-        let t =
-            ThresholdSet::from_batchnorm(gamma, beta, mean, var, eps, s, q, levels).unwrap();
+        let (gamma, beta, mean, var, eps, s, q, levels) = (
+            1.3f32, 0.2f32, 4.0f32, 2.0f32, 1e-5f32, 0.05f32, 0.25f32, 8usize,
+        );
+        let t = ThresholdSet::from_batchnorm(gamma, beta, mean, var, eps, s, q, levels).unwrap();
         let inv_std = 1.0 / (var + eps).sqrt();
         let a = gamma * inv_std * s;
         let b = beta - gamma * mean * inv_std;
         for acc in -300..300 {
-            assert_eq!(t.activate(acc), float_level(a, b, q, levels, acc), "acc={acc}");
+            assert_eq!(
+                t.activate(acc),
+                float_level(a, b, q, levels, acc),
+                "acc={acc}"
+            );
         }
     }
 

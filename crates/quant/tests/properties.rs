@@ -1,9 +1,7 @@
 //! Property-based tests for quantization invariants.
 
 use proptest::prelude::*;
-use tincy_quant::{
-    binarize, rounding_right_shift, ternarize, AffineQuant, BinaryDot, ThresholdSet,
-};
+use tincy_quant::{rounding_right_shift, ternarize, AffineQuant, BinaryDot, ThresholdSet};
 use tincy_tensor::{BitTensor, U3Tensor};
 
 proptest! {

@@ -40,7 +40,13 @@ pub fn conv_reference(
     bias: &[f32],
     geom: ConvGeom,
 ) -> Result<Tensor<f32>, TensorError> {
-    check_weights(input.shape(), weights.rows(), weights.cols(), bias.len(), geom)?;
+    check_weights(
+        input.shape(),
+        weights.rows(),
+        weights.cols(),
+        bias.len(),
+        geom,
+    )?;
     let in_shape = input.shape();
     let out_shape = geom.output_shape(in_shape, weights.rows());
     let mut out = Tensor::zeros(out_shape);
@@ -81,7 +87,13 @@ pub fn convolve(
     bias: &[f32],
     geom: ConvGeom,
 ) -> Result<Tensor<f32>, TensorError> {
-    check_weights(input.shape(), weights.rows(), weights.cols(), bias.len(), geom)?;
+    check_weights(
+        input.shape(),
+        weights.rows(),
+        weights.cols(),
+        bias.len(),
+        geom,
+    )?;
     match algo {
         ConvAlgo::Reference => conv_reference(input, weights, bias, geom),
         ConvAlgo::Im2colGemm | ConvAlgo::Im2colGemmLanes => {
@@ -118,7 +130,13 @@ pub fn conv_lowp_im2col(
     zero_point: i32,
     geom: ConvGeom,
 ) -> Result<Tensor<i32>, TensorError> {
-    check_weights(input.shape(), weights.rows(), weights.cols(), weights.rows(), geom)?;
+    check_weights(
+        input.shape(),
+        weights.rows(),
+        weights.cols(),
+        weights.rows(),
+        geom,
+    )?;
     let cols = im2col_with_pad(input, geom, zero_point as u8)?;
     let acc = gemm_lowp(weights, &cols, zero_point);
     let out_shape = geom.output_shape(input.shape(), weights.rows());
@@ -160,8 +178,9 @@ mod tests {
         geom: ConvGeom,
     ) -> (Tensor<f32>, Mat<f32>, Vec<f32>) {
         let input = Tensor::from_fn(shape, |_, _, _| rng.gen_range(-1.0..1.0));
-        let weights =
-            Mat::from_fn(out_c, geom.dot_length(shape.channels), |_, _| rng.gen_range(-1.0..1.0));
+        let weights = Mat::from_fn(out_c, geom.dot_length(shape.channels), |_, _| {
+            rng.gen_range(-1.0..1.0)
+        });
         let bias: Vec<f32> = (0..out_c).map(|_| rng.gen_range(-0.5..0.5)).collect();
         (input, weights, bias)
     }
@@ -171,8 +190,7 @@ mod tests {
         // 1x1 kernel with identity weights copies channels.
         let input = Tensor::from_fn(Shape3::new(2, 3, 3), |c, y, x| (c * 9 + y * 3 + x) as f32);
         let weights = Mat::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
-        let out =
-            conv_reference(&input, &weights, &[0.0, 0.0], ConvGeom::new(1, 1, 0)).unwrap();
+        let out = conv_reference(&input, &weights, &[0.0, 0.0], ConvGeom::new(1, 1, 0)).unwrap();
         assert_eq!(out, input);
     }
 
@@ -211,7 +229,11 @@ mod tests {
         let input = Tensor::filled(Shape3::new(1, 3, 3), zp as u8);
         let weights = Mat::from_fn(1, 9, |_, _| 1i8);
         let acc = conv_lowp_im2col(&input, &weights, zp, ConvGeom::same(3, 1)).unwrap();
-        assert!(acc.as_slice().iter().all(|&v| v == 0), "{:?}", acc.as_slice());
+        assert!(
+            acc.as_slice().iter().all(|&v| v == 0),
+            "{:?}",
+            acc.as_slice()
+        );
     }
 
     #[test]
@@ -221,8 +243,7 @@ mod tests {
         let geom = ConvGeom::same(3, 1);
         let input_f = Tensor::from_fn(shape, |_, _, _| rng.gen_range(0.0f32..1.0));
         let w_scale = 1.0 / 127.0;
-        let weights_f =
-            Mat::from_fn(4, geom.dot_length(3), |_, _| rng.gen_range(-1.0f32..1.0));
+        let weights_f = Mat::from_fn(4, geom.dot_length(3), |_, _| rng.gen_range(-1.0f32..1.0));
         let q = tincy_quant::AffineQuant::fit(0.0, 1.0).unwrap();
 
         let input_q = input_f.map(|v| q.quantize(v));
@@ -230,7 +251,7 @@ mod tests {
 
         let acc = conv_lowp_im2col(&input_q, &weights_q, q.zero_point(), geom).unwrap();
         let out = acc.map(|v| v as f32 * w_scale * q.scale());
-        let reference = conv_reference(&input_f, &weights_f, &vec![0.0; 4], geom).unwrap();
+        let reference = conv_reference(&input_f, &weights_f, &[0.0; 4], geom).unwrap();
         assert!(out.max_abs_diff(&reference) < 0.08);
     }
 

@@ -29,7 +29,13 @@ pub fn fused_conv_f32(
     geom: ConvGeom,
     slice_width: usize,
 ) -> Result<Tensor<f32>, TensorError> {
-    crate::conv::check_weights(input.shape(), weights.rows(), weights.cols(), bias.len(), geom)?;
+    crate::conv::check_weights(
+        input.shape(),
+        weights.rows(),
+        weights.cols(),
+        bias.len(),
+        geom,
+    )?;
     let out_shape = geom.output_shape(input.shape(), weights.rows());
     let spatial = out_shape.spatial();
     let mut out = Tensor::zeros(out_shape);

@@ -81,7 +81,12 @@ impl FirstLayerKernel {
         }
         let mut b = [0.0f32; OUT_CHANNELS];
         b.copy_from_slice(bias);
-        Ok(Self { wt, wq, w_scale, bias: b })
+        Ok(Self {
+            wt,
+            wq,
+            w_scale,
+            bias: b,
+        })
     }
 
     /// Real value of one quantized-weight unit.
@@ -254,8 +259,7 @@ impl FirstLayerKernel {
                 let pix = oy * out_shape.width + ox;
                 for half in 0..2 {
                     for lane in 0..8 {
-                        out.as_mut_slice()[(half * 8 + lane) * spatial + pix] =
-                            acc[half].0[lane];
+                        out.as_mut_slice()[(half * 8 + lane) * spatial + pix] = acc[half].0[lane];
                     }
                 }
             }
@@ -331,7 +335,9 @@ mod tests {
         let q = AffineQuant::fit(0.0, 1.0).unwrap();
         let input_q = input_f.map(|v| q.quantize(v));
 
-        let acc = kernel.accumulate_i32(&input_q, q.zero_point(), geom).unwrap();
+        let acc = kernel
+            .accumulate_i32(&input_q, q.zero_point(), geom)
+            .unwrap();
         let out = kernel.dequantize_i32(&acc, q.scale());
         let reference = conv_reference(&input_f, &weights, &bias, geom).unwrap();
         assert!(out.max_abs_diff(&reference) < 0.1);
@@ -364,13 +370,17 @@ mod tests {
         let input_f = Tensor::from_fn(Shape3::new(3, 8, 8), |_, _, _| rng.gen_range(0.0..1.0));
         let q = AffineQuant::fit(0.0, 1.0).unwrap();
         let input_q = input_f.map(|v| q.quantize(v));
-        let acc = kernel.accumulate_i16(&input_q, q.zero_point(), geom).unwrap();
+        let acc = kernel
+            .accumulate_i16(&input_q, q.zero_point(), geom)
+            .unwrap();
         let out = kernel.dequantize_i16(&acc, q.scale());
         let reference = conv_reference(&input_f, &weights, &bias, geom).unwrap();
         let err16 = out.max_abs_diff(&reference);
         // Bounded, but measurably above the i32 path's error.
         assert!(err16 < 0.5, "i16 error {err16} too large");
-        let acc32 = kernel.accumulate_i32(&input_q, q.zero_point(), geom).unwrap();
+        let acc32 = kernel
+            .accumulate_i32(&input_q, q.zero_point(), geom)
+            .unwrap();
         let out32 = kernel.dequantize_i32(&acc32, q.scale());
         assert!(out32.max_abs_diff(&reference) <= err16 + 1e-6);
     }

@@ -137,8 +137,18 @@ impl I16x8 {
     #[inline]
     pub fn widen(self) -> (I32x4, I32x4) {
         (
-            I32x4([self.0[0] as i32, self.0[1] as i32, self.0[2] as i32, self.0[3] as i32]),
-            I32x4([self.0[4] as i32, self.0[5] as i32, self.0[6] as i32, self.0[7] as i32]),
+            I32x4([
+                self.0[0] as i32,
+                self.0[1] as i32,
+                self.0[2] as i32,
+                self.0[3] as i32,
+            ]),
+            I32x4([
+                self.0[4] as i32,
+                self.0[5] as i32,
+                self.0[6] as i32,
+                self.0[7] as i32,
+            ]),
         )
     }
 }

@@ -20,6 +20,11 @@
 //! * [`conv`] — a single dispatch point over all implementations, plus the
 //!   direct-loop golden reference.
 
+// The kernels are written with explicit index loops and NEON-intrinsic
+// method names (`add` ~ vaddq, `mul` ~ vmulq) so the code shape matches the
+// A53 target; iterator rewrites and std-operator impls would obscure that.
+#![allow(clippy::needless_range_loop, clippy::should_implement_trait)]
+
 pub mod conv;
 pub mod fused;
 pub mod gemm;

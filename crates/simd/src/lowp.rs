@@ -29,7 +29,11 @@ use tincy_tensor::Mat;
 /// assert_eq!(c.at(0, 0), (130 - 128) - (120 - 128));
 /// ```
 pub fn gemm_lowp(weights: &Mat<i8>, activations: &Mat<u8>, zero_point: i32) -> Mat<i32> {
-    assert_eq!(weights.cols(), activations.rows(), "inner dimensions must agree");
+    assert_eq!(
+        weights.cols(),
+        activations.rows(),
+        "inner dimensions must agree"
+    );
     let (m, k, n) = (weights.rows(), weights.cols(), activations.cols());
     let mut c = Mat::zeros(m, n);
     for i in 0..m {

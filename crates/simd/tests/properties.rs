@@ -2,8 +2,8 @@
 //! direct-loop reference across randomized geometries.
 
 use proptest::prelude::*;
-use tincy_simd::{conv_reference, convolve, fused_conv_lowp, ConvAlgo};
 use tincy_simd::conv::conv_lowp_im2col;
+use tincy_simd::{conv_reference, convolve, fused_conv_lowp, ConvAlgo};
 use tincy_tensor::{ConvGeom, Mat, Shape3, Tensor};
 
 #[derive(Debug, Clone)]
@@ -15,7 +15,16 @@ struct Case {
 }
 
 fn case() -> impl Strategy<Value = Case> {
-    (1usize..4, 3usize..9, 3usize..9, 1usize..6, 1usize..4, 1usize..3, 0usize..2, any::<u64>())
+    (
+        1usize..4,
+        3usize..9,
+        3usize..9,
+        1usize..6,
+        1usize..4,
+        1usize..3,
+        0usize..2,
+        any::<u64>(),
+    )
         .prop_map(|(c, h, w, out_c, k, s, p, seed)| Case {
             shape: Shape3::new(c, h, w),
             out_c,
@@ -27,7 +36,9 @@ fn case() -> impl Strategy<Value = Case> {
 fn lcg(seed: u64) -> impl FnMut() -> f32 {
     let mut state = seed | 1;
     move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
     }
 }

@@ -27,7 +27,10 @@ impl fmt::Display for TensorError {
         match self {
             TensorError::InvalidShape { what } => write!(f, "invalid shape: {what}"),
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::IncompatibleGeometry { what } => {
                 write!(f, "incompatible geometry: {what}")
@@ -44,8 +47,14 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let err = TensorError::LengthMismatch { expected: 4, actual: 2 };
-        assert_eq!(err.to_string(), "buffer length 2 does not match shape volume 4");
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert_eq!(
+            err.to_string(),
+            "buffer length 2 does not match shape volume 4"
+        );
     }
 
     #[test]

@@ -41,10 +41,7 @@ pub fn im2col_shape(input: Shape3, geom: ConvGeom) -> (usize, usize) {
 /// );
 /// # Ok::<(), tincy_tensor::TensorError>(())
 /// ```
-pub fn im2col<T: Copy + Default>(
-    input: &Tensor<T>,
-    geom: ConvGeom,
-) -> Result<Mat<T>, TensorError> {
+pub fn im2col<T: Copy + Default>(input: &Tensor<T>, geom: ConvGeom) -> Result<Mat<T>, TensorError> {
     im2col_with_pad(input, geom, T::default())
 }
 
@@ -265,7 +262,9 @@ mod tests {
     use super::*;
 
     fn sample_input() -> Tensor<f32> {
-        Tensor::from_fn(Shape3::new(2, 4, 4), |c, y, x| (c * 100 + y * 10 + x) as f32)
+        Tensor::from_fn(Shape3::new(2, 4, 4), |c, y, x| {
+            (c * 100 + y * 10 + x) as f32
+        })
     }
 
     #[test]
@@ -304,7 +303,11 @@ mod tests {
     #[test]
     fn sliced_equals_explicit() {
         let input = sample_input();
-        for geom in [ConvGeom::new(3, 1, 0), ConvGeom::same(3, 2), ConvGeom::new(2, 2, 0)] {
+        for geom in [
+            ConvGeom::new(3, 1, 0),
+            ConvGeom::same(3, 2),
+            ConvGeom::new(2, 2, 0),
+        ] {
             let explicit = im2col(&input, geom).unwrap();
             for slice_width in [1, 2, 3, 4, 7, 64] {
                 let mut slices = Im2colSlices::new(&input, geom, slice_width).unwrap();

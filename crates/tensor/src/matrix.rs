@@ -24,7 +24,11 @@ pub struct Mat<T> {
 impl<T: Copy + Default> Mat<T> {
     /// Creates a matrix filled with `T::default()`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::default(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
@@ -47,7 +51,10 @@ impl<T: Copy> Mat<T> {
     /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, TensorError> {
         if data.len() != rows * cols {
-            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Self { rows, cols, data })
     }
@@ -111,7 +118,11 @@ impl<T: Copy> Mat<T> {
 
     /// Applies `f` elementwise, producing a matrix of a new element type.
     pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Mat<U> {
-        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// The transpose of this matrix.

@@ -39,7 +39,12 @@ impl BitTensor {
     /// Creates an all-clear bit matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(WORD_BITS).max(1);
-        Self { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
     }
 
     /// Builds a bit matrix from signed weights: positive ⇒ bit set.
@@ -87,7 +92,10 @@ impl BitTensor {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "bit index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "bit index ({r},{c}) out of bounds"
+        );
         let word = self.data[r * self.words_per_row + c / WORD_BITS];
         word >> (c % WORD_BITS) & 1 == 1
     }
@@ -99,7 +107,10 @@ impl BitTensor {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
-        assert!(r < self.rows && c < self.cols, "bit index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "bit index ({r},{c}) out of bounds"
+        );
         let word = &mut self.data[r * self.words_per_row + c / WORD_BITS];
         let mask = 1u64 << (c % WORD_BITS);
         if value {
@@ -164,7 +175,10 @@ impl U3Tensor {
     /// Creates an all-zero vector of `len` elements.
     pub fn zeros(len: usize) -> Self {
         let words = len.div_ceil(WORD_BITS).max(1);
-        Self { len, planes: [vec![0; words], vec![0; words], vec![0; words]] }
+        Self {
+            len,
+            planes: [vec![0; words], vec![0; words], vec![0; words]],
+        }
     }
 
     /// Packs a slice of values.
@@ -203,7 +217,11 @@ impl U3Tensor {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> u8 {
-        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for length {}",
+            self.len
+        );
         let word = i / WORD_BITS;
         let bit = i % WORD_BITS;
         let mut v = 0u8;
@@ -220,7 +238,11 @@ impl U3Tensor {
     /// Panics if `i >= len` or `value > 7`.
     #[inline]
     pub fn set(&mut self, i: usize, value: u8) {
-        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for length {}",
+            self.len
+        );
         assert!(value <= Self::MAX, "value {value} exceeds 3-bit range");
         let word = i / WORD_BITS;
         let bit = i % WORD_BITS;

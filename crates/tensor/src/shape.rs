@@ -26,7 +26,11 @@ pub struct Shape3 {
 impl Shape3 {
     /// Creates a new shape.
     pub const fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Total number of elements.
@@ -81,13 +85,21 @@ pub struct ConvGeom {
 impl ConvGeom {
     /// Creates a new convolution geometry.
     pub const fn new(kernel: usize, stride: usize, pad: usize) -> Self {
-        Self { kernel, stride, pad }
+        Self {
+            kernel,
+            stride,
+            pad,
+        }
     }
 
     /// Convenience constructor for "same" padding at stride 1 or the darknet
     /// convention `pad = kernel / 2`.
     pub const fn same(kernel: usize, stride: usize) -> Self {
-        Self { kernel, stride, pad: kernel / 2 }
+        Self {
+            kernel,
+            stride,
+            pad: kernel / 2,
+        }
     }
 
     /// Output spatial extent for a 1-D input extent.
@@ -113,7 +125,10 @@ impl ConvGeom {
     pub fn validate(&self, input: Shape3) -> Result<(), TensorError> {
         if self.kernel == 0 || self.stride == 0 {
             return Err(TensorError::IncompatibleGeometry {
-                what: format!("kernel {} / stride {} must be nonzero", self.kernel, self.stride),
+                what: format!(
+                    "kernel {} / stride {} must be nonzero",
+                    self.kernel, self.stride
+                ),
             });
         }
         if input.height + 2 * self.pad < self.kernel || input.width + 2 * self.pad < self.kernel {
@@ -152,7 +167,7 @@ impl PoolGeom {
     /// Output spatial extent following darknet's convention
     /// `out = ceil(in / stride)` (achieved with asymmetric padding).
     pub const fn output_extent(&self, input: usize) -> usize {
-        (input + self.stride - 1) / self.stride
+        input.div_ceil(self.stride)
     }
 
     /// Output shape: channel count is preserved.

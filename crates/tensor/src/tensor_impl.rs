@@ -23,12 +23,18 @@ pub struct Tensor<T> {
 impl<T: Copy + Default> Tensor<T> {
     /// Creates a tensor filled with `T::default()` (zero for numeric types).
     pub fn zeros(shape: Shape3) -> Self {
-        Self { shape, data: vec![T::default(); shape.volume()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.volume()],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn filled(shape: Shape3, value: T) -> Self {
-        Self { shape, data: vec![value; shape.volume()] }
+        Self {
+            shape,
+            data: vec![value; shape.volume()],
+        }
     }
 
     /// Creates a tensor from a generator `f(channel, y, x)`.
@@ -141,7 +147,10 @@ impl<T: Copy> Tensor<T> {
 
     /// Applies `f` elementwise, producing a tensor of a new element type.
     pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 }
 
@@ -175,7 +184,9 @@ mod tests {
 
     #[test]
     fn chw_layout_indexing() {
-        let t = Tensor::from_fn(Shape3::new(2, 3, 4), |c, y, x| (c * 100 + y * 10 + x) as i32);
+        let t = Tensor::from_fn(Shape3::new(2, 3, 4), |c, y, x| {
+            (c * 100 + y * 10 + x) as i32
+        });
         assert_eq!(t.at(0, 0, 0), 0);
         assert_eq!(t.at(1, 2, 3), 123);
         // Channel plane 1 starts after 12 elements of channel 0.

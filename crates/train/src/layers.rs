@@ -5,9 +5,9 @@
 //! `db = Σ dY` and `dX = col2im(Wᵀ·dY)`.
 
 use crate::ste::{binarize_grad, binarize_weights, quantize_act3, quantize_act3_grad};
-use tincy_quant::ternarize;
 use rand::rngs::StdRng;
 use rand::Rng;
+use tincy_quant::ternarize;
 use tincy_tensor::{col2im_accumulate, im2col, ConvGeom, Mat, PoolGeom, Shape3, Tensor};
 
 /// Training-time activation function.
@@ -162,7 +162,9 @@ impl ConvT {
             geom,
             act: spec.act,
             quant: spec.quant,
-            w: (0..spec.filters * cols).map(|_| rng.gen_range(-1.0f32..1.0) * std).collect(),
+            w: (0..spec.filters * cols)
+                .map(|_| rng.gen_range(-1.0f32..1.0) * std)
+                .collect(),
             b: vec![0.0; spec.filters],
             dw: vec![0.0; spec.filters * cols],
             db: vec![0.0; spec.filters],
@@ -179,9 +181,7 @@ impl ConvT {
         let w_used: Vec<f32> = match self.quant {
             QuantMode::Float | QuantMode::A3Only { .. } => self.w.clone(),
             QuantMode::W1A3 { .. } => binarize_weights(&self.w).0,
-            QuantMode::W2A3 { .. } => {
-                ternarize(&self.w).expect("finite weights").to_dense()
-            }
+            QuantMode::W2A3 { .. } => ternarize(&self.w).expect("finite weights").to_dense(),
         };
         let n = x_cols.cols();
         let spatial = self.out_shape.spatial();
@@ -213,9 +213,18 @@ impl ConvT {
     }
 
     pub(crate) fn backward(&mut self, dout: &Tensor<f32>) -> Tensor<f32> {
-        let x_cols = self.cache_x_cols.take().expect("backward requires a prior forward");
-        let post_act = self.cache_post_act.take().expect("backward requires a prior forward");
-        let w_used = self.cache_w_used.take().expect("backward requires a prior forward");
+        let x_cols = self
+            .cache_x_cols
+            .take()
+            .expect("backward requires a prior forward");
+        let post_act = self
+            .cache_post_act
+            .take()
+            .expect("backward requires a prior forward");
+        let w_used = self
+            .cache_w_used
+            .take()
+            .expect("backward requires a prior forward");
         let spatial = self.out_shape.spatial();
         let n = spatial;
 
@@ -283,7 +292,12 @@ pub(crate) struct PoolT {
 impl PoolT {
     pub(crate) fn new(in_shape: Shape3, size: usize, stride: usize) -> Self {
         let geom = PoolGeom::new(size, stride);
-        PoolT { in_shape, out_shape: geom.output_shape(in_shape), geom, cache_argmax: None }
+        PoolT {
+            in_shape,
+            out_shape: geom.output_shape(in_shape),
+            geom,
+            cache_argmax: None,
+        }
     }
 
     pub(crate) fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
@@ -317,7 +331,10 @@ impl PoolT {
     }
 
     pub(crate) fn backward(&mut self, dout: &Tensor<f32>) -> Tensor<f32> {
-        let argmax = self.cache_argmax.take().expect("backward requires a prior forward");
+        let argmax = self
+            .cache_argmax
+            .take()
+            .expect("backward requires a prior forward");
         let mut dx = Tensor::zeros(self.in_shape);
         for (i, &src) in argmax.iter().enumerate() {
             dx.as_mut_slice()[src] += dout.as_slice()[i];
@@ -332,13 +349,24 @@ mod tests {
     use rand::SeedableRng;
 
     fn conv_spec(filters: usize, quant: QuantMode) -> TrainConvSpec {
-        TrainConvSpec { filters, size: 3, stride: 1, pad: 1, act: Act::Relu, quant }
+        TrainConvSpec {
+            filters,
+            size: 3,
+            stride: 1,
+            pad: 1,
+            act: Act::Relu,
+            quant,
+        }
     }
 
     #[test]
     fn conv_forward_shapes() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut conv = ConvT::new(Shape3::new(2, 5, 5), &conv_spec(4, QuantMode::Float), &mut rng);
+        let mut conv = ConvT::new(
+            Shape3::new(2, 5, 5),
+            &conv_spec(4, QuantMode::Float),
+            &mut rng,
+        );
         let x = Tensor::filled(Shape3::new(2, 5, 5), 0.3f32);
         let y = conv.forward(&x);
         assert_eq!(y.shape(), Shape3::new(4, 5, 5));
@@ -442,7 +470,10 @@ mod tests {
         let y = conv.forward(&x);
         let dx = conv.backward(&y);
         assert!(dx.as_slice().iter().all(|v| v.is_finite()));
-        assert!(conv.dw.iter().any(|&v| v != 0.0), "STE must pass some gradient through");
+        assert!(
+            conv.dw.iter().any(|&v| v != 0.0),
+            "STE must pass some gradient through"
+        );
     }
 
     #[test]
@@ -486,11 +517,7 @@ mod tests {
     #[test]
     fn pool_routes_gradient_to_argmax() {
         let mut pool = PoolT::new(Shape3::new(1, 2, 2), 2, 2);
-        let x = Tensor::from_vec(
-            Shape3::new(1, 2, 2),
-            vec![1.0f32, 5.0, 3.0, 2.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape3::new(1, 2, 2), vec![1.0f32, 5.0, 3.0, 2.0]).unwrap();
         let y = pool.forward(&x);
         assert_eq!(y.as_slice(), &[5.0]);
         let dout = Tensor::filled(Shape3::new(1, 1, 1), 2.0f32);

@@ -61,7 +61,12 @@ pub struct DetectionLoss {
 impl DetectionLoss {
     /// Creates the loss with YOLO's classic weights.
     pub fn new(classes: usize, anchor: (f32, f32)) -> Self {
-        Self { classes, anchor, lambda_coord: 5.0, lambda_noobj: 0.5 }
+        Self {
+            classes,
+            anchor,
+            lambda_coord: 5.0,
+            lambda_noobj: 0.5,
+        }
     }
 
     /// Channels the head must emit.
@@ -75,13 +80,13 @@ impl DetectionLoss {
     ///
     /// Panics if the head channel count does not match
     /// [`DetectionLoss::channels`].
-    pub fn compute(
-        &self,
-        head: &Tensor<f32>,
-        truth: &[GroundTruth],
-    ) -> (LossParts, Tensor<f32>) {
+    pub fn compute(&self, head: &Tensor<f32>, truth: &[GroundTruth]) -> (LossParts, Tensor<f32>) {
         let shape = head.shape();
-        assert_eq!(shape.channels, self.channels(), "head channel count mismatch");
+        assert_eq!(
+            shape.channels,
+            self.channels(),
+            "head channel count mismatch"
+        );
         let (gw, gh) = (shape.width, shape.height);
         // Responsible object per cell (first ground truth wins).
         let mut responsible: Vec<Option<&GroundTruth>> = vec![None; gw * gh];
@@ -212,7 +217,9 @@ mod tests {
     fn gradient_matches_finite_difference() {
         let l = loss();
         let shape = Shape3::new(l.channels(), 2, 2);
-        let head = Tensor::from_fn(shape, |c, y, x| ((c * 7 + y * 3 + x) % 5) as f32 * 0.3 - 0.6);
+        let head = Tensor::from_fn(shape, |c, y, x| {
+            ((c * 7 + y * 3 + x) % 5) as f32 * 0.3 - 0.6
+        });
         let truth = vec![gt(0.3, 0.7, 2)];
         let (_, grad) = l.compute(&head, &truth);
         let eps = 1e-3f32;

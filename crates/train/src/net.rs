@@ -53,7 +53,8 @@ impl fmt::Display for TrainError {
 impl std::error::Error for TrainError {}
 
 enum TLayer {
-    Conv(ConvT),
+    // Boxed: a ConvT carries full weight/gradient buffers and dwarfs PoolT.
+    Conv(Box<ConvT>),
     Pool(PoolT),
 }
 
@@ -92,15 +93,18 @@ impl TrainNet {
             match spec {
                 TrainLayerSpec::Conv(c) => {
                     let geom = tincy_tensor::ConvGeom::new(c.size, c.stride, c.pad);
-                    geom.validate(shape)
-                        .map_err(|e| TrainError { what: e.to_string() })?;
+                    geom.validate(shape).map_err(|e| TrainError {
+                        what: e.to_string(),
+                    })?;
                     let conv = ConvT::new(shape, c, &mut rng);
                     shape = conv.out_shape;
-                    layers.push(TLayer::Conv(conv));
+                    layers.push(TLayer::Conv(Box::new(conv)));
                 }
                 TrainLayerSpec::MaxPool { size, stride } => {
                     if *size == 0 || *stride == 0 {
-                        return Err(TrainError { what: "zero pool geometry".to_owned() });
+                        return Err(TrainError {
+                            what: "zero pool geometry".to_owned(),
+                        });
                     }
                     let pool = PoolT::new(shape, *size, *stride);
                     shape = pool.out_shape;
@@ -108,7 +112,11 @@ impl TrainNet {
                 }
             }
         }
-        Ok(Self { input_shape, layers, specs: specs.to_vec() })
+        Ok(Self {
+            input_shape,
+            layers,
+            specs: specs.to_vec(),
+        })
     }
 
     /// The expected input shape.

@@ -17,7 +17,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update step from the gradients accumulated in `net`.
@@ -39,7 +44,11 @@ impl Sgd {
                 velocity.push(vec![0.0; w.len()]);
             }
             let v = &mut velocity[idx];
-            debug_assert_eq!(v.len(), w.len(), "parameter layout changed under the optimizer");
+            debug_assert_eq!(
+                v.len(),
+                w.len(),
+                "parameter layout changed under the optimizer"
+            );
             for i in 0..w.len() {
                 v[i] = momentum * v[i] - lr * (g[i] + decay * w[i]);
                 w[i] += v[i];
@@ -118,9 +127,10 @@ mod tests {
         // Apply the same constant gradient twice to two clones.
         let mut net2 = tiny_net();
         for _ in 0..2 {
-            for (n, opt) in
-                [(&mut net, &mut no_momentum), (&mut net2, &mut with_momentum)]
-            {
+            for (n, opt) in [
+                (&mut net, &mut no_momentum),
+                (&mut net2, &mut with_momentum),
+            ] {
                 n.zero_grad();
                 let y = n.forward(&x);
                 n.backward(&y.map(|_| 1.0));

@@ -13,7 +13,13 @@
 pub fn binarize_weights(weights: &[f32]) -> (Vec<f32>, f32) {
     let n = weights.len().max(1);
     let alpha = weights.iter().map(|w| w.abs()).sum::<f32>() / n as f32;
-    (weights.iter().map(|&w| if w < 0.0 { -alpha } else { alpha }).collect(), alpha)
+    (
+        weights
+            .iter()
+            .map(|&w| if w < 0.0 { -alpha } else { alpha })
+            .collect(),
+        alpha,
+    )
 }
 
 /// STE gradient for [`binarize_weights`]: identity inside the clip range

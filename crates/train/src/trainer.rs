@@ -115,7 +115,13 @@ pub fn evaluate_map(
         detections.push(dets);
         truths.push(sample.truth.clone());
     }
-    mean_average_precision(&detections, &truths, loss.classes, iou_threshold, ApMethod::Voc11Point)
+    mean_average_precision(
+        &detections,
+        &truths,
+        loss.classes,
+        iou_threshold,
+        ApMethod::Voc11Point,
+    )
 }
 
 #[cfg(test)]
@@ -137,7 +143,7 @@ mod tests {
             })
         };
         vec![
-            conv(8, 2, Act::Relu),                     // 32 -> 16
+            conv(8, 2, Act::Relu),                          // 32 -> 16
             TrainLayerSpec::MaxPool { size: 2, stride: 2 }, // -> 8
             conv(16, 1, Act::Relu),
             TrainLayerSpec::MaxPool { size: 2, stride: 2 }, // -> 4
@@ -177,7 +183,11 @@ mod tests {
             &mut net,
             &loss,
             &data,
-            &TrainConfig { epochs: 8, lr: 0.02, ..Default::default() },
+            &TrainConfig {
+                epochs: 8,
+                lr: 0.02,
+                ..Default::default()
+            },
         );
         assert!(
             report.final_loss() < report.epoch_losses[0] * 0.8,
@@ -190,15 +200,18 @@ mod tests {
     fn training_improves_map_over_untrained() {
         let loss = DetectionLoss::new(2, (0.4, 0.4));
         let data = small_dataset(24);
-        let mut untrained =
-            TrainNet::new(Shape3::new(3, 32, 32), &detector_specs(2), 1).unwrap();
+        let mut untrained = TrainNet::new(Shape3::new(3, 32, 32), &detector_specs(2), 1).unwrap();
         let before = evaluate_map(&mut untrained, &loss, &data, 0.3, 0.4);
         let mut net = TrainNet::new(Shape3::new(3, 32, 32), &detector_specs(2), 1).unwrap();
         train(
             &mut net,
             &loss,
             &data,
-            &TrainConfig { epochs: 25, lr: 0.02, ..Default::default() },
+            &TrainConfig {
+                epochs: 25,
+                lr: 0.02,
+                ..Default::default()
+            },
         );
         let after = evaluate_map(&mut net, &loss, &data, 0.3, 0.4);
         assert!(

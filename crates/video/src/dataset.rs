@@ -19,7 +19,12 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        Self { scene: SceneConfig::default(), samples: 64, seed: 0, input_size: 32 }
+        Self {
+            scene: SceneConfig::default(),
+            samples: 64,
+            seed: 0,
+            input_size: 32,
+        }
     }
 }
 
@@ -62,7 +67,10 @@ pub fn generate_dataset(config: &DatasetConfig) -> Vec<Sample> {
                     GroundTruth::new(b, gt.class)
                 })
                 .collect();
-            Sample { image: image.letterboxed(config.input_size), truth }
+            Sample {
+                image: image.letterboxed(config.input_size),
+                truth,
+            }
         })
         .collect()
 }
@@ -73,7 +81,10 @@ mod tests {
 
     #[test]
     fn dataset_is_deterministic_and_sized() {
-        let config = DatasetConfig { samples: 5, ..Default::default() };
+        let config = DatasetConfig {
+            samples: 5,
+            ..Default::default()
+        };
         let a = generate_dataset(&config);
         let b = generate_dataset(&config);
         assert_eq!(a.len(), 5);
@@ -85,7 +96,11 @@ mod tests {
 
     #[test]
     fn images_are_letterboxed_to_input_size() {
-        let config = DatasetConfig { input_size: 48, samples: 2, ..Default::default() };
+        let config = DatasetConfig {
+            input_size: 48,
+            samples: 2,
+            ..Default::default()
+        };
         for sample in generate_dataset(&config) {
             assert_eq!(sample.image.width(), 48);
             assert_eq!(sample.image.height(), 48);
@@ -94,7 +109,10 @@ mod tests {
 
     #[test]
     fn truth_boxes_stay_in_unit_square() {
-        let config = DatasetConfig { samples: 10, ..Default::default() };
+        let config = DatasetConfig {
+            samples: 10,
+            ..Default::default()
+        };
         for sample in generate_dataset(&config) {
             for gt in &sample.truth {
                 assert!(gt.bbox.left() >= -1e-4 && gt.bbox.right() <= 1.0 + 1e-4);
@@ -107,7 +125,11 @@ mod tests {
     fn truth_box_center_lands_on_object_color() {
         // The letterbox coordinate mapping must keep ground truth aligned
         // with the rendered pixels.
-        let config = DatasetConfig { samples: 4, input_size: 64, ..Default::default() };
+        let config = DatasetConfig {
+            samples: 4,
+            input_size: 64,
+            ..Default::default()
+        };
         for sample in generate_dataset(&config) {
             // Objects can overlap; the scene renders later objects over
             // earlier ones, so only assert the center pixel is non-background.
@@ -122,7 +144,10 @@ mod tests {
 
     #[test]
     fn distinct_seeds_give_distinct_samples() {
-        let config = DatasetConfig { samples: 2, ..Default::default() };
+        let config = DatasetConfig {
+            samples: 2,
+            ..Default::default()
+        };
         let samples = generate_dataset(&config);
         assert_ne!(samples[0].image, samples[1].image);
     }

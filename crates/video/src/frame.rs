@@ -47,7 +47,11 @@ impl Image {
 
     /// Reads pixel `(x, y)` as RGB.
     pub fn pixel(&self, x: usize, y: usize) -> [f32; 3] {
-        [self.data.at(0, y, x), self.data.at(1, y, x), self.data.at(2, y, x)]
+        [
+            self.data.at(0, y, x),
+            self.data.at(1, y, x),
+            self.data.at(2, y, x),
+        ]
     }
 
     /// Writes pixel `(x, y)`.
@@ -64,7 +68,10 @@ impl Image {
         let x = x.clamp(0.0, max_x);
         let y = y.clamp(0.0, max_y);
         let (x0, y0) = (x.floor() as usize, y.floor() as usize);
-        let (x1, y1) = ((x0 + 1).min(self.width() - 1), (y0 + 1).min(self.height() - 1));
+        let (x1, y1) = (
+            (x0 + 1).min(self.width() - 1),
+            (y0 + 1).min(self.height() - 1),
+        );
         let (fx, fy) = (x - x0 as f32, y - y0 as f32);
         let top = self.data.at(c, y0, x0) * (1.0 - fx) + self.data.at(c, y0, x1) * fx;
         let bottom = self.data.at(c, y1, x0) * (1.0 - fx) + self.data.at(c, y1, x1) * fx;
@@ -84,8 +91,7 @@ impl Image {
     /// Darknet-style letter boxing: scales the image to fit a square target
     /// preserving aspect ratio and pads the rest with mid gray (0.5).
     pub fn letterboxed(&self, target: usize) -> Image {
-        let scale =
-            (target as f32 / self.width() as f32).min(target as f32 / self.height() as f32);
+        let scale = (target as f32 / self.width() as f32).min(target as f32 / self.height() as f32);
         let new_w = ((self.width() as f32 * scale) as usize).max(1);
         let new_h = ((self.height() as f32 * scale) as usize).max(1);
         let resized = self.resized(new_w, new_h);
@@ -134,7 +140,11 @@ mod tests {
         let img = Image::filled(10, 6, [0.3, 0.3, 0.3]);
         let small = img.resized(5, 3);
         assert_eq!(small.width(), 5);
-        assert!(small.as_tensor().as_slice().iter().all(|&v| (v - 0.3).abs() < 1e-6));
+        assert!(small
+            .as_tensor()
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 0.3).abs() < 1e-6));
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod sink;
 mod source;
 
 pub use dataset::{generate_dataset, DatasetConfig, Sample};
-pub use draw::{draw_box, draw_detections, class_color};
+pub use draw::{class_color, draw_box, draw_detections};
 pub use frame::Image;
 pub use scene::{Scene, SceneConfig, SceneObject};
 pub use sink::{NullSink, PpmSink, StatsSink, VideoSink};

@@ -168,7 +168,13 @@ mod tests {
 
     #[test]
     fn objects_stay_in_bounds_over_many_steps() {
-        let mut scene = Scene::new(SceneConfig { speed: 0.07, ..Default::default() }, 3);
+        let mut scene = Scene::new(
+            SceneConfig {
+                speed: 0.07,
+                ..Default::default()
+            },
+            3,
+        );
         for _ in 0..500 {
             scene.step();
             for obj in scene.objects() {
@@ -193,21 +199,30 @@ mod tests {
 
     #[test]
     fn render_paints_object_pixels() {
-        let config = SceneConfig { num_objects: 1, ..Default::default() };
+        let config = SceneConfig {
+            num_objects: 1,
+            ..Default::default()
+        };
         let scene = Scene::new(config, 9);
         let obj = scene.objects()[0];
         let img = scene.render();
         let cx = (obj.x * img.width() as f32) as usize;
         let cy = (obj.y * img.height() as f32) as usize;
-        assert_eq!(img.pixel(cx.min(img.width() - 1), cy.min(img.height() - 1)),
-                   crate::draw::class_color(obj.class));
+        assert_eq!(
+            img.pixel(cx.min(img.width() - 1), cy.min(img.height() - 1)),
+            crate::draw::class_color(obj.class)
+        );
         // A corner pixel far from the object stays background.
         assert_eq!(img.pixel(0, 0), [0.08, 0.08, 0.10]);
     }
 
     #[test]
     fn classes_cycle_over_objects() {
-        let config = SceneConfig { num_objects: 6, num_classes: 3, ..Default::default() };
+        let config = SceneConfig {
+            num_objects: 6,
+            num_classes: 3,
+            ..Default::default()
+        };
         let scene = Scene::new(config, 1);
         let classes: Vec<usize> = scene.objects().iter().map(|o| o.class).collect();
         assert_eq!(classes, vec![0, 1, 2, 0, 1, 2]);

@@ -74,7 +74,12 @@ impl PpmSink {
     pub fn new(dir: impl Into<PathBuf>, every: u64) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir, every: every.max(1), counter: 0, written: 0 })
+        Ok(Self {
+            dir,
+            every: every.max(1),
+            counter: 0,
+            written: 0,
+        })
     }
 
     /// Number of files written.
@@ -85,7 +90,7 @@ impl PpmSink {
 
 impl VideoSink for PpmSink {
     fn consume(&mut self, frame: &Image) {
-        if self.counter % self.every == 0 {
+        if self.counter.is_multiple_of(self.every) {
             let path = self.dir.join(format!("frame_{:06}.ppm", self.counter));
             if let Ok(mut file) = std::fs::File::create(path) {
                 if file.write_all(&frame.to_ppm()).is_ok() {

@@ -19,12 +19,20 @@ pub struct SyntheticCamera {
 impl SyntheticCamera {
     /// Creates an endless camera.
     pub fn new(config: SceneConfig, seed: u64) -> Self {
-        Self { scene: Scene::new(config, seed), frames_captured: 0, limit: None }
+        Self {
+            scene: Scene::new(config, seed),
+            frames_captured: 0,
+            limit: None,
+        }
     }
 
     /// Creates a camera that ends the stream after `limit` frames.
     pub fn with_limit(config: SceneConfig, seed: u64, limit: u64) -> Self {
-        Self { scene: Scene::new(config, seed), frames_captured: 0, limit: Some(limit) }
+        Self {
+            scene: Scene::new(config, seed),
+            frames_captured: 0,
+            limit: Some(limit),
+        }
     }
 
     /// Captures the next frame, or `None` when the limit is reached.

@@ -10,8 +10,8 @@
 
 use tincy::tensor::Shape3;
 use tincy::train::{
-    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
-    TrainLayerSpec, TrainNet,
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec, TrainLayerSpec,
+    TrainNet,
 };
 use tincy::video::{generate_dataset, DatasetConfig, SceneConfig};
 
@@ -68,16 +68,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut net,
         &loss,
         &train_set,
-        &TrainConfig { epochs: 50, lr: 0.02, ..Default::default() },
+        &TrainConfig {
+            epochs: 50,
+            lr: 0.02,
+            ..Default::default()
+        },
     );
     let report = train(
         &mut net,
         &loss,
         &train_set,
-        &TrainConfig { epochs: 30, lr: 0.005, ..Default::default() },
+        &TrainConfig {
+            epochs: 30,
+            lr: 0.005,
+            ..Default::default()
+        },
     );
     let float_map = evaluate_map(&mut net, &loss, &eval_set, 0.25, 0.4).map_percent();
-    println!("float training: final loss {:.3}, held-out mAP {float_map:.1}%", report.final_loss());
+    println!(
+        "float training: final loss {:.3}, held-out mAP {float_map:.1}%",
+        report.final_loss()
+    );
 
     // Phase 2: quantize hidden layers to [W1A3] without retraining.
     net.set_hidden_quant(QuantMode::W1A3 { act_step: 0.25 });
@@ -89,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut net,
         &loss,
         &train_set,
-        &TrainConfig { epochs: 30, lr: 0.005, ..Default::default() },
+        &TrainConfig {
+            epochs: 30,
+            lr: 0.005,
+            ..Default::default()
+        },
     );
     let retrained_map = evaluate_map(&mut net, &loss, &eval_set, 0.25, 0.4).map_percent();
     println!(

@@ -11,18 +11,27 @@
 
 use tincy::core::demo::{run_demo, DemoConfig};
 use tincy::core::SystemConfig;
-use tincy::video::{SceneConfig, Scene, PpmSink, VideoSink};
+use tincy::video::{PpmSink, Scene, SceneConfig, VideoSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = DemoConfig {
         frames: 16,
-        system: SystemConfig { input_size: 128, seed: 7, ..Default::default() },
+        system: SystemConfig {
+            input_size: 128,
+            seed: 7,
+            ..Default::default()
+        },
         workers: 4,
         // The demo network carries random (untrained) weights, so scores
         // hover around chance level; a low threshold keeps the boxing and
         // drawing stages visibly exercised.
         score_threshold: 0.02,
-        scene: SceneConfig { width: 160, height: 120, num_objects: 3, ..Default::default() },
+        scene: SceneConfig {
+            width: 160,
+            height: 120,
+            num_objects: 3,
+            ..Default::default()
+        },
     };
     println!(
         "running the pipelined demo: {} frames, {} workers, {}x{} input",
@@ -36,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.metrics.in_order,
         report.detections
     );
-    println!("pipeline speedup over sequential-equivalent: {:.2}x", report.metrics.speedup());
+    println!(
+        "pipeline speedup over sequential-equivalent: {:.2}x",
+        report.metrics.speedup()
+    );
     println!("\nper-stage occupancy (Fig 5 stages):");
     for stage in &report.metrics.stages {
         println!(
@@ -55,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sink.consume(&scene.render());
         scene.step();
     }
-    println!("\nwrote {} scene frames to target/demo_frames/", sink.written());
+    println!(
+        "\nwrote {} scene frames to target/demo_frames/",
+        sink.written()
+    );
     Ok(())
 }

@@ -28,7 +28,10 @@ struct ChannelGainBackend {
 
 impl ChannelGainBackend {
     fn boxed() -> Box<dyn OffloadBackend> {
-        Box::new(Self { gains: Vec::new(), shape: Shape3::new(1, 1, 1) })
+        Box::new(Self {
+            gains: Vec::new(),
+            shape: Shape3::new(1, 1, 1),
+        })
     }
 }
 
@@ -114,7 +117,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Parse the manipulated network configuration (Fig 4).
     let spec = parse_cfg(CFG)?;
-    println!("parsed cfg with {} layer(s); building network...", spec.layers.len());
+    println!(
+        "parsed cfg with {} layer(s); building network...",
+        spec.layers.len()
+    );
     let mut net = Network::from_spec(&spec, &registry, 0)?;
 
     // Provide weights through the regular sequential stream.

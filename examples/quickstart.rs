@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. One frame through the offloaded system (reduced input size keeps
     //    the behavioural fabric simulation fast).
-    let config = SystemConfig { input_size: 64, ..Default::default() };
+    let config = SystemConfig {
+        input_size: 64,
+        ..Default::default()
+    };
     let mut net = build_offloaded_network(&config)?;
     println!(
         "\noffloaded network: {} layers ({} parameters)",
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ((c * 31 + y * 7 + x) % 10) as f32 / 10.0
     });
     let head = net.forward(&frame)?;
-    println!("head output: {} (region-activated feature map)", head.shape());
+    println!(
+        "head output: {} (region-activated feature map)",
+        head.shape()
+    );
     println!("quickstart complete");
     Ok(())
 }

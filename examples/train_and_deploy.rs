@@ -14,8 +14,8 @@ use tincy::eval::{mean_average_precision, nms, ApMethod};
 use tincy::finn::{EngineConfig, FpgaDevice};
 use tincy::tensor::Shape3;
 use tincy::train::{
-    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
-    TrainLayerSpec, TrainNet,
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec, TrainLayerSpec,
+    TrainNet,
 };
 use tincy::video::{generate_dataset, DatasetConfig, SceneConfig};
 
@@ -76,18 +76,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Quantization-aware training (the whole net is QAT from scratch —
     //    the retraining flow is shown in examples/accuracy_study.rs).
     let mut net = TrainNet::new(Shape3::new(3, 32, 32), &specs(), 5)?;
-    println!("training the [W1A3] detector ({} parameters)...", net.num_params());
-    train(
-        &mut net,
-        &loss,
-        &train_set,
-        &TrainConfig { epochs: 60, lr: 0.02, ..Default::default() },
+    println!(
+        "training the [W1A3] detector ({} parameters)...",
+        net.num_params()
     );
     train(
         &mut net,
         &loss,
         &train_set,
-        &TrainConfig { epochs: 30, lr: 0.005, ..Default::default() },
+        &TrainConfig {
+            epochs: 60,
+            lr: 0.02,
+            ..Default::default()
+        },
+    );
+    train(
+        &mut net,
+        &loss,
+        &train_set,
+        &TrainConfig {
+            epochs: 30,
+            lr: 0.005,
+            ..Default::default()
+        },
     );
     let qat_map = evaluate_map(&mut net, &loss, &eval_set, 0.25, 0.4).map_percent();
     println!("QAT model held-out mAP: {qat_map:.1}%");

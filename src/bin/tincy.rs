@@ -4,14 +4,17 @@
 //! tincy ops <network.cfg>      per-layer operation accounting for a config
 //! tincy tables                 Tables I & II summary
 //! tincy ladder                 the §III/§IV speedup ladder
-//! tincy demo [frames [workers [input]]]
-//!                              run the pipelined live-detection demo
+//! tincy demo [frames [workers [input]]] [--fault-seed N] [--outage START:LEN]
+//!                              run the pipelined live-detection demo,
+//!                              optionally with deterministic accelerator
+//!                              faults (retried/CPU-fallback transparently)
 //! ```
 
 use std::process::ExitCode;
 use tincy::core::demo::{run_demo, DemoConfig};
 use tincy::core::topology::{cnv6, mlp4, tincy_yolo, tiny_yolo};
 use tincy::core::SystemConfig;
+use tincy::finn::FaultPlan;
 use tincy::nn::parse_cfg;
 use tincy::perf::speedup_ladder;
 use tincy::video::SceneConfig;
@@ -30,7 +33,10 @@ fn main() -> ExitCode {
         }
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: tincy <ops <cfg>|tables|ladder|demo [frames [workers [input]]]>");
+            eprintln!(
+                "usage: tincy <ops <cfg>|tables|ladder|demo [frames [workers [input]]] \
+                 [--fault-seed N] [--outage START:LEN]>"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -47,7 +53,10 @@ fn cmd_ops(path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
     let path = path.ok_or("ops requires a cfg file path")?;
     let text = std::fs::read_to_string(path)?;
     let spec = parse_cfg(&text)?;
-    println!("{:<4} {:<8} {:>14} {:>16}", "#", "type", "output", "ops/frame");
+    println!(
+        "{:<4} {:<8} {:>14} {:>16}",
+        "#", "type", "output", "ops/frame"
+    );
     let shapes = spec.output_shapes();
     for (i, (layer, ops)) in spec.layers.iter().zip(spec.ops_per_layer()).enumerate() {
         println!(
@@ -58,14 +67,22 @@ fn cmd_ops(path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
             ops
         );
     }
-    println!("total: {} ops/frame, {} parameters", spec.total_ops(), spec.num_params());
+    println!(
+        "total: {} ops/frame, {} parameters",
+        spec.total_ops(),
+        spec.num_params()
+    );
     Ok(())
 }
 
 fn cmd_tables() {
     let tiny = tiny_yolo();
     let tincy = tincy_yolo();
-    println!("Table I totals:  Tiny {}  Tincy {}", tiny.total_ops(), tincy.total_ops());
+    println!(
+        "Table I totals:  Tiny {}  Tincy {}",
+        tiny.total_ops(),
+        tincy.total_ops()
+    );
     for (name, spec) in [("MLP-4", mlp4()), ("CNV-6", cnv6()), ("Tincy YOLO", tincy)] {
         let (reduced, eight) = spec.dot_product_ops();
         println!(
@@ -77,20 +94,59 @@ fn cmd_tables() {
 
 fn cmd_ladder() {
     for step in speedup_ladder() {
-        println!(
-            "[{}] {:<58} {:>8.2} fps",
-            step.section, step.name, step.fps
-        );
+        println!("[{}] {:<58} {:>8.2} fps", step.section, step.name, step.fps);
     }
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let frames: u64 = args.first().map_or(Ok(16), |s| s.parse())?;
-    let workers: usize = args.get(1).map_or(Ok(4), |s| s.parse())?;
-    let input: usize = args.get(2).map_or(Ok(96), |s| s.parse())?;
+    // Split flags from positional arguments.
+    let mut positional = Vec::new();
+    let mut fault_plan = FaultPlan::none();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fault-seed" => {
+                let seed: u64 = iter
+                    .next()
+                    .ok_or("--fault-seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+                fault_plan = FaultPlan {
+                    outage: fault_plan.outage,
+                    ..FaultPlan::from_seed(seed)
+                };
+            }
+            "--outage" => {
+                let value = iter.next().ok_or("--outage requires START:LEN")?;
+                let (start, len) = value.split_once(':').ok_or("--outage expects START:LEN")?;
+                let parse = |s: &str| {
+                    s.parse::<u64>()
+                        .map_err(|e| format!("--outage {value}: {e}"))
+                };
+                let window = FaultPlan::outage(parse(start)?, parse(len)?)
+                    .outage
+                    .expect("outage constructor sets the window");
+                fault_plan = fault_plan.with_outage(window);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}").into());
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() > 3 {
+        return Err(format!("unexpected argument {:?}", positional[3]).into());
+    }
+    let frames: u64 = positional.first().map_or(Ok(16), |s| s.parse())?;
+    let workers: usize = positional.get(1).map_or(Ok(4), |s| s.parse())?;
+    let input: usize = positional.get(2).map_or(Ok(96), |s| s.parse())?;
     let config = DemoConfig {
         frames,
-        system: SystemConfig { input_size: input, ..Default::default() },
+        system: SystemConfig {
+            input_size: input,
+            fault_plan,
+            ..Default::default()
+        },
         workers,
         score_threshold: 0.02,
         scene: SceneConfig::default(),
@@ -106,5 +162,14 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         report.metrics.in_order,
         report.detections
     );
+    if !fault_plan.is_empty() {
+        println!(
+            "offload health: {} faults, {} retries, {} cpu fallbacks, {} degraded frames",
+            report.offload.faults,
+            report.offload.retries,
+            report.offload.fallbacks,
+            report.metrics.degraded
+        );
+    }
     Ok(())
 }

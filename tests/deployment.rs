@@ -6,10 +6,10 @@ use tincy::eval::{mean_average_precision, nms, ApMethod};
 use tincy::finn::EngineConfig;
 use tincy::tensor::Shape3;
 use tincy::train::{
-    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec,
-    TrainLayerSpec, TrainNet,
+    evaluate_map, train, Act, DetectionLoss, QuantMode, TrainConfig, TrainConvSpec, TrainLayerSpec,
+    TrainNet,
 };
-use tincy::video::{generate_dataset, DatasetConfig, SceneConfig, Sample};
+use tincy::video::{generate_dataset, DatasetConfig, Sample, SceneConfig};
 
 const CLASSES: usize = 2;
 const STEP: f32 = 0.25;
@@ -68,7 +68,11 @@ fn deployed_detector_matches_qat_accuracy() {
         &mut net,
         &loss,
         &train_set,
-        &TrainConfig { epochs: 25, lr: 0.02, ..Default::default() },
+        &TrainConfig {
+            epochs: 25,
+            lr: 0.02,
+            ..Default::default()
+        },
     );
     let deployed = DeployedDetector::compile(&net, EngineConfig::default()).expect("compiles");
 
@@ -98,7 +102,11 @@ fn deployed_head_matches_qat_head_per_image() {
         &mut net,
         &loss,
         &train_set,
-        &TrainConfig { epochs: 10, lr: 0.02, ..Default::default() },
+        &TrainConfig {
+            epochs: 10,
+            lr: 0.02,
+            ..Default::default()
+        },
     );
     let deployed = DeployedDetector::compile(&net, EngineConfig::default()).expect("compiles");
     for sample in &train_set[..4] {

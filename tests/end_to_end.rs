@@ -8,7 +8,11 @@ use tincy::nn::{parse_cfg, render_cfg, LayerSpec, Network, RegionLayer, RegionPa
 use tincy::tensor::{Shape3, Tensor};
 
 fn system() -> SystemConfig {
-    SystemConfig { input_size: 32, seed: 11, ..Default::default() }
+    SystemConfig {
+        input_size: 32,
+        seed: 11,
+        ..Default::default()
+    }
 }
 
 fn frame(seed: usize) -> Tensor<f32> {
@@ -47,7 +51,8 @@ fn weights_round_trip_preserves_inference_through_offload() {
     a.save_weights(&mut blob).expect("serializable");
 
     let mut b = Network::from_spec(&spec, &registry, 999).expect("buildable");
-    b.load_weights(std::io::Cursor::new(blob)).expect("loadable");
+    b.load_weights(std::io::Cursor::new(blob))
+        .expect("loadable");
 
     for seed in 0..3 {
         let x = frame(seed);
@@ -77,7 +82,7 @@ fn detections_decode_from_the_activated_head() {
     // The head is already activated by the network's region layer; with a
     // zero threshold every anchor/cell/class yields a candidate.
     let dets = region.decode(&head, 0.0);
-    assert_eq!(dets.len(), 5 * 1 * 1 * 20);
+    assert_eq!(dets.len(), 5 * 20);
     for d in &dets {
         assert!((0.0..=1.0).contains(&d.score));
         assert!(d.bbox.w > 0.0 && d.bbox.h > 0.0);

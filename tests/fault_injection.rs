@@ -1,0 +1,113 @@
+//! Fault-injected end-to-end runs: a mid-run accelerator outage must not
+//! change *what* the system computes — only how it gets there.
+//!
+//! The offload path recovers through bounded retries and, past the retry
+//! budget, a CPU fallback onto the bit-exact software reference of the
+//! fabric. Because that reference matches the MVTU hardware path bit for
+//! bit, a degraded run's detections are byte-identical to a fault-free
+//! run's, and the same fault plan with the same seed replays identically.
+
+use tincy::core::demo::{run_demo, DemoConfig};
+use tincy::core::SystemConfig;
+use tincy::finn::{FaultKind, FaultPlan, FaultWindow};
+use tincy::nn::RetryPolicy;
+use tincy::video::SceneConfig;
+
+fn demo_config(frames: u64, workers: usize) -> DemoConfig {
+    DemoConfig {
+        frames,
+        system: SystemConfig {
+            input_size: 32,
+            seed: 5,
+            ..Default::default()
+        },
+        workers,
+        score_threshold: 0.0,
+        scene: SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn outage_mid_run_completes_in_order_with_identical_detections() {
+    let clean = run_demo(&demo_config(8, 4)).unwrap();
+    assert_eq!(clean.metrics.frames, 8);
+    assert_eq!(clean.metrics.degraded, 0);
+    assert_eq!(clean.offload.faults, 0);
+
+    // An accelerator outage starting at invocation 3, longer than the
+    // retry budget: frames falling inside it must complete on the CPU.
+    let mut config = demo_config(8, 4);
+    config.system.fault_plan = FaultPlan::outage(3, 6);
+    let degraded = run_demo(&config).unwrap();
+
+    assert_eq!(degraded.metrics.frames, 8, "no frame is dropped");
+    assert!(
+        degraded.metrics.in_order,
+        "delivery order survives the outage"
+    );
+    assert!(degraded.offload.faults > 0, "faults were observed");
+    assert!(degraded.offload.retries > 0, "retries were issued");
+    assert!(
+        degraded.offload.fallbacks > 0,
+        "the outage outlasted the retry budget"
+    );
+    assert!(
+        degraded.metrics.degraded > 0,
+        "metrics surface the degraded frames"
+    );
+    assert_eq!(
+        degraded.frame_detections, clean.frame_detections,
+        "degraded detections are byte-identical to the fault-free run"
+    );
+}
+
+#[test]
+fn same_plan_same_seed_is_byte_identical() {
+    let mut config = demo_config(6, 3);
+    config.system.fault_plan = FaultPlan {
+        outage: Some(FaultWindow {
+            start: 2,
+            length: 2,
+            kind: FaultKind::DmaTimeout,
+        }),
+        ..FaultPlan::from_seed(42)
+    };
+    let a = run_demo(&config).unwrap();
+    let b = run_demo(&config).unwrap();
+    assert_eq!(a.frame_detections, b.frame_detections);
+    assert_eq!(a.offload, b.offload);
+    assert_eq!(a.metrics.degraded, b.metrics.degraded);
+    assert_eq!(a.detections, b.detections);
+}
+
+#[test]
+fn probabilistic_fault_soak_run_stays_correct() {
+    // A moderate random-fault plan across every fault class, including
+    // corrupted result buffers and bitstream losses.
+    let clean = run_demo(&demo_config(10, 4)).unwrap();
+    let mut config = demo_config(10, 4);
+    config.system.fault_plan = FaultPlan::from_seed(7);
+    let soaked = run_demo(&config).unwrap();
+    assert_eq!(soaked.metrics.frames, 10);
+    assert!(soaked.metrics.in_order);
+    assert_eq!(soaked.frame_detections, clean.frame_detections);
+}
+
+#[test]
+fn fail_fast_policy_without_fallback_surfaces_the_outage() {
+    // With retries and fallback disabled, the fault reaches the layer
+    // wrapper inside the pipeline stage, which panics — the pipeline must
+    // propagate that instead of deadlocking (no silent wrong output).
+    let mut config = demo_config(6, 2);
+    config.system.fault_plan = FaultPlan::outage(1, 4);
+    config.system.retry = RetryPolicy::fail_fast();
+    let result = std::panic::catch_unwind(|| run_demo(&config));
+    assert!(
+        result.is_err(),
+        "an unhandled accelerator fault must abort the run"
+    );
+}

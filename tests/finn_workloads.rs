@@ -11,7 +11,9 @@ use tincy::tensor::{BitTensor, ConvGeom, Shape3, Tensor};
 fn lcg(seed: u64) -> impl FnMut() -> u64 {
     let mut state = seed | 1;
     move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     }
 }
@@ -19,8 +21,9 @@ fn lcg(seed: u64) -> impl FnMut() -> u64 {
 /// A fully connected binarized layer as a 1×1 "convolution" over a 1×1
 /// spatial map — exactly how `tincy-core` expresses MLP-4.
 fn fc_layer(rng: &mut impl FnMut() -> u64, inputs: usize, outputs: usize) -> QnnLayerParams {
-    let signs: Vec<i8> =
-        (0..inputs * outputs).map(|_| if rng() & 1 == 0 { 1 } else { -1 }).collect();
+    let signs: Vec<i8> = (0..inputs * outputs)
+        .map(|_| if rng() & 1 == 0 { 1 } else { -1 })
+        .collect();
     let weights = BitTensor::from_signs(outputs, inputs, &signs).expect("dims");
     let thresholds =
         ThresholdsForLayer::new(vec![ThresholdSet::binary(); outputs]).expect("uniform");
@@ -40,16 +43,20 @@ fn mlp4_runs_on_the_qnn_accelerator() {
     // simulation of 5.8 M binary MACs is slow on one test core).
     let mut rng = lcg(77);
     let dims = [196usize, 256, 256, 256, 10];
-    let layers: Vec<QnnLayerParams> =
-        dims.windows(2).map(|w| fc_layer(&mut rng, w[0], w[1])).collect();
+    let layers: Vec<QnnLayerParams> = dims
+        .windows(2)
+        .map(|w| fc_layer(&mut rng, w[0], w[1]))
+        .collect();
     let accel = QnnAccelerator::new(layers, EngineConfig::default()).expect("chains");
 
     // Binary input "image" (W1A1: activation levels 0/1).
-    let input: Tensor<u8> =
-        Tensor::from_fn(Shape3::new(196, 1, 1), |c, _, _| (c % 2) as u8);
+    let input: Tensor<u8> = Tensor::from_fn(Shape3::new(196, 1, 1), |c, _, _| (c % 2) as u8);
     let (out, report) = accel.run(&input).expect("runs");
     assert_eq!(out.shape(), Shape3::new(10, 1, 1));
-    assert!(out.as_slice().iter().all(|&v| v <= 1), "W1A1 output stays binary");
+    assert!(
+        out.as_slice().iter().all(|&v| v <= 1),
+        "W1A1 output stays binary"
+    );
     // Bit-exactness against the naive reference holds here too.
     let reference = accel.reference_run(&input).expect("runs");
     assert_eq!(out, reference);
@@ -67,8 +74,9 @@ fn cnv6_style_unpadded_convs_run_on_the_accelerator() {
                    pool: Option<tincy::tensor::PoolGeom>| {
         let geom = ConvGeom::new(3, 1, 0);
         let cols = geom.dot_length(in_shape.channels);
-        let signs: Vec<i8> =
-            (0..out_c * cols).map(|_| if rng() & 1 == 0 { 1 } else { -1 }).collect();
+        let signs: Vec<i8> = (0..out_c * cols)
+            .map(|_| if rng() & 1 == 0 { 1 } else { -1 })
+            .collect();
         let weights = BitTensor::from_signs(out_c, cols, &signs).expect("dims");
         let thresholds =
             ThresholdsForLayer::new(vec![ThresholdSet::binary(); out_c]).expect("uniform");
@@ -96,12 +104,15 @@ fn workload_scaling_matches_table_two_ordering() {
     // reproduce that ordering.
     use tincy::finn::engine::conv_layer_cycles;
     let config = EngineConfig::default();
-    let mlp4_cycles: u64 = [(784usize, 1024usize), (1024, 1024), (1024, 1024), (1024, 10)]
-        .iter()
-        .map(|&(i, o)| {
-            conv_layer_cycles(Shape3::new(i, 1, 1), o, ConvGeom::new(1, 1, 0), config)
-        })
-        .sum();
+    let mlp4_cycles: u64 = [
+        (784usize, 1024usize),
+        (1024, 1024),
+        (1024, 1024),
+        (1024, 10),
+    ]
+    .iter()
+    .map(|&(i, o)| conv_layer_cycles(Shape3::new(i, 1, 1), o, ConvGeom::new(1, 1, 0), config))
+    .sum();
     let tincy_cycles: u64 = tincy::perf::fabric::tincy_hidden_dims()
         .iter()
         .map(|d| conv_layer_cycles(d.in_shape, d.out_channels, d.geom, config))

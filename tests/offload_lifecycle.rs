@@ -6,8 +6,7 @@ use std::sync::Arc;
 use tincy::core::build::{fabric_registry, hidden_stack, offloaded_spec, SystemConfig};
 use tincy::finn::FabricBackend;
 use tincy::nn::{
-    BackendRegistry, Network, NnError, OffloadBackend, OffloadConfig, WeightsReader,
-    WeightsWriter,
+    BackendRegistry, Network, NnError, OffloadBackend, OffloadConfig, WeightsReader, WeightsWriter,
 };
 use tincy::tensor::{Shape3, Tensor};
 
@@ -23,7 +22,11 @@ fn unknown_backend_fails_at_build_time() {
 
 #[test]
 fn fabric_backend_reports_hidden_ops_after_load() {
-    let config = SystemConfig { input_size: 32, seed: 4, ..Default::default() };
+    let config = SystemConfig {
+        input_size: 32,
+        seed: 4,
+        ..Default::default()
+    };
     let registry = fabric_registry(&config);
     let net = Network::from_spec(&offloaded_spec(32), &registry, 4).expect("buildable");
     // Layer 1 is the offload layer; its declared op budget must equal the
@@ -78,7 +81,10 @@ fn destroy_hook_runs_on_drop() {
     let flag = Arc::clone(&destroyed);
     let mut registry = BackendRegistry::new();
     registry.register("probe.so", move || {
-        Box::new(DropProbe { flag: Arc::clone(&flag), shape: Shape3::new(1, 1, 1) })
+        Box::new(DropProbe {
+            flag: Arc::clone(&flag),
+            shape: Shape3::new(1, 1, 1),
+        })
     });
 
     let cfg = "\
@@ -97,12 +103,19 @@ channel=2
     let net = Network::from_spec(&spec, &registry, 0).expect("buildable");
     assert!(!destroyed.load(Ordering::SeqCst));
     drop(net);
-    assert!(destroyed.load(Ordering::SeqCst), "destroy hook (Drop) must run");
+    assert!(
+        destroyed.load(Ordering::SeqCst),
+        "destroy hook (Drop) must run"
+    );
 }
 
 #[test]
 fn fabric_backend_downcasts_for_timing_reports() {
-    let config = SystemConfig { input_size: 32, seed: 9, ..Default::default() };
+    let config = SystemConfig {
+        input_size: 32,
+        seed: 9,
+        ..Default::default()
+    };
     let registry = fabric_registry(&config);
     let mut net = Network::from_spec(&offloaded_spec(32), &registry, 9).expect("buildable");
 
@@ -128,7 +141,10 @@ fn fabric_backend_downcasts_for_timing_reports() {
         output_shape: Shape3::new(512, 1, 1),
     };
     backend.init(&cfg).expect("geometry chains");
-    let fabric = backend.as_any().downcast_ref::<FabricBackend>().expect("fabric backend");
+    let fabric = backend
+        .as_any()
+        .downcast_ref::<FabricBackend>()
+        .expect("fabric backend");
     assert!(fabric.last_report().is_none(), "no forward ran yet");
     assert_eq!(hidden_stack(32).len(), 7);
 }

@@ -39,16 +39,26 @@ fn table_two_rows_exact_or_documented() {
 #[test]
 fn fabric_reproduces_thirty_millisecond_hidden_layers() {
     let ms = fabric_hidden_ms(&tincy_hidden_dims(), EngineConfig::default(), 128);
-    assert!((25.0..35.0).contains(&ms), "fabric hidden time {ms:.1} ms vs paper's 30 ms");
+    assert!(
+        (25.0..35.0).contains(&ms),
+        "fabric hidden time {ms:.1} ms vs paper's 30 ms"
+    );
 }
 
 #[test]
 fn ladder_reaches_sixteen_fps_and_160x() {
     let steps = speedup_ladder();
     let last = steps.last().expect("nonempty ladder");
-    assert!((13.0..20.0).contains(&last.fps), "final rate {:.1} fps vs paper's 16", last.fps);
+    assert!(
+        (13.0..20.0).contains(&last.fps),
+        "final rate {:.1} fps vs paper's 16",
+        last.fps
+    );
     let overall = last.fps / steps[0].fps;
-    assert!((120.0..200.0).contains(&overall), "{overall:.0}x vs paper's 160x");
+    assert!(
+        (120.0..200.0).contains(&overall),
+        "{overall:.0}x vs paper's 160x"
+    );
 }
 
 #[test]

@@ -7,10 +7,18 @@ use tincy::video::SceneConfig;
 fn config(frames: u64, workers: usize) -> DemoConfig {
     DemoConfig {
         frames,
-        system: SystemConfig { input_size: 32, seed: 21, ..Default::default() },
+        system: SystemConfig {
+            input_size: 32,
+            seed: 21,
+            ..Default::default()
+        },
         workers,
         score_threshold: 0.0,
-        scene: SceneConfig { width: 48, height: 36, ..Default::default() },
+        scene: SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        },
     }
 }
 
@@ -50,11 +58,19 @@ fn demo_scales_with_more_frames() {
 #[test]
 fn stage_names_follow_fig_five() {
     let report = run_demo(&config(2, 2)).expect("demo runs");
-    let names: Vec<&str> = report.metrics.stages.iter().map(|s| s.name.as_str()).collect();
+    let names: Vec<&str> = report
+        .metrics
+        .stages
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
     assert_eq!(names.first(), Some(&"source"));
     assert_eq!(names.get(1), Some(&"letterbox"));
-    assert!(names.iter().any(|n| n.contains("offload")), "offload stage present: {names:?}");
-    assert!(names.iter().any(|n| *n == "object boxing"));
-    assert!(names.iter().any(|n| *n == "frame drawing"));
+    assert!(
+        names.iter().any(|n| n.contains("offload")),
+        "offload stage present: {names:?}"
+    );
+    assert!(names.contains(&"object boxing"));
+    assert!(names.contains(&"frame drawing"));
     assert_eq!(names.last(), Some(&"sink"));
 }

@@ -15,7 +15,9 @@ fn random_layer(
 ) -> QnnLayerParams {
     let geom = ConvGeom::same(3, 1);
     let cols = geom.dot_length(in_shape.channels);
-    let signs: Vec<i8> = (0..out_c * cols).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+    let signs: Vec<i8> = (0..out_c * cols)
+        .map(|_| if rng.gen() { 1 } else { -1 })
+        .collect();
     let weights = BitTensor::from_signs(out_c, cols, &signs).expect("dims");
     let thresholds = ThresholdsForLayer::new(
         (0..out_c)
@@ -51,11 +53,13 @@ fn mvtu_bit_exact_over_random_stacks() {
             ..Default::default()
         };
         let accel = QnnAccelerator::new(vec![l1, l2], config).expect("chains");
-        let input: Tensor<u8> =
-            Tensor::from_fn(in_shape, |_, _, _| rng.gen_range(0..8));
+        let input: Tensor<u8> = Tensor::from_fn(in_shape, |_, _, _| rng.gen_range(0..8));
         let (hw_out, report) = accel.run(&input).expect("runs");
         let sw_out = accel.reference_run(&input).expect("runs");
-        assert_eq!(hw_out, sw_out, "trial {trial}: fabric diverged from reference");
+        assert_eq!(
+            hw_out, sw_out,
+            "trial {trial}: fabric diverged from reference"
+        );
         assert!(report.total_cycles() > 0);
     }
 }
@@ -96,14 +100,11 @@ fn fabric_tracks_float_binary_convolution() {
     // Thresholds implementing y = alpha*act_step*acc quantized to 3 bits.
     let thresholds = ThresholdsForLayer::new(
         (0..out_c)
-            .map(|_| {
-                ThresholdSet::from_affine(alpha * act_step, 0.0, act_step, 8).expect("valid")
-            })
+            .map(|_| ThresholdSet::from_affine(alpha * act_step, 0.0, act_step, 8).expect("valid"))
             .collect(),
     )
     .expect("uniform");
-    let layer =
-        QnnLayerParams::new(in_shape, weights, thresholds, geom, None).expect("consistent");
+    let layer = QnnLayerParams::new(in_shape, weights, thresholds, geom, None).expect("consistent");
     let accel = QnnAccelerator::new(vec![layer], EngineConfig::default()).expect("single");
 
     // Quantized input and its float image.

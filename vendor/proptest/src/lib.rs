@@ -1,0 +1,362 @@
+//! Offline shim implementing the subset of the `proptest` API this
+//! workspace uses: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, range and tuple strategies, [`Just`],
+//! [`prop_oneof!`], [`collection::vec`], [`option::of`],
+//! [`arbitrary::any`] and `ProptestConfig::with_cases`.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched. Semantics differ in one deliberate way: failing cases are
+//! **not shrunk** — the failing input is simply reported by the panicking
+//! assertion. Cases are generated from a deterministic per-test seed, so
+//! failures reproduce across runs.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case generation driver.
+
+    /// Deterministic generator feeding the strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for one test case.
+        pub fn deterministic(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index in `0..len`.
+        pub fn index(&mut self, len: usize) -> usize {
+            assert!(len > 0, "index over an empty range");
+            (self.next_u64() % len as u64) as usize
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples one value over the type's full range.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy generating any value of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `usize` range.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec size: empty range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.index(self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>` values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Bias towards Some, like the real crate's default.
+            if rng.index(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, otherwise `Some` of the inner value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface test files use.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs the test body for every generated case. See the crate docs for the
+/// supported grammar (a faithful subset of the real macro's).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config: $crate::test_runner::ProptestConfig = $config;
+            // Vary the stream per test so sibling tests do not share data.
+            let __proptest_name_seed = {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            for __proptest_case in 0..__proptest_config.cases {
+                let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    __proptest_name_seed ^ (__proptest_case as u64).wrapping_mul(0x9E37_79B9),
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(
+                    &($strat),
+                    &mut __proptest_rng,
+                );)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics on failure; the shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Chooses uniformly between the given strategies (all must share one
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let strat = (1usize..4, 2usize..10).prop_map(|(a, b)| a * 100 + b);
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((102..=309).contains(&v));
+            let (a, b) = (v / 100, v % 100);
+            assert!((1..4).contains(&a) && (2..10).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_union_hits_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut rng = TestRng::deterministic(2);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(strat.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn collection_vec_and_option_of() {
+        let strat = crate::collection::vec(0u8..8, 0..300);
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 300);
+            assert!(v.iter().all(|&x| x < 8));
+        }
+        let opt = crate::option::of(1usize..3);
+        let mut nones = 0;
+        for _ in 0..100 {
+            match opt.generate(&mut rng) {
+                None => nones += 1,
+                Some(x) => assert!((1..3).contains(&x)),
+            }
+        }
+        assert!(nones > 0 && nones < 100);
+    }
+
+    #[test]
+    fn flat_map_and_filter_compose() {
+        let strat = (2usize..6)
+            .prop_flat_map(|n| (Just(n), 0usize..n))
+            .prop_filter("second differs from first", |(n, k)| k != n);
+        let mut rng = TestRng::deterministic(4);
+        for _ in 0..100 {
+            let (n, k) = strat.generate(&mut rng);
+            assert!(k < n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, multiple args, trailing comma.
+        #[test]
+        fn macro_grammar_accepted(
+            (a, b) in (1u64..10, 1u64..10),
+            flag in any::<bool>(),
+            xs in crate::collection::vec(0i32..5, 0..4),
+        ) {
+            prop_assert!(a >= 1 && b < 10);
+            prop_assert_eq!(xs.iter().filter(|&&x| x >= 5).count(), 0);
+            prop_assert_ne!(flag as u64 + 1, 0);
+        }
+    }
+}
