@@ -1,0 +1,126 @@
+//! Serving-subsystem benchmark: sweeps micro-batch limits, host-worker
+//! counts and pacing modes over the deterministic load generator, printing
+//! a throughput/latency table and writing the full results to
+//! `BENCH_serve.json` (path overridable as the first argument).
+//!
+//! ```text
+//! cargo run -p tincy-bench --release --bin serve [-- out.json]
+//! ```
+
+use tincy_core::SystemConfig;
+use tincy_serve::json::{serve_report_json, JsonObject};
+use tincy_serve::{run_loadgen, LoadMode, LoadgenConfig, ServeConfig};
+
+struct Sweep {
+    label: &'static str,
+    max_batch: usize,
+    cpu_workers: usize,
+    mode: LoadMode,
+}
+
+fn mode_label(mode: LoadMode) -> String {
+    match mode {
+        LoadMode::Closed => "closed".to_owned(),
+        LoadMode::Burst => "burst".to_owned(),
+        LoadMode::Open { interval } => format!("open:{}us", interval.as_micros()),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let sweeps = [
+        Sweep {
+            label: "unbatched finn-only",
+            max_batch: 1,
+            cpu_workers: 0,
+            mode: LoadMode::Burst,
+        },
+        Sweep {
+            label: "batched finn-only",
+            max_batch: 4,
+            cpu_workers: 0,
+            mode: LoadMode::Burst,
+        },
+        Sweep {
+            label: "batched heterogeneous",
+            max_batch: 4,
+            cpu_workers: 2,
+            mode: LoadMode::Burst,
+        },
+        Sweep {
+            label: "closed-loop heterogeneous",
+            max_batch: 4,
+            cpu_workers: 2,
+            mode: LoadMode::Closed,
+        },
+    ];
+
+    println!(
+        "{:<28} {:>9} {:>10} {:>10} {:>10} {:>11}",
+        "configuration", "req/s", "p50 ms", "p99 ms", "mean batch", "cpu items"
+    );
+    let mut rows = Vec::new();
+    for sweep in &sweeps {
+        let config = ServeConfig {
+            system: SystemConfig {
+                input_size: 64,
+                ..Default::default()
+            },
+            max_batch: sweep.max_batch,
+            cpu_workers: sweep.cpu_workers,
+            queue_capacity: 256,
+            per_client_capacity: 32,
+            ..Default::default()
+        };
+        let load = LoadgenConfig {
+            clients: 4,
+            requests_per_client: 12,
+            mode: sweep.mode,
+            ..Default::default()
+        };
+        let report = match run_loadgen(config, &load) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("  {} failed: {e}", sweep.label);
+                continue;
+            }
+        };
+        assert_eq!(report.dropped(), 0, "accepted requests must all complete");
+        assert!(report.all_in_order(), "per-client ordering must hold");
+        let s = &report.serve;
+        println!(
+            "{:<28} {:>9.1} {:>10.2} {:>10.2} {:>10.2} {:>11}",
+            sweep.label,
+            s.throughput(),
+            s.latency.p50().as_secs_f64() * 1000.0,
+            s.latency.p99().as_secs_f64() * 1000.0,
+            s.mean_batch(),
+            s.cpu_items
+        );
+        rows.push(
+            JsonObject::new()
+                .str("label", sweep.label)
+                .u64("max_batch", sweep.max_batch as u64)
+                .u64("cpu_workers", sweep.cpu_workers as u64)
+                .str("mode", &mode_label(sweep.mode))
+                .u64("clients", load.clients as u64)
+                .u64("requests_per_client", load.requests_per_client)
+                .raw("report", &serve_report_json(s))
+                .finish(),
+        );
+    }
+
+    let body = format!(
+        "{}\n",
+        JsonObject::new()
+            .str("bench", "serve")
+            .raw("rows", &format!("[{}]", rows.join(",")))
+            .finish()
+    );
+    match std::fs::write(&out_path, body) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+}

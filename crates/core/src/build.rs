@@ -102,6 +102,16 @@ pub fn arm_offload_resilience(
     health
 }
 
+/// Position of the offload layer in a layer stack, so integrations that
+/// micro-batch the accelerated segment (the serving layer) can split the
+/// stack into CPU prologue / offload / CPU epilogue without owning the
+/// network container.
+pub fn offload_position(layers: &mut [Box<dyn tincy_nn::Layer>]) -> Option<usize> {
+    layers
+        .iter_mut()
+        .position(|layer| layer.as_offload_mut().is_some())
+}
+
 /// The offloaded network specification (Fig 4): input conv on the CPU,
 /// one `[offload]` section subsuming all hidden layers, output conv and
 /// region head on the CPU.

@@ -21,7 +21,10 @@ pub mod deploy;
 pub mod topology;
 pub mod variants;
 
-pub use build::{build_offloaded_network, fabric_registry, offloaded_spec, SystemConfig};
+pub use build::{
+    arm_offload_resilience, build_offloaded_network, fabric_registry, offload_position,
+    offloaded_spec, SystemConfig,
+};
 pub use demo::{run_demo, DemoConfig, DemoReport};
 pub use deploy::DeployedDetector;
 pub use topology::{cnv6, mlp4, tincy_yolo, tincy_yolo_with_input, tiny_yolo, VOC_ANCHORS};

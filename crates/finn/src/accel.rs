@@ -117,15 +117,20 @@ impl QnnLayerParams {
 /// Timing report of one accelerator invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccelReport {
-    /// Compute cycles per layer, in execution order.
+    /// Compute cycles per layer, in execution order. For a batched
+    /// invocation these are summed over every frame in the batch.
     pub layer_cycles: Vec<u64>,
-    /// Cycles spent streaming weights between layer invocations.
+    /// Cycles spent streaming weights between layer invocations. Weights
+    /// are swapped once per layer per *invocation*, so a micro-batch
+    /// amortizes this cost over [`AccelReport::batch`] frames.
     pub weight_swap_cycles: u64,
     /// Cycles spent reloading the bitstream after a configuration loss
     /// (0 unless a [`FaultKind::BitstreamLost`] preceded this invocation).
     pub reload_cycles: u64,
     /// Fabric clock the cycles refer to.
     pub clock_hz: u64,
+    /// Frames processed by this invocation (1 for a single-frame run).
+    pub batch: usize,
 }
 
 impl AccelReport {
@@ -137,6 +142,12 @@ impl AccelReport {
     /// Total wall-clock seconds.
     pub fn total_seconds(&self) -> f64 {
         self.total_cycles() as f64 / self.clock_hz as f64
+    }
+
+    /// Cycles per frame — the number a serving layer compares across batch
+    /// sizes to see the weight-swap amortization.
+    pub fn cycles_per_frame(&self) -> u64 {
+        self.total_cycles() / self.batch.max(1) as u64
     }
 }
 
@@ -235,6 +246,30 @@ impl QnnAccelerator {
     /// Returns [`NnError`] on a shape mismatch or an injected
     /// (retryable) accelerator fault.
     pub fn run(&self, input: &Tensor<u8>) -> Result<(Tensor<u8>, AccelReport), NnError> {
+        let (mut outs, report) = self.run_batch(std::slice::from_ref(input))?;
+        Ok((outs.pop().expect("batch of one yields one output"), report))
+    }
+
+    /// Runs a whole micro-batch through the hidden stack in **one**
+    /// accelerator invocation: per layer, the engine streams the weights in
+    /// once and then processes every frame of the batch before moving on —
+    /// amortizing the weight-swap traffic that dominates small frames. One
+    /// invocation also means one fault draw: a faulted batch fails as a
+    /// unit, exactly like a faulted single-frame DMA transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] for an empty batch, otherwise the
+    /// same contract as [`QnnAccelerator::run`].
+    pub fn run_batch(
+        &self,
+        inputs: &[Tensor<u8>],
+    ) -> Result<(Vec<Tensor<u8>>, AccelReport), NnError> {
+        if inputs.is_empty() {
+            return Err(NnError::InvalidSpec {
+                what: "accelerator micro-batch must not be empty".to_owned(),
+            });
+        }
         let fault = self.injector.as_ref().and_then(FaultInjector::next_fault);
         if let Some(
             kind @ (FaultKind::DmaTimeout | FaultKind::TransientBusy | FaultKind::BitstreamLost),
@@ -246,20 +281,26 @@ impl QnnAccelerator {
             .injector
             .as_ref()
             .map_or(0, FaultInjector::take_reload_penalty);
-        let mut fmap = input.clone();
+        let mut fmaps: Vec<Tensor<u8>> = inputs.to_vec();
         let mut layer_cycles = Vec::with_capacity(self.layers.len());
         let mut swap = 0u64;
         for layer in &self.layers {
-            // Weight swap: the engine streams the next layer's weights in.
+            // Weight swap: the engine streams this layer's weights in once
+            // for the whole batch.
             swap += layer.weight_bits().div_ceil(self.axi_bits_per_cycle);
-            let (out, cycles) = self.engine.run_layer(layer, &fmap)?;
+            let mut cycles = 0u64;
+            for fmap in &mut fmaps {
+                let (out, layer_time) = self.engine.run_layer(layer, fmap)?;
+                cycles += layer_time;
+                *fmap = out;
+            }
             layer_cycles.push(cycles);
-            fmap = out;
         }
         if fault == Some(FaultKind::CorruptResult) {
             let injector = self.injector.as_ref().expect("fault implies injector");
-            let expected = result_checksum(fmap.as_slice());
-            let mut wire = fmap.clone();
+            let first = fmaps.first().expect("nonempty batch");
+            let expected = result_checksum(first.as_slice());
+            let mut wire = first.clone();
             injector.corrupt_in_place(wire.as_mut_slice());
             if result_checksum(wire.as_slice()) != expected {
                 return Err(FaultKind::CorruptResult.to_error());
@@ -270,8 +311,9 @@ impl QnnAccelerator {
             weight_swap_cycles: swap,
             reload_cycles,
             clock_hz: self.engine.config().clock_hz,
+            batch: inputs.len(),
         };
-        Ok((fmap, report))
+        Ok((fmaps, report))
     }
 
     /// Pure-software golden reference: naive signed dot products plus
@@ -527,6 +569,50 @@ mod tests {
             accel.reference_run(&input).unwrap(),
             "clean retry is bit-exact"
         );
+    }
+
+    #[test]
+    fn batched_run_is_bit_exact_and_amortizes_weight_swaps() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let accel = two_layer_accel(&mut rng);
+        let inputs: Vec<Tensor<u8>> = (0..4)
+            .map(|_| Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8))
+            .collect();
+
+        let (batched, report) = accel.run_batch(&inputs).unwrap();
+        assert_eq!(report.batch, 4);
+        let mut single_swap = 0;
+        for (input, out) in inputs.iter().zip(&batched) {
+            let (one, single_report) = accel.run(input).unwrap();
+            assert_eq!(&one, out, "batched output matches single-frame run");
+            single_swap = single_report.weight_swap_cycles;
+        }
+        // The batch streams each layer's weights once, not once per frame.
+        assert_eq!(report.weight_swap_cycles, single_swap);
+        let single_cpf = accel.run(&inputs[0]).unwrap().1.cycles_per_frame();
+        assert!(
+            report.cycles_per_frame() < single_cpf,
+            "batching must amortize: {} !< {}",
+            report.cycles_per_frame(),
+            single_cpf
+        );
+        assert!(accel.run_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn batched_run_draws_one_fault_per_invocation() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(108);
+        let accel = two_layer_accel(&mut rng)
+            .with_fault_injector(FaultInjector::new(FaultPlan::outage(0, 1)));
+        let inputs: Vec<Tensor<u8>> = (0..3)
+            .map(|_| Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8))
+            .collect();
+        assert!(accel.run_batch(&inputs).is_err(), "whole batch faults once");
+        let (outs, _) = accel.run_batch(&inputs).unwrap();
+        assert_eq!(outs.len(), 3);
+        let stats = accel.fault_injector().unwrap().stats();
+        assert_eq!((stats.invocations, stats.faults), (2, 1));
     }
 
     #[test]

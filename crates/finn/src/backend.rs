@@ -315,6 +315,26 @@ impl OffloadBackend for FabricBackend {
         Ok(levels.map(|l| l as f32 * step))
     }
 
+    /// Batched offload: one accelerator invocation for the whole
+    /// micro-batch, streaming each layer's weights in once — the
+    /// amortization the serving layer's batch former exists to exploit.
+    fn forward_batch(&mut self, inputs: &[Tensor<f32>]) -> Result<Vec<Tensor<f32>>, NnError> {
+        let accel = self.accel.as_ref().ok_or(NnError::InvalidSpec {
+            what: "fabric backend used before load_weights".to_owned(),
+        })?;
+        let step = self.act_step;
+        let quantized: Vec<Tensor<u8>> = inputs
+            .iter()
+            .map(|input| input.map(|v| ((v / step).round().clamp(0.0, 7.0)) as u8))
+            .collect();
+        let (levels, report) = accel.run_batch(&quantized)?;
+        self.last_report = Some(report);
+        Ok(levels
+            .into_iter()
+            .map(|t| t.map(|l| l as f32 * step))
+            .collect())
+    }
+
     fn num_params(&self) -> usize {
         let Some(input) = self.input_shape else {
             return 0;
@@ -503,6 +523,24 @@ mod tests {
         backend.set_fault_plan(FaultPlan::none());
         assert!(backend.fault_stats().is_none());
         assert!(backend.forward(&input).is_ok());
+    }
+
+    #[test]
+    fn batched_forward_matches_singles_and_reports_batch() {
+        let mut backend = loaded_backend();
+        let inputs: Vec<Tensor<f32>> = (0..3)
+            .map(|k| {
+                Tensor::from_fn(Shape3::new(4, 8, 8), move |c, y, x| {
+                    ((c + y + k * x) % 8) as f32 * 0.125
+                })
+            })
+            .collect();
+        let singles: Vec<Tensor<f32>> =
+            inputs.iter().map(|i| backend.forward(i).unwrap()).collect();
+        let batched = backend.forward_batch(&inputs).unwrap();
+        assert_eq!(batched, singles, "micro-batching never changes results");
+        let report = backend.last_report().expect("batched report recorded");
+        assert_eq!(report.batch, 3);
     }
 
     #[test]

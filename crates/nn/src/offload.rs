@@ -97,6 +97,35 @@ pub trait OffloadBackend: Send {
         self.forward(input)
     }
 
+    /// Computes output feature maps for a whole micro-batch in one backend
+    /// invocation. The default runs the inputs one by one; hardware-backed
+    /// implementations should override it to amortize per-invocation costs
+    /// (weight streaming, DMA setup) across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; a failure faults the whole batch (no
+    /// partial results), matching the all-or-nothing DMA transfer model.
+    fn forward_batch(&mut self, inputs: &[Tensor<f32>]) -> Result<Vec<Tensor<f32>>, NnError> {
+        inputs.iter().map(|input| self.forward(input)).collect()
+    }
+
+    /// Host-side reference evaluation of a whole micro-batch — the batched
+    /// counterpart of [`OffloadBackend::forward_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific inference failures.
+    fn forward_reference_batch(
+        &mut self,
+        inputs: &[Tensor<f32>],
+    ) -> Result<Vec<Tensor<f32>>, NnError> {
+        inputs
+            .iter()
+            .map(|input| self.forward_reference(input))
+            .collect()
+    }
+
     /// Number of parameters consumed from the weight stream.
     fn num_params(&self) -> usize;
 
@@ -233,6 +262,25 @@ pub struct OffloadStats {
 pub fn run_with_resilience<T>(
     policy: &RetryPolicy,
     health: &OffloadHealth,
+    run: impl FnMut(bool) -> Result<T, NnError>,
+) -> Result<T, NnError> {
+    run_with_resilience_n(policy, health, 1, run)
+}
+
+/// Batch-aware variant of [`run_with_resilience`]: the closure processes
+/// `items` frames per invocation (one micro-batched offload call), so the
+/// per-frame counters (`forwards`, `fallbacks`, `degraded`) advance by
+/// `items` while the per-invocation counters (`faults`, `retries`) advance
+/// by one per attempt — a faulted batch is one DMA fault, not `items`
+/// faults.
+///
+/// # Errors
+///
+/// Same contract as [`run_with_resilience`].
+pub fn run_with_resilience_n<T>(
+    policy: &RetryPolicy,
+    health: &OffloadHealth,
+    items: u64,
     mut run: impl FnMut(bool) -> Result<T, NnError>,
 ) -> Result<T, NnError> {
     let counters = &health.inner;
@@ -240,9 +288,9 @@ pub fn run_with_resilience<T>(
     loop {
         match run(false) {
             Ok(value) => {
-                counters.forwards.fetch_add(1, Ordering::Relaxed);
+                counters.forwards.fetch_add(items, Ordering::Relaxed);
                 if attempt > 0 {
-                    counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    counters.degraded.fetch_add(items, Ordering::Relaxed);
                 }
                 return Ok(value);
             }
@@ -259,9 +307,9 @@ pub fn run_with_resilience<T>(
                 }
                 if policy.cpu_fallback {
                     let value = run(true)?;
-                    counters.forwards.fetch_add(1, Ordering::Relaxed);
-                    counters.fallbacks.fetch_add(1, Ordering::Relaxed);
-                    counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    counters.forwards.fetch_add(items, Ordering::Relaxed);
+                    counters.fallbacks.fetch_add(items, Ordering::Relaxed);
+                    counters.degraded.fetch_add(items, Ordering::Relaxed);
                     return Ok(value);
                 }
                 return Err(e);
@@ -380,6 +428,83 @@ impl OffloadLayer {
     /// A shared handle on this layer's health counters.
     pub fn health(&self) -> OffloadHealth {
         self.health.clone()
+    }
+
+    /// Runs a whole micro-batch through the backend in one offload
+    /// invocation, under the layer's retry/fallback policy.
+    ///
+    /// A retryable fault faults the *batch* (one DMA invocation), is
+    /// retried as a unit, and past the retry budget the whole batch
+    /// completes on the host-side reference path — so an accepted batch
+    /// either fully succeeds or fully fails, never partially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for any nonconforming input or
+    /// output, or the backend's failure per the resilience contract. An
+    /// empty batch is rejected as [`NnError::InvalidSpec`].
+    pub fn forward_batch(&mut self, inputs: &[Tensor<f32>]) -> Result<Vec<Tensor<f32>>, NnError> {
+        if inputs.is_empty() {
+            return Err(NnError::InvalidSpec {
+                what: "offload micro-batch must not be empty".to_owned(),
+            });
+        }
+        for input in inputs {
+            self.check_input(input)?;
+        }
+        let backend = self.backend.as_mut();
+        let outs = run_with_resilience_n(
+            &self.retry,
+            &self.health,
+            inputs.len() as u64,
+            |use_reference| {
+                if use_reference {
+                    backend.forward_reference_batch(inputs)
+                } else {
+                    backend.forward_batch(inputs)
+                }
+            },
+        )?;
+        if outs.len() != inputs.len() {
+            return Err(NnError::InvalidSpec {
+                what: format!(
+                    "backend returned {} outputs for a batch of {}",
+                    outs.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        for out in &outs {
+            if out.shape() != self.config.output_shape {
+                return Err(NnError::ShapeMismatch {
+                    expected: self.config.output_shape.to_string(),
+                    actual: out.shape().to_string(),
+                });
+            }
+        }
+        Ok(outs)
+    }
+
+    /// Evaluates one input on the host-side reference path directly,
+    /// bypassing the accelerator *and* the resilience machinery. This is
+    /// the entry point for schedulers that deliberately place work on the
+    /// CPU backend (load shedding, heterogeneous dispatch) — unlike a
+    /// fallback it is not a recovery event, so the health counters are
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] or the backend's own failure.
+    pub fn forward_host(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        self.check_input(input)?;
+        let out = self.backend.forward_reference(input)?;
+        if out.shape() != self.config.output_shape {
+            return Err(NnError::ShapeMismatch {
+                expected: self.config.output_shape.to_string(),
+                actual: out.shape().to_string(),
+            });
+        }
+        Ok(out)
     }
 
     /// Immutable access to the backend.
@@ -741,6 +866,64 @@ mod tests {
         let offload = layer.as_offload_mut().expect("offload layer downcasts");
         offload.set_retry_policy(RetryPolicy::fail_fast());
         assert_eq!(offload.retry_policy(), RetryPolicy::fail_fast());
+    }
+
+    #[test]
+    fn batch_forward_matches_singles_and_counts_items() {
+        let shape = Shape3::new(2, 3, 3);
+        let mut layer = OffloadLayer::new(shape, &spec(shape), &registry()).unwrap();
+        let inputs: Vec<Tensor<f32>> = (0..4)
+            .map(|i| Tensor::filled(shape, i as f32 + 1.0))
+            .collect();
+        let batched = layer.forward_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), 4);
+        for (input, out) in inputs.iter().zip(&batched) {
+            assert_eq!(&layer.forward(input).unwrap(), out);
+        }
+        // 4 batch items + 4 single forwards.
+        assert_eq!(layer.health().snapshot().forwards, 8);
+        assert!(matches!(
+            layer.forward_batch(&[]),
+            Err(NnError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_batch_falls_back_as_a_unit() {
+        let mut layer = flaky_layer(100, RetryPolicy::default());
+        let inputs: Vec<Tensor<f32>> = (0..3)
+            .map(|_| Tensor::filled(Shape3::new(1, 2, 2), 2.0))
+            .collect();
+        let outs = layer.forward_batch(&inputs).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert!(outs
+            .iter()
+            .all(|o| o.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6)));
+        let stats = layer.health().snapshot();
+        // Per-invocation counters: initial try + two retries, all faulted.
+        assert_eq!(stats.faults, 3);
+        assert_eq!(stats.retries, 2);
+        // Per-frame counters scale with the batch.
+        assert_eq!(stats.forwards, 3);
+        assert_eq!(stats.fallbacks, 3);
+        assert_eq!(stats.degraded, 3);
+    }
+
+    #[test]
+    fn forward_host_runs_reference_without_recovery_counters() {
+        let mut layer = flaky_layer(100, RetryPolicy::default());
+        let input = Tensor::filled(Shape3::new(1, 2, 2), 5.0f32);
+        let out = layer.forward_host(&input).unwrap();
+        assert!(out.as_slice().iter().all(|&v| (v - 5.0).abs() < 1e-6));
+        let stats = layer.health().snapshot();
+        assert_eq!(stats, OffloadStats::default(), "no health movement");
+        let backend = layer
+            .backend()
+            .as_any()
+            .downcast_ref::<FlakyBackend>()
+            .expect("flaky backend");
+        assert_eq!(backend.hw_calls, 0, "accelerated path never touched");
+        assert_eq!(backend.reference_calls, 1);
     }
 
     #[test]

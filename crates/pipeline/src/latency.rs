@@ -1,0 +1,268 @@
+//! Streaming duration statistics: min/max/mean plus approximate
+//! percentiles from a log-linear histogram.
+//!
+//! The serving layer needs tail latencies (p50/p95/p99), not just means,
+//! and it needs them *online* — recorded per request while the run is in
+//! flight, without storing every sample. An HDR-style log-linear histogram
+//! gives a bounded relative error (each power-of-two range is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so quantiles are accurate to within
+//! `1/SUB_BUCKETS` of the value) at a fixed memory cost.
+
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two range; 16 bounds the relative
+/// quantile error at ~6%.
+const SUB_BUCKETS: usize = 16;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+/// Highest tracked exponent: values at or above 2^40 ns (~18 min) saturate
+/// into the last bucket.
+const MAX_EXP: u32 = 40;
+/// Total bucket count: exact buckets below `SUB_BUCKETS`, then
+/// `SUB_BUCKETS` per octave.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (MAX_EXP as usize - SUB_BITS as usize) * SUB_BUCKETS + 1;
+
+/// Streaming statistics over a set of durations.
+///
+/// Records are O(1); quantile queries walk the fixed-size histogram.
+/// Mergeable, so per-worker recorders can be combined into one report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationStats {
+    count: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+    buckets: Vec<u64>,
+}
+
+impl Default for DurationStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurationStats {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// The histogram bucket a nanosecond value falls into.
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < SUB_BUCKETS as u64 {
+            return nanos as usize;
+        }
+        let exp = 63 - nanos.leading_zeros();
+        if exp >= MAX_EXP {
+            return NUM_BUCKETS - 1;
+        }
+        let sub = ((nanos >> (exp - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+        SUB_BUCKETS + (exp - SUB_BITS) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The representative (upper-bound) nanosecond value of a bucket.
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let index = index.min(NUM_BUCKETS - 1);
+        let octave = (index - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        let exp = SUB_BITS + octave as u32;
+        // Upper edge of the sub-bucket.
+        (1u64 << exp) + (sub + 1) * (1u64 << (exp - SUB_BITS)) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.count += 1;
+        self.total += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_index(nanos)] += 1;
+    }
+
+    /// Folds another recorder into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Smallest sample, if any was recorded.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any was recorded.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.total.as_nanos() / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) from the histogram, clamped to the
+    /// exact observed min/max so tails never over-report.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Duration::from_nanos(Self::bucket_value(i));
+                return v.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_is_inert() {
+        let s = DurationStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_is_every_statistic() {
+        let mut s = DurationStats::new();
+        s.record(Duration::from_micros(250));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), Some(Duration::from_micros(250)));
+        assert_eq!(s.max(), Some(Duration::from_micros(250)));
+        assert_eq!(s.mean(), Duration::from_micros(250));
+        assert_eq!(s.p50(), Duration::from_micros(250));
+        assert_eq!(s.p99(), Duration::from_micros(250));
+    }
+
+    #[test]
+    fn quantiles_are_within_histogram_error() {
+        // 1..=1000 µs uniformly: p50 ≈ 500 µs, p95 ≈ 950 µs, p99 ≈ 990 µs.
+        let mut s = DurationStats::new();
+        for us in 1..=1000u64 {
+            s.record(Duration::from_micros(us));
+        }
+        let tol = 0.08; // SUB_BUCKETS = 16 → ≤ ~6.25% + rounding
+        for (q, expect_us) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = s.quantile(q).as_secs_f64() * 1e6;
+            assert!(
+                (got - expect_us).abs() / expect_us < tol,
+                "q={q}: got {got} µs, want ≈{expect_us} µs"
+            );
+        }
+        assert_eq!(s.min(), Some(Duration::from_micros(1)));
+        assert_eq!(s.max(), Some(Duration::from_micros(1000)));
+    }
+
+    #[test]
+    fn tails_are_clamped_to_observed_extremes() {
+        let mut s = DurationStats::new();
+        for _ in 0..100 {
+            s.record(Duration::from_nanos(1_000_003));
+        }
+        // The bucket upper bound exceeds the sample; the clamp keeps p99
+        // at the true max.
+        assert_eq!(s.p99(), Duration::from_nanos(1_000_003));
+        assert_eq!(s.p50(), Duration::from_nanos(1_000_003));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = DurationStats::new();
+        let mut b = DurationStats::new();
+        let mut both = DurationStats::new();
+        for i in 0..50u64 {
+            let d = Duration::from_micros(10 + i * 7);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            both.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut s = DurationStats::new();
+        s.record(Duration::ZERO);
+        s.record(Duration::from_secs(3600)); // above MAX_EXP range
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), Some(Duration::ZERO));
+        assert_eq!(s.max(), Some(Duration::from_secs(3600)));
+        assert!(s.quantile(1.0) <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn bucket_round_trip_bounds_error() {
+        for nanos in [0u64, 1, 15, 16, 17, 100, 1023, 1024, 65_537, 10_000_000] {
+            let idx = DurationStats::bucket_index(nanos);
+            let rep = DurationStats::bucket_value(idx);
+            assert!(rep >= nanos, "representative {rep} below sample {nanos}");
+            if nanos >= 16 {
+                assert!(
+                    (rep - nanos) as f64 / nanos as f64 <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                    "nanos={nanos} rep={rep}"
+                );
+            } else {
+                assert_eq!(rep, nanos, "small values are exact");
+            }
+        }
+    }
+}

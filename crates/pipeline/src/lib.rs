@@ -18,11 +18,13 @@
 //! both the real Tincy demo (`tincy-core`) and synthetic workloads
 //! (`tincy-perf`, benches) can run on it.
 
+mod latency;
 mod metrics;
 mod pipeline_impl;
 mod slot;
 mod stage;
 
+pub use latency::DurationStats;
 pub use metrics::{PipelineMetrics, StageStats};
 pub use pipeline_impl::Pipeline;
 pub use slot::Slot;

@@ -1,5 +1,6 @@
 //! Pipeline throughput and occupancy metrics.
 
+use crate::latency::DurationStats;
 use std::time::Duration;
 
 /// Per-stage execution statistics.
@@ -11,9 +12,29 @@ pub struct StageStats {
     pub invocations: u64,
     /// Accumulated busy time.
     pub busy: Duration,
+    /// Streaming per-invocation timing distribution (min/max/percentiles).
+    pub timing: DurationStats,
 }
 
 impl StageStats {
+    /// Creates an empty record for a named stage.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            invocations: 0,
+            busy: Duration::ZERO,
+            timing: DurationStats::new(),
+        }
+    }
+
+    /// Records one invocation, keeping count, busy time and the timing
+    /// distribution consistent.
+    pub fn record(&mut self, took: Duration) {
+        self.invocations += 1;
+        self.busy += took;
+        self.timing.record(took);
+    }
+
     /// Mean processing time per frame.
     ///
     /// Computed in nanoseconds: dividing a `Duration` by
@@ -25,6 +46,31 @@ impl StageStats {
         } else {
             Duration::from_nanos((self.busy.as_nanos() / u128::from(self.invocations)) as u64)
         }
+    }
+
+    /// Fastest recorded invocation, if any.
+    pub fn min_time(&self) -> Option<Duration> {
+        self.timing.min()
+    }
+
+    /// Slowest recorded invocation, if any.
+    pub fn max_time(&self) -> Option<Duration> {
+        self.timing.max()
+    }
+
+    /// Median invocation time.
+    pub fn p50(&self) -> Duration {
+        self.timing.p50()
+    }
+
+    /// 95th-percentile invocation time.
+    pub fn p95(&self) -> Duration {
+        self.timing.p95()
+    }
+
+    /// 99th-percentile invocation time.
+    pub fn p99(&self) -> Duration {
+        self.timing.p99()
     }
 }
 
@@ -83,14 +129,14 @@ mod tests {
             elapsed: Duration::from_secs(2),
             stages: vec![
                 StageStats {
-                    name: "a".into(),
                     invocations: 20,
                     busy: Duration::from_secs(3),
+                    ..StageStats::named("a")
                 },
                 StageStats {
-                    name: "b".into(),
                     invocations: 20,
                     busy: Duration::from_secs(3),
+                    ..StageStats::named("b")
                 },
             ],
             in_order: true,
@@ -108,11 +154,7 @@ mod tests {
         let metrics = PipelineMetrics {
             frames: 0,
             elapsed: Duration::ZERO,
-            stages: vec![StageStats {
-                name: "a".into(),
-                invocations: 0,
-                busy: Duration::ZERO,
-            }],
+            stages: vec![StageStats::named("a")],
             in_order: true,
             workers: 1,
             degraded: 0,
@@ -128,18 +170,34 @@ mod tests {
         // at exactly 2^32 invocations it became a division by zero, and
         // just above it the mean was wildly overestimated.
         let stats = StageStats {
-            name: "hot".into(),
             invocations: u64::from(u32::MAX) + 2,
             busy: Duration::from_secs(8_589_934_594), // 2 s per invocation
+            ..StageStats::named("hot")
         };
         assert_eq!(stats.mean_time(), Duration::from_secs(2));
 
         // Sub-nanosecond means truncate to zero instead of panicking.
         let tiny = StageStats {
-            name: "tiny".into(),
             invocations: u64::from(u32::MAX) + 2,
             busy: Duration::from_nanos(1),
+            ..StageStats::named("tiny")
         };
         assert_eq!(tiny.mean_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn record_keeps_count_busy_and_distribution_consistent() {
+        let mut stats = StageStats::named("work");
+        for ms in [2u64, 4, 6, 8] {
+            stats.record(Duration::from_millis(ms));
+        }
+        assert_eq!(stats.invocations, 4);
+        assert_eq!(stats.busy, Duration::from_millis(20));
+        assert_eq!(stats.mean_time(), Duration::from_millis(5));
+        assert_eq!(stats.min_time(), Some(Duration::from_millis(2)));
+        assert_eq!(stats.max_time(), Some(Duration::from_millis(8)));
+        assert_eq!(stats.timing.count(), 4);
+        assert!(stats.p50() >= Duration::from_millis(2));
+        assert!(stats.p99() <= Duration::from_millis(8));
     }
 }

@@ -12,12 +12,6 @@ struct Env<T> {
     frame: T,
 }
 
-struct StatsAcc {
-    name: String,
-    invocations: u64,
-    busy: Duration,
-}
-
 /// Everything guarded by the pipeline lock.
 struct Shared<T> {
     /// `slots[i]` is the output buffer of task `i` (source = task 0,
@@ -35,7 +29,7 @@ struct Shared<T> {
     delivered: u64,
     last_seq: Option<u64>,
     in_order: bool,
-    stats: Vec<StatsAcc>,
+    stats: Vec<StageStats>,
 }
 
 impl<T> Shared<T> {
@@ -149,23 +143,11 @@ impl<T: Send + 'static> Pipeline<T> {
         let workers = workers.max(1);
         let n = self.stages.len();
         let mut stats = Vec::with_capacity(n + 2);
-        stats.push(StatsAcc {
-            name: "source".to_owned(),
-            invocations: 0,
-            busy: Duration::ZERO,
-        });
+        stats.push(StageStats::named("source"));
         for s in &self.stages {
-            stats.push(StatsAcc {
-                name: s.name().to_owned(),
-                invocations: 0,
-                busy: Duration::ZERO,
-            });
+            stats.push(StageStats::named(s.name()));
         }
-        stats.push(StatsAcc {
-            name: "sink".to_owned(),
-            invocations: 0,
-            busy: Duration::ZERO,
-        });
+        stats.push(StageStats::named("sink"));
 
         let shared = Mutex::new(Shared {
             slots: (0..=n).map(|_| Slot::Free).collect(),
@@ -198,15 +180,7 @@ impl<T: Send + 'static> Pipeline<T> {
         PipelineMetrics {
             frames: state.delivered,
             elapsed: started.elapsed(),
-            stages: state
-                .stats
-                .into_iter()
-                .map(|s| StageStats {
-                    name: s.name,
-                    invocations: s.invocations,
-                    busy: s.busy,
-                })
-                .collect(),
+            stages: state.stats,
             in_order: state.in_order,
             workers,
             degraded,
@@ -275,8 +249,7 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
                 }
                 None => state.source_done = true,
             }
-            state.stats[0].invocations += 1;
-            state.stats[0].busy += took;
+            state.stats[0].record(took);
             state.source = Some(source);
         } else if job == n + 1 {
             // Sink: deliver the most mature frame.
@@ -299,8 +272,7 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
             }
             state.last_seq = Some(seq);
             state.delivered += 1;
-            state.stats[n + 1].invocations += 1;
-            state.stats[n + 1].busy += took;
+            state.stats[n + 1].record(took);
             state.sink = Some(sink);
         } else {
             // Stage `job`: advance one frame one step.
@@ -317,8 +289,7 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
             let mut state = shared.lock();
             state.slots[job - 1].finish_consume();
             state.slots[job].deposit(Env { seq, frame });
-            state.stats[job].invocations += 1;
-            state.stats[job].busy += took;
+            state.stats[job].record(took);
             state.stages[job - 1] = Some(stage);
         }
         condvar.notify_all();

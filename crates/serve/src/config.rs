@@ -1,0 +1,66 @@
+//! Serving configuration.
+
+use crate::request::SloClass;
+use std::time::Duration;
+use tincy_core::SystemConfig;
+
+/// Configuration of the inference server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Network + fabric configuration (shared by every backend engine;
+    /// the common weight seed is what makes FINN and CPU results
+    /// interchangeable).
+    pub system: SystemConfig,
+    /// Host workers running the bit-exact reference path. The FINN engine
+    /// is a single worker — the device is one fabric.
+    pub cpu_workers: usize,
+    /// Maximum FINN micro-batch size (weights swap once per layer per
+    /// batch, amortizing the dominant reload cost).
+    pub max_batch: usize,
+    /// Global pending-queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Per-client outstanding-request quota.
+    pub per_client_capacity: usize,
+    /// Host workers engage only when the queue is deeper than this (or the
+    /// FINN engine is degraded, or the server is draining) — shallow
+    /// queues are left to accumulate into FINN micro-batches.
+    pub cpu_engage_depth: usize,
+    /// Detection score threshold.
+    pub score_threshold: f32,
+    /// Start with dispatch paused (burst mode: submit, then
+    /// [`crate::InferenceServer::resume`] for deterministic batch
+    /// formation).
+    pub start_paused: bool,
+    /// Latency targets per SLO class, indexed by [`SloClass::index`].
+    pub slo_targets: [Duration; 3],
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            system: SystemConfig {
+                input_size: 128,
+                ..Default::default()
+            },
+            cpu_workers: 2,
+            max_batch: 4,
+            queue_capacity: 64,
+            per_client_capacity: 8,
+            cpu_engage_depth: 8,
+            score_threshold: 0.2,
+            start_paused: false,
+            slo_targets: [
+                Duration::from_millis(50),
+                Duration::from_millis(200),
+                Duration::from_secs(2),
+            ],
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Latency target of one SLO class.
+    pub fn target(&self, class: SloClass) -> Duration {
+        self.slo_targets[class.index()]
+    }
+}

@@ -1,0 +1,212 @@
+//! A backend worker's private copy of the offloaded network, split around
+//! the accelerated segment so the serving layer can micro-batch it.
+//!
+//! Every worker builds its own engine from the same [`SystemConfig`]; the
+//! deterministic weight seed makes all copies identical, and the fabric's
+//! bit-exactness with the software reference path makes FINN and CPU
+//! results interchangeable.
+
+use tincy_core::{arm_offload_resilience, build_offloaded_network, offload_position, SystemConfig};
+use tincy_eval::{nms, Detection};
+use tincy_finn::FaultPlan;
+use tincy_nn::{Layer, LayerSpec, NnError, OffloadHealth, RegionLayer, RegionParams};
+use tincy_tensor::{Shape3, Tensor};
+use tincy_video::Image;
+
+/// Non-maximum-suppression IoU threshold (matches the demo path).
+const NMS_IOU: f32 = 0.45;
+
+/// One runnable copy of the offloaded detector, split into CPU prologue /
+/// offload segment / CPU epilogue.
+pub struct ServeEngine {
+    layers: Vec<Box<dyn Layer>>,
+    offload_idx: usize,
+    decoder: RegionLayer,
+    health: OffloadHealth,
+    input_size: usize,
+    score_threshold: f32,
+}
+
+impl ServeEngine {
+    /// Builds an engine for the FINN path: fault plan armed (if any) and
+    /// the system's retry/fallback policy applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction failures.
+    pub fn finn(system: &SystemConfig, score_threshold: f32) -> Result<Self, NnError> {
+        Self::build(system, score_threshold)
+    }
+
+    /// Builds an engine for a host worker: same weights, but fault-free
+    /// (host workers run the reference path and never consult the fabric,
+    /// so arming faults would only waste the plan's determinism budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction failures.
+    pub fn cpu(system: &SystemConfig, score_threshold: f32) -> Result<Self, NnError> {
+        let host_system = SystemConfig {
+            fault_plan: FaultPlan::none(),
+            ..*system
+        };
+        Self::build(&host_system, score_threshold)
+    }
+
+    fn build(system: &SystemConfig, score_threshold: f32) -> Result<Self, NnError> {
+        let net = build_offloaded_network(system)?;
+        let spec = tincy_core::offloaded_spec(system.input_size);
+        let region_params: RegionParams = match spec.layers.last() {
+            Some(LayerSpec::Region(r)) => RegionParams::from(r),
+            _ => unreachable!("offloaded spec ends in a region layer"),
+        };
+        let grid = system.input_size / 32;
+        let decoder = RegionLayer::new(
+            Shape3::new(region_params.expected_channels(), grid, grid),
+            region_params,
+        )?;
+        let mut layers = net.into_layers();
+        let health = arm_offload_resilience(&mut layers, system)
+            .expect("the offloaded network contains an offload layer");
+        let offload_idx =
+            offload_position(&mut layers).expect("the offloaded network contains an offload layer");
+        Ok(Self {
+            layers,
+            offload_idx,
+            decoder,
+            health,
+            input_size: system.input_size,
+            score_threshold,
+        })
+    }
+
+    /// Offload health handle (faults/retries/fallbacks/degradation).
+    pub fn health(&self) -> OffloadHealth {
+        self.health.clone()
+    }
+
+    fn prologue(&mut self, image: &Image) -> Result<Tensor<f32>, NnError> {
+        let mut fmap = image.letterboxed(self.input_size).into_tensor();
+        for layer in &mut self.layers[..self.offload_idx] {
+            fmap = layer.forward(&fmap)?;
+        }
+        Ok(fmap)
+    }
+
+    fn epilogue(&mut self, mut fmap: Tensor<f32>) -> Result<Vec<Detection>, NnError> {
+        for layer in &mut self.layers[self.offload_idx + 1..] {
+            fmap = layer.forward(&fmap)?;
+        }
+        Ok(nms(
+            self.decoder.decode(&fmap, self.score_threshold),
+            NMS_IOU,
+        ))
+    }
+
+    /// Runs a micro-batch through the accelerated path: per-frame CPU
+    /// prologue, one batched offload invocation (weights swap once per
+    /// layer for the whole batch), per-frame CPU epilogue and decoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer evaluation failures (shapes are consistent by
+    /// construction, and accelerator faults are absorbed by the offload
+    /// layer's retry/fallback policy, so errors here indicate a bug).
+    pub fn process_batch(&mut self, images: &[Image]) -> Result<Vec<Vec<Detection>>, NnError> {
+        let mut fmaps = Vec::with_capacity(images.len());
+        for image in images {
+            fmaps.push(self.prologue(image)?);
+        }
+        let offload = self.layers[self.offload_idx]
+            .as_offload_mut()
+            .expect("offload_idx points at the offload layer");
+        let outs = offload.forward_batch(&fmaps)?;
+        let mut detections = Vec::with_capacity(outs.len());
+        for fmap in outs {
+            detections.push(self.epilogue(fmap)?);
+        }
+        Ok(detections)
+    }
+
+    /// Runs one frame entirely on the host: the offload segment is
+    /// evaluated through the bit-exact software reference path, bypassing
+    /// the accelerator and its recovery counters. This is scheduled CPU
+    /// work, not fault recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer evaluation failures.
+    pub fn process_host(&mut self, image: &Image) -> Result<Vec<Detection>, NnError> {
+        let fmap = self.prologue(image)?;
+        let offload = self.layers[self.offload_idx]
+            .as_offload_mut()
+            .expect("offload_idx points at the offload layer");
+        let out = offload.forward_host(&fmap)?;
+        self.epilogue(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tincy_video::{SceneConfig, SyntheticCamera};
+
+    fn small_system() -> SystemConfig {
+        SystemConfig {
+            input_size: 32,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    fn frames(n: u64) -> Vec<Image> {
+        let scene = SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        };
+        let mut camera = SyntheticCamera::with_limit(scene, 7, n);
+        std::iter::from_fn(|| camera.capture()).collect()
+    }
+
+    #[test]
+    fn finn_batch_and_host_paths_are_bit_exact() {
+        let system = small_system();
+        let mut finn = ServeEngine::finn(&system, 0.0).unwrap();
+        let mut cpu = ServeEngine::cpu(&system, 0.0).unwrap();
+        let images = frames(3);
+        let batched = finn.process_batch(&images).unwrap();
+        for (image, expected) in images.iter().zip(&batched) {
+            assert_eq!(&cpu.process_host(image).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn host_path_leaves_recovery_counters_untouched() {
+        let system = small_system();
+        let mut cpu = ServeEngine::cpu(&system, 0.0).unwrap();
+        let images = frames(2);
+        for image in &images {
+            cpu.process_host(image).unwrap();
+        }
+        assert_eq!(cpu.health().snapshot(), tincy_nn::OffloadStats::default());
+    }
+
+    #[test]
+    fn batch_matches_singletons() {
+        let system = small_system();
+        let mut a = ServeEngine::finn(&system, 0.0).unwrap();
+        let mut b = ServeEngine::finn(&system, 0.0).unwrap();
+        let images = frames(4);
+        let batched = a.process_batch(&images).unwrap();
+        let singles: Vec<_> = images
+            .iter()
+            .map(|img| {
+                b.process_batch(std::slice::from_ref(img))
+                    .unwrap()
+                    .remove(0)
+            })
+            .collect();
+        assert_eq!(batched, singles);
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimal hand-rolled JSON emission for metrics dumps (`--metrics-json`)
+//! and the serving bench artifact. No external serialization crates are
+//! available in the offline build, and the schemas here are small and
+//! fixed, so a tiny builder suffices.
+
+use crate::metrics::ServeReport;
+use crate::request::SloClass;
+use std::time::Duration;
+use tincy_nn::OffloadStats;
+use tincy_pipeline::{DurationStats, PipelineMetrics};
+
+/// Incremental JSON object builder.
+pub struct JsonObject {
+    out: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        self.out.push_str(&escape(key));
+        self.out.push_str("\":");
+    }
+
+    /// Adds a pre-serialized value (object, array, number literal).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push_str(value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        let text = value.to_string();
+        self.raw(key, &text)
+    }
+
+    /// Adds a float field (finite values only; non-finite becomes null).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        if value.is_finite() {
+            let text = format!("{value:.6}");
+            self.raw(key, &text)
+        } else {
+            self.raw(key, "null")
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Adds a string field, escaped.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push('"');
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serializes a `u64` slice as a JSON array.
+pub fn array_u64(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// A latency distribution as `{count, mean_us, min_us, max_us, p50_us,
+/// p95_us, p99_us}`.
+pub fn duration_stats_json(stats: &DurationStats) -> String {
+    JsonObject::new()
+        .u64("count", stats.count())
+        .f64("mean_us", micros(stats.mean()))
+        .f64("min_us", stats.min().map_or(0.0, micros))
+        .f64("max_us", stats.max().map_or(0.0, micros))
+        .f64("p50_us", micros(stats.p50()))
+        .f64("p95_us", micros(stats.p95()))
+        .f64("p99_us", micros(stats.p99()))
+        .finish()
+}
+
+/// Offload health counters as JSON.
+pub fn offload_stats_json(stats: &OffloadStats) -> String {
+    JsonObject::new()
+        .u64("forwards", stats.forwards)
+        .u64("faults", stats.faults)
+        .u64("retries", stats.retries)
+        .u64("fallbacks", stats.fallbacks)
+        .u64("degraded", stats.degraded)
+        .finish()
+}
+
+/// Pipeline metrics (the `tincy demo --metrics-json` payload body).
+pub fn pipeline_metrics_json(metrics: &PipelineMetrics) -> String {
+    let mut stages = String::from("[");
+    for (i, stage) in metrics.stages.iter().enumerate() {
+        if i > 0 {
+            stages.push(',');
+        }
+        stages.push_str(
+            &JsonObject::new()
+                .str("name", &stage.name)
+                .u64("invocations", stage.invocations)
+                .f64("busy_us", micros(stage.busy))
+                .raw("timing", &duration_stats_json(&stage.timing))
+                .finish(),
+        );
+    }
+    stages.push(']');
+    JsonObject::new()
+        .u64("frames", metrics.frames)
+        .f64("elapsed_us", micros(metrics.elapsed))
+        .f64("fps", metrics.fps())
+        .f64("speedup", metrics.speedup())
+        .bool("in_order", metrics.in_order)
+        .u64("workers", metrics.workers as u64)
+        .u64("degraded", metrics.degraded)
+        .raw("stages", &stages)
+        .finish()
+}
+
+/// The full serving report (the `tincy serve --metrics-json` payload and
+/// the `BENCH_serve.json` row body).
+pub fn serve_report_json(report: &ServeReport) -> String {
+    let mut classes = String::from("{");
+    for (i, class) in SloClass::ALL.iter().enumerate() {
+        if i > 0 {
+            classes.push(',');
+        }
+        classes.push_str(&format!(
+            "\"{}\":{}",
+            class.label(),
+            duration_stats_json(report.class(*class))
+        ));
+    }
+    classes.push('}');
+    JsonObject::new()
+        .u64("accepted", report.accepted)
+        .u64("completed", report.completed)
+        .u64("rejected_queue_full", report.rejected_queue_full)
+        .u64("rejected_client_full", report.rejected_client_full)
+        .u64("rejected_draining", report.rejected_draining)
+        .u64("finn_batches", report.finn_batches)
+        .u64("finn_items", report.finn_items)
+        .u64("cpu_items", report.cpu_items)
+        .raw("batch_hist", &array_u64(&report.batch_hist))
+        .f64("mean_batch", report.mean_batch())
+        .u64("batched_invocations", report.batched_invocations())
+        .raw("latency", &duration_stats_json(&report.latency))
+        .raw("queue_wait", &duration_stats_json(&report.queue_wait))
+        .raw("class_latency", &classes)
+        .u64("slo_violations", report.slo_violations)
+        .f64("finn_busy_us", micros(report.finn_busy))
+        .f64("cpu_busy_us", micros(report.cpu_busy))
+        .f64("finn_utilization", report.finn_utilization())
+        .f64("cpu_utilization", report.cpu_utilization())
+        .u64("cpu_workers", report.cpu_workers as u64)
+        .f64("wall_us", micros(report.wall))
+        .f64("throughput_rps", report.throughput())
+        .u64("max_depth", report.max_depth as u64)
+        .raw("offload", &offload_stats_json(&report.offload))
+        .finish()
+}
+
+/// The `tincy demo --metrics-json` payload: pipeline metrics plus offload
+/// health.
+pub fn demo_metrics_json(metrics: &PipelineMetrics, offload: &OffloadStats) -> String {
+    JsonObject::new()
+        .raw("pipeline", &pipeline_metrics_json(metrics))
+        .raw("offload", &offload_stats_json(offload))
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_escapes_and_separates() {
+        let out = JsonObject::new()
+            .str("name", "a\"b\\c\nd")
+            .u64("n", 3)
+            .bool("ok", true)
+            .f64("bad", f64::NAN)
+            .finish();
+        assert_eq!(out, r#"{"name":"a\"b\\c\nd","n":3,"ok":true,"bad":null}"#);
+    }
+
+    #[test]
+    fn arrays_and_stats_serialize() {
+        assert_eq!(array_u64(&[]), "[]");
+        assert_eq!(array_u64(&[1, 2, 3]), "[1,2,3]");
+        let mut stats = DurationStats::new();
+        stats.record(Duration::from_millis(2));
+        let json = duration_stats_json(&stats);
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50_us\":"));
+    }
+
+    #[test]
+    fn offload_stats_round_trip_fields() {
+        let json = offload_stats_json(&OffloadStats {
+            forwards: 4,
+            faults: 2,
+            retries: 1,
+            fallbacks: 1,
+            degraded: 1,
+        });
+        assert_eq!(
+            json,
+            r#"{"forwards":4,"faults":2,"retries":1,"fallbacks":1,"degraded":1}"#
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! `tincy-serve` — concurrent inference serving for the Tincy QNN system.
+//!
+//! The paper's demo streams one camera through one pipeline. This crate
+//! generalizes that runtime into an inference *server*: many concurrent
+//! clients submit detection requests that are scheduled across the
+//! heterogeneous backends of the platform —
+//!
+//! * the **FINN fabric engine**, which is layer-at-a-time with a weight
+//!   swap per invocation, so requests are **micro-batched** to amortize
+//!   the reload cost (one swap per layer per batch instead of per frame),
+//! * **host workers** running the bit-exact software reference path,
+//!   engaged under queue pressure, FINN degradation or drain.
+//!
+//! Scheduling generalizes the paper's "most mature ready job first" rule
+//! into earliest-deadline-first over `submit time + SLO target`, which
+//! makes starvation impossible under mixed SLO classes. Admission control
+//! bounds the global queue and per-client quotas, rejecting instead of
+//! queueing unboundedly; accepted requests are never dropped — a degraded
+//! FINN engine sheds load to the CPU workers, and the common weight seed
+//! plus the fabric's bit-exactness with the reference path guarantee the
+//! answer does not depend on which backend produced it.
+//!
+//! [`loadgen`] provides a deterministic multi-client load generator
+//! (closed-loop, open-loop and burst pacing), and [`json`] hand-rolled
+//! JSON emission for metrics dumps and bench artifacts.
+
+pub mod config;
+pub mod engine;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod request;
+mod scheduler;
+pub mod server;
+
+pub use config::ServeConfig;
+pub use engine::ServeEngine;
+pub use loadgen::{run_loadgen, ClientOutcome, LoadMode, LoadgenConfig, LoadgenReport};
+pub use metrics::ServeReport;
+pub use request::{AdmissionError, BackendKind, InferResponse, SloClass};
+pub use server::{ClientHandle, InferenceServer};

@@ -1,0 +1,268 @@
+//! Deterministic multi-client load generation.
+//!
+//! Every client draws frames from its own seeded [`SyntheticCamera`]
+//! (seed = base seed + client id), so payloads are reproducible run to
+//! run, and the bit-exact backends make results reproducible regardless
+//! of which backend serves each request or how micro-batches form.
+
+use crate::config::ServeConfig;
+use crate::metrics::ServeReport;
+use crate::request::{InferResponse, SloClass};
+use crate::server::{ClientHandle, InferenceServer};
+use std::sync::Barrier;
+use std::time::Duration;
+use tincy_nn::NnError;
+use tincy_video::{SceneConfig, SyntheticCamera};
+
+/// How clients pace their submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Closed loop: each client submits, waits for the response, repeats.
+    Closed,
+    /// Open loop: each client submits on a fixed schedule regardless of
+    /// completions, then drains.
+    Open {
+        /// Inter-submission gap per client.
+        interval: Duration,
+    },
+    /// Burst: the server starts paused, every client submits everything,
+    /// then dispatch resumes — deterministic queue content and batch
+    /// formation, used by the CI smoke run.
+    Burst,
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Frames each client submits.
+    pub requests_per_client: u64,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// SLO classes assigned round-robin: client `i` submits under
+    /// `classes[i % classes.len()]`.
+    pub classes: Vec<SloClass>,
+    /// Synthetic scene parameters (shared; seeds differ per client).
+    pub scene: SceneConfig,
+    /// Base camera seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 8,
+            mode: LoadMode::Burst,
+            classes: vec![SloClass::Interactive, SloClass::Standard, SloClass::Batch],
+            scene: SceneConfig::default(),
+            seed: 7,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The SLO class client `i` submits under.
+    pub fn class_of(&self, client: usize) -> SloClass {
+        if self.classes.is_empty() {
+            SloClass::Standard
+        } else {
+            self.classes[client % self.classes.len()]
+        }
+    }
+}
+
+/// Per-client outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Client index.
+    pub client: usize,
+    /// SLO class the client submitted under.
+    pub class: SloClass,
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub accepted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Whether responses arrived exactly in admission order.
+    pub in_order: bool,
+    /// Total detections across the client's responses (deterministic for
+    /// a given scene/seed thanks to bit-exact backends).
+    pub detections: u64,
+}
+
+/// Aggregate result of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Per-client outcomes, client order.
+    pub outcomes: Vec<ClientOutcome>,
+    /// The server's own report.
+    pub serve: ServeReport,
+}
+
+impl LoadgenReport {
+    /// Total admitted submissions.
+    pub fn accepted(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.accepted).sum()
+    }
+
+    /// Total responses received.
+    pub fn completed(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.completed).sum()
+    }
+
+    /// Admitted requests that never produced a response (must be 0 after
+    /// a clean drain).
+    pub fn dropped(&self) -> u64 {
+        self.accepted() - self.completed()
+    }
+
+    /// Whether every client saw its responses in admission order.
+    pub fn all_in_order(&self) -> bool {
+        self.outcomes.iter().all(|o| o.in_order)
+    }
+
+    /// Total detections across all clients (a determinism fingerprint).
+    pub fn detections(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.detections).sum()
+    }
+}
+
+struct ClientRun {
+    accepted_seqs: Vec<u64>,
+    submitted: u64,
+    rejected: u64,
+    responses: Vec<InferResponse>,
+}
+
+fn drive_client(
+    handle: &ClientHandle,
+    camera: &mut SyntheticCamera,
+    class: SloClass,
+    mode: LoadMode,
+    barrier: &Barrier,
+) -> ClientRun {
+    let mut run = ClientRun {
+        accepted_seqs: Vec::new(),
+        submitted: 0,
+        rejected: 0,
+        responses: Vec::new(),
+    };
+    match mode {
+        LoadMode::Closed => {
+            barrier.wait();
+            while let Some(image) = camera.capture() {
+                run.submitted += 1;
+                match handle.submit(image, class) {
+                    Ok(seq) => {
+                        run.accepted_seqs.push(seq);
+                        if let Some(response) = handle.recv() {
+                            run.responses.push(response);
+                        }
+                    }
+                    Err(_) => run.rejected += 1,
+                }
+            }
+        }
+        LoadMode::Open { .. } | LoadMode::Burst => {
+            let interval = match mode {
+                LoadMode::Open { interval } => Some(interval),
+                _ => None,
+            };
+            if interval.is_some() {
+                barrier.wait();
+            }
+            while let Some(image) = camera.capture() {
+                run.submitted += 1;
+                match handle.submit(image, class) {
+                    Ok(seq) => run.accepted_seqs.push(seq),
+                    Err(_) => run.rejected += 1,
+                }
+                if let Some(gap) = interval {
+                    std::thread::sleep(gap);
+                }
+            }
+            // Burst: everyone finishes submitting before dispatch resumes.
+            if interval.is_none() {
+                barrier.wait();
+            }
+            for _ in 0..run.accepted_seqs.len() {
+                match handle.recv() {
+                    Some(response) => run.responses.push(response),
+                    None => break,
+                }
+            }
+        }
+    }
+    run
+}
+
+/// Runs a full load-generation session against a freshly started server
+/// and returns the combined report.
+///
+/// # Errors
+///
+/// Propagates server construction failures.
+pub fn run_loadgen(
+    mut server_config: ServeConfig,
+    load: &LoadgenConfig,
+) -> Result<LoadgenReport, NnError> {
+    if load.mode == LoadMode::Burst {
+        server_config.start_paused = true;
+    }
+    let server = InferenceServer::start(server_config)?;
+    let handles: Vec<ClientHandle> = (0..load.clients).map(|_| server.client()).collect();
+    // Parties: every client plus the coordinator. In burst mode the
+    // barrier separates submission from dispatch; in the other modes it
+    // just aligns start times.
+    let barrier = Barrier::new(load.clients + 1);
+
+    let mut outcomes = Vec::with_capacity(load.clients);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(load.clients);
+        for (i, handle) in handles.into_iter().enumerate() {
+            let class = load.class_of(i);
+            let mode = load.mode;
+            let barrier = &barrier;
+            let scene = load.scene.clone();
+            let seed = load.seed + i as u64;
+            let per_client = load.requests_per_client;
+            joins.push(scope.spawn(move || {
+                let mut camera = SyntheticCamera::with_limit(scene, seed, per_client);
+                drive_client(&handle, &mut camera, class, mode, barrier)
+            }));
+        }
+        barrier.wait();
+        if load.mode == LoadMode::Burst {
+            server.resume();
+        }
+        for (i, join) in joins.into_iter().enumerate() {
+            let run = join.join().expect("loadgen client panicked");
+            let in_order = run
+                .responses
+                .iter()
+                .map(|r| r.seq)
+                .eq(run.accepted_seqs.iter().copied());
+            outcomes.push(ClientOutcome {
+                client: i,
+                class: load.class_of(i),
+                submitted: run.submitted,
+                accepted: run.accepted_seqs.len() as u64,
+                rejected: run.rejected,
+                completed: run.responses.len() as u64,
+                in_order,
+                detections: run
+                    .responses
+                    .iter()
+                    .map(|r| r.detections.len() as u64)
+                    .sum(),
+            });
+        }
+    });
+    let serve = server.finish();
+    Ok(LoadgenReport { outcomes, serve })
+}

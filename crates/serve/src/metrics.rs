@@ -1,0 +1,172 @@
+//! Serving metrics: end-to-end latency distributions, per-backend
+//! utilization, queue depths and micro-batch shape.
+
+use crate::request::SloClass;
+use std::time::Duration;
+use tincy_nn::OffloadStats;
+use tincy_pipeline::DurationStats;
+
+/// Aggregate report of one serving run, built when the server drains.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests admitted past admission control.
+    pub accepted: u64,
+    /// Requests completed and delivered (== `accepted` after a clean
+    /// drain: accepted work is never dropped).
+    pub completed: u64,
+    /// Submissions refused because the global queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Submissions refused because the client's quota was exhausted.
+    pub rejected_client_full: u64,
+    /// Submissions refused because the server was draining.
+    pub rejected_draining: u64,
+    /// Micro-batched offload invocations on the FINN engine.
+    pub finn_batches: u64,
+    /// Requests completed by the FINN engine.
+    pub finn_items: u64,
+    /// Requests completed by host workers.
+    pub cpu_items: u64,
+    /// Batch-size histogram: `batch_hist[n]` counts FINN invocations with
+    /// batch size `n` (index 0 unused).
+    pub batch_hist: Vec<u64>,
+    /// End-to-end latency distribution (submission to delivery).
+    pub latency: DurationStats,
+    /// Queue-wait distribution (submission to dispatch).
+    pub queue_wait: DurationStats,
+    /// Per-class end-to-end latency, indexed by [`SloClass::index`].
+    pub class_latency: [DurationStats; 3],
+    /// Requests whose end-to-end latency exceeded their class target.
+    pub slo_violations: u64,
+    /// Busy time of the FINN engine.
+    pub finn_busy: Duration,
+    /// Summed busy time of all host workers.
+    pub cpu_busy: Duration,
+    /// Host workers configured.
+    pub cpu_workers: usize,
+    /// Wall-clock duration of the run (start to drain).
+    pub wall: Duration,
+    /// Deepest pending-queue occupancy observed.
+    pub max_depth: usize,
+    /// Offload health counters of the FINN engine (faults, retries, CPU
+    /// fallbacks taken *inside* the resilience layer).
+    pub offload: OffloadStats,
+}
+
+impl ServeReport {
+    /// Total rejected submissions.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_client_full + self.rejected_draining
+    }
+
+    /// FINN invocations that carried more than one request.
+    pub fn batched_invocations(&self) -> u64 {
+        self.batch_hist.iter().skip(2).sum()
+    }
+
+    /// Mean FINN micro-batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.finn_batches == 0 {
+            0.0
+        } else {
+            self.finn_items as f64 / self.finn_batches as f64
+        }
+    }
+
+    /// FINN engine utilization: busy time over wall time.
+    pub fn finn_utilization(&self) -> f64 {
+        fraction(self.finn_busy, self.wall, 1)
+    }
+
+    /// Host worker utilization: summed busy time over wall time × workers.
+    pub fn cpu_utilization(&self) -> f64 {
+        fraction(self.cpu_busy, self.wall, self.cpu_workers)
+    }
+
+    /// Completed requests per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Latency distribution of one SLO class.
+    pub fn class(&self, class: SloClass) -> &DurationStats {
+        &self.class_latency[class.index()]
+    }
+}
+
+fn fraction(busy: Duration, wall: Duration, lanes: usize) -> f64 {
+    if wall.is_zero() || lanes == 0 {
+        0.0
+    } else {
+        busy.as_secs_f64() / (wall.as_secs_f64() * lanes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty() -> ServeReport {
+        ServeReport {
+            accepted: 0,
+            completed: 0,
+            rejected_queue_full: 0,
+            rejected_client_full: 0,
+            rejected_draining: 0,
+            finn_batches: 0,
+            finn_items: 0,
+            cpu_items: 0,
+            batch_hist: Vec::new(),
+            latency: DurationStats::new(),
+            queue_wait: DurationStats::new(),
+            class_latency: [
+                DurationStats::new(),
+                DurationStats::new(),
+                DurationStats::new(),
+            ],
+            slo_violations: 0,
+            finn_busy: Duration::ZERO,
+            cpu_busy: Duration::ZERO,
+            cpu_workers: 0,
+            wall: Duration::ZERO,
+            max_depth: 0,
+            offload: OffloadStats::default(),
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let mut r = empty();
+        r.completed = 10;
+        r.finn_batches = 3;
+        r.finn_items = 8;
+        r.cpu_items = 2;
+        r.batch_hist = vec![0, 1, 2, 0, 1]; // 1×1, 2×2, 1×4
+        r.finn_busy = Duration::from_secs(1);
+        r.cpu_busy = Duration::from_secs(1);
+        r.cpu_workers = 2;
+        r.wall = Duration::from_secs(2);
+        r.rejected_queue_full = 3;
+        r.rejected_draining = 1;
+        assert_eq!(r.rejected(), 4);
+        assert_eq!(r.batched_invocations(), 3);
+        assert!((r.mean_batch() - 8.0 / 3.0).abs() < 1e-12);
+        assert!((r.finn_utilization() - 0.5).abs() < 1e-12);
+        assert!((r.cpu_utilization() - 0.25).abs() < 1e-12);
+        assert!((r.throughput() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_run_is_all_zeros() {
+        let r = empty();
+        assert_eq!(r.rejected(), 0);
+        assert_eq!(r.batched_invocations(), 0);
+        assert_eq!(r.mean_batch(), 0.0);
+        assert_eq!(r.finn_utilization(), 0.0);
+        assert_eq!(r.cpu_utilization(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+}

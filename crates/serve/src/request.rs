@@ -1,0 +1,128 @@
+//! Request and response types of the serving layer.
+
+use std::time::{Duration, Instant};
+use tincy_eval::Detection;
+use tincy_video::Image;
+
+/// Service-level objective class of a request: its relative latency
+/// target. The scheduler turns `submit time + target` into an absolute
+/// deadline and dispatches earliest-deadline-first, so with finite targets
+/// every class makes progress — a saturating stream of interactive
+/// requests cannot starve batch work forever, because batch deadlines keep
+/// aging toward the front of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SloClass {
+    /// Latency-sensitive (a live viewer is waiting).
+    Interactive,
+    /// Default traffic.
+    Standard,
+    /// Throughput-oriented background work.
+    Batch,
+}
+
+impl SloClass {
+    /// All classes, in priority order.
+    pub const ALL: [SloClass; 3] = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+
+    /// Stable index for per-class accounting.
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+}
+
+/// Which backend completed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The FINN fabric engine (possibly micro-batched).
+    Finn,
+    /// A host worker running the bit-exact software reference.
+    Cpu,
+}
+
+impl BackendKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Finn => "finn",
+            BackendKind::Cpu => "cpu",
+        }
+    }
+}
+
+/// Why the server refused a submission. Admission control turns overload
+/// into an explicit, immediate signal instead of unbounded queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The global pending queue is at capacity.
+    QueueFull,
+    /// This client's pending quota is exhausted.
+    ClientQueueFull,
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull => write!(f, "server queue full"),
+            AdmissionError::ClientQueueFull => write!(f, "client queue full"),
+            AdmissionError::Draining => write!(f, "server is draining"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A queued detection request (internal to the scheduler).
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRequest {
+    /// Owning client.
+    pub client: usize,
+    /// Per-client submission sequence number (delivery is in this order).
+    pub seq: u64,
+    /// Global admission order, the deterministic deadline tie-breaker.
+    pub global: u64,
+    /// SLO class.
+    pub class: SloClass,
+    /// Submission instant (end-to-end latency reference point).
+    pub submitted: Instant,
+    /// Absolute deadline = submitted + class target.
+    pub deadline: Instant,
+    /// The frame to run detection on.
+    pub image: Image,
+}
+
+/// A completed request delivered back to its client, in per-client
+/// submission order.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// Owning client.
+    pub client: usize,
+    /// Per-client submission sequence number.
+    pub seq: u64,
+    /// SLO class the request was submitted under.
+    pub class: SloClass,
+    /// Detections found in the frame.
+    pub detections: Vec<Detection>,
+    /// Backend that computed the result.
+    pub backend: BackendKind,
+    /// Size of the micro-batch this request rode in (1 on the CPU path).
+    pub batch: usize,
+    /// End-to-end latency, submission to delivery.
+    pub latency: Duration,
+    /// Whether the latency exceeded the SLO target.
+    pub slo_violated: bool,
+}

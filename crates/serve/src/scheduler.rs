@@ -1,0 +1,457 @@
+//! The serving scheduler state machine.
+//!
+//! Generalizes the paper's pipeline dispatch rule — "the most mature ready
+//! job first" — from pipeline position to absolute time: every admitted
+//! request carries a deadline (`submit time + SLO target`) and backends
+//! always dispatch the earliest deadline first (EDF). With finite targets,
+//! waiting requests age monotonically toward the front of the queue, so no
+//! class can starve another.
+//!
+//! This module is the pure, lock-free-of-threads core: admission control,
+//! the EDF queue, per-client in-order delivery and metric accumulation.
+//! [`crate::server`] wraps it in a mutex/condvar and worker threads.
+
+use crate::config::ServeConfig;
+use crate::request::{AdmissionError, BackendKind, InferResponse, PendingRequest, SloClass};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::mpsc::Sender;
+use std::time::{Duration, Instant};
+use tincy_eval::Detection;
+use tincy_pipeline::DurationStats;
+use tincy_video::Image;
+
+/// Heap adapter: `BinaryHeap` is a max-heap, so order entries by
+/// *reversed* (deadline, admission order) to pop the earliest deadline
+/// first, ties broken deterministically by admission order.
+struct QueueEntry(PendingRequest);
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.global == other.0.global
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .deadline
+            .cmp(&self.0.deadline)
+            .then_with(|| other.0.global.cmp(&self.0.global))
+    }
+}
+
+/// Per-client bookkeeping: admission quota, submission sequencing and the
+/// reorder buffer that guarantees in-order delivery.
+struct ClientState {
+    /// Requests admitted but not yet delivered (quota accounting).
+    outstanding: usize,
+    /// Next submission sequence number.
+    next_seq: u64,
+    /// Sequence numbers admitted, in order — the delivery contract.
+    admitted: Vec<u64>,
+    /// Index into `admitted` of the next response owed to the client.
+    next_deliver: usize,
+    /// Completed responses held until all earlier admitted work completes.
+    hold: BTreeMap<u64, InferResponse>,
+    /// Delivery channel back to the client handle.
+    tx: Sender<InferResponse>,
+}
+
+/// Metric accumulators, folded into a [`crate::ServeReport`] at drain.
+#[derive(Debug, Clone)]
+pub(crate) struct MetricsAcc {
+    pub accepted: u64,
+    pub completed: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_client_full: u64,
+    pub rejected_draining: u64,
+    pub finn_batches: u64,
+    pub finn_items: u64,
+    pub cpu_items: u64,
+    pub batch_hist: Vec<u64>,
+    pub latency: DurationStats,
+    pub queue_wait: DurationStats,
+    pub class_latency: [DurationStats; 3],
+    pub slo_violations: u64,
+    pub finn_busy: Duration,
+    pub cpu_busy: Duration,
+    pub max_depth: usize,
+}
+
+impl MetricsAcc {
+    fn new() -> Self {
+        Self {
+            accepted: 0,
+            completed: 0,
+            rejected_queue_full: 0,
+            rejected_client_full: 0,
+            rejected_draining: 0,
+            finn_batches: 0,
+            finn_items: 0,
+            cpu_items: 0,
+            batch_hist: Vec::new(),
+            latency: DurationStats::new(),
+            queue_wait: DurationStats::new(),
+            class_latency: [
+                DurationStats::new(),
+                DurationStats::new(),
+                DurationStats::new(),
+            ],
+            slo_violations: 0,
+            finn_busy: Duration::ZERO,
+            cpu_busy: Duration::ZERO,
+            max_depth: 0,
+        }
+    }
+}
+
+/// The mutex-protected scheduler state.
+pub(crate) struct SchedState {
+    pending: BinaryHeap<QueueEntry>,
+    clients: Vec<ClientState>,
+    /// Requests dispatched to a backend but not yet completed.
+    in_flight: usize,
+    next_global: u64,
+    /// While paused, backends take no work (queues fill; used to force
+    /// deterministic batch formation in burst mode and tests).
+    pub paused: bool,
+    /// Draining: no new admissions; backends finish what is queued.
+    pub draining: bool,
+    /// Drained and joined: workers exit.
+    pub shutdown: bool,
+    /// Latest degradation verdict of the FINN engine's health probe; while
+    /// set, host workers engage unconditionally to shed load.
+    pub finn_degraded: bool,
+    pub metrics: MetricsAcc,
+    queue_capacity: usize,
+    per_client_capacity: usize,
+    cpu_engage_depth: usize,
+    slo_targets: [Duration; 3],
+}
+
+/// A micro-batch leased to a backend worker.
+pub(crate) struct Lease {
+    pub requests: Vec<PendingRequest>,
+}
+
+impl Lease {
+    /// The frames of the lease, in dispatch order.
+    pub fn images(&self) -> Vec<Image> {
+        self.requests.iter().map(|r| r.image.clone()).collect()
+    }
+}
+
+impl SchedState {
+    pub fn new(config: &ServeConfig) -> Self {
+        Self {
+            pending: BinaryHeap::new(),
+            clients: Vec::new(),
+            in_flight: 0,
+            next_global: 0,
+            paused: config.start_paused,
+            draining: false,
+            shutdown: false,
+            finn_degraded: false,
+            metrics: MetricsAcc::new(),
+            queue_capacity: config.queue_capacity,
+            per_client_capacity: config.per_client_capacity,
+            cpu_engage_depth: config.cpu_engage_depth,
+            slo_targets: config.slo_targets,
+        }
+    }
+
+    /// Registers a client and returns its id.
+    pub fn register_client(&mut self, tx: Sender<InferResponse>) -> usize {
+        self.clients.push(ClientState {
+            outstanding: 0,
+            next_seq: 0,
+            admitted: Vec::new(),
+            next_deliver: 0,
+            hold: BTreeMap::new(),
+            tx,
+        });
+        self.clients.len() - 1
+    }
+
+    /// Queue depth (admitted, not yet dispatched).
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when every admitted request has been delivered.
+    pub fn drained(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0
+    }
+
+    /// Admission control: accept the request into the EDF queue or reject
+    /// immediately. Never blocks, never queues beyond the configured
+    /// bounds.
+    pub fn submit(
+        &mut self,
+        client: usize,
+        class: SloClass,
+        image: Image,
+    ) -> Result<u64, AdmissionError> {
+        if self.draining || self.shutdown {
+            self.metrics.rejected_draining += 1;
+            return Err(AdmissionError::Draining);
+        }
+        if self.pending.len() >= self.queue_capacity {
+            self.metrics.rejected_queue_full += 1;
+            return Err(AdmissionError::QueueFull);
+        }
+        if self.clients[client].outstanding >= self.per_client_capacity {
+            self.metrics.rejected_client_full += 1;
+            return Err(AdmissionError::ClientQueueFull);
+        }
+        let now = Instant::now();
+        let state = &mut self.clients[client];
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.outstanding += 1;
+        state.admitted.push(seq);
+        let global = self.next_global;
+        self.next_global += 1;
+        self.pending.push(QueueEntry(PendingRequest {
+            client,
+            seq,
+            global,
+            class,
+            submitted: now,
+            deadline: now + self.slo_targets[class.index()],
+            image,
+        }));
+        self.metrics.accepted += 1;
+        self.metrics.max_depth = self.metrics.max_depth.max(self.pending.len());
+        Ok(seq)
+    }
+
+    /// Whether the FINN worker may take work right now.
+    pub fn finn_ready(&self) -> bool {
+        !self.paused && !self.pending.is_empty()
+    }
+
+    /// Whether a host worker may take work right now: only under queue
+    /// pressure, FINN degradation or drain — otherwise frames are left to
+    /// accumulate into FINN micro-batches.
+    pub fn cpu_ready(&self) -> bool {
+        !self.paused
+            && !self.pending.is_empty()
+            && (self.pending.len() > self.cpu_engage_depth || self.finn_degraded || self.draining)
+    }
+
+    /// Leases up to `max` earliest-deadline requests to a backend.
+    pub fn lease(&mut self, max: usize) -> Lease {
+        let n = max.min(self.pending.len());
+        let mut requests = Vec::with_capacity(n);
+        for _ in 0..n {
+            requests.push(self.pending.pop().expect("n bounded by len").0);
+        }
+        self.in_flight += requests.len();
+        let now = Instant::now();
+        for request in &requests {
+            self.metrics
+                .queue_wait
+                .record(now.duration_since(request.submitted));
+        }
+        Lease { requests }
+    }
+
+    /// Completes a leased request: records latency/SLO metrics and routes
+    /// the response through the owning client's reorder buffer so delivery
+    /// follows admission order even when backends finish out of order.
+    pub fn complete(
+        &mut self,
+        request: PendingRequest,
+        detections: Vec<Detection>,
+        backend: BackendKind,
+        batch: usize,
+    ) {
+        let latency = request.submitted.elapsed();
+        let slo_violated = latency > self.slo_targets[request.class.index()];
+        self.metrics.latency.record(latency);
+        self.metrics.class_latency[request.class.index()].record(latency);
+        self.metrics.slo_violations += u64::from(slo_violated);
+        self.metrics.completed += 1;
+        match backend {
+            BackendKind::Finn => self.metrics.finn_items += 1,
+            BackendKind::Cpu => self.metrics.cpu_items += 1,
+        }
+        self.in_flight -= 1;
+        let response = InferResponse {
+            client: request.client,
+            seq: request.seq,
+            class: request.class,
+            detections,
+            backend,
+            batch,
+            latency,
+            slo_violated,
+        };
+        let state = &mut self.clients[request.client];
+        state.hold.insert(request.seq, response);
+        // Flush the reorder buffer: deliver while the next owed sequence
+        // number is present.
+        while let Some(&owed) = state.admitted.get(state.next_deliver) {
+            let Some(ready) = state.hold.remove(&owed) else {
+                break;
+            };
+            state.next_deliver += 1;
+            state.outstanding -= 1;
+            // A dropped client handle just discards its responses.
+            let _ = state.tx.send(ready);
+        }
+    }
+
+    /// Records one FINN invocation of the given batch size.
+    pub fn record_finn_batch(&mut self, batch: usize, busy: Duration) {
+        if self.metrics.batch_hist.len() <= batch {
+            self.metrics.batch_hist.resize(batch + 1, 0);
+        }
+        self.metrics.batch_hist[batch] += 1;
+        self.metrics.finn_batches += 1;
+        self.metrics.finn_busy += busy;
+    }
+
+    /// Records host-worker busy time.
+    pub fn record_cpu_busy(&mut self, busy: Duration) {
+        self.metrics.cpu_busy += busy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use tincy_video::{SceneConfig, SyntheticCamera};
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 4,
+            per_client_capacity: 2,
+            cpu_engage_depth: 2,
+            ..Default::default()
+        }
+    }
+
+    fn frame() -> Image {
+        let scene = SceneConfig {
+            width: 16,
+            height: 12,
+            ..Default::default()
+        };
+        SyntheticCamera::with_limit(scene, 1, 1)
+            .capture()
+            .expect("one frame")
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_then_admission() {
+        let mut state = SchedState::new(&config());
+        let (tx, _rx) = channel();
+        let c = state.register_client(tx);
+        // Batch first, then interactive: the interactive deadline is
+        // nearer, so it must be dispatched first despite later admission.
+        state.submit(c, SloClass::Batch, frame()).unwrap();
+        state.submit(c, SloClass::Interactive, frame()).unwrap();
+        let lease = state.lease(2);
+        assert_eq!(lease.requests[0].class, SloClass::Interactive);
+        assert_eq!(lease.requests[1].class, SloClass::Batch);
+    }
+
+    #[test]
+    fn admission_bounds_are_enforced() {
+        let mut state = SchedState::new(&config());
+        let (tx, _rx) = channel();
+        let a = state.register_client(tx);
+        let (tx, _rx) = channel();
+        let b = state.register_client(tx);
+        assert!(state.submit(a, SloClass::Standard, frame()).is_ok());
+        assert!(state.submit(a, SloClass::Standard, frame()).is_ok());
+        // Client quota (2) exhausted.
+        assert_eq!(
+            state.submit(a, SloClass::Standard, frame()),
+            Err(AdmissionError::ClientQueueFull)
+        );
+        assert!(state.submit(b, SloClass::Standard, frame()).is_ok());
+        assert!(state.submit(b, SloClass::Standard, frame()).is_ok());
+        // Global capacity (4) exhausted — checked before the client quota.
+        assert_eq!(
+            state.submit(b, SloClass::Standard, frame()),
+            Err(AdmissionError::QueueFull)
+        );
+        state.draining = true;
+        assert_eq!(
+            state.submit(b, SloClass::Standard, frame()),
+            Err(AdmissionError::Draining)
+        );
+        assert_eq!(state.metrics.rejected_client_full, 1);
+        assert_eq!(state.metrics.rejected_queue_full, 1);
+        assert_eq!(state.metrics.rejected_draining, 1);
+        assert_eq!(state.metrics.accepted, 4);
+    }
+
+    #[test]
+    fn out_of_order_completion_delivers_in_order() {
+        let mut state = SchedState::new(&config());
+        let (tx, rx) = channel();
+        let c = state.register_client(tx);
+        state.submit(c, SloClass::Standard, frame()).unwrap();
+        state.submit(c, SloClass::Standard, frame()).unwrap();
+        let lease = state.lease(2);
+        let [first, second]: [PendingRequest; 2] =
+            lease.requests.try_into().map_err(|_| ()).unwrap();
+        // Complete the *second* request first: it must be held back.
+        state.complete(second, Vec::new(), BackendKind::Cpu, 1);
+        assert!(rx.try_recv().is_err(), "seq 1 held until seq 0 completes");
+        state.complete(first, Vec::new(), BackendKind::Finn, 1);
+        assert_eq!(rx.try_recv().unwrap().seq, 0);
+        assert_eq!(rx.try_recv().unwrap().seq, 1);
+        assert!(state.drained());
+    }
+
+    #[test]
+    fn cpu_engages_only_under_pressure_degradation_or_drain() {
+        let mut state = SchedState::new(&config());
+        let (tx, _rx) = channel();
+        let a = state.register_client(tx);
+        let (tx, _rx) = channel();
+        let b = state.register_client(tx);
+        state.submit(a, SloClass::Standard, frame()).unwrap();
+        assert!(state.finn_ready());
+        assert!(!state.cpu_ready(), "below the engage depth, CPU holds off");
+        state.finn_degraded = true;
+        assert!(state.cpu_ready(), "degraded FINN sheds load to the CPU");
+        state.finn_degraded = false;
+        state.draining = true;
+        assert!(state.cpu_ready(), "drain engages every backend");
+        state.draining = false;
+        state.submit(a, SloClass::Standard, frame()).unwrap();
+        assert!(!state.cpu_ready(), "depth 2 does not exceed engage depth 2");
+        state.submit(b, SloClass::Standard, frame()).unwrap();
+        assert!(state.cpu_ready(), "depth 3 exceeds engage depth 2");
+    }
+
+    #[test]
+    fn pause_gates_both_backends() {
+        let mut state = SchedState::new(&config());
+        let (tx, _rx) = channel();
+        let c = state.register_client(tx);
+        state.paused = true;
+        state.submit(c, SloClass::Interactive, frame()).unwrap();
+        assert!(!state.finn_ready());
+        assert!(!state.cpu_ready());
+        state.paused = false;
+        assert!(state.finn_ready());
+    }
+}

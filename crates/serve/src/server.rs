@@ -1,0 +1,350 @@
+//! The concurrent inference server: one FINN engine worker micro-batching
+//! the accelerated path, plus host workers running the bit-exact reference
+//! path under pressure, degradation or drain.
+
+use crate::config::ServeConfig;
+use crate::engine::ServeEngine;
+use crate::metrics::ServeReport;
+use crate::request::{AdmissionError, BackendKind, InferResponse, SloClass};
+use crate::scheduler::SchedState;
+use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tincy_nn::{NnError, OffloadHealth};
+use tincy_video::Image;
+
+struct Inner {
+    state: Mutex<SchedState>,
+    /// Single condvar for every state transition; the shim condvar has no
+    /// timed wait, so every mutation under the lock is followed by
+    /// `notify_all`.
+    cond: Condvar,
+}
+
+impl Inner {
+    /// Runs `f` under the lock, then wakes every waiter.
+    fn mutate<R>(&self, f: impl FnOnce(&mut SchedState) -> R) -> R {
+        let result = f(&mut self.state.lock());
+        self.cond.notify_all();
+        result
+    }
+}
+
+/// A running inference server. Register clients with [`Self::client`],
+/// submit frames through the handles, then [`Self::finish`] to drain and
+/// collect the [`ServeReport`].
+pub struct InferenceServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    finn_health: OffloadHealth,
+    started: Instant,
+    cpu_workers: usize,
+}
+
+/// A client's connection: submission plus in-order response delivery.
+pub struct ClientHandle {
+    id: usize,
+    inner: Arc<Inner>,
+    rx: Receiver<InferResponse>,
+}
+
+impl ClientHandle {
+    /// This client's id (as reported in responses).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Submits one frame under an SLO class. Returns the per-client
+    /// sequence number on admission; rejects immediately (never queues
+    /// unboundedly) when the server is saturated or draining.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] when the request is refused.
+    pub fn submit(&self, image: Image, class: SloClass) -> Result<u64, AdmissionError> {
+        self.inner
+            .mutate(|state| state.submit(self.id, class, image))
+    }
+
+    /// Receives the next response, blocking. Responses arrive in
+    /// submission order. Returns `None` once the server is gone and all
+    /// buffered responses are consumed.
+    pub fn recv(&self) -> Option<InferResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<InferResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl InferenceServer {
+    /// Builds the backends and starts the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction failures.
+    pub fn start(config: ServeConfig) -> Result<Self, NnError> {
+        let finn_engine = ServeEngine::finn(&config.system, config.score_threshold)?;
+        let finn_health = finn_engine.health();
+        let mut cpu_engines = Vec::with_capacity(config.cpu_workers);
+        for _ in 0..config.cpu_workers {
+            cpu_engines.push(ServeEngine::cpu(&config.system, config.score_threshold)?);
+        }
+
+        let inner = Arc::new(Inner {
+            state: Mutex::new(SchedState::new(&config)),
+            cond: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(1 + config.cpu_workers);
+        let max_batch = config.max_batch.max(1);
+        workers.push(spawn_finn_worker(
+            Arc::clone(&inner),
+            finn_engine,
+            max_batch,
+        ));
+        for engine in cpu_engines {
+            workers.push(spawn_cpu_worker(Arc::clone(&inner), engine));
+        }
+        Ok(Self {
+            inner,
+            workers,
+            finn_health,
+            started: Instant::now(),
+            cpu_workers: config.cpu_workers,
+        })
+    }
+
+    /// Registers a new client and returns its handle.
+    pub fn client(&self) -> ClientHandle {
+        let (tx, rx) = channel();
+        let id = self.inner.mutate(|state| state.register_client(tx));
+        ClientHandle {
+            id,
+            inner: Arc::clone(&self.inner),
+            rx,
+        }
+    }
+
+    /// Resumes dispatch after a paused start (burst mode).
+    pub fn resume(&self) {
+        self.inner.mutate(|state| state.paused = false);
+    }
+
+    /// Current pending-queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.state.lock().depth()
+    }
+
+    /// Live FINN health handle.
+    pub fn finn_health(&self) -> OffloadHealth {
+        self.finn_health.clone()
+    }
+
+    /// Drains and shuts down: stops admitting, lets the backends finish
+    /// every queued request (no accepted request is dropped), joins the
+    /// workers and returns the aggregate report.
+    pub fn finish(self) -> ServeReport {
+        {
+            let mut state = self.inner.state.lock();
+            state.draining = true;
+            // A paused server must still drain.
+            state.paused = false;
+            self.inner.cond.notify_all();
+            while !state.drained() {
+                self.inner.cond.wait(&mut state);
+            }
+            state.shutdown = true;
+            self.inner.cond.notify_all();
+        }
+        for worker in self.workers {
+            worker.join().expect("serve worker panicked");
+        }
+        let wall = self.started.elapsed();
+        let state = self.inner.state.lock();
+        let m = state.metrics.clone();
+        ServeReport {
+            accepted: m.accepted,
+            completed: m.completed,
+            rejected_queue_full: m.rejected_queue_full,
+            rejected_client_full: m.rejected_client_full,
+            rejected_draining: m.rejected_draining,
+            finn_batches: m.finn_batches,
+            finn_items: m.finn_items,
+            cpu_items: m.cpu_items,
+            batch_hist: m.batch_hist,
+            latency: m.latency,
+            queue_wait: m.queue_wait,
+            class_latency: m.class_latency,
+            slo_violations: m.slo_violations,
+            finn_busy: m.finn_busy,
+            cpu_busy: m.cpu_busy,
+            cpu_workers: self.cpu_workers,
+            wall,
+            max_depth: m.max_depth,
+            offload: self.finn_health.snapshot(),
+        }
+    }
+}
+
+fn spawn_finn_worker(
+    inner: Arc<Inner>,
+    mut engine: ServeEngine,
+    max_batch: usize,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let health = engine.health();
+        loop {
+            let lease = {
+                let mut state = inner.state.lock();
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    if state.finn_ready() {
+                        break;
+                    }
+                    inner.cond.wait(&mut state);
+                }
+                state.lease(max_batch)
+            };
+            let batch = lease.requests.len();
+            let before = health.snapshot();
+            let t0 = Instant::now();
+            let detections = engine
+                .process_batch(&lease.images())
+                .expect("offload resilience absorbs accelerator faults");
+            let busy = t0.elapsed();
+            // The degradation verdict of *this* batch drives load-shedding:
+            // a faulted batch engages the host workers, a clean one
+            // signals recovery and lets micro-batches form again.
+            let degraded_now = health.snapshot().degraded > before.degraded;
+            inner.mutate(|state| {
+                state.finn_degraded = degraded_now;
+                state.record_finn_batch(batch, busy);
+                for (request, dets) in lease.requests.into_iter().zip(detections) {
+                    state.complete(request, dets, BackendKind::Finn, batch);
+                }
+            });
+        }
+    })
+}
+
+fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        let lease = {
+            let mut state = inner.state.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.cpu_ready() {
+                    break;
+                }
+                inner.cond.wait(&mut state);
+            }
+            state.lease(1)
+        };
+        let request = lease
+            .requests
+            .into_iter()
+            .next()
+            .expect("cpu lease holds one request");
+        let t0 = Instant::now();
+        let detections = engine
+            .process_host(&request.image)
+            .expect("reference path cannot fault");
+        let busy = t0.elapsed();
+        inner.mutate(|state| {
+            state.record_cpu_busy(busy);
+            state.complete(request, detections, BackendKind::Cpu, 1);
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tincy_core::SystemConfig;
+    use tincy_video::{SceneConfig, SyntheticCamera};
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            system: SystemConfig {
+                input_size: 32,
+                seed: 5,
+                ..Default::default()
+            },
+            cpu_workers: 1,
+            max_batch: 3,
+            ..Default::default()
+        }
+    }
+
+    fn frames(n: u64, seed: u64) -> Vec<Image> {
+        let scene = SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        };
+        let mut camera = SyntheticCamera::with_limit(scene, seed, n);
+        std::iter::from_fn(|| camera.capture()).collect()
+    }
+
+    #[test]
+    fn accepted_requests_all_complete_in_order() {
+        let server = InferenceServer::start(small_config()).unwrap();
+        let client = server.client();
+        let images = frames(5, 9);
+        for image in images {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        for expected in 0..5u64 {
+            let response = client.recv().expect("response delivered");
+            assert_eq!(response.seq, expected);
+        }
+        let report = server.finish();
+        assert_eq!(report.accepted, 5);
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.rejected(), 0);
+    }
+
+    #[test]
+    fn paused_burst_forms_full_batches() {
+        let config = ServeConfig {
+            start_paused: true,
+            cpu_workers: 0,
+            ..small_config()
+        };
+        let max_batch = config.max_batch;
+        let server = InferenceServer::start(config).unwrap();
+        let client = server.client();
+        for image in frames(6, 11) {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        assert_eq!(server.depth(), 6, "paused server queues everything");
+        server.resume();
+        let report = server.finish();
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.finn_items, 6);
+        assert_eq!(
+            report.batch_hist.get(max_batch).copied().unwrap_or(0),
+            2,
+            "six queued frames dispatch as two full micro-batches"
+        );
+        assert!(report.batched_invocations() >= 1);
+    }
+
+    #[test]
+    fn finish_on_idle_server_reports_empty_run() {
+        let server = InferenceServer::start(small_config()).unwrap();
+        let _client = server.client();
+        let report = server.finish();
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.finn_batches, 0);
+    }
+}

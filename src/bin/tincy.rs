@@ -5,9 +5,24 @@
 //! tincy tables                 Tables I & II summary
 //! tincy ladder                 the §III/§IV speedup ladder
 //! tincy demo [frames [workers [input]]] [--fault-seed N] [--outage START:LEN]
+//!            [--metrics-json PATH]
 //!                              run the pipelined live-detection demo,
 //!                              optionally with deterministic accelerator
 //!                              faults (retried/CPU-fallback transparently)
+//! tincy serve [requests [clients [input]]] [serve flags]
+//!                              run the inference server under a built-in
+//!                              deterministic client load, print the serving
+//!                              report (micro-batching, SLO latencies,
+//!                              backend utilization)
+//! tincy loadgen [requests [clients [input]]] [serve flags] [--smoke]
+//!                              client-side view of the same session; with
+//!                              --smoke, assert zero dropped accepted
+//!                              requests, per-client ordering and engaged
+//!                              micro-batching (nonzero exit on violation)
+//!
+//! serve flags: --mode closed|open:MICROS|burst  --cpu-workers N
+//!              --max-batch N  --queue N  --per-client N  --engage-depth N
+//!              --fault-seed N  --outage START:LEN  --metrics-json PATH
 //! ```
 
 use std::process::ExitCode;
@@ -17,6 +32,7 @@ use tincy::core::SystemConfig;
 use tincy::finn::FaultPlan;
 use tincy::nn::parse_cfg;
 use tincy::perf::speedup_ladder;
+use tincy::serve::{json, run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, ServeConfig};
 use tincy::video::SceneConfig;
 
 fn main() -> ExitCode {
@@ -32,10 +48,12 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("demo") => cmd_demo(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..], false),
+        Some("loadgen") => cmd_serve(&args[1..], true),
         _ => {
             eprintln!(
-                "usage: tincy <ops <cfg>|tables|ladder|demo [frames [workers [input]]] \
-                 [--fault-seed N] [--outage START:LEN]>"
+                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen> (see --help text \
+                 at the top of src/bin/tincy.rs)"
             );
             return ExitCode::FAILURE;
         }
@@ -98,35 +116,55 @@ fn cmd_ladder() {
     }
 }
 
+/// Parses `--fault-seed` / `--outage` into a fault plan, mutating in place.
+fn parse_fault_flag(
+    flag: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+    fault_plan: &mut FaultPlan,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    match flag {
+        "--fault-seed" => {
+            let seed: u64 = iter
+                .next()
+                .ok_or("--fault-seed requires a value")?
+                .parse()
+                .map_err(|e| format!("--fault-seed: {e}"))?;
+            *fault_plan = FaultPlan {
+                outage: fault_plan.outage,
+                ..FaultPlan::from_seed(seed)
+            };
+            Ok(true)
+        }
+        "--outage" => {
+            let value = iter.next().ok_or("--outage requires START:LEN")?;
+            let (start, len) = value.split_once(':').ok_or("--outage expects START:LEN")?;
+            let parse = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|e| format!("--outage {value}: {e}"))
+            };
+            let window = FaultPlan::outage(parse(start)?, parse(len)?)
+                .outage
+                .expect("outage constructor sets the window");
+            *fault_plan = fault_plan.with_outage(window);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
 fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Split flags from positional arguments.
     let mut positional = Vec::new();
     let mut fault_plan = FaultPlan::none();
+    let mut metrics_json: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        if parse_fault_flag(arg, &mut iter, &mut fault_plan)? {
+            continue;
+        }
         match arg.as_str() {
-            "--fault-seed" => {
-                let seed: u64 = iter
-                    .next()
-                    .ok_or("--fault-seed requires a value")?
-                    .parse()
-                    .map_err(|e| format!("--fault-seed: {e}"))?;
-                fault_plan = FaultPlan {
-                    outage: fault_plan.outage,
-                    ..FaultPlan::from_seed(seed)
-                };
-            }
-            "--outage" => {
-                let value = iter.next().ok_or("--outage requires START:LEN")?;
-                let (start, len) = value.split_once(':').ok_or("--outage expects START:LEN")?;
-                let parse = |s: &str| {
-                    s.parse::<u64>()
-                        .map_err(|e| format!("--outage {value}: {e}"))
-                };
-                let window = FaultPlan::outage(parse(start)?, parse(len)?)
-                    .outage
-                    .expect("outage constructor sets the window");
-                fault_plan = fault_plan.with_outage(window);
+            "--metrics-json" => {
+                metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}").into());
@@ -171,5 +209,180 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             report.metrics.degraded
         );
     }
+    if let Some(path) = metrics_json {
+        std::fs::write(
+            &path,
+            json::demo_metrics_json(&report.metrics, &report.offload),
+        )?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Shared implementation of `tincy serve` (server-side view) and
+/// `tincy loadgen` (client-side view + smoke assertions).
+fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut fault_plan = FaultPlan::none();
+    let mut metrics_json: Option<String> = None;
+    let mut mode = LoadMode::Burst;
+    let mut smoke = false;
+    let mut serve_config = ServeConfig::default();
+    let mut iter = args.iter();
+    let next_usize = |iter: &mut std::slice::Iter<'_, String>,
+                      flag: &str|
+     -> Result<usize, Box<dyn std::error::Error>> {
+        Ok(iter
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))?)
+    };
+    while let Some(arg) = iter.next() {
+        if parse_fault_flag(arg, &mut iter, &mut fault_plan)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--metrics-json" => {
+                metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
+            }
+            "--cpu-workers" => serve_config.cpu_workers = next_usize(&mut iter, "--cpu-workers")?,
+            "--max-batch" => serve_config.max_batch = next_usize(&mut iter, "--max-batch")?,
+            "--queue" => serve_config.queue_capacity = next_usize(&mut iter, "--queue")?,
+            "--per-client" => {
+                serve_config.per_client_capacity = next_usize(&mut iter, "--per-client")?;
+            }
+            "--engage-depth" => {
+                serve_config.cpu_engage_depth = next_usize(&mut iter, "--engage-depth")?;
+            }
+            "--mode" => {
+                let value = iter.next().ok_or("--mode requires closed|open:US|burst")?;
+                mode = match value.as_str() {
+                    "closed" => LoadMode::Closed,
+                    "burst" => LoadMode::Burst,
+                    other => match other.strip_prefix("open:") {
+                        Some(us) => LoadMode::Open {
+                            interval: std::time::Duration::from_micros(
+                                us.parse().map_err(|e| format!("--mode {other}: {e}"))?,
+                            ),
+                        },
+                        None => return Err(format!("unknown mode {other}").into()),
+                    },
+                };
+            }
+            "--smoke" => smoke = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}").into());
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() > 3 {
+        return Err(format!("unexpected argument {:?}", positional[3]).into());
+    }
+    let requests: u64 = positional.first().map_or(Ok(8), |s| s.parse())?;
+    let clients: usize = positional.get(1).map_or(Ok(4), |s| s.parse())?;
+    let input: usize = positional.get(2).map_or(Ok(64), |s| s.parse())?;
+    serve_config.system = SystemConfig {
+        input_size: input,
+        fault_plan,
+        ..Default::default()
+    };
+    serve_config.score_threshold = 0.02;
+    let load = LoadgenConfig {
+        clients,
+        requests_per_client: requests,
+        mode,
+        ..Default::default()
+    };
+    let report = run_loadgen(serve_config, &load)?;
+    if client_view {
+        print_client_view(&report);
+    } else {
+        print_server_view(&report);
+    }
+    if let Some(path) = metrics_json {
+        std::fs::write(&path, json::serve_report_json(&report.serve))?;
+        println!("metrics written to {path}");
+    }
+    if smoke {
+        return check_smoke(&report);
+    }
+    Ok(())
+}
+
+fn print_server_view(report: &LoadgenReport) {
+    let s = &report.serve;
+    println!(
+        "served {} / {} accepted requests ({} rejected) in {:.1} ms — {:.1} req/s",
+        s.completed,
+        s.accepted,
+        s.rejected(),
+        s.wall.as_secs_f64() * 1000.0,
+        s.throughput()
+    );
+    println!(
+        "backends: finn {} items in {} batches (mean batch {:.2}), cpu {} items",
+        s.finn_items,
+        s.finn_batches,
+        s.mean_batch(),
+        s.cpu_items
+    );
+    println!("batch histogram: {:?}  (index = batch size)", s.batch_hist);
+    println!(
+        "latency p50/p95/p99: {:.2} / {:.2} / {:.2} ms  ({} SLO violations)",
+        s.latency.p50().as_secs_f64() * 1000.0,
+        s.latency.p95().as_secs_f64() * 1000.0,
+        s.latency.p99().as_secs_f64() * 1000.0,
+        s.slo_violations
+    );
+    println!(
+        "utilization: finn {:.1}%, cpu {:.1}%  max queue depth {}",
+        s.finn_utilization() * 100.0,
+        s.cpu_utilization() * 100.0,
+        s.max_depth
+    );
+    if s.offload.faults > 0 {
+        println!(
+            "offload health: {} faults, {} retries, {} fallbacks, {} degraded",
+            s.offload.faults, s.offload.retries, s.offload.fallbacks, s.offload.degraded
+        );
+    }
+}
+
+fn print_client_view(report: &LoadgenReport) {
+    for o in &report.outcomes {
+        println!(
+            "client {:>2} [{}]: {}/{} accepted, {} completed, in order: {}, {} detections",
+            o.client,
+            o.class.label(),
+            o.accepted,
+            o.submitted,
+            o.completed,
+            o.in_order,
+            o.detections
+        );
+    }
+    println!(
+        "total: {} accepted, {} completed, {} dropped, all in order: {}, {} batched invocations",
+        report.accepted(),
+        report.completed(),
+        report.dropped(),
+        report.all_in_order(),
+        report.serve.batched_invocations()
+    );
+}
+
+fn check_smoke(report: &LoadgenReport) -> Result<(), Box<dyn std::error::Error>> {
+    if report.dropped() != 0 {
+        return Err(format!("smoke: {} accepted requests were dropped", report.dropped()).into());
+    }
+    if !report.all_in_order() {
+        return Err("smoke: a client observed out-of-order delivery".into());
+    }
+    if report.serve.batched_invocations() == 0 {
+        return Err("smoke: micro-batching never engaged (no batch larger than 1)".into());
+    }
+    println!("smoke: ok");
     Ok(())
 }

@@ -25,6 +25,9 @@
 //!   behind Tables I–III and the paper's speedup ladder.
 //! * [`core`] — Tiny/Tincy YOLO topologies, the (a)–(d) transformations and
 //!   end-to-end system assembly.
+//! * [`serve`] — concurrent inference serving: micro-batched FINN offload,
+//!   SLO-aware heterogeneous scheduling, admission control and a
+//!   deterministic load generator.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub use tincy_nn as nn;
 pub use tincy_perf as perf;
 pub use tincy_pipeline as pipeline;
 pub use tincy_quant as quant;
+pub use tincy_serve as serve;
 pub use tincy_simd as simd;
 pub use tincy_tensor as tensor;
 pub use tincy_train as train;

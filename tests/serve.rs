@@ -1,0 +1,234 @@
+//! Serving-subsystem invariants, exercised end to end through the public
+//! `tincy::serve` API: per-client ordering, admission control, starvation
+//! freedom under mixed SLOs, micro-batch formation and bit-exact
+//! load-shedding when the FINN engine degrades.
+
+use std::time::Duration;
+use tincy::core::SystemConfig;
+use tincy::finn::FaultPlan;
+use tincy::serve::{
+    run_loadgen, AdmissionError, InferenceServer, LoadMode, LoadgenConfig, ServeConfig, SloClass,
+};
+use tincy::video::{Image, SceneConfig, SyntheticCamera};
+
+fn small_system(fault_plan: FaultPlan) -> SystemConfig {
+    SystemConfig {
+        input_size: 32,
+        seed: 5,
+        fault_plan,
+        ..Default::default()
+    }
+}
+
+fn small_serve(fault_plan: FaultPlan) -> ServeConfig {
+    ServeConfig {
+        system: small_system(fault_plan),
+        cpu_workers: 2,
+        max_batch: 4,
+        score_threshold: 0.0,
+        ..Default::default()
+    }
+}
+
+fn small_scene() -> SceneConfig {
+    SceneConfig {
+        width: 48,
+        height: 36,
+        ..Default::default()
+    }
+}
+
+fn frames(n: u64, seed: u64) -> Vec<Image> {
+    let mut camera = SyntheticCamera::with_limit(small_scene(), seed, n);
+    std::iter::from_fn(|| camera.capture()).collect()
+}
+
+fn small_load(clients: usize, requests: u64, mode: LoadMode) -> LoadgenConfig {
+    LoadgenConfig {
+        clients,
+        requests_per_client: requests,
+        mode,
+        scene: small_scene(),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn per_client_delivery_follows_submission_order() {
+    // Open-loop traffic from several clients lands in arbitrary backend
+    // interleavings; every client must still observe its own responses in
+    // submission order.
+    let report = run_loadgen(
+        small_serve(FaultPlan::none()),
+        &small_load(3, 6, LoadMode::Closed),
+    )
+    .unwrap();
+    assert!(report.all_in_order());
+    assert_eq!(report.accepted(), 18);
+    assert_eq!(report.completed(), 18);
+    assert_eq!(report.dropped(), 0);
+}
+
+#[test]
+fn mixed_slo_classes_all_complete() {
+    // One client per SLO class, saturating burst: earliest-deadline-first
+    // lets no class starve — every accepted request of every class is
+    // answered.
+    let report = run_loadgen(
+        small_serve(FaultPlan::none()),
+        &small_load(3, 8, LoadMode::Burst),
+    )
+    .unwrap();
+    assert_eq!(report.dropped(), 0);
+    assert!(report.all_in_order());
+    let classes: Vec<SloClass> = report.outcomes.iter().map(|o| o.class).collect();
+    assert_eq!(
+        classes,
+        vec![SloClass::Interactive, SloClass::Standard, SloClass::Batch]
+    );
+    for outcome in &report.outcomes {
+        assert_eq!(
+            outcome.completed,
+            8,
+            "class {} starved",
+            outcome.class.label()
+        );
+    }
+    // Per-class latency distributions were populated.
+    for class in SloClass::ALL {
+        assert_eq!(report.serve.class(class).count(), 8);
+    }
+}
+
+#[test]
+fn admission_control_rejects_instead_of_queueing() {
+    let config = ServeConfig {
+        queue_capacity: 5,
+        per_client_capacity: 3,
+        start_paused: true,
+        ..small_serve(FaultPlan::none())
+    };
+    let server = InferenceServer::start(config).unwrap();
+    let a = server.client();
+    let b = server.client();
+    let images = frames(8, 21);
+
+    // Client quota: the fourth outstanding request of one client bounces.
+    for image in images.iter().take(3) {
+        a.submit(image.clone(), SloClass::Standard).unwrap();
+    }
+    assert_eq!(
+        a.submit(images[3].clone(), SloClass::Standard),
+        Err(AdmissionError::ClientQueueFull)
+    );
+
+    // Global bound: queue holds 3 + 2 = 5, the next submission bounces
+    // regardless of client quota.
+    for image in images.iter().take(2) {
+        b.submit(image.clone(), SloClass::Standard).unwrap();
+    }
+    assert_eq!(
+        b.submit(images[2].clone(), SloClass::Standard),
+        Err(AdmissionError::QueueFull)
+    );
+    assert_eq!(server.depth(), 5, "rejections queued nothing");
+
+    server.resume();
+    let report = server.finish();
+    assert_eq!(report.accepted, 5);
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.rejected_client_full, 1);
+    assert_eq!(report.rejected_queue_full, 1);
+    assert_eq!(report.max_depth, 5);
+}
+
+#[test]
+fn burst_mode_forms_micro_batches() {
+    let report = run_loadgen(
+        ServeConfig {
+            cpu_workers: 0,
+            ..small_serve(FaultPlan::none())
+        },
+        &small_load(2, 6, LoadMode::Burst),
+    )
+    .unwrap();
+    assert_eq!(report.dropped(), 0);
+    assert_eq!(report.serve.finn_items, 12);
+    assert_eq!(report.serve.finn_batches, 3, "12 frames in 3 batches of 4");
+    assert_eq!(report.serve.batch_hist.get(4), Some(&3));
+    assert!(report.serve.batched_invocations() >= 1);
+    assert!(report.serve.mean_batch() > 1.0);
+}
+
+#[test]
+fn degraded_finn_sheds_load_and_stays_bit_exact() {
+    // Reference run: fault-free, FINN-only, single client.
+    let collect = |fault_plan: FaultPlan, cpu_workers: usize| {
+        let config = ServeConfig {
+            cpu_workers,
+            start_paused: true,
+            ..small_serve(fault_plan)
+        };
+        let server = InferenceServer::start(config).unwrap();
+        let client = server.client();
+        for image in frames(8, 13) {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        server.resume();
+        let mut detections = Vec::new();
+        for _ in 0..8 {
+            detections.push(client.recv().expect("accepted request answered").detections);
+        }
+        (detections, server.finish())
+    };
+
+    let (clean, clean_report) = collect(FaultPlan::none(), 0);
+    assert_eq!(clean_report.offload.faults, 0);
+
+    // Degraded run: an outage covering the whole run forces the FINN
+    // engine through retry into CPU fallback, and its degradation verdict
+    // engages the host workers. No accepted request is dropped and every
+    // result is bit-exact with the clean run.
+    let (degraded, degraded_report) = collect(FaultPlan::outage(0, 1000), 2);
+    assert_eq!(degraded_report.completed, 8);
+    assert!(degraded_report.offload.faults > 0, "outage was observed");
+    assert_eq!(
+        degraded, clean,
+        "shed and fallback paths are bit-exact with the accelerator"
+    );
+
+    // Same plan replays identically.
+    let (replay, _) = collect(FaultPlan::outage(0, 1000), 2);
+    assert_eq!(replay, degraded);
+}
+
+#[test]
+fn loadgen_detections_are_deterministic_across_runs() {
+    let run = || {
+        run_loadgen(
+            small_serve(FaultPlan::none()),
+            &small_load(3, 5, LoadMode::Burst),
+        )
+        .unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.detections(), second.detections());
+    for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.accepted, b.accepted);
+    }
+}
+
+#[test]
+fn slo_targets_mark_violations() {
+    // Impossible targets: every completed request is a violation; the
+    // serving pipeline still answers everything.
+    let config = ServeConfig {
+        slo_targets: [Duration::ZERO; 3],
+        ..small_serve(FaultPlan::none())
+    };
+    let report = run_loadgen(config, &small_load(2, 3, LoadMode::Burst)).unwrap();
+    assert_eq!(report.dropped(), 0);
+    assert_eq!(report.serve.slo_violations, 6);
+}
