@@ -14,6 +14,7 @@ use crate::resource::ResourceEstimate;
 use tincy_nn::NnError;
 use tincy_quant::{BinaryDot, ThresholdsForLayer};
 use tincy_tensor::{BitTensor, ConvGeom, PoolGeom, Shape3, Tensor, U3Tensor};
+use tincy_trace::static_label;
 
 /// Parameters of one offloaded W1A3 conv(+pool) layer.
 #[derive(Debug, Clone)]
@@ -284,16 +285,35 @@ impl QnnAccelerator {
         let mut fmaps: Vec<Tensor<u8>> = inputs.to_vec();
         let mut layer_cycles = Vec::with_capacity(self.layers.len());
         let mut swap = 0u64;
-        for layer in &self.layers {
+        #[allow(clippy::cast_possible_truncation)]
+        let batch = inputs.len() as u32;
+        for (index, layer) in self.layers.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let layer_ix = index as u32;
             // Weight swap: the engine streams this layer's weights in once
             // for the whole batch.
-            swap += layer.weight_bits().div_ceil(self.axi_bits_per_cycle);
+            let swap_cycles = layer.weight_bits().div_ceil(self.axi_bits_per_cycle);
+            swap += swap_cycles;
+            tincy_trace::span(static_label!("finn.weight_swap"))
+                .layer(layer_ix)
+                .cycles(swap_cycles)
+                .emit();
             let mut cycles = 0u64;
-            for fmap in &mut fmaps {
-                let (out, layer_time) = self.engine.run_layer(layer, fmap)?;
-                cycles += layer_time;
-                *fmap = out;
+            {
+                let _span = tincy_trace::span(static_label!("finn.layer"))
+                    .layer(layer_ix)
+                    .batch(batch)
+                    .start();
+                for fmap in &mut fmaps {
+                    let (out, layer_time) = self.engine.run_layer(layer, fmap)?;
+                    cycles += layer_time;
+                    *fmap = out;
+                }
             }
+            tincy_trace::span(static_label!("finn.layer_cycles"))
+                .layer(layer_ix)
+                .cycles(cycles)
+                .emit();
             layer_cycles.push(cycles);
         }
         if fault == Some(FaultKind::CorruptResult) {

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tincy_tensor::{Shape3, Tensor};
+use tincy_trace::static_label;
 
 /// Configuration handed to a backend at `init` time (the keys of Fig 4).
 #[derive(Debug, Clone, PartialEq)]
@@ -284,9 +285,19 @@ pub fn run_with_resilience_n<T>(
     mut run: impl FnMut(bool) -> Result<T, NnError>,
 ) -> Result<T, NnError> {
     let counters = &health.inner;
+    #[allow(clippy::cast_possible_truncation)]
+    let batch = items.min(u64::from(u32::MAX)) as u32;
     let mut attempt = 0u32;
     loop {
-        match run(false) {
+        let outcome = {
+            let _span = tincy_trace::span(static_label!("offload.attempt"))
+                .attempt(attempt)
+                .batch(batch)
+                .backend(tincy_trace::Backend::Finn)
+                .start();
+            run(false)
+        };
+        match outcome {
             Ok(value) => {
                 counters.forwards.fetch_add(items, Ordering::Relaxed);
                 if attempt > 0 {
@@ -296,17 +307,32 @@ pub fn run_with_resilience_n<T>(
             }
             Err(e) if e.is_retryable() => {
                 counters.faults.fetch_add(1, Ordering::Relaxed);
+                if tincy_trace::is_enabled() {
+                    tincy_trace::span(static_label!("offload.fault"))
+                        .attempt(attempt)
+                        .fault(&e.to_string())
+                        .emit();
+                }
                 if attempt < policy.max_retries {
                     attempt += 1;
                     counters.retries.fetch_add(1, Ordering::Relaxed);
                     let pause = policy.backoff_for(attempt);
                     if !pause.is_zero() {
+                        let _span = tincy_trace::span(static_label!("offload.backoff"))
+                            .attempt(attempt)
+                            .start();
                         std::thread::sleep(pause);
                     }
                     continue;
                 }
                 if policy.cpu_fallback {
-                    let value = run(true)?;
+                    let value = {
+                        let _span = tincy_trace::span(static_label!("offload.fallback"))
+                            .batch(batch)
+                            .backend(tincy_trace::Backend::Host)
+                            .start();
+                        run(true)?
+                    };
                     counters.forwards.fetch_add(items, Ordering::Relaxed);
                     counters.fallbacks.fetch_add(items, Ordering::Relaxed);
                     counters.degraded.fetch_add(items, Ordering::Relaxed);

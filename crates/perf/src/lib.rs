@@ -20,12 +20,14 @@
 pub mod calib;
 pub mod fabric;
 pub mod ladder;
+pub mod observed;
 pub mod pipeline_model;
 pub mod stages;
 pub mod tables;
 
 pub use fabric::{fabric_hidden_ms, HiddenConvDims};
 pub use ladder::{speedup_ladder, LadderStep};
+pub use observed::{classify_stage, model_diff, ModelDiffRow};
 pub use pipeline_model::{pipelined_fps, PipelineModel};
 pub use stages::{StageBudget, StageId};
 pub use tables::{table1, table2, table3, Table1Row, Table2Row, Table3Row};

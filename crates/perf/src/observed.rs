@@ -1,0 +1,171 @@
+//! Modeled-vs-observed stage comparison.
+//!
+//! The stage budget of [`crate::stages`] predicts per-frame stage times
+//! (Table III); a traced run measures them. This module folds observed
+//! per-stage means (as produced by a trace profile) onto the Table III
+//! stage taxonomy and diffs them against a [`StageBudget`], flagging
+//! stages whose observed time deviates from the model by more than a
+//! caller-chosen threshold.
+//!
+//! The mapping from pipeline stage names to [`StageId`] follows the demo
+//! pipeline layout (Fig 5): `source`/`letterbox` are acquisition, `L[0]`
+//! is the input layer, standalone pools are the max-pool row, the offload
+//! stage is the hidden stack, later convs and the region head are the
+//! output layer, `object boxing` is box drawing, and `frame drawing`/
+//! `sink` are image output.
+
+use crate::stages::{StageBudget, StageId};
+
+/// One row of the modeled-vs-observed table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDiffRow {
+    /// The Table III stage.
+    pub stage: StageId,
+    /// Modeled per-frame time in ms.
+    pub modeled_ms: f64,
+    /// Observed per-frame time in ms (`None` when the trace carried no
+    /// samples for this stage).
+    pub observed_ms: Option<f64>,
+    /// `observed / modeled` (`None` without an observation).
+    pub ratio: Option<f64>,
+    /// Whether the deviation exceeds the threshold.
+    pub flagged: bool,
+}
+
+impl ModelDiffRow {
+    /// Signed relative deviation `(observed - modeled) / modeled`.
+    pub fn deviation(&self) -> Option<f64> {
+        self.ratio.map(|r| r - 1.0)
+    }
+}
+
+/// Classifies one pipeline stage name onto the Table III taxonomy.
+/// Returns `None` for names outside the frame path (trace-internal
+/// labels such as `slot.deposit` or `gemm.scalar`).
+pub fn classify_stage(name: &str) -> Option<StageId> {
+    match name {
+        "source" | "letterbox" => return Some(StageId::Acquisition),
+        "object boxing" => return Some(StageId::BoxDrawing),
+        "frame drawing" | "sink" => return Some(StageId::ImageOutput),
+        _ => {}
+    }
+    // Network layer stages are named "L[i] kind".
+    let rest = name.strip_prefix("L[")?;
+    let close = rest.find(']')?;
+    let index: usize = rest[..close].parse().ok()?;
+    let kind = rest[close + 1..].trim();
+    match kind {
+        "offload" => Some(StageId::HiddenLayers),
+        "pool" => Some(StageId::MaxPool),
+        "region" => Some(StageId::OutputLayer),
+        "conv" => Some(if index == 0 {
+            StageId::InputLayer
+        } else {
+            StageId::OutputLayer
+        }),
+        _ => None,
+    }
+}
+
+/// Diffs observed per-stage means against a stage budget.
+///
+/// `observed` holds `(stage name, mean ms)` pairs — the shape produced by
+/// a trace profile's stage summary. Stage names sharing a [`StageId`]
+/// (e.g. `source` and `letterbox`) are summed before comparison, since
+/// the budget models them as one row. `threshold` is the relative
+/// deviation above which a row is flagged (`0.25` = flag stages off by
+/// more than 25%); rows with no observation are never flagged.
+pub fn model_diff(
+    budget: &StageBudget,
+    observed: &[(String, f64)],
+    threshold: f64,
+) -> Vec<ModelDiffRow> {
+    let mut sums: [Option<f64>; 7] = [None; 7];
+    for (name, ms) in observed {
+        if let Some(stage) = classify_stage(name) {
+            let slot = &mut sums[stage_index(stage)];
+            *slot = Some(slot.unwrap_or(0.0) + ms);
+        }
+    }
+    StageId::ALL
+        .into_iter()
+        .map(|stage| {
+            let modeled_ms = budget.get(stage);
+            let observed_ms = sums[stage_index(stage)];
+            let ratio = observed_ms.and_then(|o| {
+                if modeled_ms > 0.0 {
+                    Some(o / modeled_ms)
+                } else {
+                    None
+                }
+            });
+            let flagged = ratio.is_some_and(|r| (r - 1.0).abs() > threshold);
+            ModelDiffRow {
+                stage,
+                modeled_ms,
+                observed_ms,
+                ratio,
+                flagged,
+            }
+        })
+        .collect()
+}
+
+fn stage_index(stage: StageId) -> usize {
+    StageId::ALL
+        .iter()
+        .position(|&s| s == stage)
+        .expect("stage is in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_stage_names_classify_onto_table_three() {
+        assert_eq!(classify_stage("source"), Some(StageId::Acquisition));
+        assert_eq!(classify_stage("letterbox"), Some(StageId::Acquisition));
+        assert_eq!(classify_stage("L[0] conv"), Some(StageId::InputLayer));
+        assert_eq!(classify_stage("L[1] offload"), Some(StageId::HiddenLayers));
+        assert_eq!(classify_stage("L[2] conv"), Some(StageId::OutputLayer));
+        assert_eq!(classify_stage("L[3] region"), Some(StageId::OutputLayer));
+        assert_eq!(classify_stage("L[1] pool"), Some(StageId::MaxPool));
+        assert_eq!(classify_stage("object boxing"), Some(StageId::BoxDrawing));
+        assert_eq!(classify_stage("frame drawing"), Some(StageId::ImageOutput));
+        assert_eq!(classify_stage("sink"), Some(StageId::ImageOutput));
+        assert_eq!(classify_stage("slot.deposit"), None);
+        assert_eq!(classify_stage("gemm.scalar"), None);
+        assert_eq!(classify_stage("L[x] conv"), None);
+    }
+
+    #[test]
+    fn diff_sums_shared_stages_and_flags_deviations() {
+        let budget = StageBudget::paper_baseline()
+            .with(StageId::Acquisition, 10.0)
+            .with(StageId::InputLayer, 100.0);
+        let observed = vec![
+            ("source".to_owned(), 10.0),
+            ("letterbox".to_owned(), 5.0),
+            ("L[0] conv".to_owned(), 101.0),
+            ("gemm.scalar".to_owned(), 50.0), // outside the frame path
+        ];
+        let rows = model_diff(&budget, &observed, 0.25);
+        assert_eq!(rows.len(), 7);
+
+        let acq = &rows[0];
+        assert_eq!(acq.stage, StageId::Acquisition);
+        assert_eq!(acq.observed_ms, Some(15.0), "source + letterbox sum");
+        assert!(acq.flagged, "+50% exceeds the 25% threshold");
+        assert!((acq.deviation().unwrap() - 0.5).abs() < 1e-12);
+        let input = &rows[1];
+        assert_eq!(input.stage, StageId::InputLayer);
+        assert_eq!(input.observed_ms, Some(101.0));
+        assert!(!input.flagged, "1% off is inside the threshold");
+        // Stages without observations are present but never flagged.
+        let hidden = &rows[3];
+        assert_eq!(hidden.stage, StageId::HiddenLayers);
+        assert_eq!(hidden.observed_ms, None);
+        assert!(!hidden.flagged);
+    }
+}

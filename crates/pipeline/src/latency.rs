@@ -132,19 +132,40 @@ impl DurationStats {
     /// The `q`-quantile (`0.0..=1.0`) from the histogram, clamped to the
     /// exact observed min/max so tails never over-report.
     pub fn quantile(&self, q: f64) -> Duration {
+        self.quantiles(&[q])[0]
+    }
+
+    /// Several quantiles in one histogram walk — callers needing
+    /// p50/p95/p99 together pay one pass instead of three. Results are
+    /// positional: `quantiles(&[0.5, 0.95])[1]` is the p95.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Duration> {
         if self.count == 0 {
-            return Duration::ZERO;
+            return vec![Duration::ZERO; qs.len()];
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let rank_of = |q: f64| ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        // Visit requested quantiles in rank order while walking the
+        // buckets once; `order` maps back to the caller's positions.
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_by(|&a, &b| {
+            qs[a]
+                .partial_cmp(&qs[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut out = vec![self.max; qs.len()];
+        let mut next = 0;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
+            if next == order.len() {
+                break;
+            }
             seen += c;
-            if seen >= rank {
+            while next < order.len() && seen >= rank_of(qs[order[next]]) {
                 let v = Duration::from_nanos(Self::bucket_value(i));
-                return v.clamp(self.min, self.max);
+                out[order[next]] = v.clamp(self.min, self.max);
+                next += 1;
             }
         }
-        self.max
+        out
     }
 
     /// Median.
@@ -236,6 +257,47 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    #[test]
+    fn merged_quantiles_match_concatenated_stream() {
+        // Two recorders over different regimes (fast path vs slow tail),
+        // merged, must answer quantile queries exactly as a single
+        // recorder that saw the concatenated stream — bucket counts add,
+        // so the histograms are identical, not merely close.
+        let mut fast = DurationStats::new();
+        let mut slow = DurationStats::new();
+        let mut concatenated = DurationStats::new();
+        for i in 0..400u64 {
+            let d = Duration::from_micros(50 + i % 40);
+            fast.record(d);
+            concatenated.record(d);
+        }
+        for i in 0..100u64 {
+            let d = Duration::from_millis(8 + i % 5);
+            slow.record(d);
+            concatenated.record(d);
+        }
+        fast.merge(&slow);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        assert_eq!(fast.quantiles(&qs), concatenated.quantiles(&qs));
+        assert_eq!(fast.count(), concatenated.count());
+        assert_eq!(fast.min(), concatenated.min());
+        assert_eq!(fast.max(), concatenated.max());
+    }
+
+    #[test]
+    fn batched_quantiles_match_individual_queries() {
+        let mut s = DurationStats::new();
+        for us in 1..=1000u64 {
+            s.record(Duration::from_micros(us));
+        }
+        let qs = [0.99, 0.5, 0.95]; // deliberately unsorted
+        let batched = s.quantiles(&qs);
+        assert_eq!(batched[0], s.quantile(0.99));
+        assert_eq!(batched[1], s.quantile(0.5));
+        assert_eq!(batched[2], s.quantile(0.95));
+        assert!(s.quantiles(&[]).is_empty());
     }
 
     #[test]

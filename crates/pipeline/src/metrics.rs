@@ -58,6 +58,14 @@ impl StageStats {
         self.timing.max()
     }
 
+    /// The [p50, p95, p99] invocation times in one histogram walk —
+    /// reporting paths that print all three should use this instead of
+    /// three separate queries.
+    pub fn percentiles(&self) -> [Duration; 3] {
+        let q = self.timing.quantiles(&[0.50, 0.95, 0.99]);
+        [q[0], q[1], q[2]]
+    }
+
     /// Median invocation time.
     pub fn p50(&self) -> Duration {
         self.timing.p50()
@@ -199,5 +207,9 @@ mod tests {
         assert_eq!(stats.timing.count(), 4);
         assert!(stats.p50() >= Duration::from_millis(2));
         assert!(stats.p99() <= Duration::from_millis(8));
+        let [p50, p95, p99] = stats.percentiles();
+        assert_eq!(p50, stats.p50());
+        assert_eq!(p95, stats.p95());
+        assert_eq!(p99, stats.p99());
     }
 }

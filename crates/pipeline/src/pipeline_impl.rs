@@ -5,6 +5,7 @@ use crate::slot::Slot;
 use crate::stage::Stage;
 use parking_lot::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+use tincy_trace::{static_label, Label};
 
 /// A frame travelling through the pipeline with its source sequence number.
 struct Env<T> {
@@ -30,6 +31,8 @@ struct Shared<T> {
     last_seq: Option<u64>,
     in_order: bool,
     stats: Vec<StageStats>,
+    /// Interned trace labels, parallel to `stats` (task order).
+    labels: Vec<Label>,
 }
 
 impl<T> Shared<T> {
@@ -148,6 +151,7 @@ impl<T: Send + 'static> Pipeline<T> {
             stats.push(StageStats::named(s.name()));
         }
         stats.push(StageStats::named("sink"));
+        let labels = stats.iter().map(|s| Label::intern(&s.name)).collect();
 
         let shared = Mutex::new(Shared {
             slots: (0..=n).map(|_| Slot::Free).collect(),
@@ -161,6 +165,7 @@ impl<T: Send + 'static> Pipeline<T> {
             last_seq: None,
             in_order: true,
             stats,
+            labels,
         });
         let condvar = Condvar::new();
         let started = Instant::now();
@@ -238,14 +243,21 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
         if job == 0 {
             // Source: produce the next frame (or learn the stream ended).
             let mut source = state.source.take().expect("source present when picked");
+            let label = state.labels[0];
             drop(state);
-            let (produced, took) = run_task(shared, condvar, &mut source);
+            let (produced, took) = run_task(shared, condvar, || {
+                let _span = tincy_trace::span(label).start();
+                source()
+            });
             let mut state = shared.lock();
             match produced {
                 Some(frame) => {
                     let seq = state.next_seq;
                     state.next_seq += 1;
                     state.slots[0].deposit(Env { seq, frame });
+                    tincy_trace::span(static_label!("slot.deposit"))
+                        .frame(seq)
+                        .emit();
                 }
                 None => state.source_done = true,
             }
@@ -255,9 +267,11 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
             // Sink: deliver the most mature frame.
             let env = state.slots[n].start_consume();
             let mut sink = state.sink.take().expect("sink present when picked");
+            let label = state.labels[n + 1];
             drop(state);
             let seq = env.seq;
             let (sink, took) = run_task(shared, condvar, move || {
+                let _span = tincy_trace::span(label).frame(seq).start();
                 sink(env.frame);
                 sink
             });
@@ -280,15 +294,20 @@ fn worker_loop<T>(shared: &Mutex<Shared<T>>, condvar: &Condvar) {
             let mut stage = state.stages[job - 1]
                 .take()
                 .expect("stage present when picked");
+            let label = state.labels[job];
             drop(state);
             let seq = env.seq;
             let ((stage, frame), took) = run_task(shared, condvar, move || {
+                let _span = tincy_trace::span(label).frame(seq).start();
                 let frame = stage.process(env.frame);
                 (stage, frame)
             });
             let mut state = shared.lock();
             state.slots[job - 1].finish_consume();
             state.slots[job].deposit(Env { seq, frame });
+            tincy_trace::span(static_label!("slot.deposit"))
+                .frame(seq)
+                .emit();
             state.stats[job].record(took);
             state.stages[job - 1] = Some(stage);
         }

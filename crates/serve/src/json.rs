@@ -120,14 +120,15 @@ fn micros(d: Duration) -> f64 {
 /// A latency distribution as `{count, mean_us, min_us, max_us, p50_us,
 /// p95_us, p99_us}`.
 pub fn duration_stats_json(stats: &DurationStats) -> String {
+    let qs = stats.quantiles(&[0.50, 0.95, 0.99]);
     JsonObject::new()
         .u64("count", stats.count())
         .f64("mean_us", micros(stats.mean()))
         .f64("min_us", stats.min().map_or(0.0, micros))
         .f64("max_us", stats.max().map_or(0.0, micros))
-        .f64("p50_us", micros(stats.p50()))
-        .f64("p95_us", micros(stats.p95()))
-        .f64("p99_us", micros(stats.p99()))
+        .f64("p50_us", micros(qs[0]))
+        .f64("p95_us", micros(qs[1]))
+        .f64("p99_us", micros(qs[2]))
         .finish()
 }
 
@@ -192,6 +193,7 @@ pub fn serve_report_json(report: &ServeReport) -> String {
         .u64("rejected_queue_full", report.rejected_queue_full)
         .u64("rejected_client_full", report.rejected_client_full)
         .u64("rejected_draining", report.rejected_draining)
+        .raw("rejected_by_class", &array_u64(&report.rejected_class))
         .u64("finn_batches", report.finn_batches)
         .u64("finn_items", report.finn_items)
         .u64("cpu_items", report.cpu_items)

@@ -20,6 +20,9 @@ pub struct ServeReport {
     pub rejected_client_full: u64,
     /// Submissions refused because the server was draining.
     pub rejected_draining: u64,
+    /// Rejections per SLO class (any reason), indexed by
+    /// [`SloClass::index`] — which traffic class admission control shed.
+    pub rejected_class: [u64; 3],
     /// Micro-batched offload invocations on the FINN engine.
     pub finn_batches: u64,
     /// Requests completed by the FINN engine.
@@ -95,6 +98,11 @@ impl ServeReport {
     pub fn class(&self, class: SloClass) -> &DurationStats {
         &self.class_latency[class.index()]
     }
+
+    /// Rejections charged to one SLO class (any reason).
+    pub fn rejected_for(&self, class: SloClass) -> u64 {
+        self.rejected_class[class.index()]
+    }
 }
 
 fn fraction(busy: Duration, wall: Duration, lanes: usize) -> f64 {
@@ -116,6 +124,7 @@ mod tests {
             rejected_queue_full: 0,
             rejected_client_full: 0,
             rejected_draining: 0,
+            rejected_class: [0; 3],
             finn_batches: 0,
             finn_items: 0,
             cpu_items: 0,
@@ -151,7 +160,11 @@ mod tests {
         r.wall = Duration::from_secs(2);
         r.rejected_queue_full = 3;
         r.rejected_draining = 1;
+        r.rejected_class = [3, 1, 0];
         assert_eq!(r.rejected(), 4);
+        assert_eq!(r.rejected_for(SloClass::Interactive), 3);
+        assert_eq!(r.rejected_for(SloClass::Standard), 1);
+        assert_eq!(r.rejected_for(SloClass::Batch), 0);
         assert_eq!(r.batched_invocations(), 3);
         assert!((r.mean_batch() - 8.0 / 3.0).abs() < 1e-12);
         assert!((r.finn_utilization() - 0.5).abs() < 1e-12);

@@ -63,23 +63,53 @@ impl BackendKind {
 }
 
 /// Why the server refused a submission. Admission control turns overload
-/// into an explicit, immediate signal instead of unbounded queueing.
+/// into an explicit, immediate signal instead of unbounded queueing; each
+/// variant carries the offending quota and the depth that tripped it, so
+/// a rejected caller can log *how* saturated the server was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionError {
     /// The global pending queue is at capacity.
-    QueueFull,
+    QueueFull {
+        /// Configured global queue capacity.
+        capacity: usize,
+        /// Pending-queue depth at rejection time.
+        depth: usize,
+    },
     /// This client's pending quota is exhausted.
-    ClientQueueFull,
+    ClientQueueFull {
+        /// Configured per-client quota.
+        quota: usize,
+        /// The client's outstanding requests at rejection time.
+        outstanding: usize,
+    },
     /// The server is draining and accepts no new work.
     Draining,
+}
+
+impl AdmissionError {
+    /// Short stable tag ("queue-full" / "client-full" / "draining") for
+    /// per-reason accounting and trace attribution.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AdmissionError::QueueFull { .. } => "queue-full",
+            AdmissionError::ClientQueueFull { .. } => "client-full",
+            AdmissionError::Draining => "draining",
+        }
+    }
 }
 
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::QueueFull => write!(f, "server queue full"),
-            AdmissionError::ClientQueueFull => write!(f, "client queue full"),
-            AdmissionError::Draining => write!(f, "server is draining"),
+            AdmissionError::QueueFull { capacity, depth } => write!(
+                f,
+                "server queue full: {depth} pending at capacity {capacity}"
+            ),
+            AdmissionError::ClientQueueFull { quota, outstanding } => write!(
+                f,
+                "client queue full: {outstanding} outstanding at quota {quota}"
+            ),
+            AdmissionError::Draining => write!(f, "server is draining, not admitting new work"),
         }
     }
 }

@@ -19,6 +19,7 @@ use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 use tincy_eval::Detection;
 use tincy_pipeline::DurationStats;
+use tincy_trace::static_label;
 use tincy_video::Image;
 
 /// Heap adapter: `BinaryHeap` is a max-heap, so order entries by
@@ -75,6 +76,9 @@ pub(crate) struct MetricsAcc {
     pub rejected_queue_full: u64,
     pub rejected_client_full: u64,
     pub rejected_draining: u64,
+    /// Rejections per SLO class (indexed by [`SloClass::index`]), any
+    /// reason — the global reason counters can't say *who* was shed.
+    pub rejected_class: [u64; 3],
     pub finn_batches: u64,
     pub finn_items: u64,
     pub cpu_items: u64,
@@ -96,6 +100,7 @@ impl MetricsAcc {
             rejected_queue_full: 0,
             rejected_client_full: 0,
             rejected_draining: 0,
+            rejected_class: [0; 3],
             finn_batches: 0,
             finn_items: 0,
             cpu_items: 0,
@@ -203,16 +208,25 @@ impl SchedState {
         image: Image,
     ) -> Result<u64, AdmissionError> {
         if self.draining || self.shutdown {
-            self.metrics.rejected_draining += 1;
-            return Err(AdmissionError::Draining);
+            return Err(self.reject(class, AdmissionError::Draining));
         }
         if self.pending.len() >= self.queue_capacity {
-            self.metrics.rejected_queue_full += 1;
-            return Err(AdmissionError::QueueFull);
+            return Err(self.reject(
+                class,
+                AdmissionError::QueueFull {
+                    capacity: self.queue_capacity,
+                    depth: self.pending.len(),
+                },
+            ));
         }
         if self.clients[client].outstanding >= self.per_client_capacity {
-            self.metrics.rejected_client_full += 1;
-            return Err(AdmissionError::ClientQueueFull);
+            return Err(self.reject(
+                class,
+                AdmissionError::ClientQueueFull {
+                    quota: self.per_client_capacity,
+                    outstanding: self.clients[client].outstanding,
+                },
+            ));
         }
         let now = Instant::now();
         let state = &mut self.clients[client];
@@ -233,7 +247,25 @@ impl SchedState {
         }));
         self.metrics.accepted += 1;
         self.metrics.max_depth = self.metrics.max_depth.max(self.pending.len());
+        tincy_trace::span(static_label!("serve.admit"))
+            .request(global)
+            .frame(seq)
+            .emit();
         Ok(seq)
+    }
+
+    /// Books a rejection under the submitting class and traces it.
+    fn reject(&mut self, class: SloClass, error: AdmissionError) -> AdmissionError {
+        match error {
+            AdmissionError::QueueFull { .. } => self.metrics.rejected_queue_full += 1,
+            AdmissionError::ClientQueueFull { .. } => self.metrics.rejected_client_full += 1,
+            AdmissionError::Draining => self.metrics.rejected_draining += 1,
+        }
+        self.metrics.rejected_class[class.index()] += 1;
+        tincy_trace::span(static_label!("serve.reject"))
+            .fault(error.tag())
+            .emit();
+        error
     }
 
     /// Whether the FINN worker may take work right now.
@@ -263,6 +295,10 @@ impl SchedState {
             self.metrics
                 .queue_wait
                 .record(now.duration_since(request.submitted));
+            tincy_trace::span(static_label!("serve.lease"))
+                .request(request.global)
+                .batch(u32::try_from(n).unwrap_or(u32::MAX))
+                .emit();
         }
         Lease { requests }
     }
@@ -298,6 +334,15 @@ impl SchedState {
             latency,
             slo_violated,
         };
+        tincy_trace::span(static_label!("serve.deliver"))
+            .request(request.global)
+            .frame(request.seq)
+            .backend(match backend {
+                BackendKind::Finn => tincy_trace::Backend::Finn,
+                BackendKind::Cpu => tincy_trace::Backend::Host,
+            })
+            .batch(u32::try_from(batch).unwrap_or(u32::MAX))
+            .emit();
         let state = &mut self.clients[request.client];
         state.hold.insert(request.seq, response);
         // Flush the reorder buffer: deliver while the next owed sequence
@@ -378,27 +423,62 @@ mod tests {
         let b = state.register_client(tx);
         assert!(state.submit(a, SloClass::Standard, frame()).is_ok());
         assert!(state.submit(a, SloClass::Standard, frame()).is_ok());
-        // Client quota (2) exhausted.
+        // Client quota (2) exhausted; the error carries quota and depth.
         assert_eq!(
-            state.submit(a, SloClass::Standard, frame()),
-            Err(AdmissionError::ClientQueueFull)
+            state.submit(a, SloClass::Interactive, frame()),
+            Err(AdmissionError::ClientQueueFull {
+                quota: 2,
+                outstanding: 2
+            })
         );
         assert!(state.submit(b, SloClass::Standard, frame()).is_ok());
         assert!(state.submit(b, SloClass::Standard, frame()).is_ok());
         // Global capacity (4) exhausted — checked before the client quota.
         assert_eq!(
-            state.submit(b, SloClass::Standard, frame()),
-            Err(AdmissionError::QueueFull)
+            state.submit(b, SloClass::Batch, frame()),
+            Err(AdmissionError::QueueFull {
+                capacity: 4,
+                depth: 4
+            })
         );
         state.draining = true;
         assert_eq!(
-            state.submit(b, SloClass::Standard, frame()),
+            state.submit(b, SloClass::Batch, frame()),
             Err(AdmissionError::Draining)
         );
         assert_eq!(state.metrics.rejected_client_full, 1);
         assert_eq!(state.metrics.rejected_queue_full, 1);
         assert_eq!(state.metrics.rejected_draining, 1);
         assert_eq!(state.metrics.accepted, 4);
+        // Per-class attribution of the three rejections above.
+        assert_eq!(state.metrics.rejected_class, [1, 0, 2]);
+    }
+
+    #[test]
+    fn admission_errors_display_quota_and_depth() {
+        let queue = AdmissionError::QueueFull {
+            capacity: 64,
+            depth: 64,
+        };
+        assert_eq!(
+            queue.to_string(),
+            "server queue full: 64 pending at capacity 64"
+        );
+        assert_eq!(queue.tag(), "queue-full");
+        let client = AdmissionError::ClientQueueFull {
+            quota: 8,
+            outstanding: 8,
+        };
+        assert_eq!(
+            client.to_string(),
+            "client queue full: 8 outstanding at quota 8"
+        );
+        assert_eq!(client.tag(), "client-full");
+        assert_eq!(
+            AdmissionError::Draining.to_string(),
+            "server is draining, not admitting new work"
+        );
+        assert_eq!(AdmissionError::Draining.tag(), "draining");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tincy_nn::{NnError, OffloadHealth};
+use tincy_trace::static_label;
 use tincy_video::Image;
 
 struct Inner {
@@ -172,6 +173,7 @@ impl InferenceServer {
             rejected_queue_full: m.rejected_queue_full,
             rejected_client_full: m.rejected_client_full,
             rejected_draining: m.rejected_draining,
+            rejected_class: m.rejected_class,
             finn_batches: m.finn_batches,
             finn_items: m.finn_items,
             cpu_items: m.cpu_items,
@@ -214,9 +216,15 @@ fn spawn_finn_worker(
             let batch = lease.requests.len();
             let before = health.snapshot();
             let t0 = Instant::now();
-            let detections = engine
-                .process_batch(&lease.images())
-                .expect("offload resilience absorbs accelerator faults");
+            let detections = {
+                let _span = tincy_trace::span(static_label!("serve.finn_batch"))
+                    .batch(u32::try_from(batch).unwrap_or(u32::MAX))
+                    .backend(tincy_trace::Backend::Finn)
+                    .start();
+                engine
+                    .process_batch(&lease.images())
+                    .expect("offload resilience absorbs accelerator faults")
+            };
             let busy = t0.elapsed();
             // The degradation verdict of *this* batch drives load-shedding:
             // a faulted batch engages the host workers, a clean one
@@ -254,9 +262,15 @@ fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine) -> JoinHandle<()
             .next()
             .expect("cpu lease holds one request");
         let t0 = Instant::now();
-        let detections = engine
-            .process_host(&request.image)
-            .expect("reference path cannot fault");
+        let detections = {
+            let _span = tincy_trace::span(static_label!("serve.cpu"))
+                .request(request.global)
+                .backend(tincy_trace::Backend::Host)
+                .start();
+            engine
+                .process_host(&request.image)
+                .expect("reference path cannot fault")
+        };
         let busy = t0.elapsed();
         inner.mutate(|state| {
             state.record_cpu_busy(busy);

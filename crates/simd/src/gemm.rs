@@ -8,6 +8,7 @@
 
 use crate::lanes::F32x4;
 use tincy_tensor::Mat;
+use tincy_trace::static_label;
 
 /// Scalar reference GEMM: `C = A · B`.
 ///
@@ -27,6 +28,7 @@ use tincy_tensor::Mat;
 /// ```
 pub fn gemm_f32(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let _span = tincy_trace::span(static_label!("gemm.scalar")).start();
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Mat::zeros(m, n);
     for i in 0..m {
@@ -51,6 +53,7 @@ pub fn gemm_f32(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
 /// Panics if `a.cols() != b.rows()`.
 pub fn gemm_f32_lanes(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let _span = tincy_trace::span(static_label!("gemm.lanes")).start();
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Mat::zeros(m, n);
     let full = n / F32x4::LANES * F32x4::LANES;

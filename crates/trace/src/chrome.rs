@@ -1,0 +1,398 @@
+//! Chrome trace-event export and import.
+//!
+//! The exporter writes the JSON array format understood by
+//! `chrome://tracing` and Perfetto: matched spans become complete `"X"`
+//! events (microsecond `ts`/`dur`), instants become `"i"` events with
+//! thread scope, and typed attributes land in `args`. JSON is hand-rolled
+//! (same house style as `crates/serve/src/json.rs` — no serde); the
+//! importer reconstructs a [`Trace`] via the minimal parser in
+//! [`crate::json`].
+
+use crate::data::Trace;
+use crate::event::{Attrs, Backend, Event, EventKind, Label};
+use crate::json::{parse, JsonValue};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const CATEGORY: &str = "tincy";
+
+/// Serializes the trace to Chrome trace-event JSON (object form with a
+/// `traceEvents` array, `displayTimeUnit: "ns"`).
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for span in trace.spans_lossy() {
+        emit_event(
+            &mut out,
+            &mut first,
+            trace.label_name(span.label),
+            "X",
+            span.start_ns,
+            Some(span.end_ns.saturating_sub(span.start_ns)),
+            span.thread,
+            &span.attrs,
+            trace,
+        );
+    }
+    for instant in trace.instants() {
+        emit_event(
+            &mut out,
+            &mut first,
+            trace.label_name(instant.label),
+            "i",
+            instant.t_ns,
+            None,
+            instant.thread,
+            &instant.attrs,
+            trace,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    phase: &str,
+    t_ns: u64,
+    dur_ns: Option<u64>,
+    tid: u32,
+    attrs: &Attrs,
+    trace: &Trace,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":\"");
+    escape_into(out, name);
+    let _ = write!(
+        out,
+        "\",\"cat\":\"{CATEGORY}\",\"ph\":\"{phase}\",\"ts\":{}",
+        micros(t_ns)
+    );
+    if let Some(dur) = dur_ns {
+        let _ = write!(out, ",\"dur\":{}", micros(dur));
+    }
+    if phase == "i" {
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":1,\"tid\":{tid}");
+    if !attrs.is_empty() {
+        out.push_str(",\"args\":{");
+        let mut first_arg = true;
+        let mut arg_u64 = |out: &mut String, key: &str, value: Option<u64>| {
+            if let Some(value) = value {
+                if !first_arg {
+                    out.push(',');
+                }
+                first_arg = false;
+                let _ = write!(out, "\"{key}\":{value}");
+            }
+        };
+        arg_u64(out, "frame", attrs.frame);
+        arg_u64(out, "request", attrs.request);
+        arg_u64(out, "layer", attrs.layer.map(u64::from));
+        arg_u64(out, "batch", attrs.batch.map(u64::from));
+        arg_u64(out, "attempt", attrs.attempt.map(u64::from));
+        arg_u64(out, "cycles", attrs.cycles);
+        if let Some(backend) = attrs.backend {
+            if !first_arg {
+                out.push(',');
+            }
+            first_arg = false;
+            let _ = write!(out, "\"backend\":\"{}\"", backend.label());
+        }
+        if let Some(fault) = attrs.fault {
+            if !first_arg {
+                out.push(',');
+            }
+            out.push_str("\"fault\":\"");
+            escape_into(out, trace.label_name(fault));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Nanoseconds as a microsecond decimal with nanosecond resolution.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape_into(out: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses Chrome trace-event JSON (as produced by [`to_chrome_json`],
+/// tolerant of the bare-array form and of unknown phases) back into a
+/// [`Trace`]. Complete `"X"` events are split back into Begin/End pairs.
+///
+/// # Errors
+///
+/// A message describing the malformed construct.
+pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
+    let root = parse(text)?;
+    let events_json = match &root {
+        JsonValue::Arr(items) => items,
+        JsonValue::Obj(_) => match root.get("traceEvents") {
+            Some(JsonValue::Arr(items)) => items,
+            _ => return Err("missing traceEvents array".to_string()),
+        },
+        _ => return Err("trace file is neither an object nor an array".to_string()),
+    };
+
+    let mut labels: Vec<String> = Vec::new();
+    let mut by_name: HashMap<String, u32> = HashMap::new();
+    let mut intern = |name: &str| -> Label {
+        if let Some(&id) = by_name.get(name) {
+            return Label(id);
+        }
+        let id = u32::try_from(labels.len()).expect("label space exhausted");
+        labels.push(name.to_string());
+        by_name.insert(name.to_string(), id);
+        Label(id)
+    };
+
+    struct SpanRec {
+        start: u64,
+        end: u64,
+        label: Label,
+        attrs: Attrs,
+    }
+    let mut spans: HashMap<u32, Vec<SpanRec>> = HashMap::new();
+    let mut instants: Vec<Event> = Vec::new();
+    let mut max_thread = None;
+    for item in events_json {
+        let phase = item.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        if phase != "X" && phase != "i" {
+            continue; // metadata ("M") and other phases are not ours
+        }
+        let name = item
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("event without a name")?;
+        let ts = item
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or("event without ts")?;
+        let tid = item.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let thread = tid.max(0.0) as u32;
+        max_thread = Some(max_thread.map_or(thread, |m: u32| m.max(thread)));
+        let t_ns = to_ns(ts);
+        let label = intern(name);
+        let attrs = parse_attrs(item.get("args"), &mut intern);
+        if phase == "i" {
+            instants.push(Event {
+                t_ns,
+                thread,
+                kind: EventKind::Instant,
+                label,
+                attrs,
+            });
+        } else {
+            let dur = item.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            spans.entry(thread).or_default().push(SpanRec {
+                start: t_ns,
+                end: t_ns + to_ns(dur),
+                label,
+                attrs,
+            });
+        }
+    }
+
+    // Rebuild each thread's Begin/End stream with an interval sweep:
+    // sorting spans (start asc, end desc) puts parents before children
+    // even when a deterministic clock made edges share a timestamp, so
+    // stack discipline survives the round trip.
+    let mut events = Vec::new();
+    let mut thread_ids: Vec<u32> = spans.keys().copied().collect();
+    thread_ids.sort_unstable();
+    for thread in thread_ids {
+        let mut recs = spans.remove(&thread).unwrap_or_default();
+        recs.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+        let mut stack: Vec<(u64, Label)> = Vec::new();
+        for rec in &recs {
+            while let Some(&(end, label)) = stack.last() {
+                if end > rec.start {
+                    break;
+                }
+                stack.pop();
+                events.push(Event {
+                    t_ns: end,
+                    thread,
+                    kind: EventKind::End,
+                    label,
+                    attrs: Attrs::default(),
+                });
+            }
+            events.push(Event {
+                t_ns: rec.start,
+                thread,
+                kind: EventKind::Begin,
+                label: rec.label,
+                attrs: rec.attrs,
+            });
+            stack.push((rec.end, rec.label));
+        }
+        while let Some((end, label)) = stack.pop() {
+            events.push(Event {
+                t_ns: end,
+                thread,
+                kind: EventKind::End,
+                label,
+                attrs: Attrs::default(),
+            });
+        }
+    }
+    events.extend(instants);
+    // Stable: each thread's sweep output is already time-ordered, so the
+    // global sort only interleaves threads (instants land after edges
+    // sharing their timestamp, which nesting checks ignore).
+    events.sort_by_key(|e| e.t_ns);
+    Ok(Trace {
+        events,
+        labels,
+        threads: max_thread.map_or(0, |m| m + 1),
+        dropped: 0,
+    })
+}
+
+fn parse_attrs(args: Option<&JsonValue>, intern: &mut impl FnMut(&str) -> Label) -> Attrs {
+    let mut attrs = Attrs::default();
+    let Some(args) = args else {
+        return attrs;
+    };
+    let as_u64 = |key: &str| -> Option<u64> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        args.get(key).and_then(JsonValue::as_f64).map(|v| v as u64)
+    };
+    #[allow(clippy::cast_possible_truncation)]
+    let as_u32 = |key: &str| as_u64(key).map(|v| v as u32);
+    attrs.frame = as_u64("frame");
+    attrs.request = as_u64("request");
+    attrs.layer = as_u32("layer");
+    attrs.batch = as_u32("batch");
+    attrs.attempt = as_u32("attempt");
+    attrs.cycles = as_u64("cycles");
+    attrs.backend = args
+        .get("backend")
+        .and_then(JsonValue::as_str)
+        .and_then(Backend::from_label);
+    attrs.fault = args.get("fault").and_then(JsonValue::as_str).map(intern);
+    attrs
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn to_ns(micros: f64) -> u64 {
+    (micros * 1_000.0).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+    use crate::collector::{finish, start_with_clock};
+    use crate::span::span;
+    use crate::test_lock::session_lock;
+    use std::sync::Arc;
+
+    fn sample_trace() -> Trace {
+        let clock = Arc::new(TestClock::new());
+        start_with_clock(clock.clone(), 64);
+        {
+            let _outer = span(Label::intern("chrome.stage"))
+                .frame(4)
+                .backend(Backend::Finn)
+                .start();
+            clock.advance(1_500);
+            {
+                let _inner = span(Label::intern("chrome.layer"))
+                    .layer(2)
+                    .batch(3)
+                    .start();
+                clock.advance(2_000);
+            }
+            clock.advance(250);
+            span(Label::intern("chrome.fault"))
+                .attempt(1)
+                .fault("dma timeout")
+                .emit();
+            clock.advance(250);
+        }
+        finish()
+    }
+
+    #[test]
+    fn export_emits_complete_and_instant_events() {
+        let _guard = session_lock();
+        let trace = sample_trace();
+        let json = to_chrome_json(&trace);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"backend\":\"finn\""));
+        assert!(json.contains("\"fault\":\"dma timeout\""));
+        assert!(json.contains("\"dur\":2.000"), "inner span is 2 µs: {json}");
+    }
+
+    #[test]
+    fn round_trip_preserves_spans_and_attrs() {
+        let _guard = session_lock();
+        let trace = sample_trace();
+        let parsed = from_chrome_json(&to_chrome_json(&trace)).unwrap();
+        parsed.check().unwrap();
+        let original = trace.spans().unwrap();
+        let restored = parsed.spans().unwrap();
+        assert_eq!(original.len(), restored.len());
+        for span in &restored {
+            let name = parsed.label_name(span.label);
+            let twin = original
+                .iter()
+                .find(|s| trace.label_name(s.label) == name)
+                .expect("span survives round trip");
+            assert_eq!(span.duration_ns(), twin.duration_ns());
+            assert_eq!(span.attrs.frame, twin.attrs.frame);
+            assert_eq!(span.attrs.layer, twin.attrs.layer);
+            assert_eq!(span.attrs.backend, twin.attrs.backend);
+        }
+        let fault = parsed
+            .instants()
+            .find(|e| parsed.label_name(e.label) == "chrome.fault")
+            .expect("instant survives round trip");
+        assert_eq!(
+            fault.attrs.fault.map(|l| parsed.label_name(l).to_string()),
+            Some("dma timeout".to_string())
+        );
+        assert_eq!(fault.attrs.attempt, Some(1));
+    }
+
+    #[test]
+    fn bare_array_form_is_accepted() {
+        let parsed = from_chrome_json(
+            "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":1.0,\"dur\":2.0,\"pid\":1,\"tid\":0},\
+             {\"name\":\"meta\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0}]",
+        )
+        .unwrap();
+        assert_eq!(parsed.spans().unwrap().len(), 1);
+        assert_eq!(parsed.events.len(), 2, "metadata events are skipped");
+    }
+}

@@ -1,0 +1,265 @@
+//! The lock-minimal collector: per-thread ring buffers feeding a central
+//! registry.
+//!
+//! Design:
+//! - When tracing is disabled (the default), every record call is a
+//!   single relaxed atomic load and an early return.
+//! - When enabled, each thread lazily registers with the session and
+//!   caches an `Arc` to its own bounded ring plus the session clock in a
+//!   thread-local. Recording locks only the thread's *own* ring mutex,
+//!   which no other thread touches until `finish()` drains it — the lock
+//!   is uncontended on the hot path.
+//! - Sessions carry a generation number; a cached thread-local handle
+//!   from a previous session is detected by generation mismatch and
+//!   re-registered, so `start()`/`finish()` can cycle freely (tests do).
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::data::Trace;
+use crate::event::{label_table, Attrs, Event, EventKind, Label};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default per-thread ring capacity (events). At ~64 bytes per event a
+/// 10-thread session tops out around 160 MiB worst case; real demo/serve
+/// runs stay under a few thousand events per thread.
+pub const DEFAULT_THREAD_CAPACITY: usize = 1 << 18;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+struct Session {
+    generation: u64,
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    rings: Vec<Arc<Mutex<Ring>>>,
+}
+
+fn registry() -> &'static Mutex<Option<Session>> {
+    static REGISTRY: OnceLock<Mutex<Option<Session>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+/// A bounded flight-recorder ring: keeps the most recent `capacity`
+/// events, counting overwritten ones.
+struct Ring {
+    buf: Vec<Event>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+struct ThreadHandle {
+    generation: u64,
+    thread: u32,
+    clock: Arc<dyn Clock>,
+    ring: Arc<Mutex<Ring>>,
+}
+
+thread_local! {
+    static HANDLE: RefCell<Option<ThreadHandle>> = const { RefCell::new(None) };
+}
+
+/// Starts a trace session on the real monotonic clock with the default
+/// per-thread ring capacity. An already-running session is discarded.
+pub fn start() {
+    start_with_clock(Arc::new(MonotonicClock::new()), DEFAULT_THREAD_CAPACITY);
+}
+
+/// Starts a trace session on an injected clock, with `capacity` events
+/// retained per thread (a flight recorder: the newest events win).
+pub fn start_with_clock(clock: Arc<dyn Clock>, capacity: usize) {
+    let mut registry = registry().lock();
+    let generation = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
+    *registry = Some(Session {
+        generation,
+        clock,
+        capacity,
+        rings: Vec::new(),
+    });
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether a session is recording. One relaxed load — this is the whole
+/// cost of tracing when disabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Stops the session and returns the merged, time-sorted trace. Returns
+/// an empty trace when no session was running.
+pub fn finish() -> Trace {
+    ENABLED.store(false, Ordering::Release);
+    let session = registry().lock().take();
+    let Some(session) = session else {
+        return Trace::empty();
+    };
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in &session.rings {
+        let mut ring = ring.lock();
+        events.extend(ring.drain());
+        dropped += ring.dropped;
+    }
+    // Stable sort: events of one thread were appended in recording order,
+    // so equal timestamps (deterministic test clocks) keep that order.
+    events.sort_by_key(|e| e.t_ns);
+    Trace {
+        events,
+        labels: label_table(),
+        threads: u32::try_from(session.rings.len()).unwrap_or(u32::MAX),
+        dropped,
+    }
+}
+
+fn register_thread(generation: u64) -> Option<ThreadHandle> {
+    let mut registry = registry().lock();
+    let session = registry.as_mut()?;
+    if session.generation != generation {
+        return None;
+    }
+    let thread = u32::try_from(session.rings.len()).expect("thread space exhausted");
+    let ring = Arc::new(Mutex::new(Ring::new(session.capacity)));
+    session.rings.push(Arc::clone(&ring));
+    Some(ThreadHandle {
+        generation,
+        thread,
+        clock: Arc::clone(&session.clock),
+        ring,
+    })
+}
+
+/// Records one event on the calling thread's ring. No-op when disabled.
+pub(crate) fn record(kind: EventKind, label: Label, attrs: Attrs) {
+    if !is_enabled() {
+        return;
+    }
+    let generation = GENERATION.load(Ordering::Acquire);
+    HANDLE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let stale = match slot.as_ref() {
+            Some(handle) => handle.generation != generation,
+            None => true,
+        };
+        if stale {
+            match register_thread(generation) {
+                Some(handle) => *slot = Some(handle),
+                // The session ended (or restarted) mid-call; drop the event.
+                None => return,
+            }
+        }
+        let handle = slot.as_ref().expect("handle registered above");
+        let event = Event {
+            t_ns: handle.clock.now_ns(),
+            thread: handle.thread,
+            kind,
+            label,
+            attrs,
+        };
+        handle.ring.lock().push(event);
+    });
+}
+
+/// The session generation a just-started span belongs to; used by span
+/// guards to suppress the End edge if the session changed underneath.
+pub(crate) fn current_generation() -> u64 {
+    GENERATION.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+    use crate::test_lock::session_lock;
+
+    #[test]
+    fn ring_keeps_newest_events_and_counts_drops() {
+        let mut ring = Ring::new(3);
+        for i in 0..5u64 {
+            ring.push(Event {
+                t_ns: i,
+                thread: 0,
+                kind: EventKind::Instant,
+                label: Label(0),
+                attrs: Attrs::default(),
+            });
+        }
+        assert_eq!(ring.dropped, 2);
+        let drained: Vec<u64> = ring.drain().iter().map(|e| e.t_ns).collect();
+        assert_eq!(drained, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _guard = session_lock();
+        assert!(!is_enabled());
+        record(
+            EventKind::Instant,
+            Label::intern("collector.disabled"),
+            Attrs::default(),
+        );
+        let trace = finish();
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn session_collects_across_restarts() {
+        let _guard = session_lock();
+        let clock = Arc::new(TestClock::new());
+        start_with_clock(clock.clone(), 64);
+        record(
+            EventKind::Instant,
+            Label::intern("collector.first"),
+            Attrs::default(),
+        );
+        let first = finish();
+        assert_eq!(first.events.len(), 1);
+        assert_eq!(first.threads, 1);
+
+        // A second session must re-register the same OS thread.
+        start_with_clock(clock, 64);
+        record(
+            EventKind::Instant,
+            Label::intern("collector.second"),
+            Attrs::default(),
+        );
+        let second = finish();
+        assert_eq!(second.events.len(), 1);
+        assert_eq!(
+            second.label_name(second.events[0].label),
+            "collector.second"
+        );
+    }
+}

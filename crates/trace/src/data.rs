@@ -1,0 +1,271 @@
+//! The collected trace: merged events, label table, span matching and
+//! structural validation.
+
+use crate::event::{Attrs, Event, EventKind, Label};
+use std::fmt;
+
+/// A finished trace session: every surviving event from every thread,
+/// sorted by timestamp, plus the label table to resolve names.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Events sorted by `t_ns` (per-thread order preserved on ties).
+    pub events: Vec<Event>,
+    /// Interner snapshot: `labels[label.index()]` is the name.
+    pub labels: Vec<String>,
+    /// Threads that recorded at least one event.
+    pub threads: u32,
+    /// Events overwritten by ring-buffer wraparound.
+    pub dropped: u64,
+}
+
+/// A matched begin/end pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Interned name (shared by both edges).
+    pub label: Label,
+    /// Recording thread.
+    pub thread: u32,
+    /// Begin timestamp (ns since session start).
+    pub start_ns: u64,
+    /// End timestamp.
+    pub end_ns: u64,
+    /// Attributes from the Begin edge.
+    pub attrs: Attrs,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A structural defect found by [`Trace::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An End edge with no open Begin, or whose label does not match the
+    /// innermost open span on its thread.
+    MismatchedEnd {
+        /// Thread the defect occurred on.
+        thread: u32,
+        /// Label of the offending End edge.
+        found: String,
+        /// Label of the innermost open span, if any.
+        expected: Option<String>,
+    },
+    /// A Begin edge that never closed.
+    UnclosedSpan {
+        /// Thread the span was opened on.
+        thread: u32,
+        /// Label of the unclosed span.
+        label: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MismatchedEnd {
+                thread,
+                found,
+                expected,
+            } => match expected {
+                Some(expected) => write!(
+                    f,
+                    "thread {thread}: end '{found}' does not match open span '{expected}'"
+                ),
+                None => write!(f, "thread {thread}: end '{found}' with no open span"),
+            },
+            TraceError::UnclosedSpan { thread, label } => {
+                write!(f, "thread {thread}: span '{label}' never ended")
+            }
+        }
+    }
+}
+
+impl Trace {
+    /// An empty trace (no session was running).
+    pub fn empty() -> Self {
+        Self {
+            events: Vec::new(),
+            labels: Vec::new(),
+            threads: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Resolves a label to its name (`"?"` for ids outside the table —
+    /// only possible for hand-built traces).
+    pub fn label_name(&self, label: Label) -> &str {
+        self.labels
+            .get(label.index() as usize)
+            .map_or("?", String::as_str)
+    }
+
+    /// Matches Begin/End pairs per thread under stack discipline and
+    /// returns every completed span. Structural defects are errors; use
+    /// [`Self::spans_lossy`] for best-effort extraction.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] on the first mismatched End or unclosed Begin.
+    pub fn spans(&self) -> Result<Vec<Span>, TraceError> {
+        let (spans, defect) = self.match_spans();
+        match defect {
+            Some(error) => Err(error),
+            None => Ok(spans),
+        }
+    }
+
+    /// Best-effort span extraction: mismatched Ends are skipped and
+    /// unclosed Begins dropped, which keeps export working even if a
+    /// ring wrapped or a panic unwound past a guard.
+    pub fn spans_lossy(&self) -> Vec<Span> {
+        self.match_spans().0
+    }
+
+    /// Validates begin/end matching and per-thread nesting.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] describing the first structural defect.
+    pub fn check(&self) -> Result<(), TraceError> {
+        self.spans().map(drop)
+    }
+
+    /// All instant events.
+    pub fn instants(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.kind == EventKind::Instant)
+    }
+
+    fn match_spans(&self) -> (Vec<Span>, Option<TraceError>) {
+        // Per-thread stacks of open Begin edges. Thread ids are small
+        // session-local indices, so a Vec-of-stacks suffices.
+        let mut stacks: Vec<Vec<&Event>> = Vec::new();
+        let mut spans = Vec::new();
+        let mut defect = None;
+        for event in &self.events {
+            let t = event.thread as usize;
+            if stacks.len() <= t {
+                stacks.resize_with(t + 1, Vec::new);
+            }
+            match event.kind {
+                EventKind::Instant => {}
+                EventKind::Begin => stacks[t].push(event),
+                EventKind::End => match stacks[t].last() {
+                    Some(open) if open.label == event.label => {
+                        let open = stacks[t].pop().expect("non-empty stack");
+                        spans.push(Span {
+                            label: open.label,
+                            thread: open.thread,
+                            start_ns: open.t_ns,
+                            end_ns: event.t_ns,
+                            attrs: open.attrs,
+                        });
+                    }
+                    open => {
+                        if defect.is_none() {
+                            defect = Some(TraceError::MismatchedEnd {
+                                thread: event.thread,
+                                found: self.label_name(event.label).to_string(),
+                                expected: open.map(|o| self.label_name(o.label).to_string()),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        if defect.is_none() {
+            for stack in &stacks {
+                if let Some(open) = stack.first() {
+                    defect = Some(TraceError::UnclosedSpan {
+                        thread: open.thread,
+                        label: self.label_name(open.label).to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+        (spans, defect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, thread: u32, kind: EventKind, label: u32) -> Event {
+        Event {
+            t_ns,
+            thread,
+            kind,
+            label: Label(label),
+            attrs: Attrs::default(),
+        }
+    }
+
+    fn trace_with(events: Vec<Event>) -> Trace {
+        Trace {
+            events,
+            labels: vec!["a".into(), "b".into()],
+            threads: 2,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn nested_spans_match_innermost_first() {
+        let trace = trace_with(vec![
+            ev(0, 0, EventKind::Begin, 0),
+            ev(1, 0, EventKind::Begin, 1),
+            ev(2, 0, EventKind::End, 1),
+            ev(3, 0, EventKind::End, 0),
+        ]);
+        let spans = trace.spans().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(trace.label_name(spans[0].label), "b");
+        assert_eq!(spans[0].duration_ns(), 1);
+        assert_eq!(trace.label_name(spans[1].label), "a");
+        assert_eq!(spans[1].duration_ns(), 3);
+    }
+
+    #[test]
+    fn interleaved_threads_do_not_interfere() {
+        let trace = trace_with(vec![
+            ev(0, 0, EventKind::Begin, 0),
+            ev(1, 1, EventKind::Begin, 1),
+            ev(2, 0, EventKind::End, 0),
+            ev(3, 1, EventKind::End, 1),
+        ]);
+        assert_eq!(trace.spans().unwrap().len(), 2);
+        assert!(trace.check().is_ok());
+    }
+
+    #[test]
+    fn mismatched_end_is_detected() {
+        let trace = trace_with(vec![
+            ev(0, 0, EventKind::Begin, 0),
+            ev(1, 0, EventKind::End, 1),
+        ]);
+        assert!(matches!(
+            trace.check(),
+            Err(TraceError::MismatchedEnd { .. })
+        ));
+        // Lossy extraction skips the defect and drops the unclosed span.
+        assert!(trace.spans_lossy().is_empty());
+    }
+
+    #[test]
+    fn unclosed_span_is_detected() {
+        let trace = trace_with(vec![ev(0, 0, EventKind::Begin, 0)]);
+        assert!(matches!(
+            trace.check(),
+            Err(TraceError::UnclosedSpan { .. })
+        ));
+    }
+}

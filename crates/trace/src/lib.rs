@@ -1,0 +1,48 @@
+//! `tincy-trace`: low-overhead structured event tracing for the Tincy
+//! system.
+//!
+//! Concurrency design (per DESIGN.md §8 "Observability"):
+//! - **Disabled** (default): every instrumentation site costs one relaxed
+//!   atomic load.
+//! - **Enabled**: each thread records into its own bounded ring buffer
+//!   behind a mutex nobody else touches mid-session — lock-minimal, not
+//!   lock-free, which the vendored `parking_lot` shim supports without
+//!   unsafe code.
+//! - [`finish`] drains every ring into a time-sorted [`Trace`] that can
+//!   be validated ([`Trace::check`]), folded into a [`Profile`], or
+//!   exported as Chrome trace-event JSON ([`to_chrome_json`]) for
+//!   `chrome://tracing` / Perfetto.
+//!
+//! Timestamps come from a [`Clock`] the session injects: production uses
+//! [`MonotonicClock`], tests drive a [`TestClock`] by hand.
+
+mod chrome;
+mod clock;
+mod collector;
+mod data;
+mod event;
+pub mod json;
+mod profile;
+mod span;
+
+pub use chrome::{from_chrome_json, to_chrome_json};
+pub use clock::{Clock, MonotonicClock, TestClock};
+pub use collector::{finish, is_enabled, start, start_with_clock, DEFAULT_THREAD_CAPACITY};
+pub use data::{Span, Trace, TraceError};
+pub use event::{Attrs, Backend, Event, EventKind, Label};
+pub use profile::{Profile, ProfileRow};
+pub use span::{span, SpanBuilder, SpanGuard};
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    //! The trace session is process-global; unit tests that start/finish
+    //! sessions serialize on this lock so `cargo test`'s parallel runner
+    //! cannot interleave them.
+    use parking_lot::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn session_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock()
+    }
+}

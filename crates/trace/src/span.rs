@@ -1,0 +1,200 @@
+//! The span API: a builder for typed attributes plus an RAII guard that
+//! records the matching End edge.
+//!
+//! ```
+//! let _session = (); // assume tincy_trace::start() ran
+//! let label = tincy_trace::static_label!("doc.example");
+//! {
+//!     let _span = tincy_trace::span(label).frame(7).start();
+//!     // ... traced work ...
+//! } // End recorded here
+//! tincy_trace::span(label).attempt(1).emit(); // instant event
+//! ```
+
+use crate::collector::{current_generation, is_enabled, record};
+use crate::event::{Attrs, Backend, EventKind, Label};
+use std::marker::PhantomData;
+
+/// Starts building a span or instant event named `label`.
+pub fn span(label: Label) -> SpanBuilder {
+    SpanBuilder {
+        label,
+        attrs: Attrs::default(),
+    }
+}
+
+/// Builder carrying the typed attributes for one span/instant. All
+/// setters are cheap option stores; the only recording happens in
+/// [`Self::start`] / [`Self::emit`].
+#[must_use = "a span builder records nothing until start() or emit()"]
+#[derive(Debug)]
+pub struct SpanBuilder {
+    label: Label,
+    attrs: Attrs,
+}
+
+impl SpanBuilder {
+    /// Pipeline frame sequence number.
+    pub fn frame(mut self, seq: u64) -> Self {
+        self.attrs.frame = Some(seq);
+        self
+    }
+
+    /// Serving-layer global request id.
+    pub fn request(mut self, id: u64) -> Self {
+        self.attrs.request = Some(id);
+        self
+    }
+
+    /// Network layer index.
+    pub fn layer(mut self, index: u32) -> Self {
+        self.attrs.layer = Some(index);
+        self
+    }
+
+    /// Micro-batch size.
+    pub fn batch(mut self, size: u32) -> Self {
+        self.attrs.batch = Some(size);
+        self
+    }
+
+    /// Retry attempt number (0 = first try).
+    pub fn attempt(mut self, n: u32) -> Self {
+        self.attrs.attempt = Some(n);
+        self
+    }
+
+    /// Executing backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.attrs.backend = Some(backend);
+        self
+    }
+
+    /// Fault kind. The string is interned, so only pass bounded kinds
+    /// (error displays), not per-event payloads. Skipped when disabled.
+    pub fn fault(mut self, kind: &str) -> Self {
+        if is_enabled() {
+            self.attrs.fault = Some(Label::intern(kind));
+        }
+        self
+    }
+
+    /// Modeled accelerator cycles.
+    pub fn cycles(mut self, n: u64) -> Self {
+        self.attrs.cycles = Some(n);
+        self
+    }
+
+    /// Records the Begin edge and returns the guard whose drop records
+    /// the End edge. Inert (records nothing, ever) when tracing is off.
+    pub fn start(self) -> SpanGuard {
+        let active = is_enabled();
+        if active {
+            record(EventKind::Begin, self.label, self.attrs);
+        }
+        SpanGuard {
+            label: self.label,
+            generation: if active { current_generation() } else { 0 },
+            active,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Records a single instant event.
+    pub fn emit(self) {
+        record(EventKind::Instant, self.label, self.attrs);
+    }
+}
+
+/// RAII guard for an open span. `!Send` by construction: Begin and End
+/// must land on the same thread for per-thread nesting to hold.
+#[must_use = "dropping the guard immediately ends the span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    label: Label,
+    generation: u64,
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Suppress the End edge if the session was restarted while the
+        // span was open — a stray End in a fresh session would break its
+        // stack discipline.
+        if self.active && current_generation() == self.generation {
+            record(EventKind::End, self.label, Attrs::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+    use crate::collector::{finish, start_with_clock};
+    use crate::event::EventKind;
+    use crate::test_lock::session_lock;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_guard_records_matching_begin_end_with_attrs() {
+        let _guard = session_lock();
+        let clock = Arc::new(TestClock::new());
+        start_with_clock(clock.clone(), 64);
+        {
+            let _span = span(Label::intern("span.outer"))
+                .frame(3)
+                .layer(1)
+                .backend(Backend::Finn)
+                .start();
+            clock.advance(10);
+            span(Label::intern("span.marker")).attempt(2).emit();
+            clock.advance(5);
+        }
+        let trace = finish();
+        trace.check().unwrap();
+        assert_eq!(trace.events.len(), 3);
+        let spans = trace.spans().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(trace.label_name(spans[0].label), "span.outer");
+        assert_eq!(spans[0].duration_ns(), 15);
+        assert_eq!(spans[0].attrs.frame, Some(3));
+        assert_eq!(spans[0].attrs.layer, Some(1));
+        assert_eq!(spans[0].attrs.backend, Some(Backend::Finn));
+        let instants: Vec<_> = trace.instants().collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(instants[0].attrs.attempt, Some(2));
+    }
+
+    #[test]
+    fn disabled_builder_is_inert() {
+        let _guard = session_lock();
+        let _ = finish();
+        let span_guard = span(Label::intern("span.disabled")).fault("nope").start();
+        drop(span_guard);
+        span(Label::intern("span.disabled")).emit();
+        assert!(finish().is_empty());
+    }
+
+    #[test]
+    fn guard_outliving_its_session_stays_silent() {
+        let _guard = session_lock();
+        let clock = Arc::new(TestClock::new());
+        start_with_clock(clock.clone(), 64);
+        let open = span(Label::intern("span.stale")).start();
+        let first = finish();
+        assert!(matches!(
+            first.check(),
+            Err(crate::TraceError::UnclosedSpan { .. })
+        ));
+        start_with_clock(clock, 64);
+        drop(open); // must not inject an End into the new session
+        span(Label::intern("span.fresh")).emit();
+        let second = finish();
+        second.check().unwrap();
+        assert_eq!(second.events.len(), 1);
+        assert_eq!(second.label_name(second.events[0].label), "span.fresh");
+        assert_eq!(second.events[0].kind, EventKind::Instant);
+    }
+}

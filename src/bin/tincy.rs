@@ -4,8 +4,8 @@
 //! tincy ops <network.cfg>      per-layer operation accounting for a config
 //! tincy tables                 Tables I & II summary
 //! tincy ladder                 the §III/§IV speedup ladder
-//! tincy demo [frames [workers [input]]] [--fault-seed N] [--outage START:LEN]
-//!            [--metrics-json PATH]
+//! tincy demo [frames [workers [input]]] [--frames N] [--fault-seed N]
+//!            [--outage START:LEN] [--metrics-json PATH] [--trace-out PATH]
 //!                              run the pipelined live-detection demo,
 //!                              optionally with deterministic accelerator
 //!                              faults (retried/CPU-fallback transparently)
@@ -19,10 +19,17 @@
 //!                              --smoke, assert zero dropped accepted
 //!                              requests, per-client ordering and engaged
 //!                              micro-batching (nonzero exit on violation)
+//! tincy trace-report [--check] [--threshold PCT] <trace.json>
+//!                              profile a Chrome-trace file captured with
+//!                              --trace-out: per-span statistics plus the
+//!                              modeled-vs-observed stage table diffed
+//!                              against the Table III budget; with --check,
+//!                              fail on malformed span nesting or drops
 //!
 //! serve flags: --mode closed|open:MICROS|burst  --cpu-workers N
 //!              --max-batch N  --queue N  --per-client N  --engage-depth N
 //!              --fault-seed N  --outage START:LEN  --metrics-json PATH
+//!              --trace-out PATH
 //! ```
 
 use std::process::ExitCode;
@@ -31,7 +38,7 @@ use tincy::core::topology::{cnv6, mlp4, tincy_yolo, tiny_yolo};
 use tincy::core::SystemConfig;
 use tincy::finn::FaultPlan;
 use tincy::nn::parse_cfg;
-use tincy::perf::speedup_ladder;
+use tincy::perf::{model_diff, speedup_ladder, StageBudget};
 use tincy::serve::{json, run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, ServeConfig};
 use tincy::video::SceneConfig;
 
@@ -50,10 +57,11 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], false),
         Some("loadgen") => cmd_serve(&args[1..], true),
+        Some("trace-report") => cmd_trace_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen> (see --help text \
-                 at the top of src/bin/tincy.rs)"
+                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|trace-report> (see \
+                 --help text at the top of src/bin/tincy.rs)"
             );
             return ExitCode::FAILURE;
         }
@@ -157,6 +165,8 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut fault_plan = FaultPlan::none();
     let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut frames_flag: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if parse_fault_flag(arg, &mut iter, &mut fault_plan)? {
@@ -165,6 +175,17 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match arg.as_str() {
             "--metrics-json" => {
                 metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
+            }
+            "--trace-out" => {
+                trace_out = Some(iter.next().ok_or("--trace-out requires a path")?.clone());
+            }
+            "--frames" => {
+                frames_flag = Some(
+                    iter.next()
+                        .ok_or("--frames requires a count")?
+                        .parse()
+                        .map_err(|e| format!("--frames: {e}"))?,
+                );
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}").into());
@@ -175,7 +196,10 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if positional.len() > 3 {
         return Err(format!("unexpected argument {:?}", positional[3]).into());
     }
-    let frames: u64 = positional.first().map_or(Ok(16), |s| s.parse())?;
+    let frames: u64 = match frames_flag {
+        Some(n) => n,
+        None => positional.first().map_or(Ok(16), |s| s.parse())?,
+    };
     let workers: usize = positional.get(1).map_or(Ok(4), |s| s.parse())?;
     let input: usize = positional.get(2).map_or(Ok(96), |s| s.parse())?;
     let config = DemoConfig {
@@ -189,7 +213,13 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         score_threshold: 0.02,
         scene: SceneConfig::default(),
     };
+    if trace_out.is_some() {
+        tincy::trace::start();
+    }
     let report = run_demo(&config)?;
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     println!(
         "{} frames at {:.2} fps ({} workers, {}x{} input), in order: {}, {} detections",
         report.metrics.frames,
@@ -225,6 +255,7 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     let mut positional = Vec::new();
     let mut fault_plan = FaultPlan::none();
     let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut mode = LoadMode::Burst;
     let mut smoke = false;
     let mut serve_config = ServeConfig::default();
@@ -245,6 +276,9 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         match arg.as_str() {
             "--metrics-json" => {
                 metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
+            }
+            "--trace-out" => {
+                trace_out = Some(iter.next().ok_or("--trace-out requires a path")?.clone());
             }
             "--cpu-workers" => serve_config.cpu_workers = next_usize(&mut iter, "--cpu-workers")?,
             "--max-batch" => serve_config.max_batch = next_usize(&mut iter, "--max-batch")?,
@@ -295,7 +329,13 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         mode,
         ..Default::default()
     };
+    if trace_out.is_some() {
+        tincy::trace::start();
+    }
     let report = run_loadgen(serve_config, &load)?;
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     if client_view {
         print_client_view(&report);
     } else {
@@ -329,11 +369,12 @@ fn print_server_view(report: &LoadgenReport) {
         s.cpu_items
     );
     println!("batch histogram: {:?}  (index = batch size)", s.batch_hist);
+    let qs = s.latency.quantiles(&[0.50, 0.95, 0.99]);
     println!(
         "latency p50/p95/p99: {:.2} / {:.2} / {:.2} ms  ({} SLO violations)",
-        s.latency.p50().as_secs_f64() * 1000.0,
-        s.latency.p95().as_secs_f64() * 1000.0,
-        s.latency.p99().as_secs_f64() * 1000.0,
+        qs[0].as_secs_f64() * 1000.0,
+        qs[1].as_secs_f64() * 1000.0,
+        qs[2].as_secs_f64() * 1000.0,
         s.slo_violations
     );
     println!(
@@ -371,6 +412,108 @@ fn print_client_view(report: &LoadgenReport) {
         report.all_in_order(),
         report.serve.batched_invocations()
     );
+}
+
+/// Finishes the active trace session and writes it as Chrome trace-event
+/// JSON (load into chrome://tracing or Perfetto).
+fn write_trace(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let trace = tincy::trace::finish();
+    std::fs::write(path, tincy::trace::to_chrome_json(&trace))?;
+    println!(
+        "trace written to {path} ({} events on {} threads, {} dropped)",
+        trace.events.len(),
+        trace.threads,
+        trace.dropped
+    );
+    Ok(())
+}
+
+fn cmd_trace_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut check = false;
+    let mut threshold = 0.25;
+    let mut path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                let pct: f64 = iter
+                    .next()
+                    .ok_or("--threshold requires a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                threshold = pct / 100.0;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}").into());
+            }
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    return Err("trace-report takes exactly one trace file".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("trace-report requires a trace file path")?;
+    let text = std::fs::read_to_string(&path)?;
+    let trace = tincy::trace::from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if check {
+        trace
+            .check()
+            .map_err(|e| format!("trace check failed: {e}"))?;
+        if trace.dropped > 0 {
+            return Err(format!("trace check failed: {} events dropped", trace.dropped).into());
+        }
+    }
+
+    let profile = tincy::trace::Profile::from_trace(&trace);
+    println!(
+        "{:<20} {:>5} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "span", "layer", "count", "mean ms", "p50 ms", "p95 ms", "max ms"
+    );
+    for row in &profile.rows {
+        println!(
+            "{:<20} {:>5} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            row.label,
+            row.layer.map_or_else(|| "-".to_owned(), |l| l.to_string()),
+            row.count,
+            row.mean_ms(),
+            row.p50_ns as f64 / 1e6,
+            row.p95_ns as f64 / 1e6,
+            row.max_ns as f64 / 1e6,
+        );
+    }
+
+    let budget = StageBudget::paper_baseline();
+    let rows = model_diff(&budget, &profile.stage_means_ms(), threshold);
+    println!();
+    println!(
+        "modeled-vs-observed per-frame stage times (Table III generic-Darknet \
+         baseline, flag threshold {:.0}%):",
+        threshold * 100.0
+    );
+    println!(
+        "{:<20} {:>12} {:>12} {:>10}  flag",
+        "stage", "modeled ms", "observed ms", "ratio"
+    );
+    for row in &rows {
+        let (observed, ratio) = match (row.observed_ms, row.ratio) {
+            (Some(o), Some(r)) => (format!("{o:.3}"), format!("{r:.4}x")),
+            _ => ("-".to_owned(), "-".to_owned()),
+        };
+        println!(
+            "{:<20} {:>12.3} {:>12} {:>10}  {}",
+            row.stage.label(),
+            row.modeled_ms,
+            observed,
+            ratio,
+            if row.flagged { "DEVIATES" } else { "" }
+        );
+    }
+    if check {
+        println!("trace check: ok ({} events)", trace.events.len());
+    }
+    Ok(())
 }
 
 fn check_smoke(report: &LoadgenReport) -> Result<(), Box<dyn std::error::Error>> {

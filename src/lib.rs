@@ -28,6 +28,9 @@
 //! * [`serve`] — concurrent inference serving: micro-batched FINN offload,
 //!   SLO-aware heterogeneous scheduling, admission control and a
 //!   deterministic load generator.
+//! * [`trace`] — low-overhead structured tracing: per-thread ring-buffered
+//!   span recording, Chrome trace-event export and modeled-vs-observed
+//!   profiling.
 //!
 //! ## Quickstart
 //!
@@ -48,5 +51,6 @@ pub use tincy_quant as quant;
 pub use tincy_serve as serve;
 pub use tincy_simd as simd;
 pub use tincy_tensor as tensor;
+pub use tincy_trace as trace;
 pub use tincy_train as train;
 pub use tincy_video as video;

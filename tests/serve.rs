@@ -119,7 +119,10 @@ fn admission_control_rejects_instead_of_queueing() {
     }
     assert_eq!(
         a.submit(images[3].clone(), SloClass::Standard),
-        Err(AdmissionError::ClientQueueFull)
+        Err(AdmissionError::ClientQueueFull {
+            quota: 3,
+            outstanding: 3
+        })
     );
 
     // Global bound: queue holds 3 + 2 = 5, the next submission bounces
@@ -129,7 +132,10 @@ fn admission_control_rejects_instead_of_queueing() {
     }
     assert_eq!(
         b.submit(images[2].clone(), SloClass::Standard),
-        Err(AdmissionError::QueueFull)
+        Err(AdmissionError::QueueFull {
+            capacity: 5,
+            depth: 5
+        })
     );
     assert_eq!(server.depth(), 5, "rejections queued nothing");
 
@@ -139,6 +145,7 @@ fn admission_control_rejects_instead_of_queueing() {
     assert_eq!(report.completed, 5);
     assert_eq!(report.rejected_client_full, 1);
     assert_eq!(report.rejected_queue_full, 1);
+    assert_eq!(report.rejected_for(SloClass::Standard), 2);
     assert_eq!(report.max_depth, 5);
 }
 
