@@ -27,7 +27,7 @@ pub mod tables;
 
 pub use fabric::{fabric_hidden_ms, HiddenConvDims};
 pub use ladder::{speedup_ladder, LadderStep};
-pub use observed::{classify_stage, model_diff, ModelDiffRow};
+pub use observed::{classify_stage, measured_budget, model_diff, ModelDiffRow};
 pub use pipeline_model::{pipelined_fps, PipelineModel};
 pub use stages::{StageBudget, StageId};
 pub use tables::{table1, table2, table3, Table1Row, Table2Row, Table3Row};

@@ -111,7 +111,35 @@ pub fn model_diff(
         .collect()
 }
 
-fn stage_index(stage: StageId) -> usize {
+/// The inverse of [`model_diff`]: folds observed per-stage means onto
+/// the Table III taxonomy and builds a *measured* budget from them.
+/// Stages the trace carried no samples for keep their `fallback` time —
+/// the returned mask records which stages were actually observed.
+/// `model_diff(&budget, observed, ..)` on the result reports a ratio of
+/// 1 for every observed stage, which is what `tincy calibrate` asserts.
+pub fn measured_budget(
+    observed: &[(String, f64)],
+    fallback: &StageBudget,
+) -> (StageBudget, [bool; 7]) {
+    let mut sums: [Option<f64>; 7] = [None; 7];
+    for (name, ms) in observed {
+        if let Some(stage) = classify_stage(name) {
+            let slot = &mut sums[stage_index(stage)];
+            *slot = Some(slot.unwrap_or(0.0) + ms);
+        }
+    }
+    let mut budget = *fallback;
+    let mut covered = [false; 7];
+    for (i, stage) in StageId::ALL.into_iter().enumerate() {
+        if let Some(ms) = sums[i] {
+            budget = budget.with(stage, ms);
+            covered[i] = true;
+        }
+    }
+    (budget, covered)
+}
+
+pub(crate) fn stage_index(stage: StageId) -> usize {
     StageId::ALL
         .iter()
         .position(|&s| s == stage)
@@ -167,5 +195,49 @@ mod tests {
         assert_eq!(hidden.stage, StageId::HiddenLayers);
         assert_eq!(hidden.observed_ms, None);
         assert!(!hidden.flagged);
+    }
+
+    #[test]
+    fn measured_budget_round_trips_through_model_diff() {
+        // A calibrated budget diffed against the very observations that
+        // produced it must report ratio 1 on every covered stage.
+        let observed = vec![
+            ("source".to_owned(), 3.0),
+            ("letterbox".to_owned(), 1.5),
+            ("L[0] conv".to_owned(), 12.0),
+            ("L[1] offload".to_owned(), 7.25),
+            ("L[1] pool".to_owned(), 0.5),
+            ("L[2] conv".to_owned(), 4.0),
+            ("L[3] region".to_owned(), 2.0),
+            ("object boxing".to_owned(), 0.75),
+            ("sink".to_owned(), 1.25),
+            ("slot.deposit".to_owned(), 99.0), // ignored: off the frame path
+        ];
+        let (budget, covered) = measured_budget(&observed, &StageBudget::paper_baseline());
+        assert_eq!(covered, [true; 7]);
+        assert_eq!(budget, StageBudget::from_observed(&observed));
+        assert!((budget.get(StageId::Acquisition) - 4.5).abs() < 1e-12);
+        assert!((budget.get(StageId::OutputLayer) - 6.0).abs() < 1e-12);
+        for row in model_diff(&budget, &observed, 0.01) {
+            let ratio = row.ratio.expect("every stage was observed");
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "{}: ratio {ratio}",
+                row.stage.label()
+            );
+            assert!(!row.flagged);
+        }
+    }
+
+    #[test]
+    fn uncovered_stages_keep_the_fallback_budget() {
+        let observed = vec![("L[1] offload".to_owned(), 8.0)];
+        let (budget, covered) = measured_budget(&observed, &StageBudget::paper_baseline());
+        assert_eq!(covered.iter().filter(|&&c| c).count(), 1);
+        assert_eq!(budget.get(StageId::HiddenLayers), 8.0);
+        assert_eq!(
+            budget.get(StageId::Acquisition),
+            StageBudget::paper_baseline().get(StageId::Acquisition)
+        );
     }
 }

@@ -69,6 +69,17 @@ impl StageBudget {
         }
     }
 
+    /// A budget calibrated from traced stage means — the inverse of
+    /// [`crate::observed::model_diff`]. `observed` holds `(stage name,
+    /// mean ms)` pairs as produced by a trace profile's stage summary
+    /// (`Profile::stage_means_ms`); names sharing a [`StageId`] are
+    /// summed, and stages without observations keep the paper baseline.
+    /// Use [`crate::observed::measured_budget`] directly to learn which
+    /// stages were covered.
+    pub fn from_observed(observed: &[(String, f64)]) -> Self {
+        crate::observed::measured_budget(observed, &Self::paper_baseline()).0
+    }
+
     /// Time of one stage in ms.
     pub fn get(&self, stage: StageId) -> f64 {
         self.times[Self::index(stage)]

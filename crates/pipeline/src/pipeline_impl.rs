@@ -172,8 +172,13 @@ impl<T: Send + 'static> Pipeline<T> {
         let degraded_before = self.degradation_probe.as_ref().map_or(0, |p| p());
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| worker_loop(&shared, &condvar));
+            for i in 0..workers {
+                // Named so worker spans land on named tracks in trace
+                // viewers (the trace layer records thread names).
+                std::thread::Builder::new()
+                    .name(format!("pipe-worker-{i}"))
+                    .spawn_scoped(scope, || worker_loop(&shared, &condvar))
+                    .expect("spawn pipeline worker");
             }
         });
 

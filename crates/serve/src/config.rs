@@ -33,6 +33,11 @@ pub struct ServeConfig {
     pub start_paused: bool,
     /// Latency targets per SLO class, indexed by [`SloClass::index`].
     pub slo_targets: [Duration; 3],
+    /// When set, bind a telemetry status server on this address
+    /// (`host:port`; port 0 picks a free one) exposing `GET /metrics`
+    /// (Prometheus text), `/metrics.json`, `/healthz` and `/report` for
+    /// the lifetime of the server.
+    pub status_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +59,7 @@ impl Default for ServeConfig {
                 Duration::from_millis(200),
                 Duration::from_secs(2),
             ],
+            status_addr: None,
         }
     }
 }

@@ -22,7 +22,11 @@
 //!
 //! [`loadgen`] provides a deterministic multi-client load generator
 //! (closed-loop, open-loop and burst pacing), and [`json`] hand-rolled
-//! JSON emission for metrics dumps and bench artifacts.
+//! JSON emission for metrics dumps and bench artifacts. With
+//! [`ServeConfig::status_addr`] set, a running server additionally
+//! exposes live metrics (`/metrics` Prometheus text, `/metrics.json`)
+//! and a mid-run [`ServeReport`] (`/report`) over a minimal HTTP
+//! endpoint backed by `tincy-telemetry`.
 
 pub mod config;
 pub mod engine;
@@ -32,10 +36,13 @@ pub mod metrics;
 pub mod request;
 mod scheduler;
 pub mod server;
+mod telemetry;
 
 pub use config::ServeConfig;
 pub use engine::ServeEngine;
-pub use loadgen::{run_loadgen, ClientOutcome, LoadMode, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    run_loadgen, run_loadgen_observed, ClientOutcome, LoadMode, LoadgenConfig, LoadgenReport,
+};
 pub use metrics::ServeReport;
 pub use request::{AdmissionError, BackendKind, InferResponse, SloClass};
 pub use server::{ClientHandle, InferenceServer};

@@ -208,8 +208,25 @@ fn drive_client(
 ///
 /// Propagates server construction failures.
 pub fn run_loadgen(
+    server_config: ServeConfig,
+    load: &LoadgenConfig,
+) -> Result<LoadgenReport, NnError> {
+    run_loadgen_observed(server_config, load, |_| {})
+}
+
+/// Like [`run_loadgen`], but calls `observe` on the still-running server
+/// after every client has received its responses and before the drain —
+/// the point where live telemetry (queue drained, all work completed)
+/// must agree with the final report. `tincy loadgen --scrape` uses this
+/// to hit the `--status-addr` endpoint mid-session.
+///
+/// # Errors
+///
+/// Propagates server construction failures.
+pub fn run_loadgen_observed(
     mut server_config: ServeConfig,
     load: &LoadgenConfig,
+    observe: impl FnOnce(&InferenceServer),
 ) -> Result<LoadgenReport, NnError> {
     if load.mode == LoadMode::Burst {
         server_config.start_paused = true;
@@ -263,6 +280,7 @@ pub fn run_loadgen(
             });
         }
     });
+    observe(&server);
     let serve = server.finish();
     Ok(LoadgenReport { outcomes, serve })
 }

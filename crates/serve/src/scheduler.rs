@@ -12,12 +12,14 @@
 //! [`crate::server`] wraps it in a mutex/condvar and worker threads.
 
 use crate::config::ServeConfig;
+use crate::metrics::ServeReport;
 use crate::request::{AdmissionError, BackendKind, InferResponse, PendingRequest, SloClass};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 use tincy_eval::Detection;
+use tincy_nn::OffloadStats;
 use tincy_pipeline::DurationStats;
 use tincy_trace::static_label;
 use tincy_video::Image;
@@ -116,6 +118,40 @@ impl MetricsAcc {
             finn_busy: Duration::ZERO,
             cpu_busy: Duration::ZERO,
             max_depth: 0,
+        }
+    }
+
+    /// Folds the accumulators into a [`ServeReport`] snapshot. Shared by
+    /// [`crate::InferenceServer::finish`] and the live `/report` telemetry
+    /// route so the final and the mid-run view can never disagree on a
+    /// field mapping.
+    pub(crate) fn report(
+        &self,
+        cpu_workers: usize,
+        wall: Duration,
+        offload: OffloadStats,
+    ) -> ServeReport {
+        ServeReport {
+            accepted: self.accepted,
+            completed: self.completed,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_client_full: self.rejected_client_full,
+            rejected_draining: self.rejected_draining,
+            rejected_class: self.rejected_class,
+            finn_batches: self.finn_batches,
+            finn_items: self.finn_items,
+            cpu_items: self.cpu_items,
+            batch_hist: self.batch_hist.clone(),
+            latency: self.latency.clone(),
+            queue_wait: self.queue_wait.clone(),
+            class_latency: self.class_latency.clone(),
+            slo_violations: self.slo_violations,
+            finn_busy: self.finn_busy,
+            cpu_busy: self.cpu_busy,
+            cpu_workers,
+            wall,
+            max_depth: self.max_depth,
+            offload,
         }
     }
 }

@@ -7,21 +7,24 @@ use crate::engine::ServeEngine;
 use crate::metrics::ServeReport;
 use crate::request::{AdmissionError, BackendKind, InferResponse, SloClass};
 use crate::scheduler::SchedState;
+use crate::telemetry::{bind_status, ServeCollector};
 use parking_lot::{Condvar, Mutex};
+use std::net::SocketAddr;
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tincy_nn::{NnError, OffloadHealth};
+use tincy_telemetry::StatusServer;
 use tincy_trace::static_label;
 use tincy_video::Image;
 
-struct Inner {
-    state: Mutex<SchedState>,
+pub(crate) struct Inner {
+    pub(crate) state: Mutex<SchedState>,
     /// Single condvar for every state transition; the shim condvar has no
     /// timed wait, so every mutation under the lock is followed by
     /// `notify_all`.
-    cond: Condvar,
+    pub(crate) cond: Condvar,
 }
 
 impl Inner {
@@ -42,6 +45,9 @@ pub struct InferenceServer {
     finn_health: OffloadHealth,
     started: Instant,
     cpu_workers: usize,
+    /// Telemetry endpoint, alive for the server's lifetime when
+    /// `status_addr` was configured.
+    status: Option<StatusServer>,
 }
 
 /// A client's connection: submission plus in-order response delivery.
@@ -107,16 +113,36 @@ impl InferenceServer {
             finn_engine,
             max_batch,
         ));
-        for engine in cpu_engines {
-            workers.push(spawn_cpu_worker(Arc::clone(&inner), engine));
+        for (i, engine) in cpu_engines.into_iter().enumerate() {
+            workers.push(spawn_cpu_worker(Arc::clone(&inner), engine, i));
         }
+        let started = Instant::now();
+        let status = match &config.status_addr {
+            Some(addr) => {
+                let collector = Arc::new(ServeCollector {
+                    inner: Arc::clone(&inner),
+                    health: finn_health.clone(),
+                    started,
+                    cpu_workers: config.cpu_workers,
+                });
+                Some(bind_status(addr, collector).map_err(NnError::Io)?)
+            }
+            None => None,
+        };
         Ok(Self {
             inner,
             workers,
             finn_health,
-            started: Instant::now(),
+            started,
             cpu_workers: config.cpu_workers,
+            status,
         })
+    }
+
+    /// The bound telemetry address (the real port when `:0` was
+    /// requested), when `status_addr` was configured.
+    pub fn status_addr(&self) -> Option<SocketAddr> {
+        self.status.as_ref().map(StatusServer::addr)
     }
 
     /// Registers a new client and returns its handle.
@@ -148,7 +174,7 @@ impl InferenceServer {
     /// Drains and shuts down: stops admitting, lets the backends finish
     /// every queued request (no accepted request is dropped), joins the
     /// workers and returns the aggregate report.
-    pub fn finish(self) -> ServeReport {
+    pub fn finish(mut self) -> ServeReport {
         {
             let mut state = self.inner.state.lock();
             state.draining = true;
@@ -164,31 +190,17 @@ impl InferenceServer {
         for worker in self.workers {
             worker.join().expect("serve worker panicked");
         }
+        // The endpoint stays scrapeable through the drain: a scrape taken
+        // after the last response sees the same counters the report
+        // carries. Only now does it unbind.
+        if let Some(mut status) = self.status.take() {
+            status.shutdown();
+        }
         let wall = self.started.elapsed();
         let state = self.inner.state.lock();
-        let m = state.metrics.clone();
-        ServeReport {
-            accepted: m.accepted,
-            completed: m.completed,
-            rejected_queue_full: m.rejected_queue_full,
-            rejected_client_full: m.rejected_client_full,
-            rejected_draining: m.rejected_draining,
-            rejected_class: m.rejected_class,
-            finn_batches: m.finn_batches,
-            finn_items: m.finn_items,
-            cpu_items: m.cpu_items,
-            batch_hist: m.batch_hist,
-            latency: m.latency,
-            queue_wait: m.queue_wait,
-            class_latency: m.class_latency,
-            slo_violations: m.slo_violations,
-            finn_busy: m.finn_busy,
-            cpu_busy: m.cpu_busy,
-            cpu_workers: self.cpu_workers,
-            wall,
-            max_depth: m.max_depth,
-            offload: self.finn_health.snapshot(),
-        }
+        state
+            .metrics
+            .report(self.cpu_workers, wall, self.finn_health.snapshot())
     }
 }
 
@@ -197,7 +209,7 @@ fn spawn_finn_worker(
     mut engine: ServeEngine,
     max_batch: usize,
 ) -> JoinHandle<()> {
-    std::thread::spawn(move || {
+    spawn_named("serve-finn".to_string(), move || {
         let health = engine.health();
         loop {
             let lease = {
@@ -214,12 +226,17 @@ fn spawn_finn_worker(
                 state.lease(max_batch)
             };
             let batch = lease.requests.len();
+            // The batch span links every member request, so a timeline
+            // viewer can resolve which `serve.admit`/`serve.deliver` ids a
+            // FINN invocation covered.
+            let members: Vec<u64> = lease.requests.iter().map(|r| r.global).collect();
             let before = health.snapshot();
             let t0 = Instant::now();
             let detections = {
                 let _span = tincy_trace::span(static_label!("serve.finn_batch"))
                     .batch(u32::try_from(batch).unwrap_or(u32::MAX))
                     .backend(tincy_trace::Backend::Finn)
+                    .link_requests(&members)
                     .start();
                 engine
                     .process_batch(&lease.images())
@@ -241,8 +258,18 @@ fn spawn_finn_worker(
     })
 }
 
-fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine) -> JoinHandle<()> {
-    std::thread::spawn(move || loop {
+/// Spawns a worker on a named thread: the name lands in the trace's
+/// thread table (and so in Perfetto's track names) when the worker
+/// records spans.
+fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(body)
+        .expect("spawn serve worker")
+}
+
+fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine, index: usize) -> JoinHandle<()> {
+    spawn_named(format!("serve-cpu-{index}"), move || loop {
         let lease = {
             let mut state = inner.state.lock();
             loop {
@@ -350,6 +377,47 @@ mod tests {
             "six queued frames dispatch as two full micro-batches"
         );
         assert!(report.batched_invocations() >= 1);
+    }
+
+    #[test]
+    fn status_endpoint_scrapes_live_counters_then_unbinds() {
+        let config = ServeConfig {
+            status_addr: Some("127.0.0.1:0".to_string()),
+            ..small_config()
+        };
+        let server = InferenceServer::start(config).unwrap();
+        let addr = server.status_addr().expect("status endpoint bound");
+        let client = server.client();
+        for image in frames(4, 3) {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        for _ in 0..4 {
+            client.recv().expect("response delivered");
+        }
+        let (status, body) = tincy_telemetry::http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let samples = tincy_telemetry::parse_prometheus(&body).unwrap();
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} exposed"))
+                .value
+        };
+        assert_eq!(get("tincy_serve_accepted_total"), 4.0);
+        assert_eq!(get("tincy_serve_completed_total"), 4.0);
+        let (status, report) = tincy_telemetry::http_get(addr, "/report").unwrap();
+        assert_eq!(status, 200);
+        assert!(report.contains("\"accepted\":4"), "live report: {report}");
+        let (status, health) = tincy_telemetry::http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(health.contains("\"ok\":true"));
+        let report = server.finish();
+        assert_eq!(report.accepted, 4);
+        assert!(
+            tincy_telemetry::http_get(addr, "/healthz").is_err(),
+            "the endpoint unbinds at finish"
+        );
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Live telemetry for a running server: a [`Collect`] adapter that
+//! snapshots the scheduler's accumulators and the FINN offload health at
+//! scrape time, plus the route table of the `--status-addr` endpoint
+//! (DESIGN.md §8 "Live telemetry").
+//!
+//! The adapter owns no counters of its own — every sample is a
+//! point-in-time view of the same `MetricsAcc` that [`crate::ServeReport`]
+//! is folded from at drain, so a scrape taken after the last response and
+//! the final report agree by construction.
+
+use crate::json::serve_report_json;
+use crate::metrics::ServeReport;
+use crate::request::SloClass;
+use crate::server::Inner;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+use tincy_nn::OffloadHealth;
+use tincy_telemetry::{
+    json_text, prometheus_text, Collect, Handler, Registry, Response, Sample, StatusServer, Value,
+};
+
+/// Rejection-reason labels, aligned with [`crate::AdmissionError::tag`].
+const REJECT_REASONS: [&str; 3] = ["queue-full", "client-full", "draining"];
+
+/// Scrape-time view of a running [`crate::InferenceServer`].
+pub(crate) struct ServeCollector {
+    pub inner: Arc<Inner>,
+    pub health: OffloadHealth,
+    pub started: Instant,
+    pub cpu_workers: usize,
+}
+
+impl ServeCollector {
+    /// The live equivalent of [`crate::InferenceServer::finish`]'s report:
+    /// same field mapping (via `MetricsAcc::report`), taken mid-run.
+    pub fn live_report(&self) -> ServeReport {
+        let metrics = self.inner.state.lock().metrics.clone();
+        metrics.report(
+            self.cpu_workers,
+            self.started.elapsed(),
+            self.health.snapshot(),
+        )
+    }
+}
+
+impl Collect for ServeCollector {
+    fn collect(&self) -> Vec<Sample> {
+        let (m, depth) = {
+            let state = self.inner.state.lock();
+            (state.metrics.clone(), state.depth())
+        };
+        let offload = self.health.snapshot();
+        let mut out = vec![
+            Sample::new(
+                "tincy_serve_accepted_total",
+                "Requests admitted past admission control",
+                Value::Counter(m.accepted),
+            ),
+            Sample::new(
+                "tincy_serve_completed_total",
+                "Requests completed and delivered",
+                Value::Counter(m.completed),
+            ),
+            Sample::new(
+                "tincy_serve_finn_batches_total",
+                "Micro-batched FINN invocations",
+                Value::Counter(m.finn_batches),
+            ),
+            Sample::new(
+                "tincy_serve_finn_items_total",
+                "Requests completed by the FINN engine",
+                Value::Counter(m.finn_items),
+            ),
+            Sample::new(
+                "tincy_serve_cpu_items_total",
+                "Requests completed by host workers",
+                Value::Counter(m.cpu_items),
+            ),
+            Sample::new(
+                "tincy_serve_slo_violations_total",
+                "Requests whose latency exceeded their class target",
+                Value::Counter(m.slo_violations),
+            ),
+            Sample::new(
+                "tincy_serve_queue_depth",
+                "Pending requests awaiting dispatch",
+                Value::Gauge(depth as f64),
+            ),
+            Sample::new(
+                "tincy_serve_queue_depth_max",
+                "Deepest pending-queue occupancy observed",
+                Value::Gauge(m.max_depth as f64),
+            ),
+            Sample::new(
+                "tincy_serve_uptime_seconds",
+                "Seconds since the server started",
+                Value::Gauge(self.started.elapsed().as_secs_f64()),
+            ),
+            Sample::new(
+                "tincy_serve_finn_busy_seconds",
+                "Busy time of the FINN engine",
+                Value::Gauge(m.finn_busy.as_secs_f64()),
+            ),
+            Sample::new(
+                "tincy_serve_cpu_busy_seconds",
+                "Summed busy time of all host workers",
+                Value::Gauge(m.cpu_busy.as_secs_f64()),
+            ),
+            Sample::new(
+                "tincy_serve_latency_seconds",
+                "End-to-end latency, submission to delivery",
+                Value::Summary(m.latency.clone()),
+            ),
+            Sample::new(
+                "tincy_serve_queue_wait_seconds",
+                "Queue wait, submission to dispatch",
+                Value::Summary(m.queue_wait.clone()),
+            ),
+        ];
+        let reasons = [
+            m.rejected_queue_full,
+            m.rejected_client_full,
+            m.rejected_draining,
+        ];
+        for (reason, count) in REJECT_REASONS.into_iter().zip(reasons) {
+            out.push(
+                Sample::new(
+                    "tincy_serve_rejected_total",
+                    "Submissions refused by admission control, by reason",
+                    Value::Counter(count),
+                )
+                .label("reason", reason),
+            );
+        }
+        for class in SloClass::ALL {
+            out.push(
+                Sample::new(
+                    "tincy_serve_rejected_class_total",
+                    "Submissions refused by admission control, by SLO class",
+                    Value::Counter(m.rejected_class[class.index()]),
+                )
+                .label("class", class.label()),
+            );
+            out.push(
+                Sample::new(
+                    "tincy_serve_class_latency_seconds",
+                    "End-to-end latency by SLO class",
+                    Value::Summary(m.class_latency[class.index()].clone()),
+                )
+                .label("class", class.label()),
+            );
+        }
+        let offload_counters = [
+            ("forwards", offload.forwards, "Completed forward passes"),
+            ("faults", offload.faults, "Accelerator faults observed"),
+            ("retries", offload.retries, "Retry attempts issued"),
+            (
+                "fallbacks",
+                offload.fallbacks,
+                "Frames completed on the CPU reference path",
+            ),
+            (
+                "degraded",
+                offload.degraded,
+                "Frames that needed retry or fallback to complete",
+            ),
+        ];
+        for (kind, count, help) in offload_counters {
+            out.push(Sample::new(
+                &format!("tincy_offload_{kind}_total"),
+                help,
+                Value::Counter(count),
+            ));
+        }
+        out
+    }
+}
+
+/// Binds the status endpoint with the standard route table: `/metrics`
+/// (Prometheus text), `/metrics.json` (same samples as JSON), `/healthz`
+/// and `/report` (the live [`ServeReport`] as JSON).
+pub(crate) fn bind_status(addr: &str, collector: Arc<ServeCollector>) -> io::Result<StatusServer> {
+    let registry = Arc::new(Registry::new());
+    registry.register(Arc::clone(&collector) as Arc<dyn Collect>);
+    let prom = Arc::clone(&registry);
+    let routes: Vec<(&'static str, Handler)> = vec![
+        (
+            "/metrics",
+            Box::new(move || {
+                Response::ok(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    prometheus_text(&prom.gather()),
+                )
+            }),
+        ),
+        (
+            "/metrics.json",
+            Box::new(move || Response::ok("application/json", json_text(&registry.gather()))),
+        ),
+        (
+            "/healthz",
+            Box::new(|| Response::ok("application/json", "{\"ok\":true}\n".to_string())),
+        ),
+        (
+            "/report",
+            Box::new(move || {
+                Response::ok(
+                    "application/json",
+                    serve_report_json(&collector.live_report()),
+                )
+            }),
+        ),
+    ];
+    StatusServer::bind(addr, routes)
+}

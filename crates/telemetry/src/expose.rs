@@ -1,0 +1,351 @@
+//! Exposition formats: Prometheus text (version 0.0.4) and JSON, plus
+//! the minimal Prometheus parser the scrape smoke path and tests use to
+//! read an exposition back. JSON is hand-rolled in the house style
+//! (`crates/serve/src/json.rs`) — no serde.
+
+use crate::metrics::{Sample, Value};
+use std::fmt::Write as _;
+use tincy_pipeline::DurationStats;
+
+/// Quantiles exposed for summaries; matches the p50/p95/p99 the serve
+/// reports print.
+const QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// Renders samples (as returned by
+/// [`Registry::gather`](crate::Registry::gather), sorted by name) in
+/// the Prometheus text exposition format. Durations are expressed in
+/// seconds; histograms become summaries — the log-linear
+/// [`DurationStats`] tracks quantiles, not cumulative buckets.
+pub fn prometheus_text(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for sample in samples {
+        if last_family != Some(sample.name.as_str()) {
+            let _ = writeln!(out, "# HELP {} {}", sample.name, sample.help);
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.value.type_name());
+            last_family = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            Value::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_set(&sample.labels, None)
+                );
+            }
+            Value::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_set(&sample.labels, None)
+                );
+            }
+            Value::Summary(stats) => {
+                let seconds = stats.quantiles(&QUANTILES);
+                for (q, d) in QUANTILES.iter().zip(&seconds) {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        sample.name,
+                        label_set(&sample.labels, Some(*q)),
+                        d.as_secs_f64()
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    sample.name,
+                    label_set(&sample.labels, None),
+                    stats.total().as_secs_f64()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    sample.name,
+                    label_set(&sample.labels, None),
+                    stats.count()
+                );
+            }
+        }
+    }
+    out
+}
+
+fn label_set(labels: &[(String, String)], quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (key, value) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{key}=\"");
+        escape_label(&mut out, value);
+        out.push('"');
+    }
+    if let Some(q) = quantile {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "quantile=\"{q}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(out: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders samples as a JSON array: counters/gauges as
+/// `{"name","labels","type","value"}`, summaries with the
+/// `duration_stats_json` house keys (`count`, `mean_us`, `p50_us`, …).
+pub fn json_text(samples: &[Sample]) -> String {
+    let mut out = String::from("[");
+    for (i, sample) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&mut out, &sample.name);
+        out.push_str("\",\"labels\":{");
+        for (j, (key, value)) in sample.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(&mut out, key);
+            out.push_str("\":\"");
+            escape_json(&mut out, value);
+            out.push('"');
+        }
+        let _ = write!(out, "}},\"type\":\"{}\"", sample.value.type_name());
+        match &sample.value {
+            Value::Counter(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            Value::Gauge(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            Value::Summary(stats) => {
+                out.push_str(&summary_json(stats));
+            }
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+fn summary_json(stats: &DurationStats) -> String {
+    let qs = stats.quantiles(&QUANTILES);
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    format!(
+        ",\"count\":{},\"mean_us\":{:.3},\"min_us\":{:.3},\"max_us\":{:.3},\"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3}",
+        stats.count(),
+        us(stats.mean()),
+        us(stats.min().unwrap_or_default()),
+        us(stats.max().unwrap_or_default()),
+        us(qs[0]),
+        us(qs[1]),
+        us(qs[2]),
+    )
+}
+
+fn escape_json(out: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (including `_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs, in source order (`quantile` included).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text exposition into its sample lines. Comment
+/// (`#`) and blank lines are skipped; anything else must be a
+/// well-formed `name{labels} value` line.
+///
+/// # Errors
+///
+/// A message quoting the malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_line(line).ok_or_else(|| format!("malformed sample line: {line}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_line(line: &str) -> Option<PromSample> {
+    let name_end = line.find(|c: char| c == '{' || c.is_whitespace())?;
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close = body.find('}')?;
+        (parse_labels(&body[..close])?, &body[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let value: f64 = rest.trim().parse().ok()?;
+    Some(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        while chars.peek() == Some(&',') || chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Some(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return None;
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next()? {
+                '"' => break,
+                '\\' => match chars.next()? {
+                    'n' => value.push('\n'),
+                    c => value.push(c),
+                },
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Sample;
+    use std::time::Duration;
+
+    fn sample_set() -> Vec<Sample> {
+        let mut stats = DurationStats::new();
+        stats.record(Duration::from_millis(2));
+        stats.record(Duration::from_millis(4));
+        vec![
+            Sample::new(
+                "demo_latency_seconds",
+                "request latency",
+                Value::Summary(stats),
+            ),
+            Sample::new("demo_queue_depth", "queue depth", Value::Gauge(3.0)),
+            Sample::new("demo_rejected_total", "rejections", Value::Counter(5))
+                .label("reason", "queue-full"),
+            Sample::new("demo_rejected_total", "rejections", Value::Counter(2))
+                .label("reason", "deadline"),
+        ]
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_the_parser() {
+        let text = prometheus_text(&sample_set());
+        assert!(text.contains("# TYPE demo_rejected_total counter"));
+        assert!(text.contains("# TYPE demo_latency_seconds summary"));
+        let parsed = parse_prometheus(&text).unwrap();
+        // 3 quantiles + sum + count, one gauge, two counters.
+        assert_eq!(parsed.len(), 8);
+        let full = parsed
+            .iter()
+            .find(|s| s.name == "demo_rejected_total" && s.label("reason") == Some("queue-full"))
+            .unwrap();
+        assert_eq!(full.value, 5.0);
+        let count = parsed
+            .iter()
+            .find(|s| s.name == "demo_latency_seconds_count")
+            .unwrap();
+        assert_eq!(count.value, 2.0);
+        let p50 = parsed
+            .iter()
+            .find(|s| s.name == "demo_latency_seconds" && s.label("quantile") == Some("0.5"))
+            .unwrap();
+        assert!(p50.value > 0.0015 && p50.value < 0.0045, "{}", p50.value);
+    }
+
+    #[test]
+    fn json_text_is_parseable_and_complete() {
+        let json = json_text(&sample_set());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"type\":\"summary\""));
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"reason\":\"queue-full\""));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("not a metric line").is_err());
+        assert!(parse_prometheus("name{unterminated 1").is_err());
+        assert!(parse_prometheus("# just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let sample =
+            Sample::new("esc_total", "escapes", Value::Counter(1)).label("path", "a\"b\\c\nd");
+        let parsed = parse_prometheus(&prometheus_text(&[sample])).unwrap();
+        assert_eq!(parsed[0].label("path"), Some("a\"b\\c\nd"));
+    }
+}

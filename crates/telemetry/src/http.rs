@@ -1,0 +1,255 @@
+//! A minimal std-only HTTP status endpoint: one listener thread, GET
+//! routing by exact path, `Connection: close` semantics. This is
+//! deliberately not a web server — it exists so `tincy serve
+//! --status-addr` can expose `/metrics`, `/healthz` and `/report`
+//! without pulling in a dependency the offline build cannot have.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection socket timeout: a stalled peer cannot wedge the
+/// single accept loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// An HTTP response produced by a route handler.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// The 404 response.
+    pub fn not_found() -> Self {
+        Self {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".to_string(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+}
+
+/// A route handler, called once per matching GET request.
+pub type Handler = Box<dyn Fn() -> Response + Send + Sync>;
+
+/// The status endpoint: binds immediately, serves on a background
+/// thread until [`Self::shutdown`] (or drop).
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port)
+    /// and starts serving `routes` (exact-match paths, query strings
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and thread-spawn failures.
+    pub fn bind(addr: &str, routes: Vec<(&'static str, Handler)>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tincy-status".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // Serving is best-effort; a failed write to a
+                        // closed peer must not take the loop down.
+                        let _ = serve_connection(stream, &routes);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, routes: &[(&'static str, Handler)]) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST_BYTES {
+            return Ok(());
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method != "GET" {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".to_string(),
+        }
+    } else {
+        let path = target.split('?').next().unwrap_or("");
+        routes
+            .iter()
+            .find(|(route, _)| *route == path)
+            .map_or_else(Response::not_found, |(_, handler)| handler())
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}
+
+/// A one-shot HTTP GET against `addr` (the scrape client behind `tincy
+/// loadgen --scrape` and the CI smoke job). Returns the status code and
+/// body.
+///
+/// # Errors
+///
+/// Propagates connection failures; malformed responses surface as
+/// `InvalidData`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, String)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing response head"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status code"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> StatusServer {
+        StatusServer::bind(
+            "127.0.0.1:0",
+            vec![
+                (
+                    "/metrics",
+                    Box::new(|| Response::ok("text/plain; version=0.0.4", "m_total 1\n".into()))
+                        as Handler,
+                ),
+                (
+                    "/healthz",
+                    Box::new(|| Response::ok("application/json", "{\"ok\":true}".into()))
+                        as Handler,
+                ),
+            ],
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn routes_serve_and_unknown_paths_404() {
+        let server = test_server();
+        let (status, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "m_total 1\n");
+        let (status, body) = http_get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        let (status, _) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        // Query strings are ignored for routing.
+        let (status, _) = http_get(server.addr(), "/metrics?x=1").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn shutdown_unbinds_and_is_idempotent() {
+        let mut server = test_server();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || http_get(addr, "/metrics").is_err(),
+            "the endpoint no longer serves after shutdown"
+        );
+    }
+}

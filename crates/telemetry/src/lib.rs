@@ -1,0 +1,23 @@
+//! `tincy-telemetry`: the live-metrics layer of the Tincy system (per
+//! DESIGN.md §8 "Live telemetry").
+//!
+//! Three pieces, each std-only:
+//! - a [`Registry`] of lock-light [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s (the latter reusing `tincy-pipeline`'s streaming
+//!   [`DurationStats`](tincy_pipeline::DurationStats)), plus a
+//!   [`Collect`] hook for subsystems that keep their own accumulators
+//!   (the serve scheduler, offload health);
+//! - exposition as Prometheus text ([`prometheus_text`]) and JSON
+//!   ([`json_text`]), with a matching parser ([`parse_prometheus`]) for
+//!   smoke checks;
+//! - a minimal HTTP [`StatusServer`] that serves those expositions on
+//!   `tincy serve --status-addr` (GET `/metrics`, `/healthz`,
+//!   `/report`).
+
+mod expose;
+mod http;
+mod metrics;
+
+pub use expose::{json_text, parse_prometheus, prometheus_text, PromSample};
+pub use http::{http_get, Handler, Response, StatusServer};
+pub use metrics::{Collect, Counter, Gauge, Histogram, Registry, Sample, Value};

@@ -22,6 +22,23 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
+    // Perfetto track names: one thread_name metadata event per named
+    // thread, so workers show up as named tracks instead of raw tids.
+    for (tid, name) in trace.thread_names.iter().enumerate() {
+        if name.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+        );
+        escape_into(&mut out, name);
+        out.push_str("\"}}");
+    }
     for span in trace.spans_lossy() {
         emit_event(
             &mut out,
@@ -111,9 +128,23 @@ fn emit_event(
             if !first_arg {
                 out.push(',');
             }
+            first_arg = false;
             out.push_str("\"fault\":\"");
             escape_into(out, trace.label_name(fault));
             out.push('"');
+        }
+        if let Some(links) = attrs.links {
+            if !first_arg {
+                out.push(',');
+            }
+            out.push_str("\"links\":[");
+            for (i, id) in trace.link_requests(links).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{id}");
+            }
+            out.push(']');
         }
         out.push('}');
     }
@@ -149,93 +180,209 @@ fn escape_into(out: &mut String, raw: &str) {
 ///
 /// A message describing the malformed construct.
 pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
-    let root = parse(text)?;
-    let events_json = match &root {
-        JsonValue::Arr(items) => items,
-        JsonValue::Obj(_) => match root.get("traceEvents") {
-            Some(JsonValue::Arr(items)) => items,
-            _ => return Err("missing traceEvents array".to_string()),
-        },
-        _ => return Err("trace file is neither an object nor an array".to_string()),
-    };
+    let mut assembly = TraceAssembly::new();
+    assembly.ingest(text)?;
+    Ok(assembly.into_trace())
+}
 
-    let mut labels: Vec<String> = Vec::new();
-    let mut by_name: HashMap<String, u32> = HashMap::new();
-    let mut intern = |name: &str| -> Label {
-        if let Some(&id) = by_name.get(name) {
+struct SpanRec {
+    start: u64,
+    end: u64,
+    label: Label,
+    attrs: Attrs,
+}
+
+/// Incremental importer: ingests one or more Chrome trace-event JSON
+/// documents — the segments of one recording session — and assembles a
+/// single [`Trace`]. Labels, link sets and thread names are merged
+/// across documents; [`Self::into_trace`] rebuilds the Begin/End stream.
+/// This is what segment stitching ([`crate::stitch_segments`]) and the
+/// single-file [`from_chrome_json`] share.
+pub(crate) struct TraceAssembly {
+    labels: Vec<String>,
+    by_name: HashMap<String, u32>,
+    spans: HashMap<u32, Vec<SpanRec>>,
+    instants: Vec<Event>,
+    thread_names: Vec<String>,
+    links: Vec<Vec<u64>>,
+    max_thread: Option<u32>,
+}
+
+impl TraceAssembly {
+    pub(crate) fn new() -> Self {
+        Self {
+            labels: Vec::new(),
+            by_name: HashMap::new(),
+            spans: HashMap::new(),
+            instants: Vec::new(),
+            thread_names: Vec::new(),
+            links: Vec::new(),
+            max_thread: None,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> Label {
+        if let Some(&id) = self.by_name.get(name) {
             return Label(id);
         }
-        let id = u32::try_from(labels.len()).expect("label space exhausted");
-        labels.push(name.to_string());
-        by_name.insert(name.to_string(), id);
+        let id = u32::try_from(self.labels.len()).expect("label space exhausted");
+        self.labels.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
         Label(id)
-    };
-
-    struct SpanRec {
-        start: u64,
-        end: u64,
-        label: Label,
-        attrs: Attrs,
     }
-    let mut spans: HashMap<u32, Vec<SpanRec>> = HashMap::new();
-    let mut instants: Vec<Event> = Vec::new();
-    let mut max_thread = None;
-    for item in events_json {
-        let phase = item.get("ph").and_then(JsonValue::as_str).unwrap_or("");
-        if phase != "X" && phase != "i" {
-            continue; // metadata ("M") and other phases are not ours
+
+    /// Parses one Chrome trace-event document into the assembly.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformed construct.
+    pub(crate) fn ingest(&mut self, text: &str) -> Result<(), String> {
+        let root = parse(text)?;
+        let events_json = match &root {
+            JsonValue::Arr(items) => items,
+            JsonValue::Obj(_) => match root.get("traceEvents") {
+                Some(JsonValue::Arr(items)) => items,
+                _ => return Err("missing traceEvents array".to_string()),
+            },
+            _ => return Err("trace file is neither an object nor an array".to_string()),
+        };
+        for item in events_json {
+            let phase = item.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+            if phase == "M" {
+                self.ingest_metadata(item);
+                continue;
+            }
+            if phase != "X" && phase != "i" {
+                continue; // other phases are not ours
+            }
+            let name = item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("event without a name")?;
+            let ts = item
+                .get("ts")
+                .and_then(JsonValue::as_f64)
+                .ok_or("event without ts")?;
+            let thread = tid_of(item);
+            self.max_thread = Some(self.max_thread.map_or(thread, |m: u32| m.max(thread)));
+            let t_ns = to_ns(ts);
+            let label = self.intern(name);
+            let attrs = self.parse_attrs(item.get("args"));
+            if phase == "i" {
+                self.instants.push(Event {
+                    t_ns,
+                    thread,
+                    kind: EventKind::Instant,
+                    label,
+                    attrs,
+                });
+            } else {
+                let dur = item.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                self.spans.entry(thread).or_default().push(SpanRec {
+                    start: t_ns,
+                    end: t_ns + to_ns(dur),
+                    label,
+                    attrs,
+                });
+            }
         }
-        let name = item
-            .get("name")
+        Ok(())
+    }
+
+    /// Thread-name metadata events restore Perfetto track names.
+    fn ingest_metadata(&mut self, item: &JsonValue) {
+        if item.get("name").and_then(JsonValue::as_str) != Some("thread_name") {
+            return;
+        }
+        let Some(name) = item
+            .get("args")
+            .and_then(|args| args.get("name"))
             .and_then(JsonValue::as_str)
-            .ok_or("event without a name")?;
-        let ts = item
-            .get("ts")
-            .and_then(JsonValue::as_f64)
-            .ok_or("event without ts")?;
-        let tid = item.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0);
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let thread = tid.max(0.0) as u32;
-        max_thread = Some(max_thread.map_or(thread, |m: u32| m.max(thread)));
-        let t_ns = to_ns(ts);
-        let label = intern(name);
-        let attrs = parse_attrs(item.get("args"), &mut intern);
-        if phase == "i" {
-            instants.push(Event {
-                t_ns,
-                thread,
-                kind: EventKind::Instant,
-                label,
-                attrs,
-            });
-        } else {
-            let dur = item.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
-            spans.entry(thread).or_default().push(SpanRec {
-                start: t_ns,
-                end: t_ns + to_ns(dur),
-                label,
-                attrs,
-            });
+        else {
+            return;
+        };
+        let tid = tid_of(item) as usize;
+        if self.thread_names.len() <= tid {
+            self.thread_names.resize(tid + 1, String::new());
         }
+        self.thread_names[tid] = name.to_string();
     }
 
-    // Rebuild each thread's Begin/End stream with an interval sweep:
-    // sorting spans (start asc, end desc) puts parents before children
-    // even when a deterministic clock made edges share a timestamp, so
-    // stack discipline survives the round trip.
-    let mut events = Vec::new();
-    let mut thread_ids: Vec<u32> = spans.keys().copied().collect();
-    thread_ids.sort_unstable();
-    for thread in thread_ids {
-        let mut recs = spans.remove(&thread).unwrap_or_default();
-        recs.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
-        let mut stack: Vec<(u64, Label)> = Vec::new();
-        for rec in &recs {
-            while let Some(&(end, label)) = stack.last() {
-                if end > rec.start {
-                    break;
+    fn parse_attrs(&mut self, args: Option<&JsonValue>) -> Attrs {
+        let mut attrs = Attrs::default();
+        let Some(args) = args else {
+            return attrs;
+        };
+        let as_u64 = |key: &str| -> Option<u64> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            args.get(key).and_then(JsonValue::as_f64).map(|v| v as u64)
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        let as_u32 = |key: &str| as_u64(key).map(|v| v as u32);
+        attrs.frame = as_u64("frame");
+        attrs.request = as_u64("request");
+        attrs.layer = as_u32("layer");
+        attrs.batch = as_u32("batch");
+        attrs.attempt = as_u32("attempt");
+        attrs.cycles = as_u64("cycles");
+        attrs.backend = args
+            .get("backend")
+            .and_then(JsonValue::as_str)
+            .and_then(Backend::from_label);
+        attrs.fault = args
+            .get("fault")
+            .and_then(JsonValue::as_str)
+            .map(|name| self.intern(name));
+        if let Some(JsonValue::Arr(items)) = args.get("links") {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let ids: Vec<u64> = items
+                .iter()
+                .filter_map(JsonValue::as_f64)
+                .map(|v| v.max(0.0) as u64)
+                .collect();
+            let id = u32::try_from(self.links.len()).expect("link space exhausted");
+            self.links.push(ids);
+            attrs.links = Some(id);
+        }
+        attrs
+    }
+
+    /// Rebuilds each thread's Begin/End stream with an interval sweep:
+    /// sorting spans (start asc, end desc) puts parents before children
+    /// even when a deterministic clock made edges share a timestamp, so
+    /// stack discipline survives the round trip.
+    pub(crate) fn into_trace(mut self) -> Trace {
+        let mut events = Vec::new();
+        let mut thread_ids: Vec<u32> = self.spans.keys().copied().collect();
+        thread_ids.sort_unstable();
+        for thread in thread_ids {
+            let mut recs = self.spans.remove(&thread).unwrap_or_default();
+            recs.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+            let mut stack: Vec<(u64, Label)> = Vec::new();
+            for rec in &recs {
+                while let Some(&(end, label)) = stack.last() {
+                    if end > rec.start {
+                        break;
+                    }
+                    stack.pop();
+                    events.push(Event {
+                        t_ns: end,
+                        thread,
+                        kind: EventKind::End,
+                        label,
+                        attrs: Attrs::default(),
+                    });
                 }
-                stack.pop();
+                events.push(Event {
+                    t_ns: rec.start,
+                    thread,
+                    kind: EventKind::Begin,
+                    label: rec.label,
+                    attrs: rec.attrs,
+                });
+                stack.push((rec.end, rec.label));
+            }
+            while let Some((end, label)) = stack.pop() {
                 events.push(Event {
                     t_ns: end,
                     thread,
@@ -244,61 +391,33 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
                     attrs: Attrs::default(),
                 });
             }
-            events.push(Event {
-                t_ns: rec.start,
-                thread,
-                kind: EventKind::Begin,
-                label: rec.label,
-                attrs: rec.attrs,
-            });
-            stack.push((rec.end, rec.label));
         }
-        while let Some((end, label)) = stack.pop() {
-            events.push(Event {
-                t_ns: end,
-                thread,
-                kind: EventKind::End,
-                label,
-                attrs: Attrs::default(),
-            });
+        events.extend(self.instants);
+        // Stable: each thread's sweep output is already time-ordered, so
+        // the global sort only interleaves threads (instants land after
+        // edges sharing their timestamp, which nesting checks ignore).
+        events.sort_by_key(|e| e.t_ns);
+        let threads = self
+            .max_thread
+            .map_or(0, |m| m + 1)
+            .max(u32::try_from(self.thread_names.len()).unwrap_or(u32::MAX));
+        Trace {
+            events,
+            labels: self.labels,
+            threads,
+            thread_names: self.thread_names,
+            links: self.links,
+            dropped: 0,
         }
     }
-    events.extend(instants);
-    // Stable: each thread's sweep output is already time-ordered, so the
-    // global sort only interleaves threads (instants land after edges
-    // sharing their timestamp, which nesting checks ignore).
-    events.sort_by_key(|e| e.t_ns);
-    Ok(Trace {
-        events,
-        labels,
-        threads: max_thread.map_or(0, |m| m + 1),
-        dropped: 0,
-    })
 }
 
-fn parse_attrs(args: Option<&JsonValue>, intern: &mut impl FnMut(&str) -> Label) -> Attrs {
-    let mut attrs = Attrs::default();
-    let Some(args) = args else {
-        return attrs;
-    };
-    let as_u64 = |key: &str| -> Option<u64> {
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        args.get(key).and_then(JsonValue::as_f64).map(|v| v as u64)
-    };
-    #[allow(clippy::cast_possible_truncation)]
-    let as_u32 = |key: &str| as_u64(key).map(|v| v as u32);
-    attrs.frame = as_u64("frame");
-    attrs.request = as_u64("request");
-    attrs.layer = as_u32("layer");
-    attrs.batch = as_u32("batch");
-    attrs.attempt = as_u32("attempt");
-    attrs.cycles = as_u64("cycles");
-    attrs.backend = args
-        .get("backend")
-        .and_then(JsonValue::as_str)
-        .and_then(Backend::from_label);
-    attrs.fault = args.get("fault").and_then(JsonValue::as_str).map(intern);
-    attrs
+fn tid_of(item: &JsonValue) -> u32 {
+    let tid = item.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        tid.max(0.0) as u32
+    }
 }
 
 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -383,6 +502,37 @@ mod tests {
             Some("dma timeout".to_string())
         );
         assert_eq!(fault.attrs.attempt, Some(1));
+    }
+
+    #[test]
+    fn thread_names_and_links_round_trip() {
+        let _guard = session_lock();
+        start_with_clock(Arc::new(TestClock::new()), 64);
+        let worker = std::thread::Builder::new()
+            .name("chrome-worker".to_string())
+            .spawn(|| {
+                let _batch = span(Label::intern("chrome.batch"))
+                    .batch(3)
+                    .link_requests(&[7, 11, 13])
+                    .start();
+            })
+            .unwrap();
+        worker.join().unwrap();
+        let trace = finish();
+        assert_eq!(trace.thread_name(0), Some("chrome-worker"));
+        let json = to_chrome_json(&trace);
+        assert!(
+            json.contains("\"ph\":\"M\""),
+            "thread_name metadata: {json}"
+        );
+        assert!(json.contains("\"links\":[7,11,13]"), "{json}");
+
+        let parsed = from_chrome_json(&json).unwrap();
+        assert_eq!(parsed.thread_name(0), Some("chrome-worker"));
+        let spans = parsed.spans().unwrap();
+        assert_eq!(spans.len(), 1);
+        let link = spans[0].attrs.links.expect("link id survives");
+        assert_eq!(parsed.link_requests(link), &[7, 11, 13]);
     }
 
     #[test]

@@ -34,6 +34,11 @@ struct Session {
     clock: Arc<dyn Clock>,
     capacity: usize,
     rings: Vec<Arc<Mutex<Ring>>>,
+    /// OS thread names, parallel to `rings` (`""` for unnamed threads).
+    names: Vec<String>,
+    /// Span-link sets recorded by `intern_links`; `Attrs::links` indexes
+    /// into this table.
+    links: Vec<Vec<u64>>,
 }
 
 fn registry() -> &'static Mutex<Option<Session>> {
@@ -107,6 +112,8 @@ pub fn start_with_clock(clock: Arc<dyn Clock>, capacity: usize) {
         clock,
         capacity,
         rings: Vec::new(),
+        names: Vec::new(),
+        links: Vec::new(),
     });
     ENABLED.store(true, Ordering::Release);
 }
@@ -140,8 +147,74 @@ pub fn finish() -> Trace {
         events,
         labels: label_table(),
         threads: u32::try_from(session.rings.len()).unwrap_or(u32::MAX),
+        thread_names: session.names,
+        links: session.links,
         dropped,
     }
+}
+
+/// Drains every completed event out of the running session's rings
+/// without stopping it — the streaming-drain primitive behind
+/// [`TraceDrainer`](crate::TraceDrainer). Begin edges whose End has not
+/// been recorded yet are held back (re-queued at the front of their
+/// ring), so a span that straddles a sweep boundary lands whole in a
+/// later sweep and every returned trace contains only matched spans and
+/// instants. Returns `None` when no session is running.
+pub fn sweep() -> Option<Trace> {
+    let mut registry = registry().lock();
+    let session = registry.as_mut()?;
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in &session.rings {
+        let mut ring = ring.lock();
+        let drained = ring.drain();
+        dropped += std::mem::take(&mut ring.dropped);
+        // Walk the thread's stream to find unmatched Begin edges (same
+        // tolerant matching as `Trace::spans_lossy`).
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, event) in drained.iter().enumerate() {
+            match event.kind {
+                EventKind::Begin => stack.push(i),
+                EventKind::End => {
+                    if let Some(&top) = stack.last() {
+                        if drained[top].label == event.label {
+                            stack.pop();
+                        }
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        let mut held = stack.into_iter().peekable();
+        for (i, event) in drained.into_iter().enumerate() {
+            if held.peek() == Some(&i) {
+                held.next();
+                // The ring was just drained, so these pushes cannot wrap.
+                ring.push(event);
+            } else {
+                events.push(event);
+            }
+        }
+    }
+    events.sort_by_key(|e| e.t_ns);
+    Some(Trace {
+        events,
+        labels: label_table(),
+        threads: u32::try_from(session.rings.len()).unwrap_or(u32::MAX),
+        thread_names: session.names.clone(),
+        links: session.links.clone(),
+        dropped,
+    })
+}
+
+/// Stores a span-link set (member request ids) in the running session
+/// and returns its id. `None` when no session is running.
+pub(crate) fn intern_links(ids: &[u64]) -> Option<u32> {
+    let mut registry = registry().lock();
+    let session = registry.as_mut()?;
+    let id = u32::try_from(session.links.len()).expect("link space exhausted");
+    session.links.push(ids.to_vec());
+    Some(id)
 }
 
 fn register_thread(generation: u64) -> Option<ThreadHandle> {
@@ -153,6 +226,9 @@ fn register_thread(generation: u64) -> Option<ThreadHandle> {
     let thread = u32::try_from(session.rings.len()).expect("thread space exhausted");
     let ring = Arc::new(Mutex::new(Ring::new(session.capacity)));
     session.rings.push(Arc::clone(&ring));
+    session
+        .names
+        .push(std::thread::current().name().unwrap_or("").to_string());
     Some(ThreadHandle {
         generation,
         thread,

@@ -14,6 +14,12 @@ pub struct Trace {
     pub labels: Vec<String>,
     /// Threads that recorded at least one event.
     pub threads: u32,
+    /// OS thread names captured at registration, indexed by session
+    /// thread id (`""` when the thread was unnamed).
+    pub thread_names: Vec<String>,
+    /// Span-link sets: `links[id]` lists the request ids referenced by
+    /// spans whose [`Attrs::links`] is `Some(id)` (micro-batch members).
+    pub links: Vec<Vec<u64>>,
     /// Events overwritten by ring-buffer wraparound.
     pub dropped: u64,
 }
@@ -90,6 +96,8 @@ impl Trace {
             events: Vec::new(),
             labels: Vec::new(),
             threads: 0,
+            thread_names: Vec::new(),
+            links: Vec::new(),
             dropped: 0,
         }
     }
@@ -141,6 +149,20 @@ impl Trace {
     /// All instant events.
     pub fn instants(&self) -> impl Iterator<Item = &Event> {
         self.events.iter().filter(|e| e.kind == EventKind::Instant)
+    }
+
+    /// The captured OS thread name for a session thread id, if any.
+    pub fn thread_name(&self, thread: u32) -> Option<&str> {
+        self.thread_names
+            .get(thread as usize)
+            .map(String::as_str)
+            .filter(|name| !name.is_empty())
+    }
+
+    /// The request ids behind a span-link id ([`Attrs::links`]); empty
+    /// for ids outside the table.
+    pub fn link_requests(&self, id: u32) -> &[u64] {
+        self.links.get(id as usize).map_or(&[], Vec::as_slice)
     }
 
     fn match_spans(&self) -> (Vec<Span>, Option<TraceError>) {
@@ -214,6 +236,8 @@ mod tests {
             events,
             labels: vec!["a".into(), "b".into()],
             threads: 2,
+            thread_names: Vec::new(),
+            links: Vec::new(),
             dropped: 0,
         }
     }

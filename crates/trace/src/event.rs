@@ -100,6 +100,11 @@ pub struct Attrs {
     pub fault: Option<Label>,
     /// Modeled accelerator cycles.
     pub cycles: Option<u64>,
+    /// Span-link set id: an index into [`Trace::links`] listing the
+    /// request ids this span covers (micro-batch membership).
+    ///
+    /// [`Trace::links`]: crate::Trace
+    pub links: Option<u32>,
 }
 
 impl Attrs {

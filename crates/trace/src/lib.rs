@@ -24,14 +24,18 @@ mod event;
 pub mod json;
 mod profile;
 mod span;
+mod stream;
 
 pub use chrome::{from_chrome_json, to_chrome_json};
 pub use clock::{Clock, MonotonicClock, TestClock};
-pub use collector::{finish, is_enabled, start, start_with_clock, DEFAULT_THREAD_CAPACITY};
+pub use collector::{finish, is_enabled, start, start_with_clock, sweep, DEFAULT_THREAD_CAPACITY};
 pub use data::{Span, Trace, TraceError};
 pub use event::{Attrs, Backend, Event, EventKind, Label};
 pub use profile::{Profile, ProfileRow};
 pub use span::{span, SpanBuilder, SpanGuard};
+pub use stream::{
+    segment_files, stitch_segments, DrainConfig, DrainSummary, SegmentWriter, TraceDrainer,
+};
 
 #[cfg(test)]
 pub(crate) mod test_lock {

@@ -85,6 +85,17 @@ impl SpanBuilder {
         self
     }
 
+    /// Links the span to the request ids it covers (micro-batch
+    /// membership). The id list is stored once in the session's link
+    /// table; the span carries only the table index. Skipped when
+    /// disabled.
+    pub fn link_requests(mut self, ids: &[u64]) -> Self {
+        if is_enabled() {
+            self.attrs.links = crate::collector::intern_links(ids);
+        }
+        self
+    }
+
     /// Records the Begin edge and returns the guard whose drop records
     /// the End edge. Inert (records nothing, ever) when tracing is off.
     pub fn start(self) -> SpanGuard {

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tincy_eval::{mean_average_precision, nms, ApMethod, EvalSummary};
+use tincy_trace::static_label;
 use tincy_video::Sample;
 
 /// Training-run configuration.
@@ -67,10 +68,23 @@ pub fn train(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
-    for _ in 0..config.epochs {
+    for epoch in 0..config.epochs {
+        // Epoch and step spans put the retraining loop on the same
+        // timeline as inference: `frame` carries the epoch, steps add the
+        // within-epoch position via `request` and the sweep size via
+        // `batch` (each step is one sample here).
+        let _epoch_span = tincy_trace::span(static_label!("train.epoch"))
+            .frame(epoch as u64)
+            .batch(u32::try_from(data.len()).unwrap_or(u32::MAX))
+            .start();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
-        for &i in &order {
+        for (step, &i) in order.iter().enumerate() {
+            let _step_span = tincy_trace::span(static_label!("train.step"))
+                .frame(epoch as u64)
+                .request(step as u64)
+                .batch(1)
+                .start();
             let sample = &data[i];
             net.zero_grad();
             let head = net.forward(sample.image.as_tensor());
@@ -220,6 +234,39 @@ mod tests {
             before.map,
             after.map
         );
+    }
+
+    #[test]
+    fn training_emits_epoch_and_step_spans() {
+        let mut net = TrainNet::new(Shape3::new(3, 32, 32), &detector_specs(2), 1).unwrap();
+        let loss = DetectionLoss::new(2, (0.4, 0.4));
+        let data = small_dataset(4);
+        tincy_trace::start();
+        train(
+            &mut net,
+            &loss,
+            &data,
+            &TrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
+        let trace = tincy_trace::finish();
+        let spans = trace.spans().expect("well-formed trace");
+        let named = |name: &str| {
+            spans
+                .iter()
+                .filter(|s| trace.label_name(s.label) == name)
+                .count()
+        };
+        assert_eq!(named("train.epoch"), 3, "one span per epoch");
+        assert_eq!(named("train.step"), 12, "one span per sample step");
+        let epoch_frames: Vec<_> = spans
+            .iter()
+            .filter(|s| trace.label_name(s.label) == "train.epoch")
+            .filter_map(|s| s.attrs.frame)
+            .collect();
+        assert_eq!(epoch_frames, vec![0, 1, 2]);
     }
 
     #[test]

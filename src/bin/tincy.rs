@@ -15,31 +15,53 @@
 //!                              report (micro-batching, SLO latencies,
 //!                              backend utilization)
 //! tincy loadgen [requests [clients [input]]] [serve flags] [--smoke]
+//!            [--scrape]
 //!                              client-side view of the same session; with
 //!                              --smoke, assert zero dropped accepted
 //!                              requests, per-client ordering and engaged
-//!                              micro-batching (nonzero exit on violation)
-//! tincy trace-report [--check] [--threshold PCT] <trace.json>
+//!                              micro-batching; with --scrape, hit the
+//!                              --status-addr endpoint mid-session and
+//!                              assert the scraped counters are monotonic
+//!                              and match the final report (nonzero exit
+//!                              on violation)
+//! tincy trace-report [--check] [--threshold PCT] <trace.json | segments-dir>
 //!                              profile a Chrome-trace file captured with
-//!                              --trace-out: per-span statistics plus the
+//!                              --trace-out, or a --trace-dir segment
+//!                              directory (stitched back into one
+//!                              timeline): per-span statistics plus the
 //!                              modeled-vs-observed stage table diffed
 //!                              against the Table III budget; with --check,
 //!                              fail on malformed span nesting or drops
+//! tincy calibrate [--threshold PCT] <trace.json | segments-dir>
+//!                              build a *measured* stage budget from a
+//!                              traced run (the inverse of trace-report's
+//!                              diff), verify it reproduces the observed
+//!                              stage means within the threshold (default
+//!                              1%), and print the predicted pipelined fps
+//!                              next to the paper's
 //!
 //! serve flags: --mode closed|open:MICROS|burst  --cpu-workers N
 //!              --max-batch N  --queue N  --per-client N  --engage-depth N
 //!              --fault-seed N  --outage START:LEN  --metrics-json PATH
-//!              --trace-out PATH
+//!              --trace-out PATH  --trace-dir DIR  --segment-events N
+//!              --status-addr HOST:PORT
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 use tincy::core::demo::{run_demo, DemoConfig};
 use tincy::core::topology::{cnv6, mlp4, tincy_yolo, tiny_yolo};
 use tincy::core::SystemConfig;
 use tincy::finn::FaultPlan;
 use tincy::nn::parse_cfg;
-use tincy::perf::{model_diff, speedup_ladder, StageBudget};
-use tincy::serve::{json, run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, ServeConfig};
+use tincy::perf::{
+    measured_budget, model_diff, pipelined_fps, speedup_ladder, PipelineModel, StageBudget, StageId,
+};
+use tincy::serve::{
+    json, run_loadgen_observed, LoadMode, LoadgenConfig, LoadgenReport, ServeConfig, ServeReport,
+};
+use tincy::telemetry::{http_get, parse_prometheus, PromSample};
+use tincy::trace::{stitch_segments, DrainConfig, TraceDrainer};
 use tincy::video::SceneConfig;
 
 fn main() -> ExitCode {
@@ -58,10 +80,11 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..], false),
         Some("loadgen") => cmd_serve(&args[1..], true),
         Some("trace-report") => cmd_trace_report(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         _ => {
             eprintln!(
-                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|trace-report> (see \
-                 --help text at the top of src/bin/tincy.rs)"
+                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|trace-report|calibrate> \
+                 (see --help text at the top of src/bin/tincy.rs)"
             );
             return ExitCode::FAILURE;
         }
@@ -166,6 +189,8 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut fault_plan = FaultPlan::none();
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut segment_events: Option<usize> = None;
     let mut frames_flag: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -178,6 +203,21 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--trace-out" => {
                 trace_out = Some(iter.next().ok_or("--trace-out requires a path")?.clone());
+            }
+            "--trace-dir" => {
+                trace_dir = Some(
+                    iter.next()
+                        .ok_or("--trace-dir requires a directory")?
+                        .clone(),
+                );
+            }
+            "--segment-events" => {
+                segment_events = Some(
+                    iter.next()
+                        .ok_or("--segment-events requires a count")?
+                        .parse()
+                        .map_err(|e| format!("--segment-events: {e}"))?,
+                );
             }
             "--frames" => {
                 frames_flag = Some(
@@ -213,10 +253,38 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         score_threshold: 0.02,
         scene: SceneConfig::default(),
     };
-    if trace_out.is_some() {
+    if trace_out.is_some() && trace_dir.is_some() {
+        return Err("--trace-out and --trace-dir are mutually exclusive \
+                    (streaming sweeps would leave the final trace empty)"
+            .into());
+    }
+    if trace_out.is_some() || trace_dir.is_some() {
         tincy::trace::start();
     }
+    let drainer = match &trace_dir {
+        Some(dir) => Some(TraceDrainer::spawn(
+            dir,
+            DrainConfig {
+                max_segment_events: segment_events.unwrap_or(512),
+                ..DrainConfig::default()
+            },
+        )?),
+        None => None,
+    };
     let report = run_demo(&config)?;
+    if let Some(drainer) = drainer {
+        let summary = drainer.finalize()?;
+        // The sweeps consumed the session; close it out.
+        let _ = tincy::trace::finish();
+        println!(
+            "trace segments written to {} ({} segments, {} events, {} dropped, {} pruned)",
+            trace_dir.as_deref().unwrap_or("?"),
+            summary.segments,
+            summary.events,
+            summary.dropped,
+            summary.pruned
+        );
+    }
     if let Some(path) = &trace_out {
         write_trace(path)?;
     }
@@ -256,8 +324,11 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     let mut fault_plan = FaultPlan::none();
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut segment_events: Option<usize> = None;
     let mut mode = LoadMode::Burst;
     let mut smoke = false;
+    let mut scrape = false;
     let mut serve_config = ServeConfig::default();
     let mut iter = args.iter();
     let next_usize = |iter: &mut std::slice::Iter<'_, String>,
@@ -279,6 +350,23 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
             }
             "--trace-out" => {
                 trace_out = Some(iter.next().ok_or("--trace-out requires a path")?.clone());
+            }
+            "--trace-dir" => {
+                trace_dir = Some(
+                    iter.next()
+                        .ok_or("--trace-dir requires a directory")?
+                        .clone(),
+                );
+            }
+            "--segment-events" => {
+                segment_events = Some(next_usize(&mut iter, "--segment-events")?);
+            }
+            "--status-addr" => {
+                serve_config.status_addr = Some(
+                    iter.next()
+                        .ok_or("--status-addr requires HOST:PORT")?
+                        .clone(),
+                );
             }
             "--cpu-workers" => serve_config.cpu_workers = next_usize(&mut iter, "--cpu-workers")?,
             "--max-batch" => serve_config.max_batch = next_usize(&mut iter, "--max-batch")?,
@@ -305,6 +393,7 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
                 };
             }
             "--smoke" => smoke = true,
+            "--scrape" => scrape = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}").into());
             }
@@ -329,10 +418,47 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         mode,
         ..Default::default()
     };
-    if trace_out.is_some() {
+    if trace_out.is_some() && trace_dir.is_some() {
+        return Err("--trace-out and --trace-dir are mutually exclusive \
+                    (streaming sweeps would leave the final trace empty)"
+            .into());
+    }
+    if scrape && serve_config.status_addr.is_none() {
+        // A scrape needs an endpoint; an ephemeral port suffices.
+        serve_config.status_addr = Some("127.0.0.1:0".to_string());
+    }
+    if trace_out.is_some() || trace_dir.is_some() {
         tincy::trace::start();
     }
-    let report = run_loadgen(serve_config, &load)?;
+    let drainer = match &trace_dir {
+        Some(dir) => Some(TraceDrainer::spawn(
+            dir,
+            DrainConfig {
+                max_segment_events: segment_events.unwrap_or(512),
+                ..DrainConfig::default()
+            },
+        )?),
+        None => None,
+    };
+    let mut scraped: Option<Result<Vec<PromSample>, String>> = None;
+    let report = run_loadgen_observed(serve_config, &load, |server| {
+        if scrape {
+            scraped = Some(scrape_status(server));
+        }
+    })?;
+    if let Some(drainer) = drainer {
+        let summary = drainer.finalize()?;
+        // The sweeps consumed the session; close it out.
+        let _ = tincy::trace::finish();
+        println!(
+            "trace segments written to {} ({} segments, {} events, {} dropped, {} pruned)",
+            trace_dir.as_deref().unwrap_or("?"),
+            summary.segments,
+            summary.events,
+            summary.dropped,
+            summary.pruned
+        );
+    }
     if let Some(path) = &trace_out {
         write_trace(path)?;
     }
@@ -345,9 +471,115 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         std::fs::write(&path, json::serve_report_json(&report.serve))?;
         println!("metrics written to {path}");
     }
+    if scrape {
+        let samples =
+            scraped.ok_or("scrape: the load generator never reached the observation point")??;
+        check_scrape(&samples, &report.serve)?;
+    }
     if smoke {
         return check_smoke(&report);
     }
+    Ok(())
+}
+
+/// Scrapes the running server's status endpoint twice (plus `/healthz`),
+/// asserting counter monotonicity between the two passes. Returns the
+/// later sample set for comparison against the final report.
+fn scrape_status(server: &tincy::serve::InferenceServer) -> Result<Vec<PromSample>, String> {
+    let addr = server
+        .status_addr()
+        .ok_or("scrape requires --status-addr (the server has no endpoint)")?;
+    let scrape_once = || -> Result<Vec<PromSample>, String> {
+        let (status, body) =
+            http_get(addr, "/metrics").map_err(|e| format!("GET /metrics: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET /metrics returned {status}"));
+        }
+        parse_prometheus(&body).map_err(|e| format!("/metrics did not parse: {e}"))
+    };
+    let first = scrape_once()?;
+    let (status, health) = http_get(addr, "/healthz").map_err(|e| format!("GET /healthz: {e}"))?;
+    if status != 200 || !health.contains("\"ok\":true") {
+        return Err(format!("GET /healthz returned {status}: {health}"));
+    }
+    let second = scrape_once()?;
+    // Counters (`_total` families) must never decrease between scrapes.
+    for sample in &first {
+        if !sample.name.ends_with("_total") {
+            continue;
+        }
+        let later = second
+            .iter()
+            .find(|s| s.name == sample.name && s.labels == sample.labels)
+            .ok_or_else(|| format!("{} vanished between scrapes", sample.name))?;
+        if later.value < sample.value {
+            return Err(format!(
+                "counter {} went backwards: {} -> {}",
+                sample.name, sample.value, later.value
+            ));
+        }
+    }
+    println!(
+        "scrape: {} samples from {addr}, counters monotonic across 2 passes",
+        second.len()
+    );
+    Ok(second)
+}
+
+/// Asserts that a scrape taken after all responses were delivered agrees
+/// with the final [`ServeReport`] on the load-shedding and offload
+/// counters.
+fn check_scrape(
+    samples: &[PromSample],
+    report: &ServeReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let find = |name: &str, label: Option<(&str, &str)>| -> Result<f64, String> {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name && label.is_none_or(|(key, value)| s.label(key) == Some(value))
+            })
+            .map(|s| s.value)
+            .ok_or_else(|| format!("scrape is missing {name} {label:?}"))
+    };
+    let expect = |name: &str,
+                  label: Option<(&str, &str)>,
+                  want: u64|
+     -> Result<(), Box<dyn std::error::Error>> {
+        let got = find(name, label)?;
+        if got != want as f64 {
+            return Err(format!(
+                "scrape disagrees with the final report on {name} {label:?}: \
+                 scraped {got}, report says {want}"
+            )
+            .into());
+        }
+        Ok(())
+    };
+    expect("tincy_serve_accepted_total", None, report.accepted)?;
+    expect("tincy_serve_completed_total", None, report.completed)?;
+    let reasons = [
+        ("queue-full", report.rejected_queue_full),
+        ("client-full", report.rejected_client_full),
+        ("draining", report.rejected_draining),
+    ];
+    for (reason, want) in reasons {
+        expect("tincy_serve_rejected_total", Some(("reason", reason)), want)?;
+    }
+    for class in tincy::serve::SloClass::ALL {
+        expect(
+            "tincy_serve_rejected_class_total",
+            Some(("class", class.label())),
+            report.rejected_class[class.index()],
+        )?;
+    }
+    expect(
+        "tincy_offload_fallbacks_total",
+        None,
+        report.offload.fallbacks,
+    )?;
+    expect("tincy_offload_faults_total", None, report.offload.faults)?;
+    println!("scrape: counters match the final report");
     Ok(())
 }
 
@@ -454,9 +686,8 @@ fn cmd_trace_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let path = path.ok_or("trace-report requires a trace file path")?;
-    let text = std::fs::read_to_string(&path)?;
-    let trace = tincy::trace::from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let path = path.ok_or("trace-report requires a trace file or segment directory")?;
+    let trace = load_trace(&path)?;
     if check {
         trace
             .check()
@@ -513,6 +744,104 @@ fn cmd_trace_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if check {
         println!("trace check: ok ({} events)", trace.events.len());
     }
+    Ok(())
+}
+
+/// Loads a timeline from either a single Chrome-trace file or a
+/// `--trace-dir` segment directory (stitched back together).
+fn load_trace(path: &str) -> Result<tincy::trace::Trace, Box<dyn std::error::Error>> {
+    if std::fs::metadata(path)?.is_dir() {
+        return Ok(stitch_segments(Path::new(path))?);
+    }
+    let text = std::fs::read_to_string(path)?;
+    Ok(tincy::trace::from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn cmd_calibrate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut threshold = 0.01;
+    let mut path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let pct: f64 = iter
+                    .next()
+                    .ok_or("--threshold requires a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                threshold = pct / 100.0;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}").into());
+            }
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    return Err("calibrate takes exactly one trace file or directory".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("calibrate requires a trace file or segment directory")?;
+    let trace = load_trace(&path)?;
+    let profile = tincy::trace::Profile::from_trace(&trace);
+    let means = profile.stage_means_ms();
+    let baseline = StageBudget::paper_baseline();
+    let (budget, covered) = measured_budget(&means, &baseline);
+    if !covered.iter().any(|&c| c) {
+        return Err(format!("{path}: no frame-path stage spans to calibrate from").into());
+    }
+
+    println!("measured stage budget calibrated from {path}:");
+    println!(
+        "{:<20} {:>12} {:>12}  source",
+        "stage", "baseline ms", "budget ms"
+    );
+    for (i, stage) in StageId::ALL.into_iter().enumerate() {
+        println!(
+            "{:<20} {:>12.3} {:>12.3}  {}",
+            stage.label(),
+            baseline.get(stage),
+            budget.get(stage),
+            if covered[i] {
+                "measured"
+            } else {
+                "baseline (uncovered)"
+            }
+        );
+    }
+
+    // Round trip: diffing the measured budget against the very means that
+    // produced it must land within the threshold on every covered stage.
+    for row in model_diff(&budget, &means, threshold) {
+        let Some(ratio) = row.ratio else { continue };
+        if row.flagged {
+            return Err(format!(
+                "calibration failed to round-trip: {} observed/measured ratio {ratio:.4} \
+                 deviates more than {:.1}%",
+                row.stage.label(),
+                threshold * 100.0
+            )
+            .into());
+        }
+    }
+    println!(
+        "round trip: every covered stage within {:.1}% of its observed mean",
+        threshold * 100.0
+    );
+
+    let model = PipelineModel::default();
+    let fps = pipelined_fps(&budget, model);
+    let paper_fps = speedup_ladder().last().map_or(16.0, |step| step.fps);
+    println!(
+        "sequential: {:.3} ms/frame ({:.2} fps); pipelined prediction \
+         ({} workers, {:.0}% efficiency): {:.2} fps — paper final: {:.2} fps",
+        budget.total_ms(),
+        budget.sequential_fps(),
+        model.workers,
+        model.efficiency * 100.0,
+        fps,
+        paper_fps
+    );
     Ok(())
 }
 

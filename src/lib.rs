@@ -29,8 +29,11 @@
 //!   SLO-aware heterogeneous scheduling, admission control and a
 //!   deterministic load generator.
 //! * [`trace`] — low-overhead structured tracing: per-thread ring-buffered
-//!   span recording, Chrome trace-event export and modeled-vs-observed
-//!   profiling.
+//!   span recording, streaming segment drains, Chrome trace-event export
+//!   and modeled-vs-observed profiling.
+//! * [`telemetry`] — the live-metrics layer: a unified counter/gauge/
+//!   histogram registry with Prometheus and JSON exposition served from a
+//!   minimal std-only HTTP status endpoint.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use tincy_pipeline as pipeline;
 pub use tincy_quant as quant;
 pub use tincy_serve as serve;
 pub use tincy_simd as simd;
+pub use tincy_telemetry as telemetry;
 pub use tincy_tensor as tensor;
 pub use tincy_trace as trace;
 pub use tincy_train as train;

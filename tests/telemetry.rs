@@ -1,0 +1,266 @@
+//! End-to-end live-telemetry invariants, exercised through the public
+//! facade: streaming segment drains during a fault-seeded serve run, the
+//! Prometheus status endpoint agreeing with the final [`ServeReport`],
+//! span links resolving micro-batch membership, and trace-calibrated
+//! stage budgets reproducing the observed stage means within 1%.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use tincy::core::demo::{run_demo, DemoConfig};
+use tincy::core::SystemConfig;
+use tincy::finn::FaultPlan;
+use tincy::perf::{
+    measured_budget, model_diff, pipelined_fps, PipelineModel, StageBudget, StageId,
+};
+use tincy::serve::{run_loadgen_observed, LoadMode, LoadgenConfig, ServeConfig, SloClass};
+use tincy::telemetry::{http_get, parse_prometheus, PromSample};
+use tincy::trace::{stitch_segments, DrainConfig, Profile, TraceDrainer};
+use tincy::video::SceneConfig;
+
+/// The trace session is process-global; tests that open one must not
+/// overlap.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn session_lock() -> MutexGuard<'static, ()> {
+    SESSION.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn segment_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tincy-telemetry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn counter(samples: &[PromSample], name: &str, label: Option<(&str, &str)>) -> u64 {
+    let sample = samples
+        .iter()
+        .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
+        .unwrap_or_else(|| panic!("sample {name} {label:?} missing from scrape"));
+    sample.value as u64
+}
+
+#[test]
+fn fault_seeded_serve_streams_segments_and_scrape_matches_report() {
+    let _guard = session_lock();
+    let dir = segment_dir("serve");
+    tincy::trace::start();
+    // Tiny segments force rotation even on a short run.
+    let drainer = TraceDrainer::spawn(
+        &dir,
+        DrainConfig {
+            max_segment_events: 64,
+            ..DrainConfig::default()
+        },
+    )
+    .expect("spawn drainer");
+
+    let config = ServeConfig {
+        system: SystemConfig {
+            input_size: 32,
+            seed: 5,
+            fault_plan: FaultPlan::from_seed(7),
+            ..Default::default()
+        },
+        cpu_workers: 2,
+        max_batch: 4,
+        score_threshold: 0.0,
+        status_addr: Some("127.0.0.1:0".to_string()),
+        ..Default::default()
+    };
+    let load = LoadgenConfig {
+        clients: 4,
+        requests_per_client: 6,
+        mode: LoadMode::Burst,
+        scene: SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // The observer runs after every client joined and before shutdown, so
+    // the counters it scrapes are final and must match the report.
+    let mut scraped: Option<Vec<PromSample>> = None;
+    let report = run_loadgen_observed(config, &load, |server| {
+        let addr = server.status_addr().expect("status endpoint bound");
+        let scrape = |path: &str| {
+            let (code, body) = http_get(addr, path).expect("status endpoint reachable");
+            assert_eq!(code, 200, "GET {path} failed: {body}");
+            body
+        };
+        let first = parse_prometheus(&scrape("/metrics")).expect("prometheus text parses");
+        assert!(scrape("/healthz").contains("\"ok\":true"));
+        let second = parse_prometheus(&scrape("/metrics")).expect("prometheus text parses");
+        for sample in first.iter().filter(|s| s.name.ends_with("_total")) {
+            let later = second
+                .iter()
+                .find(|s| s.name == sample.name && s.labels == sample.labels)
+                .unwrap_or_else(|| panic!("{} vanished between scrapes", sample.name));
+            assert!(
+                later.value >= sample.value,
+                "counter {} went backwards: {} -> {}",
+                sample.name,
+                sample.value,
+                later.value
+            );
+        }
+        scraped = Some(second);
+    })
+    .expect("serve run succeeds");
+
+    let summary = drainer.finalize().expect("drains finalize");
+    let _ = tincy::trace::finish();
+
+    // (a) the run rotated into multiple segments, lost nothing, and the
+    // stitched directory forms one well-formed timeline.
+    assert!(
+        summary.segments >= 2,
+        "expected rotation, got {} segments of {} events",
+        summary.segments,
+        summary.events
+    );
+    assert_eq!(summary.dropped, 0, "ring buffers overflowed");
+    let stitched = stitch_segments(&dir).expect("segments stitch");
+    stitched.check().expect("stitched timeline is well-formed");
+    let spans = stitched.spans().expect("stitched spans parse");
+
+    // Named worker threads survive the export/import round trip.
+    let names: BTreeSet<&str> = (0..stitched.threads)
+        .filter_map(|t| stitched.thread_name(t))
+        .collect();
+    assert!(names.contains("serve-finn"), "thread names: {names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("serve-cpu-")),
+        "thread names: {names:?}"
+    );
+
+    // Every `serve.finn_batch` span links its member request ids; across
+    // the run the links cover exactly the FINN-served items.
+    let serve = &report.serve;
+    let mut linked_items = 0u64;
+    for span in spans
+        .iter()
+        .filter(|s| stitched.label_name(s.label) == "serve.finn_batch")
+    {
+        let links = span
+            .attrs
+            .links
+            .map_or(&[][..], |id| stitched.link_requests(id));
+        assert!(!links.is_empty(), "finn batch span without member links");
+        assert_eq!(
+            links.len() as u32,
+            span.attrs.batch.expect("batch spans carry their size"),
+            "link count disagrees with the span's batch size"
+        );
+        linked_items += links.len() as u64;
+    }
+    assert_eq!(
+        linked_items, serve.finn_items,
+        "span links must cover every FINN-served item"
+    );
+
+    // (b) the scrape matches the final report, counter for counter.
+    let samples = scraped.expect("observer ran");
+    assert_eq!(
+        counter(&samples, "tincy_serve_accepted_total", None),
+        serve.accepted
+    );
+    assert_eq!(
+        counter(&samples, "tincy_serve_completed_total", None),
+        serve.completed
+    );
+    assert_eq!(
+        counter(&samples, "tincy_serve_finn_items_total", None),
+        serve.finn_items
+    );
+    assert_eq!(
+        counter(&samples, "tincy_serve_cpu_items_total", None),
+        serve.cpu_items
+    );
+    for (reason, want) in [
+        ("queue-full", serve.rejected_queue_full),
+        ("client-full", serve.rejected_client_full),
+        ("draining", serve.rejected_draining),
+    ] {
+        assert_eq!(
+            counter(
+                &samples,
+                "tincy_serve_rejected_total",
+                Some(("reason", reason))
+            ),
+            want,
+            "rejected_total{{reason={reason}}}"
+        );
+    }
+    for class in SloClass::ALL {
+        assert_eq!(
+            counter(
+                &samples,
+                "tincy_serve_rejected_class_total",
+                Some(("class", class.label())),
+            ),
+            serve.rejected_class[class.index()],
+            "rejected_class_total{{class={}}}",
+            class.label()
+        );
+    }
+    assert_eq!(
+        counter(&samples, "tincy_offload_fallbacks_total", None),
+        serve.offload.fallbacks
+    );
+    assert_eq!(
+        counter(&samples, "tincy_offload_faults_total", None),
+        serve.offload.faults
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrated_budget_reproduces_observed_stage_means_within_one_percent() {
+    let _guard = session_lock();
+    tincy::trace::start();
+    let config = DemoConfig {
+        frames: 8,
+        system: SystemConfig {
+            input_size: 32,
+            seed: 5,
+            fault_plan: FaultPlan::from_seed(3),
+            ..Default::default()
+        },
+        workers: 2,
+        score_threshold: 0.02,
+        scene: SceneConfig::default(),
+    };
+    run_demo(&config).expect("demo run succeeds");
+    let trace = tincy::trace::finish();
+
+    // (c) `StageBudget::from_observed` semantics: the measured budget must
+    // reproduce the very means that produced it within the 1% threshold
+    // `tincy calibrate` enforces.
+    let means = Profile::from_trace(&trace).stage_means_ms();
+    let baseline = StageBudget::paper_baseline();
+    let (budget, covered) = measured_budget(&means, &baseline);
+    assert!(
+        covered.iter().filter(|&&c| c).count() >= 4,
+        "demo trace should cover most frame-path stages: {covered:?}"
+    );
+    for row in model_diff(&budget, &means, 0.01) {
+        assert!(
+            !row.flagged,
+            "{} deviates beyond 1%: ratio {:?}",
+            row.stage.label(),
+            row.ratio
+        );
+    }
+    // Uncovered stages keep the fallback budget untouched.
+    for (i, stage) in StageId::ALL.into_iter().enumerate() {
+        if !covered[i] {
+            assert_eq!(budget.get(stage), baseline.get(stage));
+        }
+    }
+    let fps = pipelined_fps(&budget, PipelineModel::default());
+    assert!(fps.is_finite() && fps > 0.0, "pipelined fps: {fps}");
+}
