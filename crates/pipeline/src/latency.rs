@@ -168,6 +168,21 @@ impl DurationStats {
         out
     }
 
+    /// Number of samples whose *recorded* value is at most `bound` — the
+    /// cumulative count a Prometheus `_bucket{le=...}` series needs.
+    /// "Recorded" means the bucket representative, so the answer carries
+    /// the same ≤ `1/SUB_BUCKETS` relative error as the quantiles; it is
+    /// monotone in `bound` and reaches [`Self::count`] for large bounds.
+    pub fn count_le(&self, bound: Duration) -> u64 {
+        let bound = u64::try_from(bound.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets
+            .iter()
+            .enumerate()
+            .take_while(|(i, _)| Self::bucket_value(*i) <= bound)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// Median.
     pub fn p50(&self) -> Duration {
         self.quantile(0.50)
@@ -309,6 +324,29 @@ mod tests {
         assert_eq!(s.min(), Some(Duration::ZERO));
         assert_eq!(s.max(), Some(Duration::from_secs(3600)));
         assert!(s.quantile(1.0) <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn count_le_is_monotone_and_saturates() {
+        let mut s = DurationStats::new();
+        for us in 1..=1000u64 {
+            s.record(Duration::from_micros(us));
+        }
+        assert_eq!(s.count_le(Duration::ZERO), 0);
+        assert_eq!(s.count_le(Duration::from_secs(10)), s.count());
+        // Uniform 1..=1000 µs: the count below each bound tracks the bound
+        // within the histogram's relative error.
+        let mut prev = 0;
+        for us in [100u64, 250, 500, 900, 1000] {
+            let c = s.count_le(Duration::from_micros(us));
+            assert!(c >= prev, "count_le must be monotone");
+            let expect = us as f64;
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.1,
+                "bound {us} µs: got {c}, want ≈{expect}"
+            );
+            prev = c;
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Serving configuration.
 
+use crate::drift::DriftHandle;
 use crate::request::SloClass;
 use std::time::Duration;
 use tincy_core::SystemConfig;
+use tincy_telemetry::Buckets;
 
 /// Configuration of the inference server.
 #[derive(Debug, Clone)]
@@ -38,6 +40,15 @@ pub struct ServeConfig {
     /// (Prometheus text), `/metrics.json`, `/healthz` and `/report` for
     /// the lifetime of the server.
     pub status_addr: Option<String>,
+    /// Bucket bounds for the native latency/queue-wait histogram
+    /// exposition (`*_hist_seconds` families on `/metrics`).
+    pub latency_buckets: Buckets,
+    /// When set, the status endpoint reads live drift state from this
+    /// handle: `tincy_calibration_*` series on `/metrics`, and
+    /// `/healthz` reports `degraded` while the drift alert is raised.
+    /// Feed the handle from a [`crate::SegmentCalibrator`] tailing the
+    /// run's trace-segment directory.
+    pub drift: Option<DriftHandle>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +71,8 @@ impl Default for ServeConfig {
                 Duration::from_secs(2),
             ],
             status_addr: None,
+            latency_buckets: Buckets::default(),
+            drift: None,
         }
     }
 }

@@ -1,0 +1,196 @@
+//! Rolling recalibration against the live trace-segment stream.
+//!
+//! A long-lived `tincy serve --trace-dir` run rotates trace segments to
+//! disk continuously; this module turns that stream into calibration
+//! over time. A [`SegmentCalibrator`] tails the segment directory,
+//! folds each new segment's per-stage means into a
+//! [`RollingCalibrator`], and publishes the resulting drift state into
+//! a shared [`DriftHandle`] — which the status endpoint reads to expose
+//! `tincy_calibration_drift` gauges and the `/healthz` degraded flag.
+//! [`DriftMonitor`] drives the scan on a background thread at the
+//! `--recalibrate-every` cadence.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tincy_perf::{DriftRow, RollingCalibrator, RollingConfig};
+use tincy_trace::{from_chrome_json, segment_files, Profile};
+
+/// Published drift state, snapshotted after every segment scan.
+#[derive(Debug, Clone, Default)]
+pub struct DriftStatus {
+    /// Trace segments absorbed so far.
+    pub segments: u64,
+    /// Rising-edge alert count (steady → drifted transitions).
+    pub alerts: u64,
+    /// Whether some stage currently exceeds the drift threshold.
+    pub alerted: bool,
+    /// Whether the self-calibrated reference is still warming up.
+    pub calibrating: bool,
+    /// Per-stage drift rows (all seven Table III stages).
+    pub stages: Vec<DriftRow>,
+}
+
+/// A shared, cloneable view of the latest [`DriftStatus`]. The
+/// calibrator writes it; the status endpoint and CLI read it.
+#[derive(Clone, Default)]
+pub struct DriftHandle {
+    status: Arc<parking_lot::Mutex<DriftStatus>>,
+}
+
+impl std::fmt::Debug for DriftHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriftHandle")
+            .field("status", &*self.status.lock())
+            .finish()
+    }
+}
+
+impl DriftHandle {
+    /// The latest published drift state.
+    pub fn status(&self) -> DriftStatus {
+        self.status.lock().clone()
+    }
+
+    fn publish(&self, status: DriftStatus) {
+        *self.status.lock() = status;
+    }
+}
+
+/// Tails a trace-segment directory and recalibrates on every new
+/// segment. Single-consumer: call [`Self::scan`] from one place (the
+/// [`DriftMonitor`] thread, or directly in tests).
+pub struct SegmentCalibrator {
+    dir: PathBuf,
+    handle: DriftHandle,
+    calibrator: RollingCalibrator,
+    threshold: f64,
+    processed: usize,
+    alerts: u64,
+    was_alerted: bool,
+}
+
+impl SegmentCalibrator {
+    /// A calibrator tailing `dir`, publishing into `handle`.
+    pub fn new(dir: &Path, handle: DriftHandle, config: RollingConfig) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            handle,
+            calibrator: RollingCalibrator::new(config),
+            threshold: config.threshold,
+            processed: 0,
+            alerts: 0,
+            was_alerted: false,
+        }
+    }
+
+    /// Absorbs every segment written since the last scan and publishes
+    /// the updated drift state. Returns the number of new segments.
+    /// Segment files appear atomically (the drainer writes via
+    /// tmp+rename), so a visible file is always complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory listing, file read and trace parse failures
+    /// as strings. A missing directory is not an error — the drainer
+    /// may not have written its first segment yet.
+    pub fn scan(&mut self) -> Result<usize, String> {
+        let files = match segment_files(&self.dir) {
+            Ok(files) => files,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(format!("list {}: {e}", self.dir.display())),
+        };
+        let new = files.get(self.processed..).unwrap_or_default();
+        let count = new.len();
+        for path in new {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let trace =
+                from_chrome_json(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+            self.calibrator
+                .absorb(&Profile::from_trace(&trace).stage_means_ms());
+        }
+        self.processed += count;
+        if count > 0 {
+            let alerted = self.calibrator.alerted();
+            if alerted && !self.was_alerted {
+                self.alerts += 1;
+                for row in self.calibrator.rows().iter().filter(|r| r.alerted) {
+                    eprintln!(
+                        "tincy-serve: calibration drift on {}: ewma {:.3} ms vs reference {:.3} ms ({:+.0}% > {:.0}% threshold)",
+                        row.stage.label(),
+                        row.ewma_ms.unwrap_or(0.0),
+                        row.reference_ms.unwrap_or(0.0),
+                        row.drift.unwrap_or(0.0) * 100.0,
+                        self.threshold * 100.0,
+                    );
+                }
+            }
+            self.was_alerted = alerted;
+            self.handle.publish(DriftStatus {
+                segments: self.calibrator.segments(),
+                alerts: self.alerts,
+                alerted,
+                calibrating: self.calibrator.calibrating(),
+                stages: self.calibrator.rows(),
+            });
+        }
+        Ok(count)
+    }
+
+    /// The shared handle this calibrator publishes into.
+    pub fn handle(&self) -> DriftHandle {
+        self.handle.clone()
+    }
+}
+
+/// Drives a [`SegmentCalibrator`] on a background thread, scanning at a
+/// fixed cadence until [`Self::finalize`].
+pub struct DriftMonitor {
+    stop: Arc<AtomicBool>,
+    worker: JoinHandle<SegmentCalibrator>,
+}
+
+impl DriftMonitor {
+    /// Starts scanning every `period` (the `--recalibrate-every`
+    /// cadence). Scan errors are reported on stderr and do not stop the
+    /// monitor — a torn read is retried on the next cadence.
+    pub fn spawn(mut calibrator: SegmentCalibrator, period: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let worker = std::thread::Builder::new()
+            .name("tincy-drift".to_string())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    if let Err(e) = calibrator.scan() {
+                        eprintln!("tincy-serve: drift scan failed: {e}");
+                    }
+                    // Sleep in small steps so finalize is prompt.
+                    let mut remaining = period;
+                    while !thread_stop.load(Ordering::Acquire) && remaining > Duration::ZERO {
+                        let step = remaining.min(Duration::from_millis(20));
+                        std::thread::sleep(step);
+                        remaining = remaining.saturating_sub(step);
+                    }
+                }
+                calibrator
+            })
+            .expect("spawn drift monitor thread");
+        Self { stop, worker }
+    }
+
+    /// Stops the monitor and runs one last scan, so segments flushed by
+    /// the drainer's own finalize are still absorbed. Returns the final
+    /// drift state.
+    pub fn finalize(self) -> Result<DriftStatus, String> {
+        self.stop.store(true, Ordering::Release);
+        let mut calibrator = self
+            .worker
+            .join()
+            .map_err(|_| "drift monitor thread panicked".to_string())?;
+        calibrator.scan()?;
+        Ok(calibrator.handle().status())
+    }
+}

@@ -29,6 +29,7 @@
 //! endpoint backed by `tincy-telemetry`.
 
 pub mod config;
+pub mod drift;
 pub mod engine;
 pub mod json;
 pub mod loadgen;
@@ -39,6 +40,7 @@ pub mod server;
 mod telemetry;
 
 pub use config::ServeConfig;
+pub use drift::{DriftHandle, DriftMonitor, DriftStatus, SegmentCalibrator};
 pub use engine::ServeEngine;
 pub use loadgen::{
     run_loadgen, run_loadgen_observed, ClientOutcome, LoadMode, LoadgenConfig, LoadgenReport,

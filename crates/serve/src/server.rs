@@ -124,6 +124,8 @@ impl InferenceServer {
                     health: finn_health.clone(),
                     started,
                     cpu_workers: config.cpu_workers,
+                    buckets: config.latency_buckets.clone(),
+                    drift: config.drift.clone(),
                 });
                 Some(bind_status(addr, collector).map_err(NnError::Io)?)
             }

@@ -8,6 +8,7 @@
 //! is folded from at drain, so a scrape taken after the last response and
 //! the final report agree by construction.
 
+use crate::drift::DriftHandle;
 use crate::json::serve_report_json;
 use crate::metrics::ServeReport;
 use crate::request::SloClass;
@@ -16,8 +17,10 @@ use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 use tincy_nn::OffloadHealth;
+use tincy_perf::StageId;
 use tincy_telemetry::{
-    json_text, prometheus_text, Collect, Handler, Registry, Response, Sample, StatusServer, Value,
+    json_text, prometheus_text, Buckets, Collect, Handler, HistogramSnapshot, Registry, Response,
+    Sample, StatusServer, Value,
 };
 
 /// Rejection-reason labels, aligned with [`crate::AdmissionError::tag`].
@@ -29,6 +32,8 @@ pub(crate) struct ServeCollector {
     pub health: OffloadHealth,
     pub started: Instant,
     pub cpu_workers: usize,
+    pub buckets: Buckets,
+    pub drift: Option<DriftHandle>,
 }
 
 impl ServeCollector {
@@ -117,7 +122,45 @@ impl Collect for ServeCollector {
                 "Queue wait, submission to dispatch",
                 Value::Summary(m.queue_wait.clone()),
             ),
+            // Native cumulative histograms alongside the summaries:
+            // aggregators need bucket series, dashboards the quantiles.
+            Sample::new(
+                "tincy_serve_latency_hist_seconds",
+                "End-to-end latency, submission to delivery (cumulative buckets)",
+                Value::Histogram(HistogramSnapshot::from_stats(&m.latency, &self.buckets)),
+            ),
+            Sample::new(
+                "tincy_serve_queue_wait_hist_seconds",
+                "Queue wait, submission to dispatch (cumulative buckets)",
+                Value::Histogram(HistogramSnapshot::from_stats(&m.queue_wait, &self.buckets)),
+            ),
         ];
+        if let Some(drift) = &self.drift {
+            let status = drift.status();
+            // All seven stages are always emitted (0 when unknown) so the
+            // exposition shape is stable scrape to scrape.
+            for stage in StageId::ALL {
+                let row = status.stages.iter().find(|r| r.stage == stage);
+                out.push(
+                    Sample::new(
+                        "tincy_calibration_drift",
+                        "Relative divergence of the rolling measured stage budget from its reference",
+                        Value::Gauge(row.and_then(|r| r.drift).unwrap_or(0.0)),
+                    )
+                    .label("stage", stage.label()),
+                );
+            }
+            out.push(Sample::new(
+                "tincy_calibration_segments_total",
+                "Trace segments absorbed by the rolling calibrator",
+                Value::Counter(status.segments),
+            ));
+            out.push(Sample::new(
+                "tincy_calibration_alerts_total",
+                "Drift alerts raised (steady-to-drifted transitions)",
+                Value::Counter(status.alerts),
+            ));
+        }
         let reasons = [
             m.rejected_queue_full,
             m.rejected_client_full,
@@ -198,10 +241,22 @@ pub(crate) fn bind_status(addr: &str, collector: Arc<ServeCollector>) -> io::Res
             "/metrics.json",
             Box::new(move || Response::ok("application/json", json_text(&registry.gather()))),
         ),
-        (
-            "/healthz",
-            Box::new(|| Response::ok("application/json", "{\"ok\":true}\n".to_string())),
-        ),
+        ("/healthz", {
+            let drift = collector.drift.clone();
+            Box::new(move || {
+                // Degradation is advisory (still HTTP 200): the server
+                // keeps serving, but the measured budget has walked away
+                // from its reference.
+                let body = match &drift {
+                    Some(handle) if handle.status().alerted => {
+                        "{\"ok\":true,\"degraded\":true,\"reason\":\"calibration-drift\"}\n"
+                    }
+                    Some(_) => "{\"ok\":true,\"degraded\":false}\n",
+                    None => "{\"ok\":true}\n",
+                };
+                Response::ok("application/json", body.to_string())
+            })
+        }),
         (
             "/report",
             Box::new(move || {

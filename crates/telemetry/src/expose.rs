@@ -49,8 +49,8 @@ pub fn prometheus_text(samples: &[Sample]) -> String {
                         out,
                         "{}{} {}",
                         sample.name,
-                        label_set(&sample.labels, Some(*q)),
-                        d.as_secs_f64()
+                        label_set(&sample.labels, Some(("quantile", &format!("{q}")))),
+                        fmt_value(d.as_secs_f64())
                     );
                 }
                 let _ = writeln!(
@@ -58,7 +58,7 @@ pub fn prometheus_text(samples: &[Sample]) -> String {
                     "{}_sum{} {}",
                     sample.name,
                     label_set(&sample.labels, None),
-                    stats.total().as_secs_f64()
+                    fmt_value(stats.total().as_secs_f64())
                 );
                 let _ = writeln!(
                     out,
@@ -68,13 +68,60 @@ pub fn prometheus_text(samples: &[Sample]) -> String {
                     stats.count()
                 );
             }
+            Value::Histogram(snap) => {
+                for (bound, cumulative) in snap.bounds.iter().zip(&snap.cumulative) {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        sample.name,
+                        label_set(&sample.labels, Some(("le", &fmt_value(*bound)))),
+                    );
+                }
+                // The implicit +Inf bucket equals the total count.
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    sample.name,
+                    label_set(&sample.labels, Some(("le", "+Inf"))),
+                    snap.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    sample.name,
+                    label_set(&sample.labels, None),
+                    fmt_value(snap.sum_seconds)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    sample.name,
+                    label_set(&sample.labels, None),
+                    snap.count
+                );
+            }
         }
     }
     out
 }
 
-fn label_set(labels: &[(String, String)], quantile: Option<f64>) -> String {
-    if labels.is_empty() && quantile.is_none() {
+/// Formats a float so the parser reads back the identical value:
+/// Rust's shortest round-trip `Display` for finite values, Prometheus
+/// spellings for the specials.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_set(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
         return String::new();
     }
     let mut out = String::from("{");
@@ -88,11 +135,13 @@ fn label_set(labels: &[(String, String)], quantile: Option<f64>) -> String {
         escape_label(&mut out, value);
         out.push('"');
     }
-    if let Some(q) = quantile {
+    if let Some((key, value)) = extra {
         if !first {
             out.push(',');
         }
-        let _ = write!(out, "quantile=\"{q}\"");
+        let _ = write!(out, "{key}=\"");
+        escape_label(&mut out, value);
+        out.push('"');
     }
     out.push('}');
     out
@@ -141,6 +190,22 @@ pub fn json_text(samples: &[Sample]) -> String {
             }
             Value::Summary(stats) => {
                 out.push_str(&summary_json(stats));
+            }
+            Value::Histogram(snap) => {
+                let _ = write!(
+                    out,
+                    ",\"count\":{},\"sum_s\":{}",
+                    snap.count, snap.sum_seconds
+                );
+                out.push_str(",\"buckets\":[");
+                for (i, (bound, cumulative)) in snap.bounds.iter().zip(&snap.cumulative).enumerate()
+                {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{{\"le\":{bound},\"count\":{cumulative}}}");
+                }
+                out.push(']');
             }
         }
         out.push('}');
@@ -276,6 +341,107 @@ fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
     }
 }
 
+/// Re-emits parsed samples as Prometheus sample lines (no `# HELP` /
+/// `# TYPE` comments — the parser does not retain them). Composed with
+/// [`parse_prometheus`], this is a fixed point: parsing the rendered
+/// text yields the same samples, and rendering those yields the same
+/// text.
+pub fn render_prometheus(samples: &[PromSample]) -> String {
+    let mut out = String::new();
+    for sample in samples {
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            sample.name,
+            label_set(&sample.labels, None),
+            fmt_value(sample.value)
+        );
+    }
+    out
+}
+
+/// Structurally validates every native-histogram family in a scrape:
+/// for each `_bucket` series group (same base name and non-`le` labels),
+/// the `le` bounds must be parseable and strictly increasing, the
+/// cumulative counts non-decreasing, the `+Inf` bucket present, and its
+/// value equal to the matching `_count` sample.
+///
+/// # Errors
+///
+/// A message naming the series and the violated invariant.
+pub fn check_histogram_series(samples: &[PromSample]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    // Group key: base name + canonicalized non-le labels.
+    let mut groups: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for sample in samples {
+        let Some(base) = sample.name.strip_suffix("_bucket") else {
+            continue;
+        };
+        let le = sample
+            .label("le")
+            .ok_or_else(|| format!("{}: _bucket sample without le label", sample.name))?;
+        let bound: f64 = le
+            .parse()
+            .map_err(|_| format!("{}: unparseable le bound {le:?}", sample.name))?;
+        let mut rest: Vec<_> = sample
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        rest.sort();
+        groups
+            .entry((base.to_string(), format!("{rest:?}")))
+            .or_default()
+            .push((bound, sample.value));
+    }
+    for ((base, labels), mut series) in groups {
+        series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut prev = -1.0f64;
+        for pair in series.windows(2) {
+            if pair[1].0 == pair[0].0 {
+                return Err(format!("{base}{labels}: duplicate le bound {}", pair[0].0));
+            }
+        }
+        for &(bound, cumulative) in &series {
+            if cumulative < prev {
+                return Err(format!(
+                    "{base}{labels}: bucket le={bound} count {cumulative} below previous {prev}"
+                ));
+            }
+            prev = cumulative;
+        }
+        let Some(&(last_bound, inf_count)) = series.last() else {
+            continue;
+        };
+        if last_bound != f64::INFINITY {
+            return Err(format!("{base}{labels}: missing +Inf bucket"));
+        }
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == format!("{base}_count") && {
+                    let mut rest: Vec<_> = s
+                        .labels
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .cloned()
+                        .collect();
+                    rest.sort();
+                    format!("{rest:?}") == labels
+                }
+            })
+            .ok_or_else(|| format!("{base}{labels}: missing _count sample"))?;
+        if count.value != inf_count {
+            return Err(format!(
+                "{base}{labels}: +Inf bucket {inf_count} != _count {}",
+                count.value
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +498,67 @@ mod tests {
         assert!(json.contains("\"type\":\"summary\""));
         assert!(json.contains("\"count\":2"));
         assert!(json.contains("\"reason\":\"queue-full\""));
+    }
+
+    #[test]
+    fn native_histograms_expose_cumulative_buckets_and_round_trip() {
+        let mut stats = DurationStats::new();
+        for ms in [2u64, 4, 8, 40, 400] {
+            stats.record(Duration::from_millis(ms));
+        }
+        let buckets = crate::Buckets::explicit(vec![0.005, 0.05, 0.5]).unwrap();
+        let snap = crate::HistogramSnapshot::from_stats(&stats, &buckets);
+        let sample = Sample::new(
+            "demo_latency_hist_seconds",
+            "latency histogram",
+            Value::Histogram(snap),
+        )
+        .label("class", "gold");
+        let text = prometheus_text(&[sample]);
+        assert!(text.contains("# TYPE demo_latency_hist_seconds histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+
+        let parsed = parse_prometheus(&text).unwrap();
+        // 3 bounds + +Inf + sum + count.
+        assert_eq!(parsed.len(), 6);
+        check_histogram_series(&parsed).expect("series is structurally valid");
+        let inf = parsed
+            .iter()
+            .find(|s| s.name == "demo_latency_hist_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 5.0);
+        assert_eq!(inf.label("class"), Some("gold"));
+    }
+
+    #[test]
+    fn check_histogram_series_catches_violations() {
+        let parse = |t: &str| parse_prometheus(t).unwrap();
+        // Non-monotone cumulative counts.
+        let bad = parse("m_bucket{le=\"0.1\"} 5\nm_bucket{le=\"+Inf\"} 3\nm_count 3\n");
+        assert!(check_histogram_series(&bad).is_err());
+        // Missing +Inf.
+        let bad = parse("m_bucket{le=\"0.1\"} 5\nm_count 5\n");
+        assert!(check_histogram_series(&bad).is_err());
+        // +Inf disagrees with _count.
+        let bad = parse("m_bucket{le=\"+Inf\"} 5\nm_count 6\n");
+        assert!(check_histogram_series(&bad).is_err());
+        // Labeled series are grouped separately and both validated.
+        let good = parse(concat!(
+            "m_bucket{class=\"a\",le=\"0.1\"} 1\nm_bucket{class=\"a\",le=\"+Inf\"} 2\n",
+            "m_bucket{class=\"b\",le=\"0.1\"} 0\nm_bucket{class=\"b\",le=\"+Inf\"} 0\n",
+            "m_count{class=\"a\"} 2\nm_count{class=\"b\"} 0\n",
+        ));
+        check_histogram_series(&good).expect("both label groups are valid");
+    }
+
+    #[test]
+    fn render_parse_is_a_fixed_point() {
+        let text = prometheus_text(&sample_set());
+        let parsed = parse_prometheus(&text).unwrap();
+        let rendered = render_prometheus(&parsed);
+        let reparsed = parse_prometheus(&rendered).unwrap();
+        assert_eq!(parsed, reparsed);
+        assert_eq!(rendered, render_prometheus(&reparsed));
     }
 
     #[test]

@@ -6,18 +6,30 @@
 //!   [`Histogram`]s (the latter reusing `tincy-pipeline`'s streaming
 //!   [`DurationStats`](tincy_pipeline::DurationStats)), plus a
 //!   [`Collect`] hook for subsystems that keep their own accumulators
-//!   (the serve scheduler, offload health);
+//!   (the serve scheduler, offload health); histograms expose either
+//!   summary quantiles or native cumulative buckets ([`Buckets`]);
 //! - exposition as Prometheus text ([`prometheus_text`]) and JSON
-//!   ([`json_text`]), with a matching parser ([`parse_prometheus`]) for
-//!   smoke checks;
-//! - a minimal HTTP [`StatusServer`] that serves those expositions on
-//!   `tincy serve --status-addr` (GET `/metrics`, `/healthz`,
-//!   `/report`).
+//!   ([`json_text`]), with a matching parser ([`parse_prometheus`]), a
+//!   re-emitter ([`render_prometheus`]) and a structural histogram
+//!   validator ([`check_histogram_series`]) for smoke checks;
+//! - a hardened keep-alive HTTP [`StatusServer`] (connection cap with
+//!   503 shedding, header/read deadlines, drain-on-shutdown — see
+//!   [`ServerConfig`]) that serves those expositions on `tincy serve
+//!   --status-addr` (GET `/metrics`, `/healthz`, `/report`), plus the
+//!   [`HttpClient`] keep-alive scrape client.
 
 mod expose;
 mod http;
 mod metrics;
 
-pub use expose::{json_text, parse_prometheus, prometheus_text, PromSample};
-pub use http::{http_get, Handler, Response, StatusServer};
-pub use metrics::{Collect, Counter, Gauge, Histogram, Registry, Sample, Value};
+pub use expose::{
+    check_histogram_series, json_text, parse_prometheus, prometheus_text, render_prometheus,
+    PromSample,
+};
+pub use http::{
+    http_get, http_get_full, Handler, HttpClient, HttpResponse, Parse, Request, RequestParser,
+    Response, ServerConfig, ServerStats, StatusServer,
+};
+pub use metrics::{
+    Buckets, Collect, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Sample, Value,
+};

@@ -71,6 +71,113 @@ impl Histogram {
     }
 }
 
+/// Cumulative-bucket upper bounds for native Prometheus histograms, in
+/// seconds, strictly increasing. The implicit `+Inf` bucket is always
+/// appended at exposition time, so an empty set is legal (count-only).
+///
+/// Selection guidance (DESIGN.md §8): bounds are a measurement grid, not
+/// an SLO — put ~2 buckets per octave across the latency range you need
+/// to distinguish, with the SLO target itself as one explicit bound so
+/// `sum(rate(..._bucket{le="slo"}))` answers the compliance question
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets {
+    bounds: Vec<f64>,
+}
+
+impl Default for Buckets {
+    /// 1 ms doubling to ~2 s: covers the frame budget (Table III: tens of
+    /// milliseconds per stage) with headroom for degraded offloads.
+    fn default() -> Self {
+        Self::exponential(0.001, 2.0, 12)
+    }
+}
+
+impl Buckets {
+    /// `count` bounds starting at `start`, spaced `width` apart.
+    pub fn linear(start: f64, width: f64, count: usize) -> Self {
+        assert!(start > 0.0 && width > 0.0, "linear buckets must ascend");
+        Self {
+            bounds: (0..count).map(|i| start + width * i as f64).collect(),
+        }
+    }
+
+    /// `count` bounds starting at `start`, each `factor` times the last.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(
+            start > 0.0 && factor > 1.0,
+            "exponential buckets must ascend"
+        );
+        let mut bound = start;
+        let mut bounds = Vec::with_capacity(count);
+        for _ in 0..count {
+            bounds.push(bound);
+            bound *= factor;
+        }
+        Self { bounds }
+    }
+
+    /// Explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// When a bound is not finite and positive, or the sequence is not
+    /// strictly increasing.
+    pub fn explicit(bounds: Vec<f64>) -> Result<Self, String> {
+        for pair in bounds.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(format!(
+                    "bucket bounds must be strictly increasing: {} then {}",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        if let Some(bad) = bounds.iter().find(|b| !b.is_finite() || **b <= 0.0) {
+            return Err(format!("bucket bound must be finite and positive: {bad}"));
+        }
+        Ok(Self { bounds })
+    }
+
+    /// The bounds, in seconds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+/// A point-in-time cumulative histogram: per-bound counts of samples at
+/// or below each bound, plus the overall count and sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds, seconds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Cumulative counts: `cumulative[i]` samples were ≤ `bounds[i]`.
+    pub cumulative: Vec<u64>,
+    /// Total samples (the implicit `+Inf` bucket).
+    pub count: u64,
+    /// Sum of all samples, seconds.
+    pub sum_seconds: f64,
+}
+
+impl HistogramSnapshot {
+    /// Projects a [`DurationStats`] recorder onto cumulative buckets.
+    /// Counts inherit the recorder's log-linear resolution (≤ ~6%
+    /// relative error on where a sample lands); monotonicity and
+    /// `+Inf == count` hold exactly.
+    pub fn from_stats(stats: &DurationStats, buckets: &Buckets) -> Self {
+        let cumulative = buckets
+            .bounds()
+            .iter()
+            .map(|&b| stats.count_le(Duration::from_secs_f64(b)))
+            .collect();
+        Self {
+            bounds: buckets.bounds().to_vec(),
+            cumulative,
+            count: stats.count(),
+            sum_seconds: stats.total().as_secs_f64(),
+        }
+    }
+}
+
 /// One exposed metric value.
 #[derive(Debug, Clone)]
 pub enum Value {
@@ -81,6 +188,9 @@ pub enum Value {
     /// Duration distribution, exposed as a Prometheus summary
     /// (quantiles + `_sum`/`_count`).
     Summary(DurationStats),
+    /// Duration distribution, exposed as a native cumulative Prometheus
+    /// histogram (`_bucket{le=...}` + `_sum`/`_count`).
+    Histogram(HistogramSnapshot),
 }
 
 impl Value {
@@ -90,6 +200,7 @@ impl Value {
             Value::Counter(_) => "counter",
             Value::Gauge(_) => "gauge",
             Value::Summary(_) => "summary",
+            Value::Histogram(_) => "histogram",
         }
     }
 }
@@ -137,7 +248,7 @@ pub trait Collect: Send + Sync {
 enum Metric {
     Counter(Counter),
     Gauge(Gauge),
-    Histogram(Histogram),
+    Histogram(Histogram, Option<Buckets>),
 }
 
 struct Owned {
@@ -190,13 +301,26 @@ impl Registry {
         gauge
     }
 
-    /// Creates and registers a duration histogram.
+    /// Creates and registers a duration histogram, exposed as a summary
+    /// (quantiles); see [`Self::histogram_with`] for native buckets.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
         let histogram = Histogram::default();
         self.inner.lock().owned.push(Owned {
             name: name.to_string(),
             help: help.to_string(),
-            metric: Metric::Histogram(histogram.clone()),
+            metric: Metric::Histogram(histogram.clone(), None),
+        });
+        histogram
+    }
+
+    /// Creates and registers a duration histogram exposed as a native
+    /// cumulative Prometheus histogram with the given bucket bounds.
+    pub fn histogram_with(&self, name: &str, help: &str, buckets: Buckets) -> Histogram {
+        let histogram = Histogram::default();
+        self.inner.lock().owned.push(Owned {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Histogram(histogram.clone(), Some(buckets)),
         });
         histogram
     }
@@ -217,7 +341,10 @@ impl Registry {
                 let value = match &owned.metric {
                     Metric::Counter(c) => Value::Counter(c.get()),
                     Metric::Gauge(g) => Value::Gauge(g.get()),
-                    Metric::Histogram(h) => Value::Summary(h.snapshot()),
+                    Metric::Histogram(h, None) => Value::Summary(h.snapshot()),
+                    Metric::Histogram(h, Some(buckets)) => {
+                        Value::Histogram(HistogramSnapshot::from_stats(&h.snapshot(), buckets))
+                    }
                 };
                 Sample::new(&owned.name, &owned.help, value)
             })
@@ -256,6 +383,39 @@ mod tests {
             Value::Summary(stats) => assert_eq!(stats.count(), 2),
             other => panic!("expected summary, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bucketed_histograms_gather_as_cumulative_snapshots() {
+        let registry = Registry::new();
+        let lat = registry.histogram_with(
+            "test_latency_hist_seconds",
+            "latency",
+            Buckets::explicit(vec![0.005, 0.01, 0.05]).unwrap(),
+        );
+        lat.observe(Duration::from_millis(2));
+        lat.observe(Duration::from_millis(8));
+        lat.observe(Duration::from_millis(200)); // beyond the last bound
+
+        let samples = registry.gather();
+        let Value::Histogram(snap) = &samples[0].value else {
+            panic!("expected histogram, got {:?}", samples[0].value);
+        };
+        assert_eq!(snap.bounds, vec![0.005, 0.01, 0.05]);
+        assert_eq!(snap.cumulative, vec![1, 2, 2]);
+        assert_eq!(snap.count, 3);
+        assert!(snap.sum_seconds > 0.2);
+    }
+
+    #[test]
+    fn bucket_constructors_ascend() {
+        assert_eq!(Buckets::linear(0.01, 0.01, 3).bounds(), &[0.01, 0.02, 0.03]);
+        let exp = Buckets::exponential(0.001, 2.0, 3);
+        assert_eq!(exp.bounds(), &[0.001, 0.002, 0.004]);
+        assert!(Buckets::explicit(vec![0.1, 0.1]).is_err());
+        assert!(Buckets::explicit(vec![-1.0, 0.1]).is_err());
+        assert!(Buckets::explicit(vec![0.1, f64::INFINITY]).is_err());
+        assert!(!Buckets::default().bounds().is_empty());
     }
 
     #[test]

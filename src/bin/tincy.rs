@@ -44,7 +44,15 @@
 //!              --max-batch N  --queue N  --per-client N  --engage-depth N
 //!              --fault-seed N  --outage START:LEN  --metrics-json PATH
 //!              --trace-out PATH  --trace-dir DIR  --segment-events N
-//!              --status-addr HOST:PORT
+//!              --status-addr HOST:PORT  --recalibrate-every MS
+//!              --drift-threshold PCT
+//!
+//! `--recalibrate-every MS` (requires `--trace-dir`) tails the streaming
+//! trace segments with a rolling calibrator: windowed measured stage
+//! budgets (EWMA), `tincy_calibration_drift` gauges on `/metrics`, and a
+//! drift alert (log line, `/healthz` degraded, alert counter) when any
+//! stage diverges from its reference by more than `--drift-threshold PCT`
+//! (default 50).
 //! ```
 
 use std::path::Path;
@@ -55,12 +63,14 @@ use tincy::core::SystemConfig;
 use tincy::finn::FaultPlan;
 use tincy::nn::parse_cfg;
 use tincy::perf::{
-    measured_budget, model_diff, pipelined_fps, speedup_ladder, PipelineModel, StageBudget, StageId,
+    measured_budget, model_diff, pipelined_fps, speedup_ladder, PipelineModel, RollingConfig,
+    StageBudget, StageId,
 };
 use tincy::serve::{
-    json, run_loadgen_observed, LoadMode, LoadgenConfig, LoadgenReport, ServeConfig, ServeReport,
+    json, run_loadgen_observed, DriftHandle, DriftMonitor, LoadMode, LoadgenConfig, LoadgenReport,
+    SegmentCalibrator, ServeConfig, ServeReport,
 };
-use tincy::telemetry::{http_get, parse_prometheus, PromSample};
+use tincy::telemetry::{check_histogram_series, parse_prometheus, HttpClient, PromSample};
 use tincy::trace::{stitch_segments, DrainConfig, TraceDrainer};
 use tincy::video::SceneConfig;
 
@@ -329,6 +339,8 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     let mut mode = LoadMode::Burst;
     let mut smoke = false;
     let mut scrape = false;
+    let mut recalibrate_every: Option<u64> = None;
+    let mut drift_threshold: Option<f64> = None;
     let mut serve_config = ServeConfig::default();
     let mut iter = args.iter();
     let next_usize = |iter: &mut std::slice::Iter<'_, String>,
@@ -392,6 +404,17 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
                     },
                 };
             }
+            "--recalibrate-every" => {
+                recalibrate_every = Some(next_usize(&mut iter, "--recalibrate-every")? as u64);
+            }
+            "--drift-threshold" => {
+                drift_threshold = Some(
+                    iter.next()
+                        .ok_or("--drift-threshold requires a percentage")?
+                        .parse()
+                        .map_err(|e| format!("--drift-threshold: {e}"))?,
+                );
+            }
             "--smoke" => smoke = true,
             "--scrape" => scrape = true,
             other if other.starts_with('-') => {
@@ -427,6 +450,16 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         // A scrape needs an endpoint; an ephemeral port suffices.
         serve_config.status_addr = Some("127.0.0.1:0".to_string());
     }
+    if recalibrate_every.is_some() && trace_dir.is_none() {
+        return Err("--recalibrate-every requires --trace-dir \
+                    (the calibrator tails the streaming segments)"
+            .into());
+    }
+    let drift_handle = recalibrate_every.map(|_| {
+        let handle = DriftHandle::default();
+        serve_config.drift = Some(handle.clone());
+        handle
+    });
     if trace_out.is_some() || trace_dir.is_some() {
         tincy::trace::start();
     }
@@ -439,6 +472,20 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
             },
         )?),
         None => None,
+    };
+    let monitor = match (&recalibrate_every, &drift_handle, &trace_dir) {
+        (Some(period_ms), Some(handle), Some(dir)) => Some(DriftMonitor::spawn(
+            SegmentCalibrator::new(
+                Path::new(dir),
+                handle.clone(),
+                RollingConfig {
+                    threshold: drift_threshold.unwrap_or(50.0) / 100.0,
+                    ..Default::default()
+                },
+            ),
+            std::time::Duration::from_millis(*period_ms),
+        )),
+        _ => None,
     };
     let mut scraped: Option<Result<Vec<PromSample>, String>> = None;
     let report = run_loadgen_observed(serve_config, &load, |server| {
@@ -458,6 +505,37 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
             summary.dropped,
             summary.pruned
         );
+    }
+    if let Some(monitor) = monitor {
+        // After the drainer's finalize, so the flushed tail segment is
+        // absorbed too.
+        let status = monitor.finalize()?;
+        println!(
+            "recalibration: {} segments absorbed, {} drift alerts{}",
+            status.segments,
+            status.alerts,
+            if status.alerted {
+                " (currently drifted)"
+            } else {
+                ""
+            }
+        );
+        for row in &status.stages {
+            let (Some(ewma), Some(reference)) = (row.ewma_ms, row.reference_ms) else {
+                continue;
+            };
+            println!(
+                "  {:<22} ewma {:9.3} ms  reference {:9.3} ms  drift {:+6.1}%{}",
+                row.stage.label(),
+                ewma,
+                reference,
+                row.drift.unwrap_or(0.0) * 100.0,
+                if row.alerted { "  ALERT" } else { "" }
+            );
+        }
+        if smoke && status.segments == 0 {
+            return Err("recalibrate smoke: no trace segments were absorbed".into());
+        }
     }
     if let Some(path) = &trace_out {
         write_trace(path)?;
@@ -482,48 +560,96 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     Ok(())
 }
 
-/// Scrapes the running server's status endpoint twice (plus `/healthz`),
-/// asserting counter monotonicity between the two passes. Returns the
-/// later sample set for comparison against the final report.
+/// GETs `path` through a reusable keep-alive connection, reconnecting
+/// when the server reaped an idle connection and retrying with
+/// exponential backoff when the connection cap sheds the scrape with a
+/// 503 — which must carry a `Retry-After` header. Any other non-200 is
+/// fatal.
+fn scrape_get(
+    client: &mut Option<HttpClient>,
+    addr: std::net::SocketAddr,
+    path: &str,
+) -> Result<String, String> {
+    let mut backoff = std::time::Duration::from_millis(5);
+    for _ in 0..10 {
+        if client.is_none() {
+            *client = Some(
+                HttpClient::connect(addr, std::time::Duration::from_secs(2))
+                    .map_err(|e| format!("connect {addr}: {e}"))?,
+            );
+        }
+        let conn = client.as_mut().expect("connected above");
+        match conn.get(path) {
+            Ok(response) if response.status == 200 => return Ok(response.body),
+            Ok(response) if response.status == 503 => {
+                if response.header("retry-after").is_none() {
+                    return Err(format!("GET {path}: 503 shed without a Retry-After header"));
+                }
+                // Shed connections are closed by the server; back off and
+                // reconnect.
+                *client = None;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Ok(response) => return Err(format!("GET {path} returned {}", response.status)),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {
+                // Idle keep-alive connection reaped between scrapes:
+                // reconnect without consuming a retry's backoff.
+                *client = None;
+            }
+            Err(e) => return Err(format!("GET {path}: {e}")),
+        }
+    }
+    Err(format!("GET {path}: still shed after 10 retries"))
+}
+
+/// Scrapes the running server's status endpoint three times over one
+/// keep-alive connection (plus `/healthz`), asserting counter
+/// monotonicity between passes and native-histogram well-formedness on
+/// each. Returns the last sample set for comparison against the final
+/// report.
 fn scrape_status(server: &tincy::serve::InferenceServer) -> Result<Vec<PromSample>, String> {
     let addr = server
         .status_addr()
         .ok_or("scrape requires --status-addr (the server has no endpoint)")?;
-    let scrape_once = || -> Result<Vec<PromSample>, String> {
-        let (status, body) =
-            http_get(addr, "/metrics").map_err(|e| format!("GET /metrics: {e}"))?;
-        if status != 200 {
-            return Err(format!("GET /metrics returned {status}"));
+    let mut client: Option<HttpClient> = None;
+    let mut last: Option<Vec<PromSample>> = None;
+    for _ in 0..3 {
+        let body = scrape_get(&mut client, addr, "/metrics")?;
+        let samples =
+            parse_prometheus(&body).map_err(|e| format!("/metrics did not parse: {e}"))?;
+        check_histogram_series(&samples)
+            .map_err(|e| format!("/metrics histogram series malformed: {e}"))?;
+        // Counters (`_total` families) must never decrease between scrapes.
+        if let Some(earlier) = &last {
+            for sample in earlier {
+                if !sample.name.ends_with("_total") {
+                    continue;
+                }
+                let later = samples
+                    .iter()
+                    .find(|s| s.name == sample.name && s.labels == sample.labels)
+                    .ok_or_else(|| format!("{} vanished between scrapes", sample.name))?;
+                if later.value < sample.value {
+                    return Err(format!(
+                        "counter {} went backwards: {} -> {}",
+                        sample.name, sample.value, later.value
+                    ));
+                }
+            }
         }
-        parse_prometheus(&body).map_err(|e| format!("/metrics did not parse: {e}"))
-    };
-    let first = scrape_once()?;
-    let (status, health) = http_get(addr, "/healthz").map_err(|e| format!("GET /healthz: {e}"))?;
-    if status != 200 || !health.contains("\"ok\":true") {
-        return Err(format!("GET /healthz returned {status}: {health}"));
+        last = Some(samples);
     }
-    let second = scrape_once()?;
-    // Counters (`_total` families) must never decrease between scrapes.
-    for sample in &first {
-        if !sample.name.ends_with("_total") {
-            continue;
-        }
-        let later = second
-            .iter()
-            .find(|s| s.name == sample.name && s.labels == sample.labels)
-            .ok_or_else(|| format!("{} vanished between scrapes", sample.name))?;
-        if later.value < sample.value {
-            return Err(format!(
-                "counter {} went backwards: {} -> {}",
-                sample.name, sample.value, later.value
-            ));
-        }
+    let health = scrape_get(&mut client, addr, "/healthz")?;
+    if !health.contains("\"ok\":true") {
+        return Err(format!("GET /healthz: {health}"));
     }
+    let samples = last.expect("three passes ran");
     println!(
-        "scrape: {} samples from {addr}, counters monotonic across 2 passes",
-        second.len()
+        "scrape: {} samples from {addr}, counters monotonic across 3 keep-alive passes",
+        samples.len()
     );
-    Ok(second)
+    Ok(samples)
 }
 
 /// Asserts that a scrape taken after all responses were delivered agrees

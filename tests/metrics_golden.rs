@@ -1,0 +1,98 @@
+//! Golden-file test for the `/metrics` exposition shape: the metric
+//! names, types, label sets and histogram bucket bounds a serve run
+//! exposes are pinned in `tests/golden/metrics_shape.txt`. Values are
+//! stripped (they vary run to run); everything schema-like must match
+//! byte for byte, so renaming a family, dropping a label or changing
+//! the default bucket bounds fails loudly. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test metrics_golden`.
+
+use std::path::PathBuf;
+use tincy::core::SystemConfig;
+use tincy::serve::{run_loadgen_observed, DriftHandle, LoadMode, LoadgenConfig, ServeConfig};
+use tincy::telemetry::{check_histogram_series, http_get, parse_prometheus};
+use tincy::video::SceneConfig;
+
+/// Reduces an exposition to its schema: `# TYPE` lines verbatim, sample
+/// lines stripped to `name{labels}` (bucket bounds live in the `le`
+/// label, so they are part of the shape).
+fn shape(text: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            out.push(format!("# TYPE {rest}"));
+        } else if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        } else {
+            let series = line.rsplit_once(' ').map_or(line, |(head, _)| head);
+            out.push(series.to_string());
+        }
+    }
+    out.join("\n") + "\n"
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_shape.txt")
+}
+
+#[test]
+fn metrics_exposition_shape_matches_the_golden_file() {
+    let config = ServeConfig {
+        system: SystemConfig {
+            input_size: 32,
+            seed: 5,
+            ..Default::default()
+        },
+        cpu_workers: 2,
+        max_batch: 4,
+        score_threshold: 0.0,
+        status_addr: Some("127.0.0.1:0".to_string()),
+        // A drift handle (even one nothing publishes into) turns on the
+        // calibration families, so their shape is pinned too.
+        drift: Some(DriftHandle::default()),
+        ..Default::default()
+    };
+    let load = LoadgenConfig {
+        clients: 2,
+        requests_per_client: 3,
+        mode: LoadMode::Burst,
+        scene: SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut scraped = String::new();
+    run_loadgen_observed(config, &load, |server| {
+        let addr = server.status_addr().expect("status endpoint bound");
+        let (code, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(code, 200, "GET /metrics failed: {body}");
+        scraped = body;
+    })
+    .expect("serve run succeeds");
+
+    // Structural histogram validity holds independently of the golden:
+    // monotone cumulative buckets, +Inf bucket equal to _count.
+    let samples = parse_prometheus(&scraped).expect("exposition parses");
+    check_histogram_series(&samples).expect("histogram series are well-formed");
+
+    let got = shape(&scraped);
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "exposition shape diverged from {}; regenerate with UPDATE_GOLDEN=1 if intended.\n--- golden\n{want}\n--- scraped\n{got}",
+        path.display()
+    );
+}
