@@ -1,0 +1,303 @@
+//! Fleet-scale load generation: thousands of simulated clients driven
+//! by a small pool of worker threads.
+//!
+//! The per-thread model of [`crate::loadgen`] (one OS thread per
+//! client) does not scale to fleet-sized client counts, so here each
+//! worker thread *drives* a partition of clients: it replays their
+//! pre-computed [`arrival_schedule`] against the wall clock, pumping
+//! completed responses between submissions. Payloads stay deterministic
+//! (camera seed = base seed + client id) and the schedule is a pure
+//! function of the seed, so two runs submit the same frames in the same
+//! order at the same virtual times — routing may differ under load, but
+//! bit-exact shards make the results identical either way.
+
+use super::arrivals::{arrival_schedule, ArrivalPattern};
+use super::router::{Fleet, FleetClient, FleetReport};
+use super::FleetConfig;
+use crate::request::SloClass;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+use tincy_nn::NnError;
+use tincy_video::{SceneConfig, SyntheticCamera};
+
+/// Fleet load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct FleetLoadConfig {
+    /// Simulated clients (not threads — see `workers`).
+    pub clients: usize,
+    /// Frames each client submits.
+    pub requests_per_client: u64,
+    /// Arrival pattern shared by every client (deterministic per-client
+    /// phases come from the seed).
+    pub pattern: ArrivalPattern,
+    /// SLO classes assigned round-robin: client `i` submits under
+    /// `classes[i % classes.len()]`.
+    pub classes: Vec<SloClass>,
+    /// Synthetic scene parameters (shared; seeds differ per client).
+    pub scene: SceneConfig,
+    /// Base seed for cameras and the arrival schedule.
+    pub seed: u64,
+    /// Driver threads the clients are partitioned across.
+    pub workers: usize,
+}
+
+impl Default for FleetLoadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 64,
+            requests_per_client: 8,
+            pattern: ArrivalPattern::Uniform {
+                interval: Duration::from_millis(2),
+            },
+            classes: vec![SloClass::Interactive, SloClass::Standard, SloClass::Batch],
+            scene: SceneConfig::default(),
+            seed: 7,
+            workers: 8,
+        }
+    }
+}
+
+impl FleetLoadConfig {
+    /// The SLO class client `i` submits under.
+    pub fn class_of(&self, client: usize) -> SloClass {
+        if self.classes.is_empty() {
+            SloClass::Standard
+        } else {
+            self.classes[client % self.classes.len()]
+        }
+    }
+}
+
+/// Per-client outcome of a fleet load run.
+#[derive(Debug, Clone)]
+pub struct FleetClientOutcome {
+    /// Client index.
+    pub client: usize,
+    /// SLO class the client submitted under.
+    pub class: SloClass,
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions admitted (by any shard).
+    pub accepted: u64,
+    /// Submissions refused by every shard (fleet sheds).
+    pub rejected: u64,
+    /// Responses collected.
+    pub completed: u64,
+    /// Whether responses arrived exactly in fleet submission order,
+    /// across any re-routing.
+    pub in_order: bool,
+    /// Total detections across the client's responses (deterministic
+    /// for a given scene/seed thanks to bit-exact shards).
+    pub detections: u64,
+    /// Distinct shards the client's requests landed on.
+    pub shards_used: usize,
+}
+
+/// Aggregate result of a fleet load run.
+#[derive(Debug, Clone)]
+pub struct FleetLoadReport {
+    /// Per-client outcomes, client order.
+    pub outcomes: Vec<FleetClientOutcome>,
+    /// The fleet's own report.
+    pub fleet: FleetReport,
+}
+
+impl FleetLoadReport {
+    /// Total admitted submissions.
+    pub fn accepted(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.accepted).sum()
+    }
+
+    /// Total responses collected.
+    pub fn completed(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.completed).sum()
+    }
+
+    /// Total fleet sheds (all shards refused).
+    pub fn rejected(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.rejected).sum()
+    }
+
+    /// Admitted requests that never produced a response (must be 0
+    /// after a clean drain — the zero-loss invariant).
+    pub fn dropped(&self) -> u64 {
+        self.accepted() - self.completed()
+    }
+
+    /// Whether every client saw its responses in submission order.
+    pub fn all_in_order(&self) -> bool {
+        self.outcomes.iter().all(|o| o.in_order)
+    }
+
+    /// Total detections across all clients (a determinism fingerprint).
+    pub fn detections(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.detections).sum()
+    }
+
+    /// Per-client detections, client order — the fine-grained
+    /// determinism fingerprint (independent of routing).
+    pub fn fingerprint(&self) -> Vec<u64> {
+        self.outcomes.iter().map(|o| o.detections).collect()
+    }
+}
+
+/// One driven client: its fleet connection, camera and schedule.
+struct Lane {
+    index: usize,
+    client: FleetClient,
+    camera: SyntheticCamera,
+    class: SloClass,
+}
+
+impl Lane {
+    fn outcome(&self) -> FleetClientOutcome {
+        let (submitted, accepted, rejected, completed) = self.client.counts();
+        FleetClientOutcome {
+            client: self.index,
+            class: self.class,
+            submitted,
+            accepted,
+            rejected,
+            completed,
+            in_order: self.client.in_order(),
+            detections: self.client.detections(),
+            shards_used: self.client.shards_used(),
+        }
+    }
+}
+
+/// Drives one worker's lanes through their merged open-loop schedule.
+fn drive_open(lanes: &mut [Lane], events: &[(Duration, usize)]) {
+    let start = Instant::now();
+    for &(at, lane_idx) in events {
+        loop {
+            let now = start.elapsed();
+            if now >= at {
+                break;
+            }
+            for lane in lanes.iter_mut() {
+                lane.client.pump();
+            }
+            std::thread::sleep((at - now).min(Duration::from_millis(1)));
+        }
+        let lane = &mut lanes[lane_idx];
+        if let Some(image) = lane.camera.capture() {
+            let _ = lane.client.submit(image, lane.class);
+        }
+        lane.client.pump();
+    }
+    for lane in lanes.iter_mut() {
+        lane.client.collect_all();
+    }
+}
+
+/// Drives one worker's lanes closed-loop: each client submits, waits
+/// for the response, repeats; lanes interleave round-robin.
+fn drive_closed(lanes: &mut [Lane], requests: u64) {
+    for _ in 0..requests {
+        for lane in lanes.iter_mut() {
+            if let Some(image) = lane.camera.capture() {
+                if lane.client.submit(image, lane.class).is_ok() {
+                    lane.client.collect_next();
+                }
+            }
+        }
+    }
+    for lane in lanes.iter_mut() {
+        lane.client.collect_all();
+    }
+}
+
+/// Runs a full fleet load session against a freshly started fleet and
+/// returns the combined report.
+///
+/// # Errors
+///
+/// Propagates fleet construction failures.
+pub fn run_fleet_loadgen(
+    config: FleetConfig,
+    load: &FleetLoadConfig,
+) -> Result<FleetLoadReport, NnError> {
+    run_fleet_loadgen_observed(config, load, |_| {})
+}
+
+/// Like [`run_fleet_loadgen`], but calls `observe` on the still-running
+/// fleet after every client has collected its responses and before the
+/// drain — the point where live fleet telemetry must agree with the
+/// final report. `tincy fleet --scrape` uses this to hit the
+/// `--status-addr` endpoint mid-session.
+///
+/// # Errors
+///
+/// Propagates fleet construction failures.
+pub fn run_fleet_loadgen_observed(
+    config: FleetConfig,
+    load: &FleetLoadConfig,
+    observe: impl FnOnce(&Fleet),
+) -> Result<FleetLoadReport, NnError> {
+    let fleet = Fleet::start(config)?;
+    let schedule = arrival_schedule(
+        &load.pattern,
+        load.clients,
+        load.requests_per_client,
+        load.seed,
+    );
+    // Clients are created in index order on this thread, so routing keys
+    // are deterministic regardless of worker interleaving.
+    let mut lanes: Vec<Lane> = (0..load.clients)
+        .map(|i| Lane {
+            index: i,
+            client: fleet.client(),
+            camera: SyntheticCamera::with_limit(
+                load.scene.clone(),
+                load.seed + i as u64,
+                load.requests_per_client,
+            ),
+            class: load.class_of(i),
+        })
+        .collect();
+    let workers = load.workers.clamp(1, load.clients.max(1));
+    let barrier = Barrier::new(workers + 1);
+    let closed = load.pattern == ArrivalPattern::Closed;
+
+    // Partition lanes (and their schedules) by client index modulo the
+    // worker count.
+    let mut partitions: Vec<Vec<Lane>> = (0..workers).map(|_| Vec::new()).collect();
+    for lane in lanes.drain(..) {
+        partitions[lane.index % workers].push(lane);
+    }
+
+    let mut outcomes: Vec<FleetClientOutcome> = Vec::with_capacity(load.clients);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(workers);
+        for mut partition in partitions {
+            let barrier = &barrier;
+            let schedule = &schedule;
+            let requests = load.requests_per_client;
+            joins.push(scope.spawn(move || {
+                let mut events: Vec<(Duration, usize)> = Vec::new();
+                for (slot, lane) in partition.iter().enumerate() {
+                    for &at in &schedule[lane.index] {
+                        events.push((at, slot));
+                    }
+                }
+                events.sort();
+                barrier.wait();
+                if closed {
+                    drive_closed(&mut partition, requests);
+                } else {
+                    drive_open(&mut partition, &events);
+                }
+                partition.iter().map(Lane::outcome).collect::<Vec<_>>()
+            }));
+        }
+        barrier.wait();
+        for join in joins {
+            outcomes.extend(join.join().expect("fleet loadgen worker panicked"));
+        }
+    });
+    outcomes.sort_by_key(|o| o.client);
+    observe(&fleet);
+    let fleet = fleet.finish();
+    Ok(FleetLoadReport { outcomes, fleet })
+}

@@ -1,0 +1,796 @@
+//! The fleet router runtime: N in-process serve shards, policy dispatch
+//! with failover, and the drain/re-admit health monitor.
+//!
+//! Shard health is judged from the fabric's own offload counters, not
+//! wall-clock timeouts: a poll that observes the `degraded` counter
+//! advance means the shard's FINN engine needed retries or CPU fallback
+//! since the last poll, and the shard is drained. A drained shard keeps
+//! completing its outstanding work (accepted work is never dropped
+//! anywhere in the stack); once idle it is probed with canary frames.
+//! A probe is *clean* only on fabric evidence — the `forwards` counter
+//! advanced while `degraded` did not. A probe stolen by a host worker
+//! moves neither counter and is inconclusive: it leaves the recovery
+//! streak untouched rather than resetting it, and a later probe lands
+//! on the fabric. [`FleetConfig::readmit_streak`] clean probes re-admit
+//! the shard.
+
+use super::ring::HashRing;
+use super::telemetry::bind_fleet_status;
+use super::{FleetConfig, RoutePolicy};
+use crate::metrics::ServeReport;
+use crate::request::{AdmissionError, InferResponse, SloClass};
+use crate::server::{ClientHandle, InferenceServer};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tincy_nn::{NnError, OffloadHealth, OffloadStats};
+use tincy_pipeline::DurationStats;
+use tincy_telemetry::{HttpClient, StatusServer};
+use tincy_video::{Image, SceneConfig, SyntheticCamera};
+
+/// Router-side view of one shard.
+pub(super) struct Slot {
+    /// Requests routed to the shard and not yet collected by their
+    /// [`FleetClient`]s.
+    pub(super) load: AtomicU64,
+    /// Whether dispatch currently considers the shard (false while
+    /// draining or drained).
+    pub(super) up: AtomicBool,
+    /// Requests ever routed to the shard.
+    pub(super) routed: AtomicU64,
+}
+
+/// State shared by the router, its clients, the health monitor and the
+/// status endpoint.
+pub(super) struct Shared {
+    pub(super) slots: Vec<Slot>,
+    pub(super) policy: RoutePolicy,
+    /// The live ring: drained shards are removed, re-admitted shards
+    /// re-inserted.
+    pub(super) ring: Mutex<HashRing>,
+    /// The full-membership ring, never mutated — the "ideal" mapping
+    /// used to count re-routes.
+    pub(super) full_ring: HashRing,
+    pub(super) drains: AtomicU64,
+    pub(super) readmits: AtomicU64,
+    pub(super) rerouted: AtomicU64,
+    pub(super) sheds: AtomicU64,
+    pub(super) probes: AtomicU64,
+    pub(super) scrape_errors: AtomicU64,
+}
+
+impl Shared {
+    fn new(shards: usize, policy: RoutePolicy, vnodes: usize) -> Self {
+        let slots = (0..shards)
+            .map(|_| Slot {
+                load: AtomicU64::new(0),
+                up: AtomicBool::new(true),
+                routed: AtomicU64::new(0),
+            })
+            .collect();
+        let ring = HashRing::with_shards(shards as u32, vnodes);
+        Self {
+            slots,
+            policy,
+            full_ring: ring.clone(),
+            ring: Mutex::new(ring),
+            drains: AtomicU64::new(0),
+            readmits: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            scrape_errors: AtomicU64::new(0),
+        }
+    }
+
+    fn load_of(&self, shard: usize) -> u64 {
+        self.slots[shard].load.load(Ordering::Relaxed)
+    }
+
+    /// Least-loaded comparison key: outstanding load first, lifetime
+    /// routed count second so equal (often zero) loads round-robin
+    /// instead of always picking the lowest index.
+    fn balance_key(&self, shard: usize) -> (u64, u64, usize) {
+        (
+            self.load_of(shard),
+            self.slots[shard].routed.load(Ordering::Relaxed),
+            shard,
+        )
+    }
+
+    /// Shards up, for `/healthz` and tests.
+    pub(super) fn up_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.up.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The shard the policy would pick with every shard healthy — the
+    /// reference against which re-routes are counted.
+    fn ideal_shard(&self, key: u64) -> usize {
+        match self.policy {
+            RoutePolicy::ConsistentHash => {
+                self.full_ring.route(key).map_or(0, |shard| shard as usize)
+            }
+            RoutePolicy::LeastLoaded => (0..self.slots.len())
+                .min_by_key(|&i| self.balance_key(i))
+                .unwrap_or(0),
+        }
+    }
+
+    /// Shards in submission order: routable shards first (the policy's
+    /// pick, then the rest by load), then drained shards as a last
+    /// resort — admission only sheds when every shard refuses.
+    fn candidate_order(&self, key: u64) -> Vec<usize> {
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.up.load(Ordering::Relaxed) {
+                up.push(i);
+            } else {
+                down.push(i);
+            }
+        }
+        up.sort_by_key(|&i| self.balance_key(i));
+        down.sort_by_key(|&i| self.balance_key(i));
+        if self.policy == RoutePolicy::ConsistentHash {
+            if let Some(owner) = self.ring.lock().route(key) {
+                let owner = owner as usize;
+                if let Some(pos) = up.iter().position(|&i| i == owner) {
+                    up.remove(pos);
+                    up.insert(0, owner);
+                }
+            }
+        }
+        up.extend(down);
+        up
+    }
+}
+
+/// A running fleet: shards, health monitor and (optionally) the
+/// aggregating status endpoint. Register clients with [`Self::client`],
+/// then [`Self::finish`] to drain every shard and collect the
+/// [`FleetReport`].
+pub struct Fleet {
+    servers: Vec<InferenceServer>,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    monitor: Option<JoinHandle<()>>,
+    status: Option<StatusServer>,
+    started: Instant,
+    next_client: AtomicU64,
+}
+
+impl Fleet {
+    /// Builds and starts every shard plus the health monitor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard construction and endpoint bind failures.
+    pub fn start(config: FleetConfig) -> Result<Self, NnError> {
+        assert!(config.shards >= 1, "a fleet needs at least one shard");
+        let mut servers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let mut shard_config = config.base.clone();
+            shard_config.system.fault_plan = config.fault_of(shard);
+            // Per-shard endpoints exist only to feed the fleet-level
+            // aggregation; port 0 keeps them collision-free.
+            shard_config.status_addr = config
+                .status_addr
+                .as_ref()
+                .map(|_| "127.0.0.1:0".to_string());
+            servers.push(InferenceServer::start(shard_config)?);
+        }
+        let shared = Arc::new(Shared::new(config.shards, config.policy, config.vnodes));
+        let status = match &config.status_addr {
+            Some(addr) => {
+                let shard_addrs: Vec<SocketAddr> = servers
+                    .iter()
+                    .map(|s| s.status_addr().expect("per-shard endpoint bound"))
+                    .collect();
+                Some(
+                    bind_fleet_status(addr, Arc::clone(&shared), shard_addrs)
+                        .map_err(NnError::Io)?,
+                )
+            }
+            None => None,
+        };
+        let monitor = Monitor::new(&config, &servers, Arc::clone(&shared));
+        let stop = Arc::new(AtomicBool::new(false));
+        let monitor = Some(spawn_monitor(
+            monitor,
+            Arc::clone(&stop),
+            config.health_every,
+        ));
+        Ok(Self {
+            servers,
+            shared,
+            stop,
+            monitor,
+            status,
+            started: Instant::now(),
+            next_client: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Shards currently routable (not drained).
+    pub fn up_shards(&self) -> usize {
+        self.shared.up_count()
+    }
+
+    /// Whether one shard is currently routable.
+    pub fn shard_up(&self, shard: usize) -> bool {
+        self.shared.slots[shard].up.load(Ordering::Relaxed)
+    }
+
+    /// Drains observed so far (fleet lifetime).
+    pub fn drains(&self) -> u64 {
+        self.shared.drains.load(Ordering::Relaxed)
+    }
+
+    /// Re-admissions observed so far.
+    pub fn readmits(&self) -> u64 {
+        self.shared.readmits.load(Ordering::Relaxed)
+    }
+
+    /// The fleet status endpoint's bound address, when configured.
+    pub fn status_addr(&self) -> Option<SocketAddr> {
+        self.status.as_ref().map(StatusServer::addr)
+    }
+
+    /// One shard's status endpoint address, when endpoints are bound.
+    pub fn shard_status_addr(&self, shard: usize) -> Option<SocketAddr> {
+        self.servers[shard].status_addr()
+    }
+
+    /// Registers a fleet client: one connection per shard plus a stable
+    /// routing key.
+    pub fn client(&self) -> FleetClient {
+        let key = self.next_client.fetch_add(1, Ordering::Relaxed);
+        FleetClient {
+            key,
+            handles: self.servers.iter().map(InferenceServer::client).collect(),
+            shared: Arc::clone(&self.shared),
+            pending: VecDeque::new(),
+            submitted: 0,
+            accepted: 0,
+            rejected: 0,
+            completed: 0,
+            in_order: true,
+            detections: 0,
+            shards_used: BTreeSet::new(),
+        }
+    }
+
+    /// Stops the monitor, drains every shard (no accepted request is
+    /// dropped) and folds the fleet report.
+    pub fn finish(mut self) -> FleetReport {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.monitor.take() {
+            handle.join().expect("fleet health monitor panicked");
+        }
+        let wall = self.started.elapsed();
+        let shards: Vec<ServeReport> = self
+            .servers
+            .drain(..)
+            .map(InferenceServer::finish)
+            .collect();
+        // The aggregation endpoint outlives the shard endpoints it
+        // scrapes only briefly: unbind it after the shards drain so a
+        // scrape during the drain still answers.
+        if let Some(mut status) = self.status.take() {
+            status.shutdown();
+        }
+        let shared = &self.shared;
+        FleetReport {
+            routed: shared
+                .slots
+                .iter()
+                .map(|s| s.routed.load(Ordering::Relaxed))
+                .collect(),
+            shards,
+            policy: shared.policy,
+            drains: shared.drains.load(Ordering::Relaxed),
+            readmits: shared.readmits.load(Ordering::Relaxed),
+            rerouted: shared.rerouted.load(Ordering::Relaxed),
+            sheds: shared.sheds.load(Ordering::Relaxed),
+            probes: shared.probes.load(Ordering::Relaxed),
+            wall,
+        }
+    }
+}
+
+/// A fleet client: submissions are dispatched by policy with failover;
+/// responses are collected in fleet submission order. Per-(client,
+/// shard) delivery is FIFO, so collecting pending responses in the
+/// order they were admitted yields exactly the submission order even
+/// when consecutive requests landed on different shards.
+pub struct FleetClient {
+    key: u64,
+    handles: Vec<ClientHandle>,
+    shared: Arc<Shared>,
+    /// Admitted-but-uncollected requests, fleet submission order:
+    /// `(shard, expected per-shard seq)`.
+    pending: VecDeque<(usize, u64)>,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    in_order: bool,
+    detections: u64,
+    shards_used: BTreeSet<usize>,
+}
+
+impl FleetClient {
+    /// This client's routing key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Submits one frame. Candidates are tried in policy order; the
+    /// submission sheds (an error) only when every shard refuses.
+    /// Returns the fleet-level sequence number on admission.
+    ///
+    /// # Errors
+    ///
+    /// The last shard's [`AdmissionError`] when all shards reject.
+    pub fn submit(&mut self, image: Image, class: SloClass) -> Result<u64, AdmissionError> {
+        self.submitted += 1;
+        let ideal = self.shared.ideal_shard(self.key);
+        let mut last_err = None;
+        for shard in self.shared.candidate_order(self.key) {
+            match self.handles[shard].submit(image.clone(), class) {
+                Ok(seq) => {
+                    let fleet_seq = self.accepted;
+                    self.accepted += 1;
+                    self.pending.push_back((shard, seq));
+                    self.shards_used.insert(shard);
+                    let slot = &self.shared.slots[shard];
+                    slot.load.fetch_add(1, Ordering::Relaxed);
+                    slot.routed.fetch_add(1, Ordering::Relaxed);
+                    if shard != ideal {
+                        self.shared.rerouted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(fleet_seq);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        self.rejected += 1;
+        self.shared.sheds.fetch_add(1, Ordering::Relaxed);
+        Err(last_err.unwrap_or(AdmissionError::Draining))
+    }
+
+    fn absorb(&mut self, shard: usize, expected: u64, response: &InferResponse) {
+        if response.seq != expected {
+            self.in_order = false;
+        }
+        self.completed += 1;
+        self.detections += response.detections.len() as u64;
+        self.shared.slots[shard]
+            .load
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Collects every response already delivered, without blocking.
+    /// Returns how many were absorbed.
+    pub fn pump(&mut self) -> usize {
+        let mut drained = 0;
+        while let Some(&(shard, expected)) = self.pending.front() {
+            let Some(response) = self.handles[shard].try_recv() else {
+                break;
+            };
+            self.pending.pop_front();
+            self.absorb(shard, expected, &response);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Collects the next pending response, blocking until its shard
+    /// delivers it. `None` when nothing is pending (or the shard went
+    /// away mid-drain).
+    pub fn collect_next(&mut self) -> Option<InferResponse> {
+        let (shard, expected) = self.pending.pop_front()?;
+        let response = self.handles[shard].recv()?;
+        self.absorb(shard, expected, &response);
+        Some(response)
+    }
+
+    /// Blocks until every admitted request has been collected.
+    pub fn collect_all(&mut self) {
+        while !self.pending.is_empty() {
+            if self.collect_next().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Admitted requests not yet collected.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `(submitted, accepted, rejected, completed)` so far.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        (self.submitted, self.accepted, self.rejected, self.completed)
+    }
+
+    /// Whether responses arrived exactly in fleet submission order.
+    pub fn in_order(&self) -> bool {
+        self.in_order
+    }
+
+    /// Total detections across collected responses (a determinism
+    /// fingerprint: bit-exact backends make it independent of routing).
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Distinct shards this client's requests landed on.
+    pub fn shards_used(&self) -> usize {
+        self.shards_used.len()
+    }
+}
+
+/// Aggregate result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard serve reports, shard order (probe canaries are included
+    /// in shard counters).
+    pub shards: Vec<ServeReport>,
+    /// Requests routed per shard (router view; excludes probes).
+    pub routed: Vec<u64>,
+    /// Dispatch policy the fleet ran.
+    pub policy: RoutePolicy,
+    /// Shards drained after a degradation verdict.
+    pub drains: u64,
+    /// Drained shards re-admitted after a clean probe streak.
+    pub readmits: u64,
+    /// Admissions that landed off the policy's full-fleet ideal shard.
+    pub rerouted: u64,
+    /// Submissions refused by every shard.
+    pub sheds: u64,
+    /// Canary probes sent to drained shards.
+    pub probes: u64,
+    /// Wall-clock duration of the fleet run.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Requests admitted across the fleet (including probes).
+    pub fn accepted(&self) -> u64 {
+        self.shards.iter().map(|s| s.accepted).sum()
+    }
+
+    /// Requests completed across the fleet (including probes).
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Accepted requests that never produced a response — 0 after a
+    /// clean drain, the zero-loss invariant the soak suite pins.
+    pub fn lost(&self) -> u64 {
+        self.accepted() - self.completed()
+    }
+
+    /// Fleet-wide end-to-end latency (all shards merged).
+    pub fn latency(&self) -> DurationStats {
+        let mut merged = DurationStats::new();
+        for shard in &self.shards {
+            merged.merge(&shard.latency);
+        }
+        merged
+    }
+
+    /// Fleet-wide end-to-end latency of one SLO class.
+    pub fn class_latency(&self, class: SloClass) -> DurationStats {
+        let mut merged = DurationStats::new();
+        for shard in &self.shards {
+            merged.merge(&shard.class_latency[class.index()]);
+        }
+        merged
+    }
+
+    /// SLO violations across the fleet.
+    pub fn slo_violations(&self) -> u64 {
+        self.shards.iter().map(|s| s.slo_violations).sum()
+    }
+
+    /// Summed offload health counters across every shard's fabric.
+    pub fn offload(&self) -> OffloadStats {
+        let mut total = OffloadStats {
+            forwards: 0,
+            faults: 0,
+            retries: 0,
+            fallbacks: 0,
+            degraded: 0,
+        };
+        for shard in &self.shards {
+            total.forwards += shard.offload.forwards;
+            total.faults += shard.offload.faults;
+            total.retries += shard.offload.retries;
+            total.fallbacks += shard.offload.fallbacks;
+            total.degraded += shard.offload.degraded;
+        }
+        total
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.completed() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-shard health phase, tracked by the monitor thread.
+enum Phase {
+    Up,
+    Draining,
+    Drained,
+}
+
+struct Track {
+    phase: Phase,
+    last: OffloadStats,
+    streak: u32,
+}
+
+/// The health monitor: offload-delta verdicts, optional `/healthz`
+/// polling, and canary probing of drained shards.
+struct Monitor {
+    shared: Arc<Shared>,
+    healths: Vec<OffloadHealth>,
+    probes: Vec<ClientHandle>,
+    probe_image: Image,
+    tracks: Vec<Track>,
+    readmit_streak: u32,
+    endpoints: Vec<Option<SocketAddr>>,
+    scrapers: Vec<Option<HttpClient>>,
+}
+
+impl Monitor {
+    fn new(config: &FleetConfig, servers: &[InferenceServer], shared: Arc<Shared>) -> Self {
+        let healths: Vec<OffloadHealth> =
+            servers.iter().map(InferenceServer::finn_health).collect();
+        let tracks = healths
+            .iter()
+            .map(|h| Track {
+                phase: Phase::Up,
+                last: h.snapshot(),
+                streak: 0,
+            })
+            .collect();
+        // One deterministic canary frame, shared by every probe.
+        let probe_scene = SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        };
+        let mut camera = SyntheticCamera::with_limit(probe_scene, 0x70726f6265, 1);
+        let probe_image = camera.capture().expect("probe camera yields one frame");
+        let endpoints: Vec<Option<SocketAddr>> =
+            servers.iter().map(InferenceServer::status_addr).collect();
+        let scrapers = endpoints.iter().map(|_| None).collect();
+        Self {
+            shared,
+            probes: servers.iter().map(InferenceServer::client).collect(),
+            healths,
+            probe_image,
+            tracks,
+            readmit_streak: config.readmit_streak.max(1),
+            endpoints,
+            scrapers,
+        }
+    }
+
+    /// Whether the shard's own `/healthz` reports drift degradation.
+    /// Connection failures are treated as "no signal", not as
+    /// degradation — the offload counters remain the authority.
+    fn healthz_degraded(&mut self, shard: usize) -> bool {
+        let Some(addr) = self.endpoints[shard] else {
+            return false;
+        };
+        for _ in 0..2 {
+            if self.scrapers[shard].is_none() {
+                self.scrapers[shard] = HttpClient::connect(addr, Duration::from_millis(500)).ok();
+            }
+            let Some(client) = self.scrapers[shard].as_mut() else {
+                return false;
+            };
+            match client.get("/healthz") {
+                Ok(response) => return response.body.contains("\"degraded\":true"),
+                // Reaped keep-alive connection: reconnect once.
+                Err(_) => self.scrapers[shard] = None,
+            }
+        }
+        false
+    }
+
+    fn drain(&mut self, shard: usize) {
+        self.shared.slots[shard].up.store(false, Ordering::Relaxed);
+        self.shared.ring.lock().remove(shard as u32);
+        self.shared.drains.fetch_add(1, Ordering::Relaxed);
+        self.tracks[shard].phase = Phase::Draining;
+    }
+
+    fn readmit(&mut self, shard: usize) {
+        self.shared.slots[shard].up.store(true, Ordering::Relaxed);
+        self.shared.ring.lock().insert(shard as u32);
+        self.shared.readmits.fetch_add(1, Ordering::Relaxed);
+        let track = &mut self.tracks[shard];
+        track.phase = Phase::Up;
+        track.streak = 0;
+    }
+
+    fn step(&mut self) {
+        for shard in 0..self.tracks.len() {
+            match self.tracks[shard].phase {
+                Phase::Up => {
+                    let snap = self.healths[shard].snapshot();
+                    let degraded = snap.degraded > self.tracks[shard].last.degraded;
+                    self.tracks[shard].last = snap;
+                    if degraded || self.healthz_degraded(shard) {
+                        self.drain(shard);
+                    }
+                }
+                Phase::Draining => {
+                    self.tracks[shard].last = self.healths[shard].snapshot();
+                    if self.shared.load_of(shard) == 0 {
+                        let track = &mut self.tracks[shard];
+                        track.phase = Phase::Drained;
+                        track.streak = 0;
+                    }
+                }
+                Phase::Drained => self.probe(shard),
+            }
+        }
+    }
+
+    /// Sends one canary through the drained shard and judges recovery
+    /// from the fabric counters it moved.
+    fn probe(&mut self, shard: usize) {
+        let before = self.healths[shard].snapshot();
+        if self.probes[shard]
+            .submit(self.probe_image.clone(), SloClass::Standard)
+            .is_err()
+        {
+            return;
+        }
+        self.shared.probes.fetch_add(1, Ordering::Relaxed);
+        // Accepted work is always answered, so this blocks only as long
+        // as the canary takes to complete.
+        let _ = self.probes[shard].recv();
+        let after = self.healths[shard].snapshot();
+        let track = &mut self.tracks[shard];
+        if after.degraded > before.degraded {
+            track.streak = 0;
+        } else if after.forwards > before.forwards {
+            track.streak += 1;
+        }
+        // Neither counter moved: a host worker stole the canary, which
+        // says nothing about the fabric — leave the streak alone.
+        track.last = after;
+        if track.streak >= self.readmit_streak {
+            self.readmit(shard);
+        }
+    }
+}
+
+fn spawn_monitor(mut monitor: Monitor, stop: Arc<AtomicBool>, every: Duration) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("tincy-fleet-health".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                monitor.step();
+                let mut waited = Duration::ZERO;
+                while waited < every && !stop.load(Ordering::Acquire) {
+                    let step = Duration::from_millis(2).min(every - waited);
+                    std::thread::sleep(step);
+                    waited += step;
+                }
+            }
+        })
+        .expect("spawn fleet health monitor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use tincy_core::SystemConfig;
+
+    fn small_fleet(policy: RoutePolicy) -> FleetConfig {
+        FleetConfig {
+            shards: 2,
+            policy,
+            base: ServeConfig {
+                system: SystemConfig {
+                    input_size: 32,
+                    seed: 5,
+                    ..Default::default()
+                },
+                cpu_workers: 1,
+                max_batch: 4,
+                score_threshold: 0.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn frames(n: u64, seed: u64) -> Vec<Image> {
+        let scene = SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        };
+        let mut camera = SyntheticCamera::with_limit(scene, seed, n);
+        std::iter::from_fn(|| camera.capture()).collect()
+    }
+
+    #[test]
+    fn fleet_serves_and_drains_cleanly() {
+        let fleet = Fleet::start(small_fleet(RoutePolicy::LeastLoaded)).unwrap();
+        assert_eq!(fleet.shards(), 2);
+        assert_eq!(fleet.up_shards(), 2);
+        let mut client = fleet.client();
+        for image in frames(6, 9) {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        client.collect_all();
+        assert!(client.in_order());
+        assert_eq!(client.counts(), (6, 6, 0, 6));
+        let report = fleet.finish();
+        assert_eq!(report.lost(), 0);
+        assert_eq!(report.routed.iter().sum::<u64>(), 6);
+        assert_eq!(report.sheds, 0);
+    }
+
+    #[test]
+    fn hash_policy_pins_a_client_to_one_shard() {
+        let fleet = Fleet::start(FleetConfig {
+            shards: 4,
+            ..small_fleet(RoutePolicy::ConsistentHash)
+        })
+        .unwrap();
+        let mut client = fleet.client();
+        for image in frames(8, 3) {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        client.collect_all();
+        assert_eq!(client.shards_used(), 1, "hash routing is sticky");
+        let report = fleet.finish();
+        assert_eq!(report.lost(), 0);
+        assert_eq!(report.rerouted, 0);
+    }
+
+    #[test]
+    fn least_loaded_spreads_across_shards() {
+        let fleet = Fleet::start(small_fleet(RoutePolicy::LeastLoaded)).unwrap();
+        let mut client = fleet.client();
+        // Submit without collecting: load accumulates, so dispatch must
+        // alternate between the two shards.
+        for image in frames(8, 4) {
+            client.submit(image, SloClass::Standard).unwrap();
+        }
+        assert_eq!(client.shards_used(), 2, "load balancing engaged");
+        client.collect_all();
+        let report = fleet.finish();
+        assert_eq!(report.lost(), 0);
+    }
+}

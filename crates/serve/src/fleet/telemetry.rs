@@ -1,0 +1,234 @@
+//! Fleet-level telemetry: router counters as first-class families, plus
+//! scrape-and-relabel aggregation — the fleet `/metrics` answers with
+//! its own `tincy_fleet_*` series followed by every shard's exposition,
+//! re-labelled with `shard="i"` and renamed into the fleet namespace
+//! (`tincy_serve_*` → `tincy_fleet_*`, `tincy_offload_*` →
+//! `tincy_fleet_offload_*`). Shards are scraped over keep-alive
+//! [`HttpClient`] connections held across scrapes; a shard that cannot
+//! be scraped is skipped (and counted) rather than failing the whole
+//! exposition.
+
+use super::router::Shared;
+use crate::json::{array_u64, JsonObject};
+use parking_lot::Mutex;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use tincy_telemetry::{
+    json_text, parse_prometheus, prometheus_text, render_prometheus, Collect, Handler, HttpClient,
+    PromSample, Registry, Response, Sample, StatusServer, Value,
+};
+
+/// Scrape timeout against a shard's loopback endpoint.
+const SCRAPE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Scrape-time view of the router state.
+struct FleetStats {
+    shared: Arc<Shared>,
+}
+
+impl Collect for FleetStats {
+    fn collect(&self) -> Vec<Sample> {
+        let s = &self.shared;
+        let counters = [
+            (
+                "tincy_fleet_drains_total",
+                "Shards drained after a degradation verdict",
+                &s.drains,
+            ),
+            (
+                "tincy_fleet_readmits_total",
+                "Drained shards re-admitted after a clean probe streak",
+                &s.readmits,
+            ),
+            (
+                "tincy_fleet_rerouted_total",
+                "Admissions landing off the policy's full-fleet ideal shard",
+                &s.rerouted,
+            ),
+            (
+                "tincy_fleet_sheds_total",
+                "Submissions refused by every shard",
+                &s.sheds,
+            ),
+            (
+                "tincy_fleet_probes_total",
+                "Canary probes sent to drained shards",
+                &s.probes,
+            ),
+            (
+                "tincy_fleet_scrape_errors_total",
+                "Shard scrapes that failed during aggregation",
+                &s.scrape_errors,
+            ),
+        ];
+        let mut out = vec![Sample::new(
+            "tincy_fleet_shards",
+            "Shards in the fleet",
+            Value::Gauge(s.slots.len() as f64),
+        )];
+        for (name, help, counter) in counters {
+            out.push(Sample::new(
+                name,
+                help,
+                Value::Counter(counter.load(Ordering::Relaxed)),
+            ));
+        }
+        for (i, slot) in s.slots.iter().enumerate() {
+            let shard = i.to_string();
+            out.push(
+                Sample::new(
+                    "tincy_fleet_shard_up",
+                    "Whether dispatch currently considers the shard (1) or it is drained (0)",
+                    Value::Gauge(f64::from(u8::from(slot.up.load(Ordering::Relaxed)))),
+                )
+                .label("shard", &shard),
+            );
+            out.push(
+                Sample::new(
+                    "tincy_fleet_shard_load",
+                    "Requests routed to the shard and not yet collected",
+                    Value::Gauge(slot.load.load(Ordering::Relaxed) as f64),
+                )
+                .label("shard", &shard),
+            );
+            out.push(
+                Sample::new(
+                    "tincy_fleet_routed_total",
+                    "Requests routed to the shard",
+                    Value::Counter(slot.routed.load(Ordering::Relaxed)),
+                )
+                .label("shard", &shard),
+            );
+        }
+        out
+    }
+}
+
+/// One shard's keep-alive scrape connection, re-established on error.
+struct ShardScraper {
+    addr: SocketAddr,
+    client: Option<HttpClient>,
+}
+
+impl ShardScraper {
+    /// One `/metrics` scrape; reconnects once on a reaped connection.
+    fn scrape(&mut self) -> Option<Vec<PromSample>> {
+        for _ in 0..2 {
+            if self.client.is_none() {
+                self.client = HttpClient::connect(self.addr, SCRAPE_TIMEOUT).ok();
+            }
+            let client = self.client.as_mut()?;
+            match client.get("/metrics") {
+                Ok(response) if response.status == 200 => {
+                    return parse_prometheus(&response.body).ok()
+                }
+                Ok(_) => return None,
+                Err(_) => self.client = None,
+            }
+        }
+        None
+    }
+}
+
+/// Moves a shard sample into the fleet namespace and tags its origin.
+fn relabel(mut sample: PromSample, shard: usize) -> PromSample {
+    sample.name = if let Some(rest) = sample.name.strip_prefix("tincy_serve_") {
+        format!("tincy_fleet_{rest}")
+    } else if let Some(rest) = sample.name.strip_prefix("tincy_offload_") {
+        format!("tincy_fleet_offload_{rest}")
+    } else {
+        sample.name
+    };
+    sample
+        .labels
+        .insert(0, ("shard".to_string(), shard.to_string()));
+    sample
+}
+
+/// Binds the fleet status endpoint: `/metrics` (router families +
+/// aggregated shard series), `/metrics.json` (router families),
+/// `/healthz` and `/report` (router counters as JSON).
+pub(super) fn bind_fleet_status(
+    addr: &str,
+    shared: Arc<Shared>,
+    shard_addrs: Vec<SocketAddr>,
+) -> io::Result<StatusServer> {
+    let registry = Arc::new(Registry::new());
+    registry.register(Arc::new(FleetStats {
+        shared: Arc::clone(&shared),
+    }) as Arc<dyn Collect>);
+    let scrapers: Arc<Mutex<Vec<ShardScraper>>> = Arc::new(Mutex::new(
+        shard_addrs
+            .into_iter()
+            .map(|addr| ShardScraper { addr, client: None })
+            .collect(),
+    ));
+    let prom = Arc::clone(&registry);
+    let prom_shared = Arc::clone(&shared);
+    let health_shared = Arc::clone(&shared);
+    let routes: Vec<(&'static str, Handler)> = vec![
+        (
+            "/metrics",
+            Box::new(move || {
+                let mut text = prometheus_text(&prom.gather());
+                let mut scrapers = scrapers.lock();
+                for (i, scraper) in scrapers.iter_mut().enumerate() {
+                    match scraper.scrape() {
+                        Some(samples) => {
+                            let relabeled: Vec<PromSample> =
+                                samples.into_iter().map(|s| relabel(s, i)).collect();
+                            text.push_str(&render_prometheus(&relabeled));
+                        }
+                        None => {
+                            prom_shared.scrape_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Response::ok("text/plain; version=0.0.4; charset=utf-8", text)
+            }),
+        ),
+        (
+            "/metrics.json",
+            Box::new(move || Response::ok("application/json", json_text(&registry.gather()))),
+        ),
+        (
+            "/healthz",
+            Box::new(move || {
+                let body = JsonObject::new()
+                    .bool("ok", true)
+                    .u64("shards", health_shared.slots.len() as u64)
+                    .u64("up", health_shared.up_count() as u64)
+                    .u64("drains", health_shared.drains.load(Ordering::Relaxed))
+                    .u64("readmits", health_shared.readmits.load(Ordering::Relaxed))
+                    .finish();
+                Response::ok("application/json", body + "\n")
+            }),
+        ),
+        (
+            "/report",
+            Box::new(move || {
+                let routed: Vec<u64> = shared
+                    .slots
+                    .iter()
+                    .map(|s| s.routed.load(Ordering::Relaxed))
+                    .collect();
+                let body = JsonObject::new()
+                    .u64("shards", shared.slots.len() as u64)
+                    .u64("up", shared.up_count() as u64)
+                    .str("policy", shared.policy.label())
+                    .raw("routed", &array_u64(&routed))
+                    .u64("drains", shared.drains.load(Ordering::Relaxed))
+                    .u64("readmits", shared.readmits.load(Ordering::Relaxed))
+                    .u64("rerouted", shared.rerouted.load(Ordering::Relaxed))
+                    .u64("sheds", shared.sheds.load(Ordering::Relaxed))
+                    .u64("probes", shared.probes.load(Ordering::Relaxed))
+                    .finish();
+                Response::ok("application/json", body)
+            }),
+        ),
+    ];
+    StatusServer::bind(addr, routes)
+}

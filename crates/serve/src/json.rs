@@ -216,6 +216,52 @@ pub fn serve_report_json(report: &ServeReport) -> String {
         .finish()
 }
 
+/// The full fleet report (the `tincy fleet --metrics-json` payload and
+/// the `BENCH_fleet.json` row body): router counters, merged fleet-wide
+/// latency, and every shard's own serve report.
+pub fn fleet_report_json(report: &crate::fleet::FleetReport) -> String {
+    let mut shards = String::from("[");
+    for (i, shard) in report.shards.iter().enumerate() {
+        if i > 0 {
+            shards.push(',');
+        }
+        shards.push_str(&serve_report_json(shard));
+    }
+    shards.push(']');
+    let mut classes = String::from("{");
+    for (i, class) in SloClass::ALL.iter().enumerate() {
+        if i > 0 {
+            classes.push(',');
+        }
+        classes.push_str(&format!(
+            "\"{}\":{}",
+            class.label(),
+            duration_stats_json(&report.class_latency(*class))
+        ));
+    }
+    classes.push('}');
+    JsonObject::new()
+        .u64("shards", report.shards.len() as u64)
+        .str("policy", report.policy.label())
+        .u64("accepted", report.accepted())
+        .u64("completed", report.completed())
+        .u64("lost", report.lost())
+        .raw("routed", &array_u64(&report.routed))
+        .u64("drains", report.drains)
+        .u64("readmits", report.readmits)
+        .u64("rerouted", report.rerouted)
+        .u64("sheds", report.sheds)
+        .u64("probes", report.probes)
+        .u64("slo_violations", report.slo_violations())
+        .raw("latency", &duration_stats_json(&report.latency()))
+        .raw("class_latency", &classes)
+        .raw("offload", &offload_stats_json(&report.offload()))
+        .f64("wall_us", micros(report.wall))
+        .f64("throughput_rps", report.throughput())
+        .raw("shard_reports", &shards)
+        .finish()
+}
+
 /// The `tincy demo --metrics-json` payload: pipeline metrics plus offload
 /// health.
 pub fn demo_metrics_json(metrics: &PipelineMetrics, offload: &OffloadStats) -> String {

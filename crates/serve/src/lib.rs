@@ -27,10 +27,16 @@
 //! exposes live metrics (`/metrics` Prometheus text, `/metrics.json`)
 //! and a mid-run [`ServeReport`] (`/report`) over a minimal HTTP
 //! endpoint backed by `tincy-telemetry`.
+//!
+//! [`fleet`] scales the single-server runtime out: N in-process shards
+//! behind a least-loaded or consistent-hash router with drain/re-admit
+//! health management, fleet-wide metrics aggregation and a multi-client
+//! load generator driven by deterministic arrival schedules.
 
 pub mod config;
 pub mod drift;
 pub mod engine;
+pub mod fleet;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
@@ -42,6 +48,11 @@ mod telemetry;
 pub use config::ServeConfig;
 pub use drift::{DriftHandle, DriftMonitor, DriftStatus, SegmentCalibrator};
 pub use engine::ServeEngine;
+pub use fleet::{
+    arrival_schedule, run_fleet_loadgen, run_fleet_loadgen_observed, ArrivalPattern, Fleet,
+    FleetClient, FleetClientOutcome, FleetConfig, FleetLoadConfig, FleetLoadReport, FleetReport,
+    HashRing, RoutePolicy,
+};
 pub use loadgen::{
     run_loadgen, run_loadgen_observed, ClientOutcome, LoadMode, LoadgenConfig, LoadgenReport,
 };

@@ -24,6 +24,18 @@
 //!                              assert the scraped counters are monotonic
 //!                              and match the final report (nonzero exit
 //!                              on violation)
+//! tincy fleet [clients [requests [input]]] [fleet flags] [--smoke]
+//!            [--scrape]
+//!                              run N in-process serve shards behind a
+//!                              least-loaded or consistent-hash router under
+//!                              a deterministic multi-client load; faulted
+//!                              shards are drained and re-admitted on
+//!                              recovery; with --smoke, assert zero lost
+//!                              responses, per-client ordering and (when a
+//!                              shard is faulted) a drain + re-admit cycle;
+//!                              with --scrape, hit the fleet --status-addr
+//!                              mid-session and assert the aggregated
+//!                              per-shard series are present and monotonic
 //! tincy trace-report [--check] [--threshold PCT] <trace.json | segments-dir>
 //!                              profile a Chrome-trace file captured with
 //!                              --trace-out, or a --trace-dir segment
@@ -39,6 +51,17 @@
 //!                              stage means within the threshold (default
 //!                              1%), and print the predicted pipelined fps
 //!                              next to the paper's
+//!
+//! fleet flags: --shards N  --policy least-loaded|hash
+//!              --pattern closed|uniform:GAP_US|diurnal:BASE_US:PERIOD_MS:RATIO
+//!                        |flash:BASE_US:AT_MS:WIDTH_MS:FACTOR
+//!              --workers N (driver threads)  --seed N
+//!              --fault-shard I (targets following --fault-seed/--outage)
+//!              --fault-seed N  --outage START:LEN
+//!              --health-every MS  --readmit-streak K  --vnodes N
+//!              --cpu-workers N  --max-batch N  --queue N  --per-client N
+//!              --engage-depth N  --status-addr HOST:PORT
+//!              --metrics-json PATH
 //!
 //! serve flags: --mode closed|open:MICROS|burst  --cpu-workers N
 //!              --max-batch N  --queue N  --per-client N  --engage-depth N
@@ -67,8 +90,9 @@ use tincy::perf::{
     StageBudget, StageId,
 };
 use tincy::serve::{
-    json, run_loadgen_observed, DriftHandle, DriftMonitor, LoadMode, LoadgenConfig, LoadgenReport,
-    SegmentCalibrator, ServeConfig, ServeReport,
+    json, run_fleet_loadgen_observed, run_loadgen_observed, ArrivalPattern, DriftHandle,
+    DriftMonitor, Fleet, FleetConfig, FleetLoadConfig, FleetLoadReport, LoadMode, LoadgenConfig,
+    LoadgenReport, RoutePolicy, SegmentCalibrator, ServeConfig, ServeReport,
 };
 use tincy::telemetry::{check_histogram_series, parse_prometheus, HttpClient, PromSample};
 use tincy::trace::{stitch_segments, DrainConfig, TraceDrainer};
@@ -89,11 +113,12 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], false),
         Some("loadgen") => cmd_serve(&args[1..], true),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("trace-report") => cmd_trace_report(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         _ => {
             eprintln!(
-                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|trace-report|calibrate> \
+                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|fleet|trace-report|calibrate> \
                  (see --help text at the top of src/bin/tincy.rs)"
             );
             return ExitCode::FAILURE;
@@ -557,6 +582,356 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     if smoke {
         return check_smoke(&report);
     }
+    Ok(())
+}
+
+/// Parses a `--pattern` value into an [`ArrivalPattern`].
+fn parse_pattern(value: &str) -> Result<ArrivalPattern, Box<dyn std::error::Error>> {
+    let micros = |s: &str| -> Result<std::time::Duration, String> {
+        Ok(std::time::Duration::from_micros(
+            s.parse().map_err(|e| format!("--pattern {value}: {e}"))?,
+        ))
+    };
+    let millis = |s: &str| -> Result<std::time::Duration, String> {
+        Ok(std::time::Duration::from_millis(
+            s.parse().map_err(|e| format!("--pattern {value}: {e}"))?,
+        ))
+    };
+    if value == "closed" {
+        return Ok(ArrivalPattern::Closed);
+    }
+    if let Some(gap) = value.strip_prefix("uniform:") {
+        return Ok(ArrivalPattern::Uniform {
+            interval: micros(gap)?,
+        });
+    }
+    if let Some(rest) = value.strip_prefix("diurnal:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [base, period, ratio] = parts.as_slice() else {
+            return Err(
+                format!("--pattern {value}: expected diurnal:BASE_US:PERIOD_MS:RATIO").into(),
+            );
+        };
+        return Ok(ArrivalPattern::Diurnal {
+            base_interval: micros(base)?,
+            period: millis(period)?,
+            peak_ratio: ratio
+                .parse()
+                .map_err(|e| format!("--pattern {value}: {e}"))?,
+        });
+    }
+    if let Some(rest) = value.strip_prefix("flash:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [base, at, width, factor] = parts.as_slice() else {
+            return Err(
+                format!("--pattern {value}: expected flash:BASE_US:AT_MS:WIDTH_MS:FACTOR").into(),
+            );
+        };
+        return Ok(ArrivalPattern::FlashCrowd {
+            base_interval: micros(base)?,
+            at: millis(at)?,
+            width: millis(width)?,
+            factor: factor
+                .parse()
+                .map_err(|e| format!("--pattern {value}: {e}"))?,
+        });
+    }
+    Err(format!(
+        "unknown pattern {value:?} (expected closed, uniform:GAP_US, \
+         diurnal:BASE_US:PERIOD_MS:RATIO or flash:BASE_US:AT_MS:WIDTH_MS:FACTOR)"
+    )
+    .into())
+}
+
+/// `tincy fleet`: N in-process shards behind a router, a multi-client
+/// deterministic load, and optional smoke/scrape assertions.
+fn cmd_fleet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut config = FleetConfig::default();
+    let mut load = FleetLoadConfig::default();
+    let mut fault_shard = 0usize;
+    let mut metrics_json: Option<String> = None;
+    let mut smoke = false;
+    let mut scrape = false;
+    let mut iter = args.iter();
+    let next_usize = |iter: &mut std::slice::Iter<'_, String>,
+                      flag: &str|
+     -> Result<usize, Box<dyn std::error::Error>> {
+        Ok(iter
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))?)
+    };
+    while let Some(arg) = iter.next() {
+        // Fault flags target the shard named by the latest --fault-shard.
+        if matches!(arg.as_str(), "--fault-seed" | "--outage") {
+            if config.shard_faults.len() <= fault_shard {
+                config
+                    .shard_faults
+                    .resize_with(fault_shard + 1, FaultPlan::none);
+            }
+            parse_fault_flag(arg, &mut iter, &mut config.shard_faults[fault_shard])?;
+            continue;
+        }
+        match arg.as_str() {
+            "--fault-shard" => fault_shard = next_usize(&mut iter, "--fault-shard")?,
+            "--shards" => config.shards = next_usize(&mut iter, "--shards")?,
+            "--policy" => {
+                config.policy = iter
+                    .next()
+                    .ok_or("--policy requires least-loaded|hash")?
+                    .parse::<RoutePolicy>()?;
+            }
+            "--pattern" => {
+                load.pattern = parse_pattern(iter.next().ok_or("--pattern requires a value")?)?;
+            }
+            "--workers" => load.workers = next_usize(&mut iter, "--workers")?,
+            "--seed" => load.seed = next_usize(&mut iter, "--seed")? as u64,
+            "--health-every" => {
+                config.health_every = std::time::Duration::from_millis(next_usize(
+                    &mut iter,
+                    "--health-every",
+                )? as u64);
+            }
+            "--readmit-streak" => {
+                config.readmit_streak = next_usize(&mut iter, "--readmit-streak")? as u32;
+            }
+            "--vnodes" => config.vnodes = next_usize(&mut iter, "--vnodes")?,
+            "--cpu-workers" => config.base.cpu_workers = next_usize(&mut iter, "--cpu-workers")?,
+            "--max-batch" => config.base.max_batch = next_usize(&mut iter, "--max-batch")?,
+            "--queue" => config.base.queue_capacity = next_usize(&mut iter, "--queue")?,
+            "--per-client" => {
+                config.base.per_client_capacity = next_usize(&mut iter, "--per-client")?;
+            }
+            "--engage-depth" => {
+                config.base.cpu_engage_depth = next_usize(&mut iter, "--engage-depth")?;
+            }
+            "--status-addr" => {
+                config.status_addr = Some(
+                    iter.next()
+                        .ok_or("--status-addr requires HOST:PORT")?
+                        .clone(),
+                );
+            }
+            "--metrics-json" => {
+                metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
+            }
+            "--smoke" => smoke = true,
+            "--scrape" => scrape = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}").into());
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() > 3 {
+        return Err(format!("unexpected argument {:?}", positional[3]).into());
+    }
+    // `TINCY_FLEET_CLIENTS` scales the default client count up to a full
+    // soak without touching the invocation (CI uses this).
+    let default_clients = match std::env::var("TINCY_FLEET_CLIENTS") {
+        Ok(value) => value
+            .parse()
+            .map_err(|e| format!("TINCY_FLEET_CLIENTS: {e}"))?,
+        Err(_) => 64,
+    };
+    load.clients = positional
+        .first()
+        .map_or(Ok(default_clients), |s| s.parse())?;
+    load.requests_per_client = positional.get(1).map_or(Ok(8), |s| s.parse())?;
+    let input: usize = positional.get(2).map_or(Ok(64), |s| s.parse())?;
+    config.base.system = SystemConfig {
+        input_size: input,
+        ..Default::default()
+    };
+    config.base.score_threshold = 0.02;
+    if scrape && config.status_addr.is_none() {
+        config.status_addr = Some("127.0.0.1:0".to_string());
+    }
+    let faulted = config.shard_faults.iter().any(|plan| !plan.is_empty());
+    let shards = config.shards;
+    let mut scraped: Option<Result<Vec<PromSample>, String>> = None;
+    let report = run_fleet_loadgen_observed(config, &load, |fleet| {
+        if scrape {
+            scraped = Some(scrape_fleet(fleet));
+        }
+    })?;
+    print_fleet_view(&report, shards);
+    if let Some(path) = metrics_json {
+        std::fs::write(&path, json::fleet_report_json(&report.fleet))?;
+        println!("metrics written to {path}");
+    }
+    if scrape {
+        let samples =
+            scraped.ok_or("scrape: the load generator never reached the observation point")??;
+        check_fleet_scrape(&samples, &report, shards)?;
+    }
+    if smoke {
+        return check_fleet_smoke(&report, faulted);
+    }
+    Ok(())
+}
+
+/// Scrapes the running fleet's status endpoint twice over one keep-alive
+/// connection (plus `/healthz`), asserting counter monotonicity between
+/// passes. Returns the last sample set.
+fn scrape_fleet(fleet: &Fleet) -> Result<Vec<PromSample>, String> {
+    let addr = fleet
+        .status_addr()
+        .ok_or("scrape requires --status-addr (the fleet has no endpoint)")?;
+    let mut client: Option<HttpClient> = None;
+    let mut last: Option<Vec<PromSample>> = None;
+    for _ in 0..2 {
+        let body = scrape_get(&mut client, addr, "/metrics")?;
+        let samples =
+            parse_prometheus(&body).map_err(|e| format!("/metrics did not parse: {e}"))?;
+        if let Some(earlier) = &last {
+            for sample in earlier {
+                if !sample.name.ends_with("_total") {
+                    continue;
+                }
+                let later = samples
+                    .iter()
+                    .find(|s| s.name == sample.name && s.labels == sample.labels)
+                    .ok_or_else(|| format!("{} vanished between scrapes", sample.name))?;
+                if later.value < sample.value {
+                    return Err(format!(
+                        "counter {} went backwards: {} -> {}",
+                        sample.name, sample.value, later.value
+                    ));
+                }
+            }
+        }
+        last = Some(samples);
+    }
+    let health = scrape_get(&mut client, addr, "/healthz")?;
+    if !health.contains("\"ok\":true") {
+        return Err(format!("GET /healthz: {health}"));
+    }
+    let samples = last.expect("two passes ran");
+    println!(
+        "scrape: {} samples from {addr}, counters monotonic across 2 keep-alive passes",
+        samples.len()
+    );
+    Ok(samples)
+}
+
+/// Asserts the aggregated fleet exposition carries the router families
+/// and every shard's re-labelled series, and that the mid-run counters
+/// never exceed the final report.
+fn check_fleet_scrape(
+    samples: &[PromSample],
+    report: &FleetLoadReport,
+    shards: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let find = |name: &str, shard: Option<usize>| -> Result<f64, String> {
+        let value = shard.map(|i| i.to_string());
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name && value.as_deref().is_none_or(|v| s.label("shard") == Some(v))
+            })
+            .map(|s| s.value)
+            .ok_or_else(|| format!("scrape is missing {name} (shard {shard:?})"))
+    };
+    let total = find("tincy_fleet_shards", None)?;
+    if total != shards as f64 {
+        return Err(format!("tincy_fleet_shards reports {total}, fleet has {shards}").into());
+    }
+    for shard in 0..shards {
+        // Router-level gauges, and the shard's own series re-labelled
+        // into the fleet namespace by the aggregator.
+        find("tincy_fleet_shard_up", Some(shard))?;
+        find("tincy_fleet_routed_total", Some(shard))?;
+        let accepted = find("tincy_fleet_accepted_total", Some(shard))?;
+        let final_accepted = report.fleet.shards[shard].accepted as f64;
+        if accepted > final_accepted {
+            return Err(format!(
+                "shard {shard} scraped {accepted} accepted mid-run, final report says \
+                 {final_accepted}"
+            )
+            .into());
+        }
+    }
+    let drains = find("tincy_fleet_drains_total", None)?;
+    if drains > report.fleet.drains as f64 {
+        return Err(format!(
+            "scraped {drains} drains mid-run, final report says {}",
+            report.fleet.drains
+        )
+        .into());
+    }
+    println!("scrape: aggregated per-shard series present and bounded by the final report");
+    Ok(())
+}
+
+fn print_fleet_view(report: &FleetLoadReport, shards: usize) {
+    let f = &report.fleet;
+    println!(
+        "fleet: {} shards ({} policy) served {} / {} accepted ({} shed, {} lost) in {:.1} ms — \
+         {:.1} req/s",
+        shards,
+        f.policy.label(),
+        f.completed(),
+        f.accepted(),
+        report.rejected(),
+        f.lost(),
+        f.wall.as_secs_f64() * 1000.0,
+        f.throughput()
+    );
+    println!(
+        "router: routed {:?}, {} rerouted, {} drains, {} readmits, {} probes",
+        f.routed, f.rerouted, f.drains, f.readmits, f.probes
+    );
+    let qs = f.latency().quantiles(&[0.50, 0.95, 0.99]);
+    println!(
+        "latency p50/p95/p99: {:.2} / {:.2} / {:.2} ms  ({} SLO violations)",
+        qs[0].as_secs_f64() * 1000.0,
+        qs[1].as_secs_f64() * 1000.0,
+        qs[2].as_secs_f64() * 1000.0,
+        f.slo_violations()
+    );
+    println!(
+        "clients: {} all in order: {}, {} detections",
+        report.outcomes.len(),
+        report.all_in_order(),
+        report.detections()
+    );
+}
+
+fn check_fleet_smoke(
+    report: &FleetLoadReport,
+    faulted: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if report.accepted() == 0 {
+        return Err("fleet smoke: no request was admitted".into());
+    }
+    if report.dropped() != 0 {
+        return Err(format!(
+            "fleet smoke: {} accepted requests were dropped",
+            report.dropped()
+        )
+        .into());
+    }
+    if report.fleet.lost() != 0 {
+        return Err(format!(
+            "fleet smoke: shards lost {} admitted requests",
+            report.fleet.lost()
+        )
+        .into());
+    }
+    if !report.all_in_order() {
+        return Err("fleet smoke: a client observed out-of-order delivery".into());
+    }
+    if faulted && (report.fleet.drains == 0 || report.fleet.readmits == 0) {
+        return Err(format!(
+            "fleet smoke: a shard was faulted but the fleet recorded {} drains and {} readmits",
+            report.fleet.drains, report.fleet.readmits
+        )
+        .into());
+    }
+    println!("fleet smoke: ok");
     Ok(())
 }
 

@@ -8,7 +8,10 @@
 
 use std::path::PathBuf;
 use tincy::core::SystemConfig;
-use tincy::serve::{run_loadgen_observed, DriftHandle, LoadMode, LoadgenConfig, ServeConfig};
+use tincy::serve::{
+    run_fleet_loadgen_observed, run_loadgen_observed, ArrivalPattern, DriftHandle, FleetConfig,
+    FleetLoadConfig, LoadMode, LoadgenConfig, ServeConfig,
+};
 use tincy::telemetry::{check_histogram_series, http_get, parse_prometheus};
 use tincy::video::SceneConfig;
 
@@ -32,6 +35,32 @@ fn shape(text: &str) -> String {
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_shape.txt")
+}
+
+fn fleet_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fleet_metrics_shape.txt")
+}
+
+/// Compares (or with `UPDATE_GOLDEN=1` rewrites) a scraped shape against
+/// its golden file.
+fn check_golden(scraped: &str, path: &PathBuf) {
+    let got = shape(scraped);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "exposition shape diverged from {}; regenerate with UPDATE_GOLDEN=1 if intended.\n--- golden\n{want}\n--- scraped\n{got}",
+        path.display()
+    );
 }
 
 #[test]
@@ -77,22 +106,58 @@ fn metrics_exposition_shape_matches_the_golden_file() {
     let samples = parse_prometheus(&scraped).expect("exposition parses");
     check_histogram_series(&samples).expect("histogram series are well-formed");
 
-    let got = shape(&scraped);
-    let path = golden_path();
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
-        std::fs::write(&path, &got).expect("write golden");
-        return;
+    check_golden(&scraped, &golden_path());
+}
+
+#[test]
+fn fleet_metrics_exposition_shape_matches_the_golden_file() {
+    let mut config = FleetConfig {
+        shards: 2,
+        status_addr: Some("127.0.0.1:0".to_string()),
+        ..Default::default()
+    };
+    config.base.system = SystemConfig {
+        input_size: 32,
+        seed: 5,
+        ..Default::default()
+    };
+    config.base.cpu_workers = 1;
+    config.base.max_batch = 4;
+    config.base.score_threshold = 0.0;
+    let load = FleetLoadConfig {
+        clients: 4,
+        requests_per_client: 2,
+        pattern: ArrivalPattern::Closed,
+        scene: SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        },
+        workers: 2,
+        ..Default::default()
+    };
+
+    let mut scraped = String::new();
+    run_fleet_loadgen_observed(config, &load, |fleet| {
+        let addr = fleet.status_addr().expect("fleet status endpoint bound");
+        let (code, body) = http_get(addr, "/metrics").expect("scrape fleet /metrics");
+        assert_eq!(code, 200, "GET /metrics failed: {body}");
+        scraped = body;
+    })
+    .expect("fleet run succeeds");
+
+    // The aggregated exposition must carry every shard's re-labelled
+    // series — a failed shard scrape would silently shrink the shape.
+    let samples = parse_prometheus(&scraped).expect("exposition parses");
+    for shard in ["0", "1"] {
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "tincy_fleet_accepted_total" && s.label("shard") == Some(shard)),
+            "aggregation dropped shard {shard}'s series"
+        );
     }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden {} ({e}); regenerate with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert!(
-        got == want,
-        "exposition shape diverged from {}; regenerate with UPDATE_GOLDEN=1 if intended.\n--- golden\n{want}\n--- scraped\n{got}",
-        path.display()
-    );
+    check_histogram_series(&samples).expect("histogram series are well-formed");
+
+    check_golden(&scraped, &fleet_golden_path());
 }
