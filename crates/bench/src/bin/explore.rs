@@ -1,0 +1,51 @@
+//! Design-space exploration bench: run the default sweep twice, assert
+//! the reproduction invariants (paper point feasible, on the frontier, at
+//! the ladder's pipelined fps; frontier substantial; fingerprint
+//! identical across runs) and write the frontier report to
+//! `BENCH_explore.json` (path overridable as the first argument). Any
+//! violated invariant panics, so the process exits nonzero.
+//!
+//! ```text
+//! cargo run -p tincy-bench --release --bin explore [-- out.json]
+//! ```
+
+use tincy_explore::{report_json, report_table, run_sweep, SweepConfig};
+use tincy_json::JsonObject;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_explore.json".to_owned());
+    let config = SweepConfig::default();
+    let report = run_sweep(&config);
+    print!("{}", report_table(&report));
+    report
+        .check()
+        .unwrap_or_else(|violation| panic!("explore check failed: {violation}"));
+
+    let rerun = run_sweep(&config);
+    assert_eq!(
+        report.fingerprint, rerun.fingerprint,
+        "identically-configured sweeps must fingerprint identically"
+    );
+    assert_eq!(report, rerun, "sweep reports must be deterministic");
+
+    let json = JsonObject::new()
+        .str("bench", "explore")
+        .str("fingerprint", &format!("{:016x}", report.fingerprint))
+        .str("fingerprint_rerun", &format!("{:016x}", rerun.fingerprint))
+        .u64("frontier_points", report.frontier.len() as u64)
+        .u64(
+            "frontier_edit_subsets",
+            report.frontier_edit_subsets().len() as u64,
+        )
+        .raw("report", &report_json(&report))
+        .finish();
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "explore: frontier of {} points over {} edit subsets, fingerprint {:016x} -> {out_path}",
+        report.frontier.len(),
+        report.frontier_edit_subsets().len(),
+        report.fingerprint
+    );
+}

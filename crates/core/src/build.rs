@@ -9,8 +9,8 @@
 use crate::topology::tincy_yolo_with_input;
 use tincy_finn::{EngineConfig, FabricBackend, FaultPlan, FABRIC_LIBRARY};
 use tincy_nn::{
-    BackendRegistry, ConvSpec, LayerSpec, Network, NetworkSpec, NnError, OffloadHealth,
-    OffloadSpec, PoolSpec, RetryPolicy,
+    BackendRegistry, ConvSpec, FoldSpec, LayerSpec, ModelSpec, Network, NetworkSpec, NnError,
+    OffloadHealth, OffloadSpec, PoolSpec, RetryPolicy,
 };
 use tincy_tensor::Shape3;
 
@@ -45,10 +45,36 @@ impl Default for SystemConfig {
     }
 }
 
-/// Extracts the offloaded hidden stack from the Tincy topology: every
-/// hidden binary conv layer paired with its immediately following pool.
-pub fn hidden_stack(input_size: usize) -> Vec<(ConvSpec, Option<PoolSpec>)> {
-    let spec = tincy_yolo_with_input(input_size);
+impl SystemConfig {
+    /// The design point this configuration describes: the Tincy topology
+    /// at the configured input size, with this configuration's folding,
+    /// activation step and seed.
+    pub fn model(&self) -> ModelSpec {
+        ModelSpec {
+            act_step: self.act_step,
+            fold: FoldSpec::from(self.engine),
+            seed: self.seed,
+            ..tincy_model(self.input_size)
+        }
+    }
+}
+
+/// The paper's shipped design point as a [`ModelSpec`]: Tincy YOLO at
+/// the given input size, 16×16 folding at 300 MHz, eighth activation
+/// step.
+pub fn tincy_model(input_size: usize) -> ModelSpec {
+    ModelSpec {
+        name: "tincy-yolo".to_owned(),
+        network: tincy_yolo_with_input(input_size),
+        fold: FoldSpec::SHIPPED,
+        act_step: 0.125,
+        seed: 1,
+    }
+}
+
+/// Extracts the offloaded hidden stack from a topology: every offloadable
+/// conv layer paired with its immediately following pool.
+pub fn hidden_stack_of(spec: &NetworkSpec) -> Vec<(ConvSpec, Option<PoolSpec>)> {
     let mut stack = Vec::new();
     let mut iter = spec.layers.iter().peekable();
     while let Some(layer) = iter.next() {
@@ -69,20 +95,30 @@ pub fn hidden_stack(input_size: usize) -> Vec<(ConvSpec, Option<PoolSpec>)> {
     stack
 }
 
-/// Builds a backend registry with the fabric simulator registered under
-/// [`FABRIC_LIBRARY`].
-pub fn fabric_registry(config: &SystemConfig) -> BackendRegistry {
+/// [`hidden_stack_of`] for the Tincy topology at an input size.
+pub fn hidden_stack(input_size: usize) -> Vec<(ConvSpec, Option<PoolSpec>)> {
+    hidden_stack_of(&tincy_yolo_with_input(input_size))
+}
+
+/// Builds a backend registry for a design point, with the fabric
+/// simulator registered under [`FABRIC_LIBRARY`].
+pub fn fabric_registry_for(model: &ModelSpec, fault_plan: FaultPlan) -> BackendRegistry {
     let mut registry = BackendRegistry::new();
-    let hidden = hidden_stack(config.input_size);
-    let engine = config.engine;
-    let act_step = config.act_step;
-    let fault_plan = config.fault_plan;
+    let hidden = hidden_stack_of(&model.network);
+    let engine = EngineConfig::from(model.fold);
+    let act_step = model.act_step;
     registry.register(FABRIC_LIBRARY, move || {
         let mut backend = FabricBackend::new(hidden.clone(), engine, act_step);
         backend.set_fault_plan(fault_plan);
         Box::new(backend)
     });
     registry
+}
+
+/// Builds a backend registry with the fabric simulator registered under
+/// [`FABRIC_LIBRARY`].
+pub fn fabric_registry(config: &SystemConfig) -> BackendRegistry {
+    fabric_registry_for(&config.model(), config.fault_plan)
 }
 
 /// Applies the system's retry policy to every offload layer in a layer
@@ -112,41 +148,72 @@ pub fn offload_position(layers: &mut [Box<dyn tincy_nn::Layer>]) -> Option<usize
         .position(|layer| layer.as_offload_mut().is_some())
 }
 
-/// The offloaded network specification (Fig 4): input conv on the CPU,
-/// one `[offload]` section subsuming all hidden layers, output conv and
-/// region head on the CPU.
-pub fn offloaded_spec(input_size: usize) -> NetworkSpec {
-    let full = tincy_yolo_with_input(input_size);
-    let grid = input_size / 32;
-    let hidden_ops: u64 = {
-        let mut shape = full.input;
-        let mut total = 0;
-        for layer in &full.layers {
-            if let LayerSpec::Conv(c) = layer {
-                if c.precision.offloadable() {
-                    total += layer.ops(shape);
-                }
-            }
-            shape = layer.output_shape(shape);
-        }
-        total
-    };
+/// The offloaded network specification for a design point (Fig 4): CPU
+/// layers stay as-is and the contiguous offloadable run — each
+/// offloadable conv with its riding pool — collapses into one
+/// `[offload]` section. A model without offloadable layers comes back
+/// unchanged (a pure CPU deployment).
+pub fn offloaded_spec_of(model: &ModelSpec) -> NetworkSpec {
+    let full = &model.network;
     let mut spec = NetworkSpec::new(full.input);
-    // L1 stays on the CPU.
-    spec.layers.push(full.layers[0].clone());
-    // The hidden stack becomes one offload layer.
-    spec.layers.push(LayerSpec::Offload(OffloadSpec {
-        library: FABRIC_LIBRARY.to_owned(),
-        network: "tincy-yolo-offload.json".to_owned(),
-        weights: "binparam-tincy-yolo/".to_owned(),
-        out_shape: Shape3::new(512, grid, grid),
-        ops: hidden_ops,
-    }));
-    // Output conv and region head stay on the CPU.
-    let tail = full.layers.len() - 2;
-    spec.layers.push(full.layers[tail].clone());
-    spec.layers.push(full.layers[tail + 1].clone());
+    let mut shape = full.input;
+    let mut segment_ops = 0u64;
+    let mut in_segment = false;
+    let mut iter = full.layers.iter().peekable();
+    while let Some(layer) = iter.next() {
+        let offloadable = matches!(layer, LayerSpec::Conv(c) if c.precision.offloadable());
+        if offloadable {
+            in_segment = true;
+            segment_ops += layer.ops(shape);
+            shape = layer.output_shape(shape);
+            // The immediately following pool rides on the engine's
+            // in-stream pool unit (hidden_stack_of pairs them the same
+            // way).
+            if let Some(LayerSpec::MaxPool(p)) = iter.peek() {
+                shape = p.geom().output_shape(shape);
+                iter.next();
+            }
+            continue;
+        }
+        if in_segment {
+            in_segment = false;
+            spec.layers.push(offload_layer(model, shape, segment_ops));
+            segment_ops = 0;
+        }
+        spec.layers.push(layer.clone());
+        shape = layer.output_shape(shape);
+    }
+    if in_segment {
+        spec.layers.push(offload_layer(model, shape, segment_ops));
+    }
     spec
+}
+
+fn offload_layer(model: &ModelSpec, out_shape: Shape3, ops: u64) -> LayerSpec {
+    LayerSpec::Offload(OffloadSpec {
+        library: FABRIC_LIBRARY.to_owned(),
+        network: format!("{}-offload.json", model.name),
+        weights: format!("binparam-{}/", model.name),
+        out_shape,
+        ops,
+    })
+}
+
+/// The offloaded Tincy network specification at an input size.
+pub fn offloaded_spec(input_size: usize) -> NetworkSpec {
+    offloaded_spec_of(&tincy_model(input_size))
+}
+
+/// Builds the runnable network for a design point with random
+/// (deterministic) weights: offloadable layers on the fabric simulator,
+/// everything else on the CPU.
+///
+/// # Errors
+///
+/// Propagates network construction failures.
+pub fn build_network_for(model: &ModelSpec, fault_plan: FaultPlan) -> Result<Network, NnError> {
+    let registry = fabric_registry_for(model, fault_plan);
+    Network::from_spec(&offloaded_spec_of(model), &registry, model.seed)
 }
 
 /// Builds the runnable offloaded network with random (deterministic)
@@ -156,8 +223,7 @@ pub fn offloaded_spec(input_size: usize) -> NetworkSpec {
 ///
 /// Propagates network construction failures.
 pub fn build_offloaded_network(config: &SystemConfig) -> Result<Network, NnError> {
-    let registry = fabric_registry(config);
-    Network::from_spec(&offloaded_spec(config.input_size), &registry, config.seed)
+    build_network_for(&config.model(), config.fault_plan)
 }
 
 #[cfg(test)]
@@ -208,6 +274,49 @@ mod tests {
         let out = net.forward(&input).unwrap();
         assert_eq!(out.shape(), Shape3::new(125, 1, 1));
         assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn offloaded_spec_of_keeps_fig4_naming() {
+        // The generalized segmentation reproduces the historical Fig 4
+        // section for the shipped model, including the artifact names.
+        let spec = offloaded_spec(416);
+        match &spec.layers[1] {
+            LayerSpec::Offload(o) => {
+                assert_eq!(o.network, "tincy-yolo-offload.json");
+                assert_eq!(o.weights, "binparam-tincy-yolo/");
+                assert_eq!(o.out_shape, Shape3::new(512, 13, 13));
+            }
+            other => panic!("expected offload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_without_offloadable_layers_passes_through() {
+        let mut model = tincy_model(416);
+        for layer in &mut model.network.layers {
+            if let LayerSpec::Conv(c) = layer {
+                c.precision = tincy_quant::PrecisionConfig::W8A8;
+            }
+        }
+        let spec = offloaded_spec_of(&model);
+        assert_eq!(spec, model.network);
+    }
+
+    #[test]
+    fn system_config_model_round_trips_the_fold() {
+        let config = SystemConfig {
+            input_size: 32,
+            seed: 9,
+            ..Default::default()
+        };
+        let model = config.model();
+        assert_eq!(EngineConfig::from(model.fold), config.engine);
+        assert_eq!(model.seed, 9);
+        assert_eq!(model.network, tincy_yolo_with_input(32));
+        // And the model document survives serialization.
+        let back = ModelSpec::from_json(&model.to_json()).unwrap();
+        assert_eq!(back, model);
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub mod topology;
 pub mod variants;
 
 pub use build::{
-    arm_offload_resilience, build_offloaded_network, fabric_registry, offload_position,
-    offloaded_spec, SystemConfig,
+    arm_offload_resilience, build_network_for, build_offloaded_network, fabric_registry,
+    fabric_registry_for, hidden_stack, hidden_stack_of, offload_position, offloaded_spec,
+    offloaded_spec_of, tincy_model, SystemConfig,
 };
 pub use demo::{run_demo, DemoConfig, DemoReport};
 pub use deploy::DeployedDetector;

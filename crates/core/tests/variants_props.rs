@@ -1,0 +1,135 @@
+//! Property tests for the §III-E topology rewrites: each transformation
+//! preserves the structural invariants that make it an admissible rewrite
+//! of a Tiny-YOLO-style network — not just on the paper's exact topology
+//! but across the whole family.
+
+use proptest::prelude::*;
+use tincy_core::{quantize_for_fabric, transform_a, transform_bc, transform_d};
+use tincy_nn::{Activation, ConvSpec, LayerSpec, NetworkSpec, PoolSpec};
+use tincy_quant::PrecisionConfig;
+use tincy_tensor::Shape3;
+
+fn conv(filters: usize, size: usize, activation: Activation) -> LayerSpec {
+    LayerSpec::Conv(ConvSpec {
+        filters,
+        size,
+        stride: 1,
+        pad: size / 2,
+        activation,
+        batch_normalize: size != 1,
+        precision: PrecisionConfig::FLOAT,
+    })
+}
+
+fn pool() -> LayerSpec {
+    LayerSpec::MaxPool(PoolSpec { size: 2, stride: 2 })
+}
+
+/// A Tiny-YOLO-shaped network: stride-1 first conv, a 2×2/2 pool, then a
+/// random tail of conv/pool stages and a 1×1 head. Spatial size stays a
+/// power-of-two multiple of the pool count, so every pool divides evenly.
+fn tiny_like() -> impl Strategy<Value = NetworkSpec> {
+    let tail = proptest::collection::vec(
+        (
+            8usize..64,
+            any::<bool>(),
+            prop_oneof![Just(Activation::Leaky), Just(Activation::Relu)],
+        ),
+        1..5,
+    );
+    ((8usize..40), tail).prop_map(|(first_filters, tail)| {
+        let mut spec = NetworkSpec::new(Shape3::new(3, 64, 64))
+            .with(conv(first_filters, 3, Activation::Leaky))
+            .with(pool());
+        let mut pools = 1;
+        for (filters, pool_after, act) in tail {
+            spec = spec.with(conv(filters, 3, act));
+            if pool_after && pools < 4 {
+                spec = spec.with(pool());
+                pools += 1;
+            }
+        }
+        spec.with(conv(10, 1, Activation::Linear))
+    })
+}
+
+/// The `(height, width)` footprint of every layer output — the part of
+/// the shape flow channel-width rewrites must not disturb.
+fn spatial_profile(spec: &NetworkSpec) -> Vec<(usize, usize)> {
+    spec.output_shapes()
+        .iter()
+        .map(|s| (s.height, s.width))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn transform_a_preserves_everything_but_activations(spec in tiny_like()) {
+        let after = transform_a(spec.clone());
+        prop_assert_eq!(after.layers.len(), spec.layers.len());
+        prop_assert_eq!(after.total_ops(), spec.total_ops());
+        prop_assert_eq!(after.output_shapes(), spec.output_shapes());
+        prop_assert!(after.layers.iter().all(|l| !matches!(
+            l,
+            LayerSpec::Conv(c) if c.activation == Activation::Leaky
+        )));
+        // Idempotent: a second application is a no-op.
+        prop_assert_eq!(transform_a(after.clone()), after.clone());
+        prop_assert!(after.validate().is_ok());
+    }
+
+    #[test]
+    fn transform_bc_preserves_layer_count_and_spatial_flow(spec in tiny_like()) {
+        let after = transform_bc(spec.clone());
+        prop_assert_eq!(after.layers.len(), spec.layers.len());
+        prop_assert_eq!(spatial_profile(&after), spatial_profile(&spec));
+        prop_assert!(after.validate().is_ok());
+    }
+
+    #[test]
+    fn transform_d_trades_the_pool_for_stride_and_keeps_geometry(spec in tiny_like()) {
+        let after = transform_d(spec.clone());
+        prop_assert_eq!(after.layers.len(), spec.layers.len() - 1);
+        // The admissibility condition: the lean stride-2 convolution
+        // reproduces the conv+pool footprint exactly.
+        prop_assert_eq!(after.output_shape(), spec.output_shape());
+        prop_assert!(after.validate().is_ok());
+        match after.layers.first() {
+            Some(LayerSpec::Conv(c)) => prop_assert_eq!(c.stride, 2),
+            other => prop_assert!(false, "first layer is not a conv: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantize_for_fabric_touches_only_precisions(spec in tiny_like()) {
+        let after = quantize_for_fabric(spec.clone());
+        prop_assert_eq!(after.layers.len(), spec.layers.len());
+        prop_assert_eq!(after.output_shapes(), spec.output_shapes());
+        prop_assert!(after.validate().is_ok());
+        let precisions: Vec<PrecisionConfig> = after
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                LayerSpec::Conv(c) => Some(c.precision),
+                _ => None,
+            })
+            .collect();
+        let n = precisions.len();
+        prop_assert!(n >= 3);
+        prop_assert_eq!(precisions[0], PrecisionConfig::W8A8);
+        prop_assert_eq!(precisions[n - 1], PrecisionConfig::W8A8);
+        prop_assert!(precisions[1..n - 1]
+            .iter()
+            .all(|p| *p == PrecisionConfig::W1A3));
+    }
+
+    #[test]
+    fn composed_rewrites_commute_with_shape_flow(spec in tiny_like()) {
+        // The full Tincy derivation applied to any family member keeps a
+        // valid network with the same output geometry.
+        let derived = quantize_for_fabric(transform_d(transform_bc(transform_a(spec.clone()))));
+        prop_assert!(derived.validate().is_ok());
+        prop_assert_eq!(derived.output_shape(), spec.output_shape());
+        prop_assert_eq!(derived.layers.len(), spec.layers.len() - 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Pareto dominance over (throughput ↑, accuracy ↑, utilization ↓) and a
+//! deterministic frontier fingerprint.
+
+/// The three objective values of one feasible design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Pipelined throughput, fps (maximize).
+    pub fps: f64,
+    /// Accuracy proxy, mAP % (maximize).
+    pub accuracy: f64,
+    /// Mean fraction of the resource budget (minimize).
+    pub utilization: f64,
+}
+
+/// Whether `a` Pareto-dominates `b`: no worse on every objective and
+/// strictly better on at least one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let no_worse = a.fps >= b.fps && a.accuracy >= b.accuracy && a.utilization <= b.utilization;
+    let better = a.fps > b.fps || a.accuracy > b.accuracy || a.utilization < b.utilization;
+    no_worse && better
+}
+
+/// Indices of the non-dominated points, in input order. Of a group of
+/// duplicates (identical objectives) only the first index is kept, so the
+/// frontier is both minimal and deterministic.
+pub fn pareto_frontier(points: &[Objectives]) -> Vec<usize> {
+    let mut frontier = Vec::new();
+    'candidate: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && (dominates(q, p) || (q == p && j < i)) {
+                continue 'candidate;
+            }
+        }
+        frontier.push(i);
+    }
+    frontier
+}
+
+/// FNV-1a 64-bit hash over the sorted lines — a stable fingerprint for a
+/// frontier summary that is independent of enumeration order.
+pub fn fingerprint(lines: &[String]) -> u64 {
+    let mut sorted: Vec<&String> = lines.iter().collect();
+    sorted.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in sorted {
+        for byte in line.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn obj(fps: f64, accuracy: f64, utilization: f64) -> Objectives {
+        Objectives {
+            fps,
+            accuracy,
+            utilization,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = obj(10.0, 50.0, 0.5);
+        assert!(!dominates(&a, &a));
+        assert!(dominates(&obj(11.0, 50.0, 0.5), &a));
+        assert!(dominates(&obj(10.0, 50.0, 0.4), &a));
+        // Trade-offs do not dominate.
+        assert!(!dominates(&obj(11.0, 49.0, 0.5), &a));
+        assert!(!dominates(&a, &obj(11.0, 49.0, 0.5)));
+    }
+
+    #[test]
+    fn frontier_drops_dominated_and_duplicate_points() {
+        let points = vec![
+            obj(10.0, 50.0, 0.5),
+            obj(5.0, 40.0, 0.6),  // dominated by the first
+            obj(12.0, 45.0, 0.7), // trade-off: kept
+            obj(10.0, 50.0, 0.5), // duplicate: dropped
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0, 2]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_collision_averse() {
+        let a = vec!["x|1".to_owned(), "y|2".to_owned()];
+        let b = vec!["y|2".to_owned(), "x|1".to_owned()];
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = vec!["x|1".to_owned(), "y|3".to_owned()];
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        // Line boundaries matter: ["ab"] != ["a", "b"].
+        assert_ne!(
+            fingerprint(&["ab".to_owned()]),
+            fingerprint(&["a".to_owned(), "b".to_owned()])
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn frontier_invariants_hold(
+            raw in proptest::collection::vec((0u32..40, 0u32..40, 0u32..40), 1..60)
+        ) {
+            let points: Vec<Objectives> = raw
+                .iter()
+                .map(|&(f, a, u)| obj(f64::from(f), f64::from(a), f64::from(u) / 40.0))
+                .collect();
+            let frontier = pareto_frontier(&points);
+            prop_assert!(!frontier.is_empty());
+            // No frontier point is dominated by any point.
+            for &i in &frontier {
+                for q in &points {
+                    prop_assert!(!dominates(q, &points[i]));
+                }
+            }
+            // Every excluded point is dominated by (or duplicates) a
+            // frontier point.
+            for (j, q) in points.iter().enumerate() {
+                if !frontier.contains(&j) {
+                    prop_assert!(
+                        frontier
+                            .iter()
+                            .any(|&i| dominates(&points[i], q) || points[i] == *q),
+                        "point {j} excluded but neither dominated nor duplicate"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Machine-readable and human-readable renderings of a sweep report.
+
+use crate::sweep::{EvaluatedPoint, ExploreReport};
+use std::fmt::Write as _;
+use tincy_json::{JsonArray, JsonObject};
+
+fn point_json(point: &EvaluatedPoint) -> String {
+    JsonObject::new()
+        .str("id", &point.point.id())
+        .str("edits", &point.point.edits.label())
+        .str("hidden", point.point.profile.label())
+        .u64("pe", point.point.pe as u64)
+        .u64("simd", point.point.simd as u64)
+        .f64("fps", point.eval.fps)
+        .f64("accuracy_proxy", point.eval.accuracy)
+        .f64("utilization", point.utilization)
+        .u64("luts", point.eval.resource.luts)
+        .u64("bram36", point.eval.resource.bram36)
+        .u64("dsps", point.eval.resource.dsps)
+        .f64("hidden_ms", point.eval.hidden_ms)
+        .f64("frame_ms", point.eval.frame_ms)
+        .bool("offloaded", point.eval.offloaded)
+        .bool("on_frontier", point.on_frontier)
+        .finish()
+}
+
+/// Renders the full report as JSON: sweep configuration, prune counts,
+/// the frontier (sorted fastest first) and the deterministic fingerprint.
+pub fn report_json(report: &ExploreReport) -> String {
+    let budget = JsonObject::new()
+        .u64("luts", report.config.budget.luts)
+        .u64("bram36", report.config.budget.bram36)
+        .u64("dsps", report.config.budget.dsps)
+        .finish();
+    let bounds = JsonObject::new()
+        .u64("pe_min", report.config.pe_bounds.0 as u64)
+        .u64("pe_max", report.config.pe_bounds.1 as u64)
+        .u64("simd_min", report.config.simd_bounds.0 as u64)
+        .u64("simd_max", report.config.simd_bounds.1 as u64)
+        .finish();
+    let pruned = JsonObject::new()
+        .u64("illegal_fold", report.pruned.illegal_fold as u64)
+        .u64("undeployable", report.pruned.undeployable as u64)
+        .u64("over_budget", report.pruned.over_budget as u64)
+        .finish();
+    let mut frontier = JsonArray::new();
+    for point in sorted_frontier(report) {
+        frontier.raw(&point_json(point));
+    }
+    let mut obj = JsonObject::new()
+        .str("device", report.config.device.name)
+        .raw("budget", &budget)
+        .raw("bounds", &bounds)
+        .u64("enumerated", report.enumerated as u64)
+        .raw("pruned", &pruned)
+        .u64("feasible", report.feasible.len() as u64)
+        .raw("frontier", &frontier.finish());
+    if let Some(i) = report.paper_index() {
+        obj = obj.raw("paper_point", &point_json(&report.feasible[i]));
+    }
+    obj.str("fingerprint", &format!("{:016x}", report.fingerprint))
+        .finish()
+}
+
+/// The frontier sorted for presentation: fastest first, ties broken by
+/// accuracy (desc) then id (asc).
+fn sorted_frontier(report: &ExploreReport) -> Vec<&EvaluatedPoint> {
+    let mut points: Vec<&EvaluatedPoint> = report.frontier_points().collect();
+    points.sort_by(|a, b| {
+        b.eval
+            .fps
+            .partial_cmp(&a.eval.fps)
+            .expect("fps is finite")
+            .then(
+                b.eval
+                    .accuracy
+                    .partial_cmp(&a.eval.accuracy)
+                    .expect("accuracy is finite"),
+            )
+            .then_with(|| a.point.id().cmp(&b.point.id()))
+    });
+    points
+}
+
+/// Renders the frontier as a fixed-width table, the paper's shipped
+/// configuration marked with `*`.
+pub fn report_table(report: &ExploreReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "design space: {} candidates, {} pruned ({} illegal fold, {} undeployable, {} over budget), {} feasible",
+        report.enumerated,
+        report.pruned.total(),
+        report.pruned.illegal_fold,
+        report.pruned.undeployable,
+        report.pruned.over_budget,
+        report.feasible.len(),
+    );
+    let _ = writeln!(
+        out,
+        "frontier ({} points, device {}, fingerprint {:016x}):",
+        report.frontier.len(),
+        report.config.device.name,
+        report.fingerprint,
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>7} {:>8} {:>6} {:>7} {:>7} {:>5} {:>9}",
+        "design", "fps", "mAP%", "util%", "LUT", "BRAM36", "DSP", "hidden ms"
+    );
+    for point in sorted_frontier(report) {
+        let marker = if point.point == crate::design::DesignPoint::PAPER {
+            "*"
+        } else {
+            " "
+        };
+        let _ = writeln!(
+            out,
+            "{marker} {:<22} {:>7.2} {:>8.1} {:>6.1} {:>7} {:>7} {:>5} {:>9.2}",
+            point.point.id(),
+            point.eval.fps,
+            point.eval.accuracy,
+            point.utilization * 100.0,
+            point.eval.resource.luts,
+            point.eval.resource.bram36,
+            point.eval.resource.dsps,
+            point.eval.hidden_ms,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use tincy_json::{parse, JsonValue};
+
+    fn report() -> ExploreReport {
+        run_sweep(&SweepConfig::default())
+    }
+
+    #[test]
+    fn json_parses_and_mirrors_the_report() {
+        let report = report();
+        let value = parse(&report_json(&report)).unwrap();
+        assert_eq!(
+            value.get("device").and_then(JsonValue::as_str),
+            Some(report.config.device.name)
+        );
+        let frontier = value.get("frontier").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(frontier.len(), report.frontier.len());
+        assert_eq!(
+            value.get("fingerprint").and_then(JsonValue::as_str),
+            Some(format!("{:016x}", report.fingerprint).as_str())
+        );
+        for point in frontier {
+            assert_eq!(point.get("on_frontier"), Some(&JsonValue::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn json_carries_the_paper_point() {
+        let value = parse(&report_json(&report())).unwrap();
+        let paper = value.get("paper_point").unwrap();
+        assert_eq!(
+            paper.get("id").and_then(JsonValue::as_str),
+            Some("a+bc+d/w1a3/pe16x16")
+        );
+        assert_eq!(paper.get("on_frontier"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn table_marks_the_paper_row_and_sorts_fastest_first() {
+        let report = report();
+        let table = report_table(&report);
+        assert!(table.contains("* a+bc+d/w1a3/pe16x16"));
+        let fps: Vec<f64> = sorted_frontier(&report)
+            .iter()
+            .map(|p| p.eval.fps)
+            .collect();
+        assert!(fps.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -29,11 +29,28 @@ impl Default for EngineConfig {
     fn default() -> Self {
         // 16x16 at 300 MHz: 256 binary MACs/cycle, the operating point that
         // reproduces the paper's 30 ms hidden-layer budget.
+        Self::from(tincy_nn::FoldSpec::SHIPPED)
+    }
+}
+
+impl From<tincy_nn::FoldSpec> for EngineConfig {
+    fn from(fold: tincy_nn::FoldSpec) -> Self {
         Self {
-            pe: 16,
-            simd: 16,
-            clock_hz: 300_000_000,
-            pipeline_latency: 256,
+            pe: fold.pe,
+            simd: fold.simd,
+            clock_hz: fold.clock_hz,
+            pipeline_latency: fold.pipeline_latency,
+        }
+    }
+}
+
+impl From<EngineConfig> for tincy_nn::FoldSpec {
+    fn from(config: EngineConfig) -> Self {
+        Self {
+            pe: config.pe,
+            simd: config.simd,
+            clock_hz: config.clock_hz,
+            pipeline_latency: config.pipeline_latency,
         }
     }
 }

@@ -41,5 +41,5 @@ pub use device::FpgaDevice;
 pub use engine::{conv_layer_cycles, max_pool_levels, ConvEngine, EngineConfig};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, FaultWindow};
 pub use mvtu::Mvtu;
-pub use resource::ResourceEstimate;
+pub use resource::{model_estimate, ResourceEstimate};
 pub use sliding::SlidingWindow;

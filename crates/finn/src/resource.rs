@@ -5,7 +5,9 @@
 //! logic), its weight storage comes from BRAM, and a fixed overhead covers
 //! the sliding-window unit, stream infrastructure and control.
 
+use crate::engine::EngineConfig;
 use std::ops::Add;
+use tincy_nn::{LayerSpec, ModelSpec};
 
 /// A LUT/BRAM/DSP bill of materials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +65,33 @@ impl ResourceEstimate {
             dsps: 0, // binary weights need no multipliers
         }
     }
+}
+
+/// Estimates the fabric bill of materials for a whole design point: one
+/// time-multiplexed engine at the model's folding, sized by the largest
+/// offloadable layer's weight store and the widest activation among the
+/// offloaded layers. A model with no offloadable layer needs no engine
+/// and costs nothing.
+pub fn model_estimate(model: &ModelSpec) -> ResourceEstimate {
+    let mut shape = model.network.input;
+    let mut max_weight_bits = 0u64;
+    let mut max_levels = 0usize;
+    for layer in &model.network.layers {
+        if let LayerSpec::Conv(c) = layer {
+            if c.precision.offloadable() {
+                let weights = (c.filters * c.size * c.size * shape.channels) as u64;
+                max_weight_bits =
+                    max_weight_bits.max(weights * u64::from(c.precision.weights.bits()));
+                max_levels = max_levels.max(c.precision.activations.levels());
+            }
+        }
+        shape = layer.output_shape(shape);
+    }
+    if max_weight_bits == 0 {
+        return ResourceEstimate::default();
+    }
+    let config = EngineConfig::from(model.fold);
+    ResourceEstimate::conv_engine(config.pe, config.simd, max_weight_bits, max_levels)
 }
 
 #[cfg(test)]

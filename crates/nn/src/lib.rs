@@ -16,6 +16,8 @@
 //! * [`batchnorm`] — batch normalization and its folding,
 //! * [`offload`] — the offload layer and backend registry (the `dlopen`
 //!   analog),
+//! * [`model`] — serializable [`ModelSpec`]/[`FoldSpec`] design points
+//!   (topology + folding + quantization) with a JSON round-trip,
 //! * [`network`] — the network container with whole-net *and* per-layer
 //!   forward entry points ("the network inference had to be disintegrated
 //!   to gain access to the invocations of the individual layers", §III-F),
@@ -28,6 +30,7 @@ pub mod conv;
 pub mod error;
 pub mod layer;
 pub mod maxpool;
+pub mod model;
 pub mod network;
 pub mod offload;
 pub mod region;
@@ -41,6 +44,7 @@ pub use conv::{ConvCompute, ConvLayer};
 pub use error::NnError;
 pub use layer::Layer;
 pub use maxpool::MaxPoolLayer;
+pub use model::{FoldSpec, ModelSpec};
 pub use network::Network;
 pub use offload::{
     run_with_resilience, run_with_resilience_n, BackendRegistry, OffloadBackend, OffloadConfig,

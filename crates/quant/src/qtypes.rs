@@ -114,6 +114,60 @@ impl PrecisionConfig {
     pub const fn weight_bytes(&self, n: usize) -> usize {
         (n * self.weights.bits() as usize).div_ceil(8)
     }
+
+    /// The lowercase serialization token (`"w1a3"`, `"float"`), the
+    /// inverse of [`FromStr`](std::str::FromStr).
+    pub fn token(&self) -> String {
+        if *self == Self::FLOAT {
+            return "float".to_owned();
+        }
+        let w = match self.weights {
+            WeightPrecision::Float => "wf".to_owned(),
+            other => format!("w{}", other.bits()),
+        };
+        let a = match self.activations {
+            ActPrecision::Float => "af".to_owned(),
+            other => format!("a{}", other.bits()),
+        };
+        format!("{w}{a}")
+    }
+}
+
+impl std::str::FromStr for PrecisionConfig {
+    type Err = String;
+
+    /// Parses the [`token`](Self::token) form, accepting any weight×act
+    /// combination (`w2a8`, `wfa3`, …), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        if lower == "float" {
+            return Ok(Self::FLOAT);
+        }
+        let rest = lower
+            .strip_prefix('w')
+            .ok_or_else(|| format!("unknown precision {s:?}"))?;
+        let (w, a) = rest
+            .split_once('a')
+            .ok_or_else(|| format!("unknown precision {s:?}"))?;
+        let weights = match w {
+            "f" => WeightPrecision::Float,
+            "8" => WeightPrecision::W8,
+            "2" => WeightPrecision::W2,
+            "1" => WeightPrecision::W1,
+            _ => return Err(format!("unknown weight precision {s:?}")),
+        };
+        let activations = match a {
+            "f" => ActPrecision::Float,
+            "8" => ActPrecision::A8,
+            "3" => ActPrecision::A3,
+            "1" => ActPrecision::A1,
+            _ => return Err(format!("unknown activation precision {s:?}")),
+        };
+        Ok(Self {
+            weights,
+            activations,
+        })
+    }
 }
 
 impl fmt::Display for PrecisionConfig {
@@ -165,5 +219,31 @@ mod tests {
     fn levels() {
         assert_eq!(ActPrecision::A3.levels(), 8);
         assert_eq!(ActPrecision::A1.levels(), 2);
+    }
+
+    #[test]
+    fn token_round_trips() {
+        for w in [
+            WeightPrecision::Float,
+            WeightPrecision::W8,
+            WeightPrecision::W2,
+            WeightPrecision::W1,
+        ] {
+            for a in [
+                ActPrecision::Float,
+                ActPrecision::A8,
+                ActPrecision::A3,
+                ActPrecision::A1,
+            ] {
+                let p = PrecisionConfig {
+                    weights: w,
+                    activations: a,
+                };
+                assert_eq!(p.token().parse::<PrecisionConfig>(), Ok(p));
+            }
+        }
+        assert_eq!("W1A3".parse::<PrecisionConfig>(), Ok(PrecisionConfig::W1A3));
+        assert!("w9a9".parse::<PrecisionConfig>().is_err());
+        assert!("banana".parse::<PrecisionConfig>().is_err());
     }
 }

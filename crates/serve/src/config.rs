@@ -4,6 +4,7 @@ use crate::drift::DriftHandle;
 use crate::request::SloClass;
 use std::time::Duration;
 use tincy_core::SystemConfig;
+use tincy_nn::ModelSpec;
 use tincy_telemetry::Buckets;
 
 /// Configuration of the inference server.
@@ -13,6 +14,11 @@ pub struct ServeConfig {
     /// the common weight seed is what makes FINN and CPU results
     /// interchangeable).
     pub system: SystemConfig,
+    /// Explicit design point to serve. When unset, the Tincy model the
+    /// `system` configuration describes is served; when set (e.g. an
+    /// explore-selected `ModelSpec`), it overrides the topology, folding
+    /// and weight seed, and `system` supplies only fault/retry policy.
+    pub model: Option<ModelSpec>,
     /// Host workers running the bit-exact reference path. The FINN engine
     /// is a single worker — the device is one fabric.
     pub cpu_workers: usize,
@@ -58,6 +64,7 @@ impl Default for ServeConfig {
                 input_size: 128,
                 ..Default::default()
             },
+            model: None,
             cpu_workers: 2,
             max_batch: 4,
             queue_capacity: 64,
@@ -81,5 +88,19 @@ impl ServeConfig {
     /// Latency target of one SLO class.
     pub fn target(&self, class: SloClass) -> Duration {
         self.slo_targets[class.index()]
+    }
+
+    /// A default configuration serving an explicit design point.
+    pub fn for_model(model: ModelSpec) -> Self {
+        Self {
+            model: Some(model),
+            ..Default::default()
+        }
+    }
+
+    /// The design point this configuration serves (the explicit model, or
+    /// the Tincy model the `system` configuration describes).
+    pub fn model_spec(&self) -> ModelSpec {
+        self.model.clone().unwrap_or_else(|| self.system.model())
     }
 }

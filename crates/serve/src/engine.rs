@@ -6,11 +6,11 @@
 //! bit-exactness with the software reference path makes FINN and CPU
 //! results interchangeable.
 
-use tincy_core::{arm_offload_resilience, build_offloaded_network, offload_position, SystemConfig};
+use tincy_core::{arm_offload_resilience, build_network_for, offload_position, SystemConfig};
 use tincy_eval::{nms, Detection};
 use tincy_finn::FaultPlan;
-use tincy_nn::{Layer, LayerSpec, NnError, OffloadHealth, RegionLayer, RegionParams};
-use tincy_tensor::{Shape3, Tensor};
+use tincy_nn::{Layer, LayerSpec, ModelSpec, NnError, OffloadHealth, RegionLayer, RegionParams};
+use tincy_tensor::Tensor;
 use tincy_video::Image;
 
 /// Non-maximum-suppression IoU threshold (matches the demo path).
@@ -35,7 +35,7 @@ impl ServeEngine {
     ///
     /// Propagates network construction failures.
     pub fn finn(system: &SystemConfig, score_threshold: f32) -> Result<Self, NnError> {
-        Self::build(system, score_threshold)
+        Self::finn_for_model(&system.model(), system, score_threshold)
     }
 
     /// Builds an engine for a host worker: same weights, but fault-free
@@ -46,36 +46,71 @@ impl ServeEngine {
     ///
     /// Propagates network construction failures.
     pub fn cpu(system: &SystemConfig, score_threshold: f32) -> Result<Self, NnError> {
+        Self::cpu_for_model(&system.model(), system, score_threshold)
+    }
+
+    /// [`Self::finn`] for an explicit design point: the model supplies the
+    /// topology, folding and weights seed; `system` supplies only the
+    /// fault plan and retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction failures.
+    pub fn finn_for_model(
+        model: &ModelSpec,
+        system: &SystemConfig,
+        score_threshold: f32,
+    ) -> Result<Self, NnError> {
+        Self::build(model, system, score_threshold)
+    }
+
+    /// [`Self::cpu`] for an explicit design point (fault-free, like
+    /// [`Self::cpu`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction failures.
+    pub fn cpu_for_model(
+        model: &ModelSpec,
+        system: &SystemConfig,
+        score_threshold: f32,
+    ) -> Result<Self, NnError> {
         let host_system = SystemConfig {
             fault_plan: FaultPlan::none(),
             ..*system
         };
-        Self::build(&host_system, score_threshold)
+        Self::build(model, &host_system, score_threshold)
     }
 
-    fn build(system: &SystemConfig, score_threshold: f32) -> Result<Self, NnError> {
-        let net = build_offloaded_network(system)?;
-        let spec = tincy_core::offloaded_spec(system.input_size);
+    fn build(
+        model: &ModelSpec,
+        system: &SystemConfig,
+        score_threshold: f32,
+    ) -> Result<Self, NnError> {
+        let net = build_network_for(model, system.fault_plan)?;
+        let spec = tincy_core::offloaded_spec_of(model);
         let region_params: RegionParams = match spec.layers.last() {
             Some(LayerSpec::Region(r)) => RegionParams::from(r),
-            _ => unreachable!("offloaded spec ends in a region layer"),
+            _ => {
+                return Err(NnError::InvalidSpec {
+                    what: "served models must end in a region layer".to_owned(),
+                })
+            }
         };
-        let grid = system.input_size / 32;
-        let decoder = RegionLayer::new(
-            Shape3::new(region_params.expected_channels(), grid, grid),
-            region_params,
-        )?;
+        let decoder = RegionLayer::new(spec.input_shape_of(spec.layers.len() - 1), region_params)?;
         let mut layers = net.into_layers();
-        let health = arm_offload_resilience(&mut layers, system)
-            .expect("the offloaded network contains an offload layer");
+        let health =
+            arm_offload_resilience(&mut layers, system).ok_or_else(|| NnError::InvalidSpec {
+                what: "served models must contain an offloadable hidden stack".to_owned(),
+            })?;
         let offload_idx =
-            offload_position(&mut layers).expect("the offloaded network contains an offload layer");
+            offload_position(&mut layers).expect("arm_offload_resilience found an offload layer");
         Ok(Self {
             layers,
             offload_idx,
             decoder,
             health,
-            input_size: system.input_size,
+            input_size: model.network.input.height,
             score_threshold,
         })
     }

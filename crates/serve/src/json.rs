@@ -1,7 +1,7 @@
-//! Minimal hand-rolled JSON emission for metrics dumps (`--metrics-json`)
-//! and the serving bench artifact. No external serialization crates are
-//! available in the offline build, and the schemas here are small and
-//! fixed, so a tiny builder suffices.
+//! Domain JSON serializers for metrics dumps (`--metrics-json`) and the
+//! serving bench artifacts. The syntax layer (builders, escaping,
+//! parsing) lives in [`tincy_json`] and is re-exported here so existing
+//! `tincy_serve::json::{JsonObject, array_u64}` imports keep working.
 
 use crate::metrics::ServeReport;
 use crate::request::SloClass;
@@ -9,109 +9,7 @@ use std::time::Duration;
 use tincy_nn::OffloadStats;
 use tincy_pipeline::{DurationStats, PipelineMetrics};
 
-/// Incremental JSON object builder.
-pub struct JsonObject {
-    out: String,
-    first: bool,
-}
-
-impl JsonObject {
-    /// Starts an empty object.
-    pub fn new() -> Self {
-        Self {
-            out: String::from("{"),
-            first: true,
-        }
-    }
-
-    fn key(&mut self, key: &str) {
-        if !self.first {
-            self.out.push(',');
-        }
-        self.first = false;
-        self.out.push('"');
-        self.out.push_str(&escape(key));
-        self.out.push_str("\":");
-    }
-
-    /// Adds a pre-serialized value (object, array, number literal).
-    pub fn raw(mut self, key: &str, value: &str) -> Self {
-        self.key(key);
-        self.out.push_str(value);
-        self
-    }
-
-    /// Adds an unsigned integer field.
-    pub fn u64(self, key: &str, value: u64) -> Self {
-        let text = value.to_string();
-        self.raw(key, &text)
-    }
-
-    /// Adds a float field (finite values only; non-finite becomes null).
-    pub fn f64(self, key: &str, value: f64) -> Self {
-        if value.is_finite() {
-            let text = format!("{value:.6}");
-            self.raw(key, &text)
-        } else {
-            self.raw(key, "null")
-        }
-    }
-
-    /// Adds a boolean field.
-    pub fn bool(self, key: &str, value: bool) -> Self {
-        self.raw(key, if value { "true" } else { "false" })
-    }
-
-    /// Adds a string field, escaped.
-    pub fn str(mut self, key: &str, value: &str) -> Self {
-        self.key(key);
-        self.out.push('"');
-        self.out.push_str(&escape(value));
-        self.out.push('"');
-        self
-    }
-
-    /// Closes the object.
-    pub fn finish(mut self) -> String {
-        self.out.push('}');
-        self.out
-    }
-}
-
-impl Default for JsonObject {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Serializes a `u64` slice as a JSON array.
-pub fn array_u64(values: &[u64]) -> String {
-    let mut out = String::from("[");
-    for (i, v) in values.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&v.to_string());
-    }
-    out.push(']');
-    out
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+pub use tincy_json::{array_u64, JsonArray, JsonObject};
 
 fn micros(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
@@ -274,17 +172,6 @@ pub fn demo_metrics_json(metrics: &PipelineMetrics, offload: &OffloadStats) -> S
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn object_builder_escapes_and_separates() {
-        let out = JsonObject::new()
-            .str("name", "a\"b\\c\nd")
-            .u64("n", 3)
-            .bool("ok", true)
-            .f64("bad", f64::NAN)
-            .finish();
-        assert_eq!(out, r#"{"name":"a\"b\\c\nd","n":3,"ok":true,"bad":null}"#);
-    }
 
     #[test]
     fn arrays_and_stats_serialize() {

@@ -95,11 +95,17 @@ impl InferenceServer {
     ///
     /// Propagates network construction failures.
     pub fn start(config: ServeConfig) -> Result<Self, NnError> {
-        let finn_engine = ServeEngine::finn(&config.system, config.score_threshold)?;
+        let model = config.model_spec();
+        let finn_engine =
+            ServeEngine::finn_for_model(&model, &config.system, config.score_threshold)?;
         let finn_health = finn_engine.health();
         let mut cpu_engines = Vec::with_capacity(config.cpu_workers);
         for _ in 0..config.cpu_workers {
-            cpu_engines.push(ServeEngine::cpu(&config.system, config.score_threshold)?);
+            cpu_engines.push(ServeEngine::cpu_for_model(
+                &model,
+                &config.system,
+                config.score_threshold,
+            )?);
         }
 
         let inner = Arc::new(Inner {

@@ -1,10 +1,11 @@
 //! Exposition formats: Prometheus text (version 0.0.4) and JSON, plus
 //! the minimal Prometheus parser the scrape smoke path and tests use to
-//! read an exposition back. JSON is hand-rolled in the house style
-//! (`crates/serve/src/json.rs`) — no serde.
+//! read an exposition back. JSON is hand-rolled via the shared
+//! `tincy-json` layer — no serde.
 
 use crate::metrics::{Sample, Value};
 use std::fmt::Write as _;
+use tincy_json::escape_into as escape_json;
 use tincy_pipeline::DurationStats;
 
 /// Quantiles exposed for summaries; matches the p50/p95/p99 the serve
@@ -227,22 +228,6 @@ fn summary_json(stats: &DurationStats) -> String {
         us(qs[1]),
         us(qs[2]),
     )
-}
-
-fn escape_json(out: &mut String, raw: &str) {
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
 }
 
 /// One parsed Prometheus sample line.

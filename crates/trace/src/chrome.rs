@@ -13,6 +13,7 @@ use crate::event::{Attrs, Backend, Event, EventKind, Label};
 use crate::json::{parse, JsonValue};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use tincy_json::escape_into;
 
 const CATEGORY: &str = "tincy";
 
@@ -154,22 +155,6 @@ fn emit_event(
 /// Nanoseconds as a microsecond decimal with nanosecond resolution.
 fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
-}
-
-fn escape_into(out: &mut String, raw: &str) {
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
 }
 
 /// Parses Chrome trace-event JSON (as produced by [`to_chrome_json`],

@@ -21,6 +21,7 @@
 
 pub mod layers;
 pub mod loss;
+pub mod model;
 pub mod net;
 pub mod sgd;
 pub mod ste;
@@ -28,6 +29,7 @@ pub mod trainer;
 
 pub use layers::{Act, QuantMode, TrainConvSpec, TrainLayerSpec};
 pub use loss::{DetectionLoss, LossParts};
+pub use model::train_specs_for;
 pub use net::{ExportedLayer, TrainError, TrainNet};
 pub use sgd::Sgd;
 pub use trainer::{evaluate_map, train, TrainConfig, TrainReport};

@@ -51,6 +51,20 @@
 //!                              stage means within the threshold (default
 //!                              1%), and print the predicted pipelined fps
 //!                              next to the paper's
+//! tincy explore [--pe MIN:MAX] [--simd MIN:MAX] [--budget LUT:BRAM:DSP]
+//!               [--frontier-out PATH] [--check]
+//!                              sweep the design space (topology-edit
+//!                              subsets × hidden bit-widths × engine
+//!                              folds), prune infeasible points against
+//!                              the XCZU3EG resource model, and print the
+//!                              Pareto frontier over (fps, accuracy proxy,
+//!                              utilization) with the paper's shipped
+//!                              16×16 `[W1A3]` design marked; with
+//!                              --frontier-out, also write the frontier as
+//!                              JSON; with --check, fail unless the paper
+//!                              point is feasible, reproduces the ladder's
+//!                              pipelined fps, sits on the frontier, and
+//!                              the sweep is deterministic
 //!
 //! fleet flags: --shards N  --policy least-loaded|hash
 //!              --pattern closed|uniform:GAP_US|diurnal:BASE_US:PERIOD_MS:RATIO
@@ -116,9 +130,10 @@ fn main() -> ExitCode {
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("trace-report") => cmd_trace_report(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         _ => {
             eprintln!(
-                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|fleet|trace-report|calibrate> \
+                "usage: tincy <ops <cfg>|tables|ladder|demo|serve|loadgen|fleet|trace-report|calibrate|explore> \
                  (see --help text at the top of src/bin/tincy.rs)"
             );
             return ExitCode::FAILURE;
@@ -1357,5 +1372,79 @@ fn check_smoke(report: &LoadgenReport) -> Result<(), Box<dyn std::error::Error>>
         return Err("smoke: micro-batching never engaged (no batch larger than 1)".into());
     }
     println!("smoke: ok");
+    Ok(())
+}
+
+fn parse_range(flag: &str, value: &str) -> Result<(usize, usize), Box<dyn std::error::Error>> {
+    let (lo, hi) = value
+        .split_once(':')
+        .ok_or_else(|| format!("{flag} expects MIN:MAX, got {value}"))?;
+    let lo: usize = lo.parse().map_err(|e| format!("{flag}: {e}"))?;
+    let hi: usize = hi.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if lo == 0 || hi < lo {
+        return Err(format!("{flag}: invalid range {value}").into());
+    }
+    Ok((lo, hi))
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use tincy::explore::{report_json, report_table, run_sweep, ResourceBudget, SweepConfig};
+
+    let mut config = SweepConfig::default();
+    let mut frontier_out: Option<String> = None;
+    let mut check = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--pe" => {
+                let value = iter.next().ok_or("--pe requires MIN:MAX")?;
+                config.pe_bounds = parse_range("--pe", value)?;
+            }
+            "--simd" => {
+                let value = iter.next().ok_or("--simd requires MIN:MAX")?;
+                config.simd_bounds = parse_range("--simd", value)?;
+            }
+            "--budget" => {
+                let value = iter.next().ok_or("--budget requires LUT:BRAM:DSP")?;
+                let parts: Vec<&str> = value.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--budget expects LUT:BRAM:DSP, got {value}").into());
+                }
+                config.budget = ResourceBudget {
+                    luts: parts[0]
+                        .parse()
+                        .map_err(|e| format!("--budget luts: {e}"))?,
+                    bram36: parts[1]
+                        .parse()
+                        .map_err(|e| format!("--budget bram36: {e}"))?,
+                    dsps: parts[2]
+                        .parse()
+                        .map_err(|e| format!("--budget dsps: {e}"))?,
+                };
+            }
+            "--frontier-out" => {
+                frontier_out = Some(iter.next().ok_or("--frontier-out requires a path")?.clone());
+            }
+            "--check" => check = true,
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+
+    let report = run_sweep(&config);
+    print!("{}", report_table(&report));
+    if let Some(path) = frontier_out {
+        std::fs::write(&path, report_json(&report))?;
+        println!("frontier written to {path}");
+    }
+    if check {
+        report
+            .check()
+            .map_err(|violation| format!("explore check failed: {violation}"))?;
+        println!(
+            "check: paper point on frontier at the ladder's pipelined fps; \
+             sweep deterministic (fingerprint {:016x})",
+            report.fingerprint
+        );
+    }
     Ok(())
 }

@@ -25,6 +25,9 @@
 //!   behind Tables I–III and the paper's speedup ladder.
 //! * [`core`] — Tiny/Tincy YOLO topologies, the (a)–(d) transformations and
 //!   end-to-end system assembly.
+//! * [`explore`] — design-space exploration: sweeps engine folds, hidden
+//!   bit-widths and the (a)–(d) topology edits against the calibrated
+//!   resource/throughput/accuracy models and emits the Pareto frontier.
 //! * [`serve`] — concurrent inference serving: micro-batched FINN offload,
 //!   SLO-aware heterogeneous scheduling, admission control and a
 //!   deterministic load generator.
@@ -46,6 +49,7 @@
 
 pub use tincy_core as core;
 pub use tincy_eval as eval;
+pub use tincy_explore as explore;
 pub use tincy_finn as finn;
 pub use tincy_nn as nn;
 pub use tincy_perf as perf;

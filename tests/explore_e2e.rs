@@ -1,0 +1,76 @@
+//! An explore-selected design point must be instantiable end-to-end: the
+//! `ModelSpec` the sweep emits round-trips through JSON, builds into a
+//! servable network, and the fabric path stays bit-exact with the CPU
+//! reference — without any code changes between design points.
+
+use tincy_core::SystemConfig;
+use tincy_explore::{run_sweep, DesignPoint, SweepConfig};
+use tincy_nn::ModelSpec;
+use tincy_serve::ServeEngine;
+use tincy_tensor::Shape3;
+use tincy_video::{Image, SceneConfig, SyntheticCamera};
+
+fn frames(n: u64) -> Vec<Image> {
+    let scene = SceneConfig {
+        width: 48,
+        height: 36,
+        ..Default::default()
+    };
+    let mut camera = SyntheticCamera::with_limit(scene, 11, n);
+    std::iter::from_fn(|| camera.capture()).collect()
+}
+
+/// Scales a design's 416×416 model down so the probe stays fast; the
+/// topology, folding and precisions are untouched.
+fn shrunk(point: DesignPoint, input: usize) -> ModelSpec {
+    let mut model = point.model();
+    model.network.input = Shape3::new(model.network.input.channels, input, input);
+    model.network.validate().expect("scaled network validates");
+    model
+}
+
+/// Picks a frontier point that exercises the fabric but is *not* the
+/// paper's shipped configuration.
+fn non_paper_offloaded_point() -> DesignPoint {
+    let config = SweepConfig {
+        pe_bounds: (4, 16),
+        simd_bounds: (4, 16),
+        ..SweepConfig::default()
+    };
+    let report = run_sweep(&config);
+    let point = report
+        .frontier_points()
+        .map(|p| p.point)
+        .find(|p| p.profile.offloadable() && *p != DesignPoint::PAPER)
+        .expect("frontier holds an offloaded non-paper design");
+    point
+}
+
+fn assert_bit_exact(model: &ModelSpec) {
+    let json = model.to_json();
+    let reloaded = ModelSpec::from_json(&json).expect("model round-trips");
+    assert_eq!(&reloaded, model);
+
+    let system = SystemConfig::default();
+    let mut finn =
+        ServeEngine::finn_for_model(&reloaded, &system, 0.0).expect("fabric engine builds");
+    let mut cpu = ServeEngine::cpu_for_model(&reloaded, &system, 0.0).expect("cpu engine builds");
+    let images = frames(3);
+    let batched = finn.process_batch(&images).expect("fabric batch runs");
+    for (image, expected) in images.iter().zip(&batched) {
+        let host = cpu.process_host(image).expect("host path runs");
+        assert_eq!(&host, expected, "fabric and host detections diverge");
+    }
+}
+
+#[test]
+fn explore_selected_design_probes_bit_exact() {
+    let point = non_paper_offloaded_point();
+    assert_ne!(point, DesignPoint::PAPER);
+    assert_bit_exact(&shrunk(point, 64));
+}
+
+#[test]
+fn paper_design_probes_bit_exact_through_the_same_path() {
+    assert_bit_exact(&shrunk(DesignPoint::PAPER, 64));
+}
