@@ -11,10 +11,15 @@ use crate::device::FpgaDevice;
 use crate::engine::{ConvEngine, EngineConfig};
 use crate::fault::{result_checksum, FaultInjector, FaultKind};
 use crate::resource::ResourceEstimate;
+use std::sync::Arc;
+use tincy_kernels::{KernelPlan, PackedLayer, TuneBudget};
 use tincy_nn::NnError;
 use tincy_quant::{BinaryDot, ThresholdsForLayer};
 use tincy_tensor::{BitTensor, ConvGeom, PoolGeom, Shape3, Tensor, U3Tensor};
 use tincy_trace::static_label;
+
+/// Activation bit width of the offloaded hidden layers (W1A3).
+const HIDDEN_ACT_BITS: usize = 3;
 
 /// Parameters of one offloaded W1A3 conv(+pool) layer.
 #[derive(Debug, Clone)]
@@ -156,6 +161,10 @@ impl AccelReport {
 #[derive(Debug, Clone)]
 pub struct QnnAccelerator {
     layers: Vec<QnnLayerParams>,
+    /// The same stack prepared for the packed CPU fallback path.
+    packed: Vec<PackedLayer>,
+    /// Autotuned kernel choice per layer (shared via the process cache).
+    plan: Arc<KernelPlan>,
     engine: ConvEngine,
     /// AXI weight-stream width in bits per cycle.
     axi_bits_per_cycle: u64,
@@ -187,8 +196,27 @@ impl QnnAccelerator {
                 });
             }
         }
+        let packed: Vec<PackedLayer> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                #[allow(clippy::cast_possible_truncation)]
+                PackedLayer::new(
+                    layer.in_shape(),
+                    layer.weights().clone(),
+                    layer.thresholds().clone(),
+                    layer.geom(),
+                    layer.pool(),
+                    HIDDEN_ACT_BITS,
+                )
+                .with_trace_layer(i as u32)
+            })
+            .collect();
+        let plan = tincy_kernels::plan_for(&packed, &TuneBudget::default());
         Ok(Self {
             layers,
+            packed,
+            plan,
             engine: ConvEngine::new(config)?,
             axi_bits_per_cycle: 128,
             injector: None,
@@ -336,19 +364,69 @@ impl QnnAccelerator {
         Ok((fmaps, report))
     }
 
-    /// Pure-software golden reference: naive signed dot products plus
-    /// threshold activation, no packing, no folding. The hardware path must
-    /// match this **bit exactly**.
+    /// The bit-exact software fallback path, served by the autotuned
+    /// packed XNOR-popcount kernels. Identical results to
+    /// [`QnnAccelerator::reference_run_naive`] (and therefore to the
+    /// hardware path) at a fraction of the time — this is what degraded
+    /// serving runs per frame.
     ///
     /// # Errors
     ///
     /// Returns [`NnError`] on a shape mismatch.
     pub fn reference_run(&self, input: &Tensor<u8>) -> Result<Tensor<u8>, NnError> {
         let mut fmap = input.clone();
+        for (index, packed) in self.packed.iter().enumerate() {
+            if fmap.shape() != packed.in_shape() {
+                return Err(NnError::ShapeMismatch {
+                    expected: packed.in_shape().to_string(),
+                    actual: fmap.shape().to_string(),
+                });
+            }
+            let entry = self.plan.entry(index);
+            fmap = packed.forward(&fmap, entry.variant, entry.threads);
+        }
+        Ok(fmap)
+    }
+
+    /// Pure-software golden reference: naive signed dot products plus
+    /// threshold activation, no packing, no folding. The hardware path and
+    /// the packed fallback path must both match this **bit exactly**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on a shape mismatch.
+    pub fn reference_run_naive(&self, input: &Tensor<u8>) -> Result<Tensor<u8>, NnError> {
+        let mut fmap = input.clone();
         for layer in &self.layers {
             fmap = reference_layer(layer, &fmap)?;
         }
         Ok(fmap)
+    }
+
+    /// Naive reference evaluation of a single layer (bench comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on a shape mismatch or out-of-range index.
+    pub fn reference_layer_naive(
+        &self,
+        index: usize,
+        input: &Tensor<u8>,
+    ) -> Result<Tensor<u8>, NnError> {
+        let layer = self.layers.get(index).ok_or_else(|| NnError::InvalidSpec {
+            what: format!("layer index {index} out of range"),
+        })?;
+        reference_layer(layer, input)
+    }
+
+    /// The packed fallback layers, aligned with [`QnnAccelerator::layers`].
+    pub fn packed_layers(&self) -> &[PackedLayer] {
+        &self.packed
+    }
+
+    /// The autotuned kernel plan serving the fallback path.
+    pub fn kernel_plan(&self) -> &KernelPlan {
+        &self.plan
     }
 
     /// Resource estimate for the actual single-engine design: the MVTU array
@@ -491,6 +569,23 @@ mod tests {
                 "MVTU path must match the naive integer reference bit-exactly"
             );
         }
+    }
+
+    #[test]
+    fn packed_fallback_is_bit_exact_with_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(109);
+        for _ in 0..3 {
+            let accel = two_layer_accel(&mut rng);
+            let input = Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8);
+            assert_eq!(
+                accel.reference_run(&input).unwrap(),
+                accel.reference_run_naive(&input).unwrap(),
+                "packed kernels must match the naive integer reference bit-exactly"
+            );
+        }
+        let accel = two_layer_accel(&mut rng);
+        assert_eq!(accel.kernel_plan().entries().len(), accel.layers().len());
+        assert_eq!(accel.packed_layers().len(), accel.layers().len());
     }
 
     #[test]

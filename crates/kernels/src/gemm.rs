@@ -1,0 +1,198 @@
+//! Cache-blocked quantized GEMM for mixed-precision (W8A8) profiles.
+//!
+//! Design-space exploration can keep some hidden layers at 8 bits; those
+//! layers fall back to an integer GEMM instead of the XNOR-popcount path.
+//! `C[m][n] = Σ_k A[m][k]·B[k][n]` with `A` the signed 8-bit weights
+//! (row-major `m × k`), `B` the unsigned 8-bit activations (row-major
+//! `k × n`) and 32-bit accumulators. All variants perform the same exact
+//! integer additions, so they are bit-exact with each other and with
+//! [`gemm_q8_reference`].
+
+use crate::tune::Variant;
+use tincy_trace::{static_label, Backend};
+
+/// Depth tile of the cache-blocked variant: a `K_TILE × N_TILE` panel of
+/// `B` stays L1-resident while a row tile of `A` streams by.
+const K_TILE: usize = 256;
+
+/// Column tile of the cache-blocked variant.
+const N_TILE: usize = 64;
+
+/// Naive i-k-j reference for the quantized GEMM.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m·k` / `k·n`.
+pub fn gemm_q8_reference(a: &[i8], b: &[u8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p] as i32;
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j] as i32;
+            }
+        }
+    }
+    c
+}
+
+/// Quantized GEMM with a selectable kernel variant.
+///
+/// `threads` only matters for [`Variant::Threaded`]; every variant returns
+/// bit-identical accumulators.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m·k` / `k·n`.
+pub fn gemm_q8(
+    a: &[i8],
+    b: &[u8],
+    m: usize,
+    k: usize,
+    n: usize,
+    variant: Variant,
+    threads: usize,
+) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    let _span = tincy_trace::span(static_label!("cpu.kernel.q8"))
+        .backend(Backend::Host)
+        .variant(variant.label())
+        .start();
+    let mut c = vec![0i32; m * n];
+    if variant == Variant::Threaded && threads > 1 && m > 1 {
+        let chunk = m.div_ceil(threads.min(m));
+        std::thread::scope(|scope| {
+            let mut rest = c.as_mut_slice();
+            let mut i0 = 0usize;
+            while i0 < m {
+                let i1 = (i0 + chunk).min(m);
+                let (head, tail) = rest.split_at_mut((i1 - i0) * n);
+                rest = tail;
+                scope.spawn(move || {
+                    gemm_q8_range(&a[i0 * k..i1 * k], b, head, i1 - i0, k, n, Variant::Blocked);
+                });
+                i0 = i1;
+            }
+        });
+    } else {
+        let sequential = if variant == Variant::Threaded {
+            Variant::Blocked
+        } else {
+            variant
+        };
+        gemm_q8_range(a, b, &mut c, m, k, n, sequential);
+    }
+    c
+}
+
+/// Evaluates `rows × n` output rows for the row-sliced `A` panel.
+fn gemm_q8_range(
+    a: &[i8],
+    b: &[u8],
+    c: &mut [i32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    variant: Variant,
+) {
+    match variant {
+        Variant::Scalar => {
+            for i in 0..rows {
+                for p in 0..k {
+                    let av = a[i * k + p] as i32;
+                    if av == 0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        c[i * n + j] += av * b[p * n + j] as i32;
+                    }
+                }
+            }
+        }
+        Variant::Unrolled4 => {
+            let full = n & !3;
+            for i in 0..rows {
+                for p in 0..k {
+                    let av = a[i * k + p] as i32;
+                    if av == 0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    let crow = &mut c[i * n..(i + 1) * n];
+                    let mut j = 0usize;
+                    while j < full {
+                        crow[j] += av * brow[j] as i32;
+                        crow[j + 1] += av * brow[j + 1] as i32;
+                        crow[j + 2] += av * brow[j + 2] as i32;
+                        crow[j + 3] += av * brow[j + 3] as i32;
+                        j += 4;
+                    }
+                    for j in full..n {
+                        crow[j] += av * brow[j] as i32;
+                    }
+                }
+            }
+        }
+        Variant::Blocked | Variant::Threaded => {
+            let mut p0 = 0usize;
+            while p0 < k {
+                let p1 = (p0 + K_TILE).min(k);
+                let mut j0 = 0usize;
+                while j0 < n {
+                    let j1 = (j0 + N_TILE).min(n);
+                    for i in 0..rows {
+                        let crow = &mut c[i * n..(i + 1) * n];
+                        for p in p0..p1 {
+                            let av = a[i * k + p] as i32;
+                            if av == 0 {
+                                continue;
+                            }
+                            let brow = &b[p * n..(p + 1) * n];
+                            for j in j0..j1 {
+                                crow[j] += av * brow[j] as i32;
+                            }
+                        }
+                    }
+                    j0 = j1;
+                }
+                p0 = p1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn variants_match_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (16, 27, 33),
+            (9, 300, 70),
+        ] {
+            let a: Vec<i8> = (0..m * k)
+                .map(|_| rng.gen_range(-128i32..128) as i8)
+                .collect();
+            let b: Vec<u8> = (0..k * n).map(|_| rng.gen_range(0..256u32) as u8).collect();
+            let expected = gemm_q8_reference(&a, &b, m, k, n);
+            for variant in Variant::ALL {
+                for threads in [1usize, 3] {
+                    assert_eq!(
+                        gemm_q8(&a, &b, m, k, n, variant, threads),
+                        expected,
+                        "m={m} k={k} n={n} variant={variant:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -522,6 +522,9 @@ impl OffloadLayer {
     ///
     /// Returns [`NnError::ShapeMismatch`] or the backend's own failure.
     pub fn forward_host(&mut self, input: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+        let _span = tincy_trace::span(static_label!("offload.host"))
+            .backend(tincy_trace::Backend::Host)
+            .start();
         self.check_input(input)?;
         let out = self.backend.forward_reference(input)?;
         if out.shape() != self.config.output_shape {

@@ -49,6 +49,12 @@ pub fn classify_stage(name: &str) -> Option<StageId> {
         "frame drawing" | "sink" => return Some(StageId::ImageOutput),
         _ => {}
     }
+    // Packed fallback kernels: `cpu.kernel.<variant>` spans (plus the
+    // quantized `cpu.kernel.q8`). Attribution-only — they nest inside the
+    // hidden-layer / offload time.
+    if name.starts_with("cpu.kernel") {
+        return Some(StageId::CpuKernel);
+    }
     // Network layer stages are named "L[i] kind".
     let rest = name.strip_prefix("L[")?;
     let close = rest.find(']')?;
@@ -80,7 +86,7 @@ pub fn model_diff(
     observed: &[(String, f64)],
     threshold: f64,
 ) -> Vec<ModelDiffRow> {
-    let mut sums: [Option<f64>; 7] = [None; 7];
+    let mut sums: [Option<f64>; 8] = [None; 8];
     for (name, ms) in observed {
         if let Some(stage) = classify_stage(name) {
             let slot = &mut sums[stage_index(stage)];
@@ -120,8 +126,8 @@ pub fn model_diff(
 pub fn measured_budget(
     observed: &[(String, f64)],
     fallback: &StageBudget,
-) -> (StageBudget, [bool; 7]) {
-    let mut sums: [Option<f64>; 7] = [None; 7];
+) -> (StageBudget, [bool; 8]) {
+    let mut sums: [Option<f64>; 8] = [None; 8];
     for (name, ms) in observed {
         if let Some(stage) = classify_stage(name) {
             let slot = &mut sums[stage_index(stage)];
@@ -129,7 +135,7 @@ pub fn measured_budget(
         }
     }
     let mut budget = *fallback;
-    let mut covered = [false; 7];
+    let mut covered = [false; 8];
     for (i, stage) in StageId::ALL.into_iter().enumerate() {
         if let Some(ms) = sums[i] {
             budget = budget.with(stage, ms);
@@ -165,6 +171,11 @@ mod tests {
         assert_eq!(classify_stage("slot.deposit"), None);
         assert_eq!(classify_stage("gemm.scalar"), None);
         assert_eq!(classify_stage("L[x] conv"), None);
+        assert_eq!(
+            classify_stage("cpu.kernel.unrolled4"),
+            Some(StageId::CpuKernel)
+        );
+        assert_eq!(classify_stage("cpu.kernel.q8"), Some(StageId::CpuKernel));
     }
 
     #[test]
@@ -179,7 +190,7 @@ mod tests {
             ("gemm.scalar".to_owned(), 50.0), // outside the frame path
         ];
         let rows = model_diff(&budget, &observed, 0.25);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
 
         let acq = &rows[0];
         assert_eq!(acq.stage, StageId::Acquisition);
@@ -211,10 +222,12 @@ mod tests {
             ("L[3] region".to_owned(), 2.0),
             ("object boxing".to_owned(), 0.75),
             ("sink".to_owned(), 1.25),
+            ("cpu.kernel.blocked".to_owned(), 6.5),
             ("slot.deposit".to_owned(), 99.0), // ignored: off the frame path
         ];
         let (budget, covered) = measured_budget(&observed, &StageBudget::paper_baseline());
-        assert_eq!(covered, [true; 7]);
+        assert_eq!(covered, [true; 8]);
+        assert!((budget.get(StageId::CpuKernel) - 6.5).abs() < 1e-12);
         assert_eq!(budget, StageBudget::from_observed(&observed));
         assert!((budget.get(StageId::Acquisition) - 4.5).abs() < 1e-12);
         assert!((budget.get(StageId::OutputLayer) - 6.0).abs() < 1e-12);

@@ -75,7 +75,7 @@ struct StageState {
 #[derive(Debug, Clone)]
 pub struct RollingCalibrator {
     config: RollingConfig,
-    stages: [StageState; 7],
+    stages: [StageState; 8],
     segments: u64,
     model: Option<StageBudget>,
 }
@@ -86,7 +86,7 @@ impl RollingCalibrator {
     pub fn new(config: RollingConfig) -> Self {
         Self {
             config,
-            stages: [StageState::default(); 7],
+            stages: [StageState::default(); 8],
             segments: 0,
             model: None,
         }
@@ -122,7 +122,7 @@ impl RollingCalibrator {
         let has_offload_stage = stage_means
             .iter()
             .any(|(name, _)| classify_stage(name) == Some(StageId::HiddenLayers));
-        let mut sums: [Option<f64>; 7] = [None; 7];
+        let mut sums: [Option<f64>; 8] = [None; 8];
         for (name, ms) in stage_means {
             let stage = match classify_stage(name) {
                 Some(stage) => stage,

@@ -126,7 +126,9 @@ pub fn table3() -> Vec<Table3Row> {
         .with(StageId::HiddenLayers, fabric)
         .with(StageId::InputLayer, calib::LEAN_INPUT_CONV_MS)
         .with(StageId::MaxPool, 0.0);
-    StageId::ALL
+    // Table III lists the frame path only; attribution-only stages
+    // (`StageId::CpuKernel`) nest inside the hidden-layer row.
+    StageId::FRAME_PATH
         .into_iter()
         .map(|stage| Table3Row {
             stage,

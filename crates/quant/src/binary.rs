@@ -35,6 +35,26 @@ pub fn binarize(weights: &[f32]) -> Vec<i8> {
         .collect()
 }
 
+/// Popcount of the AND of two packed bit vectors: `pc(w ∧ b)`.
+///
+/// This is the single primitive every XNOR-popcount evaluation in the
+/// workspace reduces to — [`xnor_popcount_dot`] here, the MVTU model in
+/// `tincy-finn`, and the packed CPU kernels in `tincy-kernels` all share
+/// these semantics, so they agree bit-for-bit by construction.
+///
+/// # Panics
+///
+/// Panics if the word counts differ.
+#[inline]
+pub fn and_popcount(weight_words: &[u64], plane: &[u64]) -> u32 {
+    assert_eq!(weight_words.len(), plane.len(), "word count mismatch");
+    weight_words
+        .iter()
+        .zip(plane)
+        .map(|(&w, &b)| (w & b).count_ones())
+        .sum()
+}
+
 /// XNOR-popcount dot of one packed weight row against one packed bit plane.
 ///
 /// Both slices must have identical length; padding bits beyond the logical
@@ -48,13 +68,8 @@ pub fn binarize(weights: &[f32]) -> Vec<i8> {
 /// Panics if the word counts differ.
 #[inline]
 pub fn xnor_popcount_dot(weight_words: &[u64], plane: &[u64]) -> i32 {
-    assert_eq!(weight_words.len(), plane.len(), "word count mismatch");
-    let mut pos = 0u32;
-    let mut total = 0u32;
-    for (&w, &b) in weight_words.iter().zip(plane) {
-        pos += (w & b).count_ones();
-        total += b.count_ones();
-    }
+    let pos = and_popcount(weight_words, plane);
+    let total: u32 = plane.iter().map(|&b| b.count_ones()).sum();
     2 * pos as i32 - total as i32
 }
 

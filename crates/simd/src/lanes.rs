@@ -82,6 +82,49 @@ impl F32x4 {
     }
 }
 
+/// Four 64-bit lanes of packed bits (a pair of NEON `uint64x2_t` quads).
+///
+/// The XNOR-popcount kernels in `tincy-kernels` consume packed bit vectors
+/// four words at a time: AND against the weight row, then a per-lane
+/// popcount (NEON `vcntq_u8` followed by the pairwise-add ladder on the
+/// A53). Keeping the four accumulating lanes distinct is what lets the
+/// auto-vectorizer map the loop onto the 128-bit unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct U64x4(pub [u64; 4]);
+
+impl U64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// Loads four consecutive words (NEON `vld1q_u64` ×2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` holds fewer than four words.
+    #[inline]
+    pub fn load(src: &[u64]) -> Self {
+        Self([src[0], src[1], src[2], src[3]])
+    }
+
+    /// Lane-wise bitwise AND (NEON `vandq_u64`).
+    #[inline]
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for i in 0..4 {
+            out[i] &= rhs.0[i];
+        }
+        Self(out)
+    }
+
+    /// Sum of the per-lane popcounts (NEON `vcntq_u8` + pairwise adds).
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        (self.0[0].count_ones() + self.0[1].count_ones())
+            + (self.0[2].count_ones() + self.0[3].count_ones())
+    }
+}
+
 /// Eight 16-bit integer lanes (NEON `int16x8_t`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct I16x8(pub [i16; 8]);
@@ -216,6 +259,15 @@ mod tests {
         let mut out = [0.0f32; 4];
         v.store(&mut out);
         assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn u64x4_and_popcount() {
+        let w = U64x4::load(&[!0u64, 0, 0b1010, u64::MAX << 32]);
+        let b = U64x4::load(&[0b111, !0u64, 0b0110, u64::MAX]);
+        let anded = w.and(b);
+        assert_eq!(anded.0, [0b111, 0, 0b0010, u64::MAX << 32]);
+        assert_eq!(anded.count_ones(), 36, "3 + 0 + 1 + 32 set bits");
     }
 
     #[test]

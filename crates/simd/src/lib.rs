@@ -36,5 +36,5 @@ pub use conv::{conv_reference, convolve, ConvAlgo};
 pub use fused::{fused_conv_f32, fused_conv_lowp};
 pub use gemm::{gemm_f32, gemm_f32_lanes};
 pub use kernel16x27::FirstLayerKernel;
-pub use lanes::{F32x4, I16x8, I32x4};
+pub use lanes::{F32x4, I16x8, I32x4, U64x4};
 pub use lowp::{gemm_lowp, requantize_bias_relu};

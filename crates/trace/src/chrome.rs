@@ -134,6 +134,15 @@ fn emit_event(
             escape_into(out, trace.label_name(fault));
             out.push('"');
         }
+        if let Some(variant) = attrs.variant {
+            if !first_arg {
+                out.push(',');
+            }
+            first_arg = false;
+            out.push_str("\"variant\":\"");
+            escape_into(out, trace.label_name(variant));
+            out.push('"');
+        }
         if let Some(links) = attrs.links {
             if !first_arg {
                 out.push(',');
@@ -318,6 +327,10 @@ impl TraceAssembly {
             .get("fault")
             .and_then(JsonValue::as_str)
             .map(|name| self.intern(name));
+        attrs.variant = args
+            .get("variant")
+            .and_then(JsonValue::as_str)
+            .map(|name| self.intern(name));
         if let Some(JsonValue::Arr(items)) = args.get("links") {
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let ids: Vec<u64> = items
@@ -439,6 +452,7 @@ mod tests {
             span(Label::intern("chrome.fault"))
                 .attempt(1)
                 .fault("dma timeout")
+                .variant("unrolled4")
                 .emit();
             clock.advance(250);
         }
@@ -485,6 +499,13 @@ mod tests {
         assert_eq!(
             fault.attrs.fault.map(|l| parsed.label_name(l).to_string()),
             Some("dma timeout".to_string())
+        );
+        assert_eq!(
+            fault
+                .attrs
+                .variant
+                .map(|l| parsed.label_name(l).to_string()),
+            Some("unrolled4".to_string())
         );
         assert_eq!(fault.attrs.attempt, Some(1));
     }

@@ -98,6 +98,8 @@ pub struct Attrs {
     pub backend: Option<Backend>,
     /// Fault kind (interned string).
     pub fault: Option<Label>,
+    /// Kernel variant serving the span (interned string).
+    pub variant: Option<Label>,
     /// Modeled accelerator cycles.
     pub cycles: Option<u64>,
     /// Span-link set id: an index into [`Trace::links`] listing the

@@ -79,6 +79,15 @@ impl SpanBuilder {
         self
     }
 
+    /// Kernel variant serving the span. The string is interned, so only
+    /// pass bounded variant names. Skipped when disabled.
+    pub fn variant(mut self, name: &str) -> Self {
+        if is_enabled() {
+            self.attrs.variant = Some(Label::intern(name));
+        }
+        self
+    }
+
     /// Modeled accelerator cycles.
     pub fn cycles(mut self, n: u64) -> Self {
         self.attrs.cycles = Some(n);

@@ -6,9 +6,13 @@
 //! tincy ladder                 the §III/§IV speedup ladder
 //! tincy demo [frames [workers [input]]] [--frames N] [--fault-seed N]
 //!            [--outage START:LEN] [--metrics-json PATH] [--trace-out PATH]
+//!            [--kernel-plan PATH]
 //!                              run the pipelined live-detection demo,
 //!                              optionally with deterministic accelerator
-//!                              faults (retried/CPU-fallback transparently)
+//!                              faults (retried/CPU-fallback transparently);
+//!                              with --kernel-plan, write the startup
+//!                              autotuner's packed-kernel plan (layer shape
+//!                              -> chosen variant) as JSON
 //! tincy serve [requests [clients [input]]] [serve flags]
 //!                              run the inference server under a built-in
 //!                              deterministic client load, print the serving
@@ -80,9 +84,9 @@
 //! serve flags: --mode closed|open:MICROS|burst  --cpu-workers N
 //!              --max-batch N  --queue N  --per-client N  --engage-depth N
 //!              --fault-seed N  --outage START:LEN  --metrics-json PATH
-//!              --trace-out PATH  --trace-dir DIR  --segment-events N
-//!              --status-addr HOST:PORT  --recalibrate-every MS
-//!              --drift-threshold PCT
+//!              --kernel-plan PATH  --trace-out PATH  --trace-dir DIR
+//!              --segment-events N  --status-addr HOST:PORT
+//!              --recalibrate-every MS  --drift-threshold PCT
 //!
 //! `--recalibrate-every MS` (requires `--trace-dir`) tails the streaming
 //! trace segments with a rolling calibrator: windowed measured stage
@@ -238,6 +242,7 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut fault_plan = FaultPlan::none();
     let mut metrics_json: Option<String> = None;
+    let mut kernel_plan: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut segment_events: Option<usize> = None;
@@ -250,6 +255,9 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match arg.as_str() {
             "--metrics-json" => {
                 metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
+            }
+            "--kernel-plan" => {
+                kernel_plan = Some(iter.next().ok_or("--kernel-plan requires a path")?.clone());
             }
             "--trace-out" => {
                 trace_out = Some(iter.next().ok_or("--trace-out requires a path")?.clone());
@@ -364,6 +372,17 @@ fn cmd_demo(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         )?;
         println!("metrics written to {path}");
     }
+    if let Some(path) = &kernel_plan {
+        write_kernel_plan(path)?;
+    }
+    Ok(())
+}
+
+/// Writes the autotuner's kernel-plan registry (every layer shape tuned
+/// this process, with the chosen packed-kernel variant) as JSON.
+fn write_kernel_plan(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(path, tincy::kernels::registry_json())?;
+    println!("kernel plan written to {path}");
     Ok(())
 }
 
@@ -373,6 +392,7 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     let mut positional = Vec::new();
     let mut fault_plan = FaultPlan::none();
     let mut metrics_json: Option<String> = None;
+    let mut kernel_plan: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut segment_events: Option<usize> = None;
@@ -399,6 +419,9 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         match arg.as_str() {
             "--metrics-json" => {
                 metrics_json = Some(iter.next().ok_or("--metrics-json requires a path")?.clone());
+            }
+            "--kernel-plan" => {
+                kernel_plan = Some(iter.next().ok_or("--kernel-plan requires a path")?.clone());
             }
             "--trace-out" => {
                 trace_out = Some(iter.next().ok_or("--trace-out requires a path")?.clone());
@@ -588,6 +611,9 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     if let Some(path) = metrics_json {
         std::fs::write(&path, json::serve_report_json(&report.serve))?;
         println!("metrics written to {path}");
+    }
+    if let Some(path) = &kernel_plan {
+        write_kernel_plan(path)?;
     }
     if scrape {
         let samples =

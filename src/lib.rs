@@ -51,6 +51,7 @@ pub use tincy_core as core;
 pub use tincy_eval as eval;
 pub use tincy_explore as explore;
 pub use tincy_finn as finn;
+pub use tincy_kernels as kernels;
 pub use tincy_nn as nn;
 pub use tincy_perf as perf;
 pub use tincy_pipeline as pipeline;
