@@ -51,6 +51,14 @@ fn run_once(traced: bool) -> Duration {
     let report = run_demo(&config).expect("demo runs");
     let elapsed = t0.elapsed();
     if traced {
+        // The per-thread drop counters back `tincy_trace_dropped_total`
+        // on /metrics; a lossless run must show zero on every ring or
+        // the <5% overhead claim silently excludes unrecorded spans.
+        let drops = tincy_trace::thread_drops().expect("session is live");
+        assert!(
+            drops.iter().all(|(_, dropped)| *dropped == 0),
+            "per-thread span drops during the traced run: {drops:?}"
+        );
         let trace = tincy_trace::finish();
         assert!(!trace.events.is_empty(), "traced run recorded events");
         assert_eq!(trace.dropped, 0, "default ring capacity absorbs the run");

@@ -5,7 +5,7 @@ use crate::request::SloClass;
 use std::time::Duration;
 use tincy_core::SystemConfig;
 use tincy_nn::ModelSpec;
-use tincy_telemetry::Buckets;
+use tincy_telemetry::{Buckets, SloPolicy};
 
 /// Configuration of the inference server.
 #[derive(Debug, Clone)]
@@ -49,6 +49,19 @@ pub struct ServeConfig {
     /// Bucket bounds for the native latency/queue-wait histogram
     /// exposition (`*_hist_seconds` families on `/metrics`).
     pub latency_buckets: Buckets,
+    /// Shard identity within a fleet. Stamps a `shard` attribute on
+    /// every span the server records, prefixes worker thread names with
+    /// `shard<k>-`, and salts the trace ids minted for direct (non-fleet)
+    /// submissions so probe traces never collide across shards.
+    pub shard: Option<u32>,
+    /// Error-budget policy driving the per-class SLO burn-rate engine
+    /// (exposed as `tincy_slo_*` on `/metrics`, and as a `degraded`
+    /// verdict on `/healthz` while an alert is active).
+    pub slo: SloPolicy,
+    /// Attach OpenMetrics exemplars (`# {trace_id="..."} value`) to the
+    /// latency histogram buckets on `/metrics`, each carrying the trace
+    /// id of the worst observation the bucket has seen.
+    pub exemplars: bool,
     /// When set, the status endpoint reads live drift state from this
     /// handle: `tincy_calibration_*` series on `/metrics`, and
     /// `/healthz` reports `degraded` while the drift alert is raised.
@@ -77,6 +90,9 @@ impl Default for ServeConfig {
                 Duration::from_millis(200),
                 Duration::from_secs(2),
             ],
+            shard: None,
+            slo: SloPolicy::default(),
+            exemplars: false,
             status_addr: None,
             latency_buckets: Buckets::default(),
             drift: None,

@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use tincy_nn::{NnError, OffloadHealth, OffloadStats};
 use tincy_pipeline::DurationStats;
 use tincy_telemetry::{HttpClient, StatusServer};
+use tincy_trace::{static_label, TraceContext};
 use tincy_video::{Image, SceneConfig, SyntheticCamera};
 
 /// Router-side view of one shard.
@@ -178,6 +179,11 @@ impl Fleet {
         for shard in 0..config.shards {
             let mut shard_config = config.base.clone();
             shard_config.system.fault_plan = config.fault_of(shard);
+            // Shard identity flows into every span the shard records and
+            // into its worker thread names — the shards share one process
+            // (one trace session), so this is what keeps their timelines
+            // apart in a stitched trace.
+            shard_config.shard = Some(shard as u32);
             // Per-shard endpoints exist only to feed the fleet-level
             // aggregation; port 0 keeps them collision-free.
             shard_config.status_addr = config
@@ -251,6 +257,17 @@ impl Fleet {
     /// One shard's status endpoint address, when endpoints are bound.
     pub fn shard_status_addr(&self, shard: usize) -> Option<SocketAddr> {
         self.servers[shard].status_addr()
+    }
+
+    /// Resumes dispatch on every shard. Burst-mode fleets (configured
+    /// with `base.start_paused`) admit submissions while dispatch is
+    /// held, so admission decisions — including quota-driven failovers —
+    /// are a pure function of the submission order; this releases the
+    /// whole fleet at once.
+    pub fn resume_all(&self) {
+        for server in &self.servers {
+            server.resume();
+        }
     }
 
     /// Registers a fleet client: one connection per shard plus a stable
@@ -345,11 +362,29 @@ impl FleetClient {
     ///
     /// The last shard's [`AdmissionError`] when all shards reject.
     pub fn submit(&mut self, image: Image, class: SloClass) -> Result<u64, AdmissionError> {
+        // One trace identity per submission, minted at the router's
+        // admission edge: every shard the request touches (including the
+        // shard that rejected it before a failover) stamps this id.
+        let ctx = TraceContext::mint(self.key, self.submitted);
         self.submitted += 1;
+        // Open the router→shard flow at the admission edge, before any
+        // dispatch attempt: the journey's Dispatch stage is the gap
+        // between this event and the winning shard's `serve.admit`, and
+        // the scheduler closes the flow on the worker thread that
+        // delivers the response.
+        tincy_trace::span(static_label!("fleet.route"))
+            .context(Some(ctx))
+            .emit_flow_start();
         let ideal = self.shared.ideal_shard(self.key);
         let mut last_err = None;
-        for shard in self.shared.candidate_order(self.key) {
-            match self.handles[shard].submit(image.clone(), class) {
+        for (attempt, shard) in self
+            .shared
+            .candidate_order(self.key)
+            .into_iter()
+            .enumerate()
+        {
+            let attempt = u32::try_from(attempt).unwrap_or(u32::MAX);
+            match self.handles[shard].submit_traced(image.clone(), class, ctx) {
                 Ok(seq) => {
                     let fleet_seq = self.accepted;
                     self.accepted += 1;
@@ -363,7 +398,18 @@ impl FleetClient {
                     }
                     return Ok(fleet_seq);
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    // The failed attempt is part of the request's
+                    // journey: record which shard refused it and why
+                    // before trying the next candidate.
+                    tincy_trace::span(static_label!("fleet.failover"))
+                        .context(Some(ctx))
+                        .shard(shard as u32)
+                        .attempt(attempt)
+                        .fault(e.tag())
+                        .emit();
+                    last_err = Some(e);
+                }
             }
         }
         self.rejected += 1;

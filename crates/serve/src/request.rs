@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 use tincy_eval::Detection;
+use tincy_trace::TraceContext;
 use tincy_video::Image;
 
 /// Service-level objective class of a request: its relative latency
@@ -131,6 +132,10 @@ pub(crate) struct PendingRequest {
     pub submitted: Instant,
     /// Absolute deadline = submitted + class target.
     pub deadline: Instant,
+    /// Distributed-trace identity: minted at fleet admission (or by the
+    /// scheduler itself for direct submissions) and stamped on every
+    /// span the request touches, across shards and failovers.
+    pub trace: Option<TraceContext>,
     /// The frame to run detection on.
     pub image: Image,
 }

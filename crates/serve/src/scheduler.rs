@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 use tincy_eval::Detection;
 use tincy_nn::OffloadStats;
 use tincy_pipeline::DurationStats;
-use tincy_trace::static_label;
+use tincy_telemetry::{ExemplarStore, SloStatus, SloTracker};
+use tincy_trace::{static_label, SpanBuilder, TraceContext};
 use tincy_video::Image;
 
 /// Heap adapter: `BinaryHeap` is a max-heap, so order entries by
@@ -92,10 +93,14 @@ pub(crate) struct MetricsAcc {
     pub finn_busy: Duration,
     pub cpu_busy: Duration,
     pub max_depth: usize,
+    /// Worst latency observation per histogram bucket, tagged with its
+    /// trace id — the tail exemplars attached to
+    /// `tincy_serve_latency_hist_seconds` when exemplars are enabled.
+    pub latency_exemplars: ExemplarStore,
 }
 
 impl MetricsAcc {
-    fn new() -> Self {
+    fn new(buckets: &tincy_telemetry::Buckets) -> Self {
         Self {
             accepted: 0,
             completed: 0,
@@ -118,6 +123,7 @@ impl MetricsAcc {
             finn_busy: Duration::ZERO,
             cpu_busy: Duration::ZERO,
             max_depth: 0,
+            latency_exemplars: ExemplarStore::new(buckets),
         }
     }
 
@@ -178,6 +184,15 @@ pub(crate) struct SchedState {
     per_client_capacity: usize,
     cpu_engage_depth: usize,
     slo_targets: [Duration; 3],
+    /// Shard identity within a fleet (span attribution + trace-id salt).
+    shard: Option<u32>,
+    /// Salt folded into trace ids minted for direct submissions, so two
+    /// shards' internally minted ids (monitor probes) never collide.
+    mint_salt: u64,
+    /// Injected-clock epoch for the burn-rate trackers.
+    epoch: Instant,
+    /// Per-class burn-rate trackers, indexed by [`SloClass::index`].
+    slo: [SloTracker; 3],
 }
 
 /// A micro-batch leased to a backend worker.
@@ -203,12 +218,40 @@ impl SchedState {
             draining: false,
             shutdown: false,
             finn_degraded: false,
-            metrics: MetricsAcc::new(),
+            metrics: MetricsAcc::new(&config.latency_buckets),
             queue_capacity: config.queue_capacity,
             per_client_capacity: config.per_client_capacity,
             cpu_engage_depth: config.cpu_engage_depth,
             slo_targets: config.slo_targets,
+            shard: config.shard,
+            mint_salt: config.shard.map_or(0, |s| (u64::from(s) + 1) << 32),
+            epoch: Instant::now(),
+            slo: config
+                .slo_targets
+                .map(|target| SloTracker::new(target, config.slo)),
         }
+    }
+
+    /// Nanoseconds since the scheduler started — the injected clock the
+    /// burn-rate trackers run on.
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stamps this server's shard attribute on a span, when it has one.
+    fn shard_tag(&self, span: SpanBuilder) -> SpanBuilder {
+        match self.shard {
+            Some(shard) => span.shard(shard),
+            None => span,
+        }
+    }
+
+    /// Evaluates every class's burn-rate state at the current injected
+    /// clock, indexed by [`SloClass::index`].
+    pub fn slo_status(&mut self) -> [SloStatus; 3] {
+        let now = self.now_ns();
+        let [a, b, c] = &mut self.slo;
+        [a.evaluate(now), b.evaluate(now), c.evaluate(now)]
     }
 
     /// Registers a client and returns its id.
@@ -242,13 +285,15 @@ impl SchedState {
         client: usize,
         class: SloClass,
         image: Image,
+        trace: Option<TraceContext>,
     ) -> Result<u64, AdmissionError> {
         if self.draining || self.shutdown {
-            return Err(self.reject(class, AdmissionError::Draining));
+            return Err(self.reject(class, trace, AdmissionError::Draining));
         }
         if self.pending.len() >= self.queue_capacity {
             return Err(self.reject(
                 class,
+                trace,
                 AdmissionError::QueueFull {
                     capacity: self.queue_capacity,
                     depth: self.pending.len(),
@@ -258,6 +303,7 @@ impl SchedState {
         if self.clients[client].outstanding >= self.per_client_capacity {
             return Err(self.reject(
                 class,
+                trace,
                 AdmissionError::ClientQueueFull {
                     quota: self.per_client_capacity,
                     outstanding: self.clients[client].outstanding,
@@ -272,6 +318,10 @@ impl SchedState {
         state.admitted.push(seq);
         let global = self.next_global;
         self.next_global += 1;
+        // Direct submissions (no fleet router upstream) mint their trace
+        // identity here, salted by shard so two shards' monitor probes
+        // can never share a trace id.
+        let trace = trace.or_else(|| Some(TraceContext::mint(self.mint_salt ^ client as u64, seq)));
         self.pending.push(QueueEntry(PendingRequest {
             client,
             seq,
@@ -279,28 +329,45 @@ impl SchedState {
             class,
             submitted: now,
             deadline: now + self.slo_targets[class.index()],
+            trace,
             image,
         }));
         self.metrics.accepted += 1;
         self.metrics.max_depth = self.metrics.max_depth.max(self.pending.len());
-        tincy_trace::span(static_label!("serve.admit"))
-            .request(global)
-            .frame(seq)
-            .emit();
+        self.shard_tag(
+            tincy_trace::span(static_label!("serve.admit"))
+                .request(global)
+                .frame(seq)
+                .context(trace),
+        )
+        .emit();
         Ok(seq)
     }
 
-    /// Books a rejection under the submitting class and traces it.
-    fn reject(&mut self, class: SloClass, error: AdmissionError) -> AdmissionError {
+    /// Books a rejection under the submitting class, burns the class's
+    /// shed budget and traces it (carrying the request's trace id when
+    /// the caller minted one, so a failed-over request's journey shows
+    /// the shard that refused it).
+    fn reject(
+        &mut self,
+        class: SloClass,
+        trace: Option<TraceContext>,
+        error: AdmissionError,
+    ) -> AdmissionError {
         match error {
             AdmissionError::QueueFull { .. } => self.metrics.rejected_queue_full += 1,
             AdmissionError::ClientQueueFull { .. } => self.metrics.rejected_client_full += 1,
             AdmissionError::Draining => self.metrics.rejected_draining += 1,
         }
         self.metrics.rejected_class[class.index()] += 1;
-        tincy_trace::span(static_label!("serve.reject"))
-            .fault(error.tag())
-            .emit();
+        let now = self.now_ns();
+        self.slo[class.index()].record_shed(now);
+        self.shard_tag(
+            tincy_trace::span(static_label!("serve.reject"))
+                .fault(error.tag())
+                .context(trace),
+        )
+        .emit();
         error
     }
 
@@ -331,10 +398,13 @@ impl SchedState {
             self.metrics
                 .queue_wait
                 .record(now.duration_since(request.submitted));
-            tincy_trace::span(static_label!("serve.lease"))
-                .request(request.global)
-                .batch(u32::try_from(n).unwrap_or(u32::MAX))
-                .emit();
+            self.shard_tag(
+                tincy_trace::span(static_label!("serve.lease"))
+                    .request(request.global)
+                    .batch(u32::try_from(n).unwrap_or(u32::MAX))
+                    .context(request.trace),
+            )
+            .emit();
         }
         Lease { requests }
     }
@@ -348,6 +418,7 @@ impl SchedState {
         detections: Vec<Detection>,
         backend: BackendKind,
         batch: usize,
+        degraded: bool,
     ) {
         let latency = request.submitted.elapsed();
         let slo_violated = latency > self.slo_targets[request.class.index()];
@@ -355,6 +426,13 @@ impl SchedState {
         self.metrics.class_latency[request.class.index()].record(latency);
         self.metrics.slo_violations += u64::from(slo_violated);
         self.metrics.completed += 1;
+        let now_ns = self.now_ns();
+        self.slo[request.class.index()].record(now_ns, latency, degraded);
+        if let Some(ctx) = request.trace {
+            self.metrics
+                .latency_exemplars
+                .observe(latency.as_secs_f64(), ctx.trace_id);
+        }
         match backend {
             BackendKind::Finn => self.metrics.finn_items += 1,
             BackendKind::Cpu => self.metrics.cpu_items += 1,
@@ -370,15 +448,24 @@ impl SchedState {
             latency,
             slo_violated,
         };
-        tincy_trace::span(static_label!("serve.deliver"))
-            .request(request.global)
-            .frame(request.seq)
-            .backend(match backend {
-                BackendKind::Finn => tincy_trace::Backend::Finn,
-                BackendKind::Cpu => tincy_trace::Backend::Host,
-            })
-            .batch(u32::try_from(batch).unwrap_or(u32::MAX))
-            .emit();
+        self.shard_tag(
+            tincy_trace::span(static_label!("serve.deliver"))
+                .request(request.global)
+                .frame(request.seq)
+                .backend(match backend {
+                    BackendKind::Finn => tincy_trace::Backend::Finn,
+                    BackendKind::Cpu => tincy_trace::Backend::Host,
+                })
+                .batch(u32::try_from(batch).unwrap_or(u32::MAX))
+                .context(request.trace),
+        )
+        .emit();
+        // Close the router→shard flow on the completing worker's thread:
+        // the matching `fleet.route` flow-start (same join id) was emitted
+        // on the submitting thread, so the stitched timeline draws the
+        // cross-thread (and cross-shard, after failover) hand-off arrow.
+        self.shard_tag(tincy_trace::span(static_label!("fleet.route")).context(request.trace))
+            .emit_flow_finish();
         let state = &mut self.clients[request.client];
         state.hold.insert(request.seq, response);
         // Flush the reorder buffer: deliver while the next owed sequence
@@ -443,8 +530,10 @@ mod tests {
         let c = state.register_client(tx);
         // Batch first, then interactive: the interactive deadline is
         // nearer, so it must be dispatched first despite later admission.
-        state.submit(c, SloClass::Batch, frame()).unwrap();
-        state.submit(c, SloClass::Interactive, frame()).unwrap();
+        state.submit(c, SloClass::Batch, frame(), None).unwrap();
+        state
+            .submit(c, SloClass::Interactive, frame(), None)
+            .unwrap();
         let lease = state.lease(2);
         assert_eq!(lease.requests[0].class, SloClass::Interactive);
         assert_eq!(lease.requests[1].class, SloClass::Batch);
@@ -457,21 +546,21 @@ mod tests {
         let a = state.register_client(tx);
         let (tx, _rx) = channel();
         let b = state.register_client(tx);
-        assert!(state.submit(a, SloClass::Standard, frame()).is_ok());
-        assert!(state.submit(a, SloClass::Standard, frame()).is_ok());
+        assert!(state.submit(a, SloClass::Standard, frame(), None).is_ok());
+        assert!(state.submit(a, SloClass::Standard, frame(), None).is_ok());
         // Client quota (2) exhausted; the error carries quota and depth.
         assert_eq!(
-            state.submit(a, SloClass::Interactive, frame()),
+            state.submit(a, SloClass::Interactive, frame(), None),
             Err(AdmissionError::ClientQueueFull {
                 quota: 2,
                 outstanding: 2
             })
         );
-        assert!(state.submit(b, SloClass::Standard, frame()).is_ok());
-        assert!(state.submit(b, SloClass::Standard, frame()).is_ok());
+        assert!(state.submit(b, SloClass::Standard, frame(), None).is_ok());
+        assert!(state.submit(b, SloClass::Standard, frame(), None).is_ok());
         // Global capacity (4) exhausted — checked before the client quota.
         assert_eq!(
-            state.submit(b, SloClass::Batch, frame()),
+            state.submit(b, SloClass::Batch, frame(), None),
             Err(AdmissionError::QueueFull {
                 capacity: 4,
                 depth: 4
@@ -479,7 +568,7 @@ mod tests {
         );
         state.draining = true;
         assert_eq!(
-            state.submit(b, SloClass::Batch, frame()),
+            state.submit(b, SloClass::Batch, frame(), None),
             Err(AdmissionError::Draining)
         );
         assert_eq!(state.metrics.rejected_client_full, 1);
@@ -522,15 +611,15 @@ mod tests {
         let mut state = SchedState::new(&config());
         let (tx, rx) = channel();
         let c = state.register_client(tx);
-        state.submit(c, SloClass::Standard, frame()).unwrap();
-        state.submit(c, SloClass::Standard, frame()).unwrap();
+        state.submit(c, SloClass::Standard, frame(), None).unwrap();
+        state.submit(c, SloClass::Standard, frame(), None).unwrap();
         let lease = state.lease(2);
         let [first, second]: [PendingRequest; 2] =
             lease.requests.try_into().map_err(|_| ()).unwrap();
         // Complete the *second* request first: it must be held back.
-        state.complete(second, Vec::new(), BackendKind::Cpu, 1);
+        state.complete(second, Vec::new(), BackendKind::Cpu, 1, false);
         assert!(rx.try_recv().is_err(), "seq 1 held until seq 0 completes");
-        state.complete(first, Vec::new(), BackendKind::Finn, 1);
+        state.complete(first, Vec::new(), BackendKind::Finn, 1, false);
         assert_eq!(rx.try_recv().unwrap().seq, 0);
         assert_eq!(rx.try_recv().unwrap().seq, 1);
         assert!(state.drained());
@@ -543,7 +632,7 @@ mod tests {
         let a = state.register_client(tx);
         let (tx, _rx) = channel();
         let b = state.register_client(tx);
-        state.submit(a, SloClass::Standard, frame()).unwrap();
+        state.submit(a, SloClass::Standard, frame(), None).unwrap();
         assert!(state.finn_ready());
         assert!(!state.cpu_ready(), "below the engage depth, CPU holds off");
         state.finn_degraded = true;
@@ -552,9 +641,9 @@ mod tests {
         state.draining = true;
         assert!(state.cpu_ready(), "drain engages every backend");
         state.draining = false;
-        state.submit(a, SloClass::Standard, frame()).unwrap();
+        state.submit(a, SloClass::Standard, frame(), None).unwrap();
         assert!(!state.cpu_ready(), "depth 2 does not exceed engage depth 2");
-        state.submit(b, SloClass::Standard, frame()).unwrap();
+        state.submit(b, SloClass::Standard, frame(), None).unwrap();
         assert!(state.cpu_ready(), "depth 3 exceeds engage depth 2");
     }
 
@@ -564,7 +653,9 @@ mod tests {
         let (tx, _rx) = channel();
         let c = state.register_client(tx);
         state.paused = true;
-        state.submit(c, SloClass::Interactive, frame()).unwrap();
+        state
+            .submit(c, SloClass::Interactive, frame(), None)
+            .unwrap();
         assert!(!state.finn_ready());
         assert!(!state.cpu_ready());
         state.paused = false;

@@ -16,7 +16,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use tincy_nn::{NnError, OffloadHealth};
 use tincy_telemetry::StatusServer;
-use tincy_trace::static_label;
+use tincy_trace::{static_label, TraceContext};
 use tincy_video::Image;
 
 pub(crate) struct Inner {
@@ -72,7 +72,24 @@ impl ClientHandle {
     /// [`AdmissionError`] when the request is refused.
     pub fn submit(&self, image: Image, class: SloClass) -> Result<u64, AdmissionError> {
         self.inner
-            .mutate(|state| state.submit(self.id, class, image))
+            .mutate(|state| state.submit(self.id, class, image, None))
+    }
+
+    /// Like [`Self::submit`], but under an externally minted trace
+    /// context (the fleet router mints one per submission at admission,
+    /// so a failed-over request keeps one trace id across shards).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] when the request is refused.
+    pub fn submit_traced(
+        &self,
+        image: Image,
+        class: SloClass,
+        ctx: TraceContext,
+    ) -> Result<u64, AdmissionError> {
+        self.inner
+            .mutate(|state| state.submit(self.id, class, image, Some(ctx)))
     }
 
     /// Receives the next response, blocking. Responses arrive in
@@ -114,13 +131,27 @@ impl InferenceServer {
         });
         let mut workers = Vec::with_capacity(1 + config.cpu_workers);
         let max_batch = config.max_batch.max(1);
+        // In a fleet every shard lives in one process (one trace
+        // session), so worker thread names carry the shard id — the
+        // stitched timeline's track names say which shard served what.
+        let prefix = config
+            .shard
+            .map(|shard| format!("shard{shard}-"))
+            .unwrap_or_default();
         workers.push(spawn_finn_worker(
             Arc::clone(&inner),
             finn_engine,
             max_batch,
+            format!("{prefix}serve-finn"),
+            config.shard,
         ));
         for (i, engine) in cpu_engines.into_iter().enumerate() {
-            workers.push(spawn_cpu_worker(Arc::clone(&inner), engine, i));
+            workers.push(spawn_cpu_worker(
+                Arc::clone(&inner),
+                engine,
+                format!("{prefix}serve-cpu-{i}"),
+                config.shard,
+            ));
         }
         let started = Instant::now();
         let status = match &config.status_addr {
@@ -132,6 +163,7 @@ impl InferenceServer {
                     cpu_workers: config.cpu_workers,
                     buckets: config.latency_buckets.clone(),
                     drift: config.drift.clone(),
+                    exemplars: config.exemplars,
                 });
                 Some(bind_status(addr, collector).map_err(NnError::Io)?)
             }
@@ -216,8 +248,10 @@ fn spawn_finn_worker(
     inner: Arc<Inner>,
     mut engine: ServeEngine,
     max_batch: usize,
+    name: String,
+    shard: Option<u32>,
 ) -> JoinHandle<()> {
-    spawn_named("serve-finn".to_string(), move || {
+    spawn_named(name, move || {
         let health = engine.health();
         loop {
             let lease = {
@@ -241,11 +275,14 @@ fn spawn_finn_worker(
             let before = health.snapshot();
             let t0 = Instant::now();
             let detections = {
-                let _span = tincy_trace::span(static_label!("serve.finn_batch"))
+                let mut span = tincy_trace::span(static_label!("serve.finn_batch"))
                     .batch(u32::try_from(batch).unwrap_or(u32::MAX))
                     .backend(tincy_trace::Backend::Finn)
-                    .link_requests(&members)
-                    .start();
+                    .link_requests(&members);
+                if let Some(shard) = shard {
+                    span = span.shard(shard);
+                }
+                let _span = span.start();
                 engine
                     .process_batch(&lease.images())
                     .expect("offload resilience absorbs accelerator faults")
@@ -259,7 +296,12 @@ fn spawn_finn_worker(
                 state.finn_degraded = degraded_now;
                 state.record_finn_batch(batch, busy);
                 for (request, dets) in lease.requests.into_iter().zip(detections) {
-                    state.complete(request, dets, BackendKind::Finn, batch);
+                    // A batch that needed the resilience machinery served
+                    // its members degraded: they burn SLO latency budget
+                    // even when the clock was met, which is what makes
+                    // burn-rate alerts deterministic under injected
+                    // outages.
+                    state.complete(request, dets, BackendKind::Finn, batch, degraded_now);
                 }
             });
         }
@@ -276,8 +318,13 @@ fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle
         .expect("spawn serve worker")
 }
 
-fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine, index: usize) -> JoinHandle<()> {
-    spawn_named(format!("serve-cpu-{index}"), move || loop {
+fn spawn_cpu_worker(
+    inner: Arc<Inner>,
+    mut engine: ServeEngine,
+    name: String,
+    shard: Option<u32>,
+) -> JoinHandle<()> {
+    spawn_named(name, move || loop {
         let lease = {
             let mut state = inner.state.lock();
             loop {
@@ -298,10 +345,14 @@ fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine, index: usize) ->
             .expect("cpu lease holds one request");
         let t0 = Instant::now();
         let detections = {
-            let _span = tincy_trace::span(static_label!("serve.cpu"))
+            let mut span = tincy_trace::span(static_label!("serve.cpu"))
                 .request(request.global)
                 .backend(tincy_trace::Backend::Host)
-                .start();
+                .context(request.trace);
+            if let Some(shard) = shard {
+                span = span.shard(shard);
+            }
+            let _span = span.start();
             engine
                 .process_host(&request.image)
                 .expect("reference path cannot fault")
@@ -309,7 +360,7 @@ fn spawn_cpu_worker(inner: Arc<Inner>, mut engine: ServeEngine, index: usize) ->
         let busy = t0.elapsed();
         inner.mutate(|state| {
             state.record_cpu_busy(busy);
-            state.complete(request, detections, BackendKind::Cpu, 1);
+            state.complete(request, detections, BackendKind::Cpu, 1, false);
         });
     })
 }

@@ -20,7 +20,7 @@ use tincy_nn::OffloadHealth;
 use tincy_perf::StageId;
 use tincy_telemetry::{
     json_text, prometheus_text, Buckets, Collect, Handler, HistogramSnapshot, Registry, Response,
-    Sample, StatusServer, Value,
+    Sample, StatusServer, Value, SLO_WINDOW_NAMES,
 };
 
 /// Rejection-reason labels, aligned with [`crate::AdmissionError::tag`].
@@ -34,6 +34,9 @@ pub(crate) struct ServeCollector {
     pub cpu_workers: usize,
     pub buckets: Buckets,
     pub drift: Option<DriftHandle>,
+    /// Attach worst-observation trace-id exemplars to the latency
+    /// histogram buckets.
+    pub exemplars: bool,
 }
 
 impl ServeCollector {
@@ -49,13 +52,29 @@ impl ServeCollector {
     }
 }
 
+impl ServeCollector {
+    /// Evaluates the per-class burn-rate trackers at the current
+    /// injected clock, indexed by [`SloClass::index`].
+    pub fn slo_status(&self) -> [tincy_telemetry::SloStatus; 3] {
+        self.inner.state.lock().slo_status()
+    }
+}
+
 impl Collect for ServeCollector {
     fn collect(&self) -> Vec<Sample> {
-        let (m, depth) = {
-            let state = self.inner.state.lock();
-            (state.metrics.clone(), state.depth())
+        let (m, depth, slo) = {
+            let mut state = self.inner.state.lock();
+            (state.metrics.clone(), state.depth(), state.slo_status())
         };
         let offload = self.health.snapshot();
+        let latency_hist = {
+            let snap = HistogramSnapshot::from_stats(&m.latency, &self.buckets);
+            if self.exemplars {
+                snap.with_exemplars(&m.latency_exemplars)
+            } else {
+                snap
+            }
+        };
         let mut out = vec![
             Sample::new(
                 "tincy_serve_accepted_total",
@@ -127,7 +146,7 @@ impl Collect for ServeCollector {
             Sample::new(
                 "tincy_serve_latency_hist_seconds",
                 "End-to-end latency, submission to delivery (cumulative buckets)",
-                Value::Histogram(HistogramSnapshot::from_stats(&m.latency, &self.buckets)),
+                Value::Histogram(latency_hist),
             ),
             Sample::new(
                 "tincy_serve_queue_wait_hist_seconds",
@@ -210,6 +229,69 @@ impl Collect for ServeCollector {
                 .label("class", class.label()),
             );
         }
+        // The burn-rate engine: one evaluation per scrape, on the
+        // scheduler's injected clock, per class and window.
+        for class in SloClass::ALL {
+            let status = &slo[class.index()];
+            for (window, burn) in SLO_WINDOW_NAMES.into_iter().zip(status.burn) {
+                out.push(
+                    Sample::new(
+                        "tincy_slo_burn_rate",
+                        "Error-budget burn rate by SLO class and window (1.0 = burning exactly at budget)",
+                        Value::Gauge(burn),
+                    )
+                    .label("class", class.label())
+                    .label("window", window),
+                );
+            }
+            out.push(
+                Sample::new(
+                    "tincy_slo_budget_remaining",
+                    "Fraction of the 5m error budget still unspent, by SLO class",
+                    Value::Gauge(status.budget_remaining),
+                )
+                .label("class", class.label()),
+            );
+            let alerts = [
+                ("fast", status.fast_active, status.fired[0]),
+                ("slow", status.slow_active, status.fired[1]),
+            ];
+            for (window, active, fired) in alerts {
+                out.push(
+                    Sample::new(
+                        "tincy_slo_alerts_total",
+                        "Burn-rate alerts fired (rising edges), by SLO class and window pair",
+                        Value::Counter(fired),
+                    )
+                    .label("class", class.label())
+                    .label("window", window),
+                );
+                out.push(
+                    Sample::new(
+                        "tincy_slo_alert_active",
+                        "Whether a burn-rate alert is currently active, by SLO class and window pair",
+                        Value::Gauge(f64::from(u8::from(active))),
+                    )
+                    .label("class", class.label())
+                    .label("window", window),
+                );
+            }
+        }
+        // Flight-recorder drop accounting, only while a trace session is
+        // live: a non-zero value means the stitched timeline is missing
+        // spans from that thread's ring.
+        if let Some(drops) = tincy_trace::thread_drops() {
+            for (thread, dropped) in drops {
+                out.push(
+                    Sample::new(
+                        "tincy_trace_dropped_total",
+                        "Trace events dropped by the flight recorder's per-thread ring",
+                        Value::Counter(dropped),
+                    )
+                    .label("thread", &thread),
+                );
+            }
+        }
         let offload_counters = [
             ("forwards", offload.forwards, "Completed forward passes"),
             ("faults", offload.faults, "Accelerator faults observed"),
@@ -259,16 +341,27 @@ pub(crate) fn bind_status(addr: &str, collector: Arc<ServeCollector>) -> io::Res
         ),
         ("/healthz", {
             let drift = collector.drift.clone();
+            let slo = Arc::clone(&collector);
             Box::new(move || {
                 // Degradation is advisory (still HTTP 200): the server
-                // keeps serving, but the measured budget has walked away
-                // from its reference.
-                let body = match &drift {
-                    Some(handle) if handle.status().alerted => {
-                        "{\"ok\":true,\"degraded\":true,\"reason\":\"calibration-drift\"}\n"
+                // keeps serving, but it is burning error budget faster
+                // than its policy allows, or the measured stage budget
+                // has walked away from its reference. The fleet health
+                // monitor treats either as a drain signal.
+                let slo_burning = slo
+                    .slo_status()
+                    .iter()
+                    .any(|s| s.fast_active || s.slow_active);
+                let body = if slo_burning {
+                    "{\"ok\":true,\"degraded\":true,\"reason\":\"slo-burn\"}\n"
+                } else {
+                    match &drift {
+                        Some(handle) if handle.status().alerted => {
+                            "{\"ok\":true,\"degraded\":true,\"reason\":\"calibration-drift\"}\n"
+                        }
+                        Some(_) => "{\"ok\":true,\"degraded\":false}\n",
+                        None => "{\"ok\":true}\n",
                     }
-                    Some(_) => "{\"ok\":true,\"degraded\":false}\n",
-                    None => "{\"ok\":true}\n",
                 };
                 Response::ok("application/json", body.to_string())
             })

@@ -70,22 +70,27 @@ pub fn prometheus_text(samples: &[Sample]) -> String {
                 );
             }
             Value::Histogram(snap) => {
-                for (bound, cumulative) in snap.bounds.iter().zip(&snap.cumulative) {
-                    let _ = writeln!(
+                for (i, (bound, cumulative)) in snap.bounds.iter().zip(&snap.cumulative).enumerate()
+                {
+                    let _ = write!(
                         out,
                         "{}_bucket{} {cumulative}",
                         sample.name,
                         label_set(&sample.labels, Some(("le", &fmt_value(*bound)))),
                     );
+                    write_exemplar(&mut out, &snap.exemplars, i);
+                    out.push('\n');
                 }
                 // The implicit +Inf bucket equals the total count.
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{}_bucket{} {}",
                     sample.name,
                     label_set(&sample.labels, Some(("le", "+Inf"))),
                     snap.count
                 );
+                write_exemplar(&mut out, &snap.exemplars, snap.bounds.len());
+                out.push('\n');
                 let _ = writeln!(
                     out,
                     "{}_sum{} {}",
@@ -104,6 +109,19 @@ pub fn prometheus_text(samples: &[Sample]) -> String {
         }
     }
     out
+}
+
+/// Appends the OpenMetrics exemplar suffix for bucket `index`, if the
+/// snapshot carries one: ` # {trace_id="<hex>"} <value>`.
+fn write_exemplar(out: &mut String, exemplars: &[Option<crate::Exemplar>], index: usize) {
+    if let Some(Some(exemplar)) = exemplars.get(index) {
+        let _ = write!(
+            out,
+            " # {{trace_id=\"{:016x}\"}} {}",
+            exemplar.trace_id,
+            fmt_value(exemplar.value)
+        );
+    }
 }
 
 /// Formats a float so the parser reads back the identical value:
@@ -230,6 +248,26 @@ fn summary_json(stats: &DurationStats) -> String {
     )
 }
 
+/// An exemplar parsed off a sample line's ` # {labels} value` suffix
+/// (OpenMetrics syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromExemplar {
+    /// Exemplar label pairs (conventionally a `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplified observation.
+    pub value: f64,
+}
+
+impl PromExemplar {
+    /// The value of exemplar label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// One parsed Prometheus sample line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PromSample {
@@ -239,6 +277,8 @@ pub struct PromSample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// The attached exemplar, when the line carried one.
+    pub exemplar: Option<PromExemplar>,
 }
 
 impl PromSample {
@@ -283,12 +323,26 @@ fn parse_line(line: &str) -> Option<PromSample> {
     } else {
         (Vec::new(), rest)
     };
-    let value: f64 = rest.trim().parse().ok()?;
+    // An OpenMetrics exemplar rides after ` # ` on the same line.
+    let (value_str, exemplar) = match rest.split_once(" # ") {
+        Some((value_str, suffix)) => (value_str, Some(parse_exemplar(suffix)?)),
+        None => (rest, None),
+    };
+    let value: f64 = value_str.trim().parse().ok()?;
     Some(PromSample {
         name: name.to_string(),
         labels,
         value,
+        exemplar,
     })
+}
+
+fn parse_exemplar(suffix: &str) -> Option<PromExemplar> {
+    let body = suffix.trim_start().strip_prefix('{')?;
+    let close = body.find('}')?;
+    let labels = parse_labels(&body[..close])?;
+    let value: f64 = body[close + 1..].trim().parse().ok()?;
+    Some(PromExemplar { labels, value })
 }
 
 fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
@@ -334,13 +388,22 @@ fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
 pub fn render_prometheus(samples: &[PromSample]) -> String {
     let mut out = String::new();
     for sample in samples {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{}{} {}",
             sample.name,
             label_set(&sample.labels, None),
             fmt_value(sample.value)
         );
+        if let Some(exemplar) = &sample.exemplar {
+            let mut labels = label_set(&exemplar.labels, None);
+            if labels.is_empty() {
+                // OpenMetrics always braces the exemplar label set.
+                labels.push_str("{}");
+            }
+            let _ = write!(out, " # {labels} {}", fmt_value(exemplar.value));
+        }
+        out.push('\n');
     }
     out
 }
@@ -534,6 +597,44 @@ mod tests {
             "m_count{class=\"a\"} 2\nm_count{class=\"b\"} 0\n",
         ));
         check_histogram_series(&good).expect("both label groups are valid");
+    }
+
+    #[test]
+    fn bucket_exemplars_render_and_parse() {
+        let mut stats = DurationStats::new();
+        stats.record(Duration::from_millis(2));
+        stats.record(Duration::from_millis(300));
+        let buckets = crate::Buckets::explicit(vec![0.005, 0.05]).unwrap();
+        let mut store = crate::ExemplarStore::new(&buckets);
+        store.observe(0.002, 0xabcd_ef01_2345_6789);
+        store.observe(0.3, 0xffee_0000_0000_0001);
+        let snap = crate::HistogramSnapshot::from_stats(&stats, &buckets).with_exemplars(&store);
+        let text = prometheus_text(&[Sample::new("ex_hist_seconds", "h", Value::Histogram(snap))]);
+        assert!(text.contains("# {trace_id=\"abcdef0123456789\"}"), "{text}");
+
+        let parsed = parse_prometheus(&text).unwrap();
+        check_histogram_series(&parsed).unwrap();
+        let first = parsed
+            .iter()
+            .find(|s| s.name == "ex_hist_seconds_bucket" && s.label("le") == Some("0.005"))
+            .unwrap();
+        let exemplar = first.exemplar.as_ref().unwrap();
+        assert_eq!(exemplar.label("trace_id"), Some("abcdef0123456789"));
+        assert_eq!(exemplar.value, 0.002);
+        let inf = parsed
+            .iter()
+            .find(|s| s.name == "ex_hist_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(
+            inf.exemplar.as_ref().unwrap().label("trace_id"),
+            Some("ffee000000000001")
+        );
+
+        // Parse → render stays a fixed point with exemplars attached.
+        let rendered = render_prometheus(&parsed);
+        let reparsed = parse_prometheus(&rendered).unwrap();
+        assert_eq!(parsed, reparsed);
+        assert_eq!(rendered, render_prometheus(&reparsed));
     }
 
     #[test]

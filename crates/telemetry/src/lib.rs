@@ -1,7 +1,7 @@
 //! `tincy-telemetry`: the live-metrics layer of the Tincy system (per
 //! DESIGN.md §8 "Live telemetry").
 //!
-//! Three pieces, each std-only:
+//! Four pieces, each std-only:
 //! - a [`Registry`] of lock-light [`Counter`]s, [`Gauge`]s and
 //!   [`Histogram`]s (the latter reusing `tincy-pipeline`'s streaming
 //!   [`DurationStats`](tincy_pipeline::DurationStats)), plus a
@@ -16,20 +16,26 @@
 //!   503 shedding, header/read deadlines, drain-on-shutdown — see
 //!   [`ServerConfig`]) that serves those expositions on `tincy serve
 //!   --status-addr` (GET `/metrics`, `/healthz`, `/report`), plus the
-//!   [`HttpClient`] keep-alive scrape client.
+//!   [`HttpClient`] keep-alive scrape client;
+//! - the [`slo`] burn-rate engine: per-class error budgets
+//!   ([`SloPolicy`]) evaluated over fast/slow window pairs on injected
+//!   time ([`SloTracker`]), feeding `/healthz` and the fleet monitor.
 
 mod expose;
 mod http;
 mod metrics;
+pub mod slo;
 
 pub use expose::{
     check_histogram_series, json_text, parse_prometheus, prometheus_text, render_prometheus,
-    PromSample,
+    PromExemplar, PromSample,
 };
 pub use http::{
     http_get, http_get_full, Handler, HttpClient, HttpResponse, Parse, Request, RequestParser,
     Response, ServerConfig, ServerStats, StatusServer,
 };
 pub use metrics::{
-    Buckets, Collect, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Sample, Value,
+    Buckets, Collect, Counter, Exemplar, ExemplarStore, Gauge, Histogram, HistogramSnapshot,
+    Registry, Sample, Value,
 };
+pub use slo::{SloPolicy, SloStatus, SloTracker, SLO_WINDOWS, SLO_WINDOW_NAMES};

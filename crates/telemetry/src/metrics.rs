@@ -144,6 +144,60 @@ impl Buckets {
     }
 }
 
+/// A Prometheus/OpenMetrics exemplar: the trace id of a notable
+/// observation that landed in a bucket, plus that observation's value in
+/// seconds — the bridge from a burning latency budget to the stitched
+/// trace of an offending request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Distributed trace id of the exemplified request.
+    pub trace_id: u64,
+    /// The exemplified observation, seconds.
+    pub value: f64,
+}
+
+/// Per-bucket exemplar store: remembers, for each bucket of a latency
+/// histogram, the *worst* (largest) traced observation that landed
+/// there, so every bucket's exemplar points at its most incriminating
+/// request. Deterministic for seeded runs: ties keep the newest.
+#[derive(Debug, Clone)]
+pub struct ExemplarStore {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the trailing `+Inf` bucket.
+    slots: Vec<Option<Exemplar>>,
+}
+
+impl ExemplarStore {
+    /// An empty store over the given bucket grid.
+    pub fn new(buckets: &Buckets) -> Self {
+        Self {
+            bounds: buckets.bounds().to_vec(),
+            slots: vec![None; buckets.bounds().len() + 1],
+        }
+    }
+
+    /// Records one traced observation into its bucket's slot.
+    pub fn observe(&mut self, seconds: f64, trace_id: u64) {
+        let index = self
+            .bounds
+            .iter()
+            .position(|&bound| seconds <= bound)
+            .unwrap_or(self.bounds.len());
+        let slot = &mut self.slots[index];
+        if slot.is_none_or(|held| seconds >= held.value) {
+            *slot = Some(Exemplar {
+                trace_id,
+                value: seconds,
+            });
+        }
+    }
+
+    /// The per-bucket slots (last entry is the `+Inf` bucket).
+    pub fn slots(&self) -> &[Option<Exemplar>] {
+        &self.slots
+    }
+}
+
 /// A point-in-time cumulative histogram: per-bound counts of samples at
 /// or below each bound, plus the overall count and sum.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +210,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples, seconds.
     pub sum_seconds: f64,
+    /// Per-bucket exemplars, `bounds.len() + 1` entries when attached
+    /// (last is the `+Inf` bucket); empty when the feature is off.
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -174,7 +231,15 @@ impl HistogramSnapshot {
             cumulative,
             count: stats.count(),
             sum_seconds: stats.total().as_secs_f64(),
+            exemplars: Vec::new(),
         }
+    }
+
+    /// Attaches the store's per-bucket exemplars to this snapshot.
+    #[must_use]
+    pub fn with_exemplars(mut self, store: &ExemplarStore) -> Self {
+        self.exemplars = store.slots().to_vec();
+        self
     }
 }
 
@@ -416,6 +481,21 @@ mod tests {
         assert!(Buckets::explicit(vec![-1.0, 0.1]).is_err());
         assert!(Buckets::explicit(vec![0.1, f64::INFINITY]).is_err());
         assert!(!Buckets::default().bounds().is_empty());
+    }
+
+    #[test]
+    fn exemplar_store_keeps_the_worst_observation_per_bucket() {
+        let buckets = Buckets::explicit(vec![0.01, 0.1]).unwrap();
+        let mut store = ExemplarStore::new(&buckets);
+        store.observe(0.004, 1);
+        store.observe(0.008, 2); // worse, same bucket: replaces
+        store.observe(0.005, 3); // better: ignored
+        store.observe(0.5, 4); // lands in +Inf
+        let slots = store.slots();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0].unwrap().trace_id, 2);
+        assert!(slots[1].is_none());
+        assert_eq!(slots[2].unwrap().trace_id, 4);
     }
 
     #[test]

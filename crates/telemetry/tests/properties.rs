@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use tincy_telemetry::{
     check_histogram_series, parse_prometheus, prometheus_text, render_prometheus, Buckets, Parse,
-    PromSample, Registry, RequestParser,
+    PromExemplar, PromSample, Registry, RequestParser,
 };
 
 const METHODS: &[&str] = &["GET", "HEAD", "POST"];
@@ -207,6 +207,7 @@ proptest! {
                     })
                     .collect(),
                 value: VALUES[value % VALUES.len()],
+                exemplar: None,
             })
             .collect();
 
@@ -222,6 +223,52 @@ proptest! {
             prop_assert_eq!(&a.name, &b.name);
             prop_assert_eq!(&a.labels, &b.labels);
             prop_assert!(a.value == b.value || (a.value.is_nan() && b.value.is_nan()));
+        }
+    }
+
+    /// Sample lines carrying OpenMetrics exemplars (` # {trace_id=...}
+    /// value`) survive render → parse → render as a fixed point, with
+    /// the exemplar's trace id and value intact — including trace ids
+    /// past f64's 53-bit mantissa, which travel as hex strings.
+    #[test]
+    fn exemplar_render_parse_render_is_a_fixed_point(
+        entries in proptest::collection::vec(
+            (proptest::arbitrary::any::<u64>(), 0usize..6, proptest::arbitrary::any::<bool>()),
+            1..8,
+        ),
+    ) {
+        const OBSERVED: &[f64] = &[0.0004, 0.002, 0.0371, 0.5, 1.75, 120.0];
+        let samples: Vec<PromSample> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(trace_id, value, attach))| PromSample {
+                name: "tincy_serve_latency_seconds_bucket".to_string(),
+                labels: vec![
+                    ("class".to_string(), format!("c{}", i % 3)),
+                    ("le".to_string(), "+Inf".to_string()),
+                ],
+                value: i as f64,
+                exemplar: attach.then(|| PromExemplar {
+                    labels: vec![("trace_id".to_string(), format!("{trace_id:016x}"))],
+                    value: OBSERVED[value % OBSERVED.len()],
+                }),
+            })
+            .collect();
+
+        let first = render_prometheus(&samples);
+        let parsed = parse_prometheus(&first)
+            .unwrap_or_else(|e| panic!("rendered text failed to parse: {e}\n{first}"));
+        prop_assert_eq!(&parsed, &samples);
+        let second = render_prometheus(&parsed);
+        prop_assert_eq!(&first, &second);
+        for (sample, &(trace_id, _, attach)) in parsed.iter().zip(&entries) {
+            let hex = sample.exemplar.as_ref().and_then(|e| e.label("trace_id"));
+            if attach {
+                let restored = u64::from_str_radix(hex.expect("exemplar survives"), 16).unwrap();
+                prop_assert_eq!(restored, trace_id, "trace id is bit-exact");
+            } else {
+                prop_assert!(hex.is_none());
+            }
         }
     }
 

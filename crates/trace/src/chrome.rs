@@ -11,17 +11,42 @@
 use crate::data::Trace;
 use crate::event::{Attrs, Backend, Event, EventKind, Label};
 use crate::json::{parse, JsonValue};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use tincy_json::escape_into;
 
 const CATEGORY: &str = "tincy";
 
+/// Identity of the recorder that wrote a segment, embedded in the
+/// exported JSON's `otherData` so stitching can tell apart segments that
+/// came from different processes/shards sharing one directory.
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentOrigin {
+    /// Writing process (its pid rendered as a string).
+    pub process: String,
+    /// Fleet shard index, when the recording session declared one.
+    pub shard: Option<u32>,
+}
+
 /// Serializes the trace to Chrome trace-event JSON (object form with a
 /// `traceEvents` array, `displayTimeUnit: "ns"`).
 pub fn to_chrome_json(trace: &Trace) -> String {
+    render_chrome_json(trace, None)
+}
+
+pub(crate) fn render_chrome_json(trace: &Trace, origin: Option<&SegmentOrigin>) -> String {
     let mut out = String::new();
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    out.push_str("{\"displayTimeUnit\":\"ns\",");
+    if let Some(origin) = origin {
+        out.push_str("\"otherData\":{\"process\":\"");
+        escape_into(&mut out, &origin.process);
+        out.push('"');
+        if let Some(shard) = origin.shard {
+            let _ = write!(out, ",\"shard\":\"{shard}\"");
+        }
+        out.push_str("},");
+    }
+    out.push_str("\"traceEvents\":[");
     let mut first = true;
     // Perfetto track names: one thread_name metadata event per named
     // thread, so workers show up as named tracks instead of raw tids.
@@ -66,6 +91,24 @@ pub fn to_chrome_json(trace: &Trace) -> String {
             trace,
         );
     }
+    for flow in trace.flows() {
+        let phase = if flow.kind == EventKind::FlowStart {
+            "s"
+        } else {
+            "f"
+        };
+        emit_event(
+            &mut out,
+            &mut first,
+            trace.label_name(flow.label),
+            phase,
+            flow.t_ns,
+            None,
+            flow.thread,
+            &flow.attrs,
+            trace,
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -99,25 +142,46 @@ fn emit_event(
     if phase == "i" {
         out.push_str(",\"s\":\"t\"");
     }
+    if phase == "s" || phase == "f" {
+        // Perfetto joins flow arrows by id; ours is the trace id (hex —
+        // 64-bit ids do not survive a JSON f64 round trip as numbers).
+        let _ = write!(out, ",\"id\":\"{:016x}\"", attrs.trace.unwrap_or(0));
+        if phase == "f" {
+            out.push_str(",\"bp\":\"e\"");
+        }
+    }
     let _ = write!(out, ",\"pid\":1,\"tid\":{tid}");
     if !attrs.is_empty() {
         out.push_str(",\"args\":{");
         let mut first_arg = true;
-        let mut arg_u64 = |out: &mut String, key: &str, value: Option<u64>| {
+        fn arg_u64(out: &mut String, first_arg: &mut bool, key: &str, value: Option<u64>) {
             if let Some(value) = value {
-                if !first_arg {
+                if !*first_arg {
                     out.push(',');
                 }
-                first_arg = false;
+                *first_arg = false;
                 let _ = write!(out, "\"{key}\":{value}");
             }
-        };
-        arg_u64(out, "frame", attrs.frame);
-        arg_u64(out, "request", attrs.request);
-        arg_u64(out, "layer", attrs.layer.map(u64::from));
-        arg_u64(out, "batch", attrs.batch.map(u64::from));
-        arg_u64(out, "attempt", attrs.attempt.map(u64::from));
-        arg_u64(out, "cycles", attrs.cycles);
+        }
+        // Hex-string form for 64-bit ids (see the flow id note above).
+        fn arg_hex(out: &mut String, first_arg: &mut bool, key: &str, value: Option<u64>) {
+            if let Some(value) = value {
+                if !*first_arg {
+                    out.push(',');
+                }
+                *first_arg = false;
+                let _ = write!(out, "\"{key}\":\"{value:016x}\"");
+            }
+        }
+        arg_u64(out, &mut first_arg, "frame", attrs.frame);
+        arg_u64(out, &mut first_arg, "request", attrs.request);
+        arg_u64(out, &mut first_arg, "layer", attrs.layer.map(u64::from));
+        arg_u64(out, &mut first_arg, "batch", attrs.batch.map(u64::from));
+        arg_u64(out, &mut first_arg, "attempt", attrs.attempt.map(u64::from));
+        arg_u64(out, &mut first_arg, "cycles", attrs.cycles);
+        arg_u64(out, &mut first_arg, "shard", attrs.shard.map(u64::from));
+        arg_hex(out, &mut first_arg, "trace", attrs.trace);
+        arg_hex(out, &mut first_arg, "parent", attrs.parent);
         if let Some(backend) = attrs.backend {
             if !first_arg {
                 out.push(',');
@@ -200,6 +264,10 @@ pub(crate) struct TraceAssembly {
     thread_names: Vec<String>,
     links: Vec<Vec<u64>>,
     max_thread: Option<u32>,
+    /// Distinct `otherData.process` tags seen across ingested documents.
+    /// More than one means the directory mixes recordings from different
+    /// processes, which cannot be interleaved without shard labels.
+    pub(crate) processes: BTreeSet<String>,
 }
 
 impl TraceAssembly {
@@ -212,6 +280,7 @@ impl TraceAssembly {
             thread_names: Vec::new(),
             links: Vec::new(),
             max_thread: None,
+            processes: BTreeSet::new(),
         }
     }
 
@@ -232,6 +301,13 @@ impl TraceAssembly {
     /// A message describing the malformed construct.
     pub(crate) fn ingest(&mut self, text: &str) -> Result<(), String> {
         let root = parse(text)?;
+        if let Some(process) = root
+            .get("otherData")
+            .and_then(|data| data.get("process"))
+            .and_then(JsonValue::as_str)
+        {
+            self.processes.insert(process.to_string());
+        }
         let events_json = match &root {
             JsonValue::Arr(items) => items,
             JsonValue::Obj(_) => match root.get("traceEvents") {
@@ -246,9 +322,13 @@ impl TraceAssembly {
                 self.ingest_metadata(item);
                 continue;
             }
-            if phase != "X" && phase != "i" {
-                continue; // other phases are not ours
-            }
+            let point_kind = match phase {
+                "X" => None,
+                "i" => Some(EventKind::Instant),
+                "s" => Some(EventKind::FlowStart),
+                "f" => Some(EventKind::FlowFinish),
+                _ => continue, // other phases are not ours
+            };
             let name = item
                 .get("name")
                 .and_then(JsonValue::as_str)
@@ -261,12 +341,22 @@ impl TraceAssembly {
             self.max_thread = Some(self.max_thread.map_or(thread, |m: u32| m.max(thread)));
             let t_ns = to_ns(ts);
             let label = self.intern(name);
-            let attrs = self.parse_attrs(item.get("args"));
-            if phase == "i" {
+            let mut attrs = self.parse_attrs(item.get("args"));
+            if let Some(kind) = point_kind {
+                if attrs.trace.is_none()
+                    && matches!(kind, EventKind::FlowStart | EventKind::FlowFinish)
+                {
+                    // Foreign flow events carry the join id only at the
+                    // top level; adopt it as the trace id.
+                    attrs.trace = item
+                        .get("id")
+                        .and_then(JsonValue::as_str)
+                        .and_then(|s| u64::from_str_radix(s, 16).ok());
+                }
                 self.instants.push(Event {
                     t_ns,
                     thread,
-                    kind: EventKind::Instant,
+                    kind,
                     label,
                     attrs,
                 });
@@ -313,12 +403,22 @@ impl TraceAssembly {
         };
         #[allow(clippy::cast_possible_truncation)]
         let as_u32 = |key: &str| as_u64(key).map(|v| v as u32);
+        // 64-bit ids travel as hex strings: `as_f64` would round them
+        // through a double and corrupt the low bits.
+        let as_hex = |key: &str| -> Option<u64> {
+            args.get(key)
+                .and_then(JsonValue::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+        };
         attrs.frame = as_u64("frame");
         attrs.request = as_u64("request");
         attrs.layer = as_u32("layer");
         attrs.batch = as_u32("batch");
         attrs.attempt = as_u32("attempt");
         attrs.cycles = as_u64("cycles");
+        attrs.shard = as_u32("shard");
+        attrs.trace = as_hex("trace");
+        attrs.parent = as_hex("parent");
         attrs.backend = args
             .get("backend")
             .and_then(JsonValue::as_str)
@@ -539,6 +639,67 @@ mod tests {
         assert_eq!(spans.len(), 1);
         let link = spans[0].attrs.links.expect("link id survives");
         assert_eq!(parsed.link_requests(link), &[7, 11, 13]);
+    }
+
+    #[test]
+    fn trace_ids_and_flows_round_trip_exactly() {
+        let _guard = session_lock();
+        // Both ids deliberately exceed f64's 53-bit mantissa: a numeric
+        // JSON round trip would corrupt them, the hex form must not.
+        let ctx = crate::TraceContext {
+            trace_id: 0xffee_ddcc_bbaa_9988,
+            parent_span_id: 0x0123_4567_89ab_cdef,
+        };
+        let clock = Arc::new(TestClock::new());
+        start_with_clock(clock.clone(), 64);
+        span(Label::intern("chrome.route"))
+            .context(Some(ctx))
+            .shard(1)
+            .emit_flow_start();
+        clock.advance(500);
+        {
+            let _serve = span(Label::intern("chrome.serve"))
+                .context(Some(ctx))
+                .shard(1)
+                .start();
+            clock.advance(1_000);
+        }
+        span(Label::intern("chrome.route"))
+            .trace(ctx.trace_id)
+            .emit_flow_finish();
+        let trace = finish();
+        let json = to_chrome_json(&trace);
+        assert!(
+            json.contains(&format!("\"id\":\"{}\"", ctx.trace_hex())),
+            "flow join id is the hex trace id: {json}"
+        );
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"bp\":\"e\""), "{json}");
+        let parsed = from_chrome_json(&json).unwrap();
+        let spans = parsed.spans().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].attrs.trace, Some(ctx.trace_id));
+        assert_eq!(spans[0].attrs.parent, Some(ctx.parent_span_id));
+        assert_eq!(spans[0].attrs.shard, Some(1));
+        let flows: Vec<_> = parsed.flows().collect();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].kind, EventKind::FlowStart);
+        assert_eq!(flows[1].kind, EventKind::FlowFinish);
+        for flow in flows {
+            assert_eq!(flow.attrs.trace, Some(ctx.trace_id));
+        }
+    }
+
+    #[test]
+    fn foreign_flow_events_adopt_the_top_level_join_id() {
+        let parsed = from_chrome_json(
+            "[{\"name\":\"hop\",\"ph\":\"s\",\"ts\":1.0,\"id\":\"00ff00ff00ff00ff\",\
+              \"pid\":1,\"tid\":0}]",
+        )
+        .unwrap();
+        let flows: Vec<_> = parsed.flows().collect();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].attrs.trace, Some(0x00ff_00ff_00ff_00ff));
     }
 
     #[test]

@@ -52,7 +52,11 @@ struct Ring {
     buf: Vec<Event>,
     capacity: usize,
     head: usize,
+    /// Drops since the last sweep/finish (folded into [`Trace::dropped`]).
     dropped: u64,
+    /// Session-lifetime drops; never reset, so live metrics stay
+    /// monotonic even though sweeps consume `dropped`.
+    total_dropped: u64,
 }
 
 impl Ring {
@@ -62,6 +66,7 @@ impl Ring {
             capacity: capacity.max(1),
             head: 0,
             dropped: 0,
+            total_dropped: 0,
         }
     }
 
@@ -72,6 +77,7 @@ impl Ring {
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
+            self.total_dropped += 1;
         }
     }
 
@@ -182,7 +188,7 @@ pub fn sweep() -> Option<Trace> {
                         }
                     }
                 }
-                EventKind::Instant => {}
+                EventKind::Instant | EventKind::FlowStart | EventKind::FlowFinish => {}
             }
         }
         let mut held = stack.into_iter().peekable();
@@ -205,6 +211,25 @@ pub fn sweep() -> Option<Trace> {
         links: session.links.clone(),
         dropped,
     })
+}
+
+/// Per-thread flight-recorder drop counts for the *running* session:
+/// `(thread name, events overwritten since the session started)`, in
+/// registration order. Unlike the per-sweep counts folded into
+/// [`Trace::dropped`], these are cumulative — the live
+/// `tincy_trace_dropped_total{thread}` metric reads them. `None` when no
+/// session is running.
+pub fn thread_drops() -> Option<Vec<(String, u64)>> {
+    let registry = registry().lock();
+    let session = registry.as_ref()?;
+    Some(
+        session
+            .rings
+            .iter()
+            .zip(&session.names)
+            .map(|(ring, name)| (name.clone(), ring.lock().total_dropped))
+            .collect(),
+    )
 }
 
 /// Stores a span-link set (member request ids) in the running session
@@ -308,6 +333,29 @@ mod tests {
         );
         let trace = finish();
         assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn thread_drops_are_cumulative_across_sweeps() {
+        let _guard = session_lock();
+        let clock = Arc::new(TestClock::new());
+        start_with_clock(clock, 2); // tiny rings force overwrites
+        let label = Label::intern("collector.drop");
+        for _ in 0..5 {
+            record(EventKind::Instant, label, Attrs::default());
+        }
+        let total = |drops: &[(String, u64)]| drops.iter().map(|(_, d)| *d).sum::<u64>();
+        assert_eq!(total(&thread_drops().expect("session running")), 3);
+        let swept = sweep().expect("session running");
+        assert_eq!(swept.dropped, 3);
+        // The sweep consumed the per-sweep count but not the cumulative one.
+        assert_eq!(total(&thread_drops().expect("session running")), 3);
+        for _ in 0..3 {
+            record(EventKind::Instant, label, Attrs::default());
+        }
+        assert_eq!(total(&thread_drops().expect("session running")), 4);
+        assert_eq!(finish().dropped, 1);
+        assert!(thread_drops().is_none(), "no session after finish");
     }
 
     #[test]

@@ -151,6 +151,13 @@ impl Trace {
         self.events.iter().filter(|e| e.kind == EventKind::Instant)
     }
 
+    /// All flow edges (cross-thread hand-off arrows), start and finish.
+    pub fn flows(&self) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FlowStart | EventKind::FlowFinish))
+    }
+
     /// The captured OS thread name for a session thread id, if any.
     pub fn thread_name(&self, thread: u32) -> Option<&str> {
         self.thread_names
@@ -177,7 +184,7 @@ impl Trace {
                 stacks.resize_with(t + 1, Vec::new);
             }
             match event.kind {
-                EventKind::Instant => {}
+                EventKind::Instant | EventKind::FlowStart | EventKind::FlowFinish => {}
                 EventKind::Begin => stacks[t].push(event),
                 EventKind::End => match stacks[t].last() {
                     Some(open) if open.label == event.label => {

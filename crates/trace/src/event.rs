@@ -107,6 +107,19 @@ pub struct Attrs {
     ///
     /// [`Trace::links`]: crate::Trace
     pub links: Option<u32>,
+    /// Distributed trace id ([`TraceContext::trace_id`]): every span a
+    /// request produces on any shard carries the same id.
+    ///
+    /// [`TraceContext::trace_id`]: crate::TraceContext
+    pub trace: Option<u64>,
+    /// Parent span id ([`TraceContext::parent_span_id`]): the admission
+    /// span the router minted for this request.
+    ///
+    /// [`TraceContext::parent_span_id`]: crate::TraceContext
+    pub parent: Option<u64>,
+    /// Fleet shard index that produced the span. In-process shards share
+    /// one ring set, so shard identity must travel on the event itself.
+    pub shard: Option<u32>,
 }
 
 impl Attrs {
@@ -117,7 +130,8 @@ impl Attrs {
 }
 
 /// Event flavor: spans are a begin/end pair on one thread; instants are
-/// point markers.
+/// point markers; flow edges link a hand-off across threads (Perfetto
+/// `s`/`f` arrows, e.g. router dispatch → shard delivery).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// Span opening edge.
@@ -127,6 +141,11 @@ pub enum EventKind {
     End,
     /// A point event.
     Instant,
+    /// Flow start: the producing side of a cross-thread hand-off. Joined
+    /// to its [`EventKind::FlowFinish`] by [`Attrs::trace`].
+    FlowStart,
+    /// Flow finish: the consuming side of a cross-thread hand-off.
+    FlowFinish,
 }
 
 /// One record in a thread's ring buffer.

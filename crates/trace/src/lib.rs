@@ -19,8 +19,10 @@
 mod chrome;
 mod clock;
 mod collector;
+mod context;
 mod data;
 mod event;
+pub mod journey;
 pub mod json;
 mod profile;
 mod span;
@@ -28,9 +30,13 @@ mod stream;
 
 pub use chrome::{from_chrome_json, to_chrome_json};
 pub use clock::{Clock, MonotonicClock, TestClock};
-pub use collector::{finish, is_enabled, start, start_with_clock, sweep, DEFAULT_THREAD_CAPACITY};
+pub use collector::{
+    finish, is_enabled, start, start_with_clock, sweep, thread_drops, DEFAULT_THREAD_CAPACITY,
+};
+pub use context::{splitmix64, TraceContext};
 pub use data::{Span, Trace, TraceError};
 pub use event::{Attrs, Backend, Event, EventKind, Label};
+pub use journey::{journeys, JourneyError, RequestJourney};
 pub use profile::{Profile, ProfileRow};
 pub use span::{span, SpanBuilder, SpanGuard};
 pub use stream::{

@@ -12,6 +12,7 @@
 //! ```
 
 use crate::collector::{current_generation, is_enabled, record};
+use crate::context::TraceContext;
 use crate::event::{Attrs, Backend, EventKind, Label};
 use std::marker::PhantomData;
 
@@ -94,6 +95,34 @@ impl SpanBuilder {
         self
     }
 
+    /// Distributed trace id (see [`TraceContext`]).
+    pub fn trace(mut self, id: u64) -> Self {
+        self.attrs.trace = Some(id);
+        self
+    }
+
+    /// Parent span id (see [`TraceContext`]).
+    pub fn parent(mut self, id: u64) -> Self {
+        self.attrs.parent = Some(id);
+        self
+    }
+
+    /// Fleet shard index that produced the span.
+    pub fn shard(mut self, index: u32) -> Self {
+        self.attrs.shard = Some(index);
+        self
+    }
+
+    /// Both halves of a [`TraceContext`] at once; `None` is a no-op so
+    /// call sites can pass an optional context straight through.
+    pub fn context(mut self, ctx: Option<TraceContext>) -> Self {
+        if let Some(ctx) = ctx {
+            self.attrs.trace = Some(ctx.trace_id);
+            self.attrs.parent = Some(ctx.parent_span_id);
+        }
+        self
+    }
+
     /// Links the span to the request ids it covers (micro-batch
     /// membership). The id list is stored once in the session's link
     /// table; the span carries only the table index. Skipped when
@@ -123,6 +152,18 @@ impl SpanBuilder {
     /// Records a single instant event.
     pub fn emit(self) {
         record(EventKind::Instant, self.label, self.attrs);
+    }
+
+    /// Records the producing edge of a cross-thread hand-off (a Perfetto
+    /// flow arrow). Joined to the matching [`Self::emit_flow_finish`] by
+    /// the trace id, so set one (e.g. via [`Self::context`]) first.
+    pub fn emit_flow_start(self) {
+        record(EventKind::FlowStart, self.label, self.attrs);
+    }
+
+    /// Records the consuming edge of a cross-thread hand-off.
+    pub fn emit_flow_finish(self) {
+        record(EventKind::FlowFinish, self.label, self.attrs);
     }
 }
 

@@ -4,12 +4,17 @@
 //! segment directory into one timeline.
 //!
 //! Rotation format: segments are written as `segment-NNNNN.json` (zero-
-//! padded, monotonically increasing) in the drain directory. A segment
-//! rotates when it accumulates `max_segment_events` events or ages past
-//! `max_segment_age`; at most `max_segments` files are kept (oldest are
-//! pruned). Each file is a complete, self-contained Chrome trace: it is
-//! written to a dot-prefixed temp file and atomically renamed, so a
-//! crash leaves either a whole segment or none — never a torn one.
+//! padded, monotonically increasing) in the drain directory — or
+//! `segment-shardK-NNNNN.json` when [`DrainConfig::shard`] declares a
+//! fleet shard, which lets [`stitch_segments`] merge several shards'
+//! recordings from one directory into a single causal timeline (thread
+//! tracks prefixed `shardK:`, per-shard clocks normalized to a common
+//! origin). A segment rotates when it accumulates `max_segment_events`
+//! events or ages past `max_segment_age`; at most `max_segments` files
+//! are kept (oldest are pruned). Each file is a complete, self-contained
+//! Chrome trace: it is written to a dot-prefixed temp file and atomically
+//! renamed, so a crash leaves either a whole segment or none — never a
+//! torn one.
 //!
 //! Because [`sweep`] holds back Begin edges whose End has not been
 //! recorded yet, a span that straddles a sweep boundary lands whole in a
@@ -17,9 +22,11 @@
 //! ([`stitch_segments`]) reproduces the same span set as a single-file
 //! drain of the same session.
 
-use crate::chrome::{to_chrome_json, TraceAssembly};
+use crate::chrome::{render_chrome_json, SegmentOrigin, TraceAssembly};
 use crate::collector::sweep;
 use crate::data::Trace;
+use crate::event::Label;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +44,11 @@ pub struct DrainConfig {
     pub max_segment_age: Duration,
     /// Keep at most this many segment files; oldest are pruned.
     pub max_segments: usize,
+    /// Fleet shard index of the recording process. When set, segment
+    /// files are named `segment-shardK-NNNNN.json` and tagged with the
+    /// writer's identity, so several shards can drain into one directory
+    /// and still be stitched into one causal timeline.
+    pub shard: Option<u32>,
 }
 
 impl Default for DrainConfig {
@@ -46,6 +58,7 @@ impl Default for DrainConfig {
             max_segment_events: 4096,
             max_segment_age: Duration::from_secs(1),
             max_segments: 64,
+            shard: None,
         }
     }
 }
@@ -69,6 +82,7 @@ pub struct DrainSummary {
 pub struct SegmentWriter {
     dir: PathBuf,
     config: DrainConfig,
+    origin: SegmentOrigin,
     pending: Option<Trace>,
     born: Instant,
     next_seq: u64,
@@ -84,9 +98,14 @@ impl SegmentWriter {
     pub fn create(dir: impl Into<PathBuf>, config: DrainConfig) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let origin = SegmentOrigin {
+            process: std::process::id().to_string(),
+            shard: config.shard,
+        };
         Ok(Self {
             dir,
             config,
+            origin,
             pending: None,
             born: Instant::now(),
             next_seq: 0,
@@ -144,9 +163,12 @@ impl SegmentWriter {
         // (earlier) timestamps; re-sorting restores the per-thread
         // chronological stream that span matching relies on.
         segment.events.sort_by_key(|e| e.t_ns);
-        let json = to_chrome_json(&segment);
+        let json = render_chrome_json(&segment, Some(&self.origin));
         let tmp = self.dir.join(".segment.tmp");
-        let path = self.dir.join(format!("segment-{:05}.json", self.next_seq));
+        let path = self.dir.join(match self.config.shard {
+            Some(shard) => format!("segment-shard{shard}-{:05}.json", self.next_seq),
+            None => format!("segment-{:05}.json", self.next_seq),
+        });
         if let Err(error) = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, &path))
         {
             self.pending = Some(segment);
@@ -281,36 +303,147 @@ pub fn segment_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Stitches a drain directory's segments back into one [`Trace`]: every
-/// segment is parsed into a shared assembly (labels, link sets and
-/// thread names merged), and the combined span set is rebuilt into a
-/// single timeline.
+/// Stitches a drain directory's segments back into one [`Trace`].
+///
+/// Unlabeled segments (`segment-NNNNN.json`) must all come from one
+/// process; they are parsed into a shared assembly (labels, link sets
+/// and thread names merged) and the combined span set rebuilt into a
+/// single timeline. Shard-labeled segments (`segment-shardK-NNNNN.json`,
+/// written when [`DrainConfig::shard`] is set) are assembled per shard
+/// and then merged causally: each shard's clock is normalized so its
+/// earliest event sits at the common origin, thread tracks are prefixed
+/// `shardK:`, and every event is tagged with its shard.
 ///
 /// # Errors
 ///
-/// A message naming the unreadable or malformed segment, or reporting an
-/// empty directory.
+/// A message naming the unreadable or malformed segment, reporting an
+/// empty directory, or explaining an un-mergeable mix (unlabeled
+/// segments from different processes, or labeled next to unlabeled).
 pub fn stitch_segments(dir: &Path) -> Result<Trace, String> {
     let files = segment_files(dir)
         .map_err(|e| format!("cannot list segments in {}: {e}", dir.display()))?;
     if files.is_empty() {
         return Err(format!("no segment-*.json files in {}", dir.display()));
     }
+    let mut groups: BTreeMap<Option<u32>, Vec<PathBuf>> = BTreeMap::new();
+    for file in files {
+        let shard = shard_of(&file);
+        groups.entry(shard).or_default().push(file);
+    }
+    if groups.len() > 1 && groups.contains_key(&None) {
+        return Err(format!(
+            "{} mixes shard-labeled and unlabeled segment files; the unlabeled \
+             segments cannot be attributed to a shard — re-record them with \
+             DrainConfig::shard set",
+            dir.display()
+        ));
+    }
+    if let (1, Some(group)) = (groups.len(), groups.get(&None)) {
+        let assembly = ingest_group(group)?;
+        if assembly.processes.len() > 1 {
+            return Err(format!(
+                "{} holds unlabeled segments from {} different processes, which \
+                 cannot be interleaved into one timeline — re-record with \
+                 DrainConfig::shard set so files are named segment-shardK-*.json",
+                dir.display(),
+                assembly.processes.len()
+            ));
+        }
+        return Ok(assembly.into_trace());
+    }
+    let mut merged = Trace::empty();
+    let mut by_name: HashMap<String, u32> = HashMap::new();
+    for (shard, group) in &groups {
+        let shard = shard.expect("unlabeled group handled above");
+        let assembly = ingest_group(group)?;
+        if assembly.processes.len() > 1 {
+            return Err(format!(
+                "{}: shard {shard} segments come from {} different processes; \
+                 each shard label must belong to one recorder",
+                dir.display(),
+                assembly.processes.len()
+            ));
+        }
+        merge_shard(&mut merged, &mut by_name, assembly.into_trace(), shard);
+    }
+    // Stable: each shard's stream is already time-ordered and shards use
+    // disjoint thread ids, so this only interleaves shards.
+    merged.events.sort_by_key(|e| e.t_ns);
+    Ok(merged)
+}
+
+/// The shard label encoded in a segment filename, if any
+/// (`segment-shardK-NNNNN.json`).
+fn shard_of(path: &Path) -> Option<u32> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("segment-shard")?;
+    let (shard, _) = rest.split_once('-')?;
+    shard.parse().ok()
+}
+
+fn ingest_group(files: &[PathBuf]) -> Result<TraceAssembly, String> {
     let mut assembly = TraceAssembly::new();
-    for file in &files {
+    for file in files {
         let text = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
         assembly
             .ingest(&text)
             .map_err(|e| format!("{}: {e}", file.display()))?;
     }
-    Ok(assembly.into_trace())
+    Ok(assembly)
+}
+
+/// Folds one shard's reassembled trace into the merged fleet timeline:
+/// labels are re-interned by name, link ids offset, thread ids rebased,
+/// thread tracks prefixed `shardK:`, every event tagged with the shard,
+/// and the shard's clock normalized so its earliest event lands on the
+/// common origin (per-shard clock-offset normalization).
+fn merge_shard(target: &mut Trace, by_name: &mut HashMap<String, u32>, src: Trace, shard: u32) {
+    let mut remap = Vec::with_capacity(src.labels.len());
+    for name in &src.labels {
+        let next = u32::try_from(target.labels.len()).expect("label space exhausted");
+        let id = *by_name.entry(name.clone()).or_insert_with(|| {
+            target.labels.push(name.clone());
+            next
+        });
+        remap.push(Label(id));
+    }
+    let thread_base = target.threads;
+    let link_base = u32::try_from(target.links.len()).expect("link space exhausted");
+    let origin = src.events.iter().map(|e| e.t_ns).min().unwrap_or(0);
+    for mut event in src.events {
+        event.t_ns -= origin;
+        event.thread += thread_base;
+        event.label = remap[event.label.index() as usize];
+        if let Some(fault) = event.attrs.fault {
+            event.attrs.fault = Some(remap[fault.index() as usize]);
+        }
+        if let Some(variant) = event.attrs.variant {
+            event.attrs.variant = Some(remap[variant.index() as usize]);
+        }
+        if let Some(links) = event.attrs.links {
+            event.attrs.links = Some(link_base + links);
+        }
+        event.attrs.shard = event.attrs.shard.or(Some(shard));
+        target.events.push(event);
+    }
+    target.links.extend(src.links);
+    for i in 0..src.threads as usize {
+        let name = src.thread_names.get(i).map_or("", String::as_str);
+        target.thread_names.push(if name.is_empty() {
+            format!("shard{shard}:t{i}")
+        } else {
+            format!("shard{shard}:{name}")
+        });
+    }
+    target.threads = thread_base + src.threads;
+    target.dropped += src.dropped;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chrome::from_chrome_json;
+    use crate::chrome::{from_chrome_json, to_chrome_json};
     use crate::clock::TestClock;
     use crate::collector::{finish, start_with_clock, sweep};
     use crate::event::Label;
@@ -507,6 +640,94 @@ mod tests {
         }
         // No temp file left behind.
         assert!(!dir.join(".segment.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_labeled_segments_merge_with_clock_normalization() {
+        let _guard = session_lock();
+        let dir = temp_dir("shards");
+        // Deliberately above f64's 53-bit mantissa to exercise hex ids.
+        let trace_id = 0xffff_ffff_ffff_fff7_u64;
+
+        let record_shard = |shard: u32, skew_ns: u64| {
+            let clock = Arc::new(TestClock::new());
+            start_with_clock(clock.clone(), 256);
+            clock.advance(skew_ns); // simulate a shard-local clock offset
+            {
+                let _s = span(Label::intern("stream.serve")).trace(trace_id).start();
+                clock.advance(100);
+            }
+            let mut writer = SegmentWriter::create(
+                &dir,
+                DrainConfig {
+                    shard: Some(shard),
+                    ..DrainConfig::default()
+                },
+            )
+            .unwrap();
+            writer.absorb(finish());
+            writer.finish().unwrap();
+        };
+        record_shard(0, 10_000);
+        record_shard(1, 777_000);
+
+        let files = segment_files(&dir).unwrap();
+        assert!(files.iter().any(|f| {
+            f.file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("segment-shard1-")
+        }));
+        let stitched = stitch_segments(&dir).unwrap();
+        stitched.check().unwrap();
+        let spans = stitched.spans().unwrap();
+        assert_eq!(spans.len(), 2);
+        let shards: std::collections::BTreeSet<_> =
+            spans.iter().filter_map(|s| s.attrs.shard).collect();
+        assert_eq!(shards.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        for s in &spans {
+            assert_eq!(s.attrs.trace, Some(trace_id));
+            assert_eq!(
+                s.start_ns, 0,
+                "per-shard clocks normalize to a common origin"
+            );
+        }
+        assert!(stitched.thread_name(0).unwrap().starts_with("shard0:"));
+        assert!(stitched.thread_name(1).unwrap().starts_with("shard1:"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unlabeled_segments_from_different_processes_refuse_to_stitch() {
+        let dir = temp_dir("mixed-process");
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg = |process: &str| {
+            format!(
+                "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"process\":\"{process}\"}},\
+                 \"traceEvents\":[{{\"name\":\"x\",\"ph\":\"i\",\"ts\":1.0,\"s\":\"t\",\
+                 \"pid\":1,\"tid\":0}}]}}"
+            )
+        };
+        std::fs::write(dir.join("segment-00000.json"), seg("100")).unwrap();
+        std::fs::write(dir.join("segment-00001.json"), seg("200")).unwrap();
+        let err = stitch_segments(&dir).unwrap_err();
+        assert!(err.contains("different processes"), "{err}");
+        assert!(err.contains("shard"), "error suggests shard labels: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_labeled_and_unlabeled_segments_refuse_to_stitch() {
+        let dir = temp_dir("mixed-labels");
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"name\":\"x\",\
+                   \"ph\":\"i\",\"ts\":1.0,\"s\":\"t\",\"pid\":1,\"tid\":0}]}";
+        std::fs::write(dir.join("segment-00000.json"), seg).unwrap();
+        std::fs::write(dir.join("segment-shard1-00000.json"), seg).unwrap();
+        let err = stitch_segments(&dir).unwrap_err();
+        assert!(err.contains("unlabeled"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

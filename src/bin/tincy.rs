@@ -29,7 +29,7 @@
 //!                              and match the final report (nonzero exit
 //!                              on violation)
 //! tincy fleet [clients [requests [input]]] [fleet flags] [--smoke]
-//!            [--scrape]
+//!            [--scrape] [--slo-smoke]
 //!                              run N in-process serve shards behind a
 //!                              least-loaded or consistent-hash router under
 //!                              a deterministic multi-client load; faulted
@@ -39,15 +39,35 @@
 //!                              shard is faulted) a drain + re-admit cycle;
 //!                              with --scrape, hit the fleet --status-addr
 //!                              mid-session and assert the aggregated
-//!                              per-shard series are present and monotonic
-//! tincy trace-report [--check] [--threshold PCT] <trace.json | segments-dir>
+//!                              per-shard series are present and monotonic;
+//!                              with --trace-dir, record every request's
+//!                              distributed trace (router admission mints
+//!                              the id, every shard hop stamps it) and,
+//!                              under --smoke, verify the stitched
+//!                              timeline's per-request journeys — a
+//!                              failed-over request must show its spans on
+//!                              both shards under one trace id; with
+//!                              --slo-smoke, run a twitchy error-budget
+//!                              policy and assert a burn-rate alert fires
+//!                              during the injected fault and clears after
+//!                              re-admission
+//! tincy trace-report [--check] [--threshold PCT] [--by-request]
+//!            <trace.json | segments-dir>
 //!                              profile a Chrome-trace file captured with
 //!                              --trace-out, or a --trace-dir segment
 //!                              directory (stitched back into one
 //!                              timeline): per-span statistics plus the
 //!                              modeled-vs-observed stage table diffed
 //!                              against the Table III budget; with --check,
-//!                              fail on malformed span nesting or drops
+//!                              fail on malformed span nesting or drops;
+//!                              with --by-request, group events by
+//!                              distributed trace id and print each
+//!                              request's journey (admit → route →
+//!                              [failover…] → serve → deliver) with
+//!                              Table-III-style stage attribution —
+//!                              combined with --check, fail unless every
+//!                              delivered request has causally ordered
+//!                              admit→deliver coverage
 //! tincy calibrate [--threshold PCT] <trace.json | segments-dir>
 //!                              build a *measured* stage budget from a
 //!                              traced run (the inverse of trace-report's
@@ -79,7 +99,9 @@
 //!              --health-every MS  --readmit-streak K  --vnodes N
 //!              --cpu-workers N  --max-batch N  --queue N  --per-client N
 //!              --engage-depth N  --status-addr HOST:PORT
-//!              --metrics-json PATH
+//!              --metrics-json PATH  --trace-dir DIR  --segment-events N
+//!              --exemplars (attach worst-observation trace-id exemplars
+//!              to the latency histogram buckets on /metrics)
 //!
 //! serve flags: --mode closed|open:MICROS|burst  --cpu-workers N
 //!              --max-batch N  --queue N  --per-client N  --engage-depth N
@@ -112,7 +134,9 @@ use tincy::serve::{
     DriftMonitor, Fleet, FleetConfig, FleetLoadConfig, FleetLoadReport, LoadMode, LoadgenConfig,
     LoadgenReport, RoutePolicy, SegmentCalibrator, ServeConfig, ServeReport,
 };
-use tincy::telemetry::{check_histogram_series, parse_prometheus, HttpClient, PromSample};
+use tincy::telemetry::{
+    check_histogram_series, parse_prometheus, HttpClient, PromSample, SloPolicy,
+};
 use tincy::trace::{stitch_segments, DrainConfig, TraceDrainer};
 use tincy::video::SceneConfig;
 
@@ -694,6 +718,10 @@ fn cmd_fleet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut metrics_json: Option<String> = None;
     let mut smoke = false;
     let mut scrape = false;
+    let mut slo_smoke = false;
+    let mut exemplars = false;
+    let mut trace_dir: Option<String> = None;
+    let mut segment_events: Option<usize> = None;
     let mut iter = args.iter();
     let next_usize = |iter: &mut std::slice::Iter<'_, String>,
                       flag: &str|
@@ -760,6 +788,14 @@ fn cmd_fleet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--smoke" => smoke = true,
             "--scrape" => scrape = true,
+            "--slo-smoke" => slo_smoke = true,
+            "--exemplars" => exemplars = true,
+            "--trace-dir" => {
+                trace_dir = Some(iter.next().ok_or("--trace-dir requires a path")?.clone());
+            }
+            "--segment-events" => {
+                segment_events = Some(next_usize(&mut iter, "--segment-events")?);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}").into());
             }
@@ -787,17 +823,62 @@ fn cmd_fleet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     config.base.score_threshold = 0.02;
-    if scrape && config.status_addr.is_none() {
+    config.base.exemplars = exemplars;
+    if slo_smoke {
+        // A deliberately twitchy error-budget policy: the injected fault
+        // window must trip the fast burn-rate pair, and post-re-admission
+        // traffic must clear it within the run. The latency/shed budgets
+        // stay loose so the verdict keys on the deterministic
+        // degraded-completion signal, not host scheduling jitter, and the
+        // slow pair's threshold sits above the loose budget's maximum
+        // attainable burn so only the fast windows drive the check.
+        config.base.slo = SloPolicy {
+            latency_budget: 0.25,
+            shed_budget: 0.25,
+            slow_threshold: 6.0,
+            ..SloPolicy::sensitive()
+        };
+    }
+    if (scrape || slo_smoke) && config.status_addr.is_none() {
         config.status_addr = Some("127.0.0.1:0".to_string());
     }
     let faulted = config.shard_faults.iter().any(|plan| !plan.is_empty());
     let shards = config.shards;
+    if trace_dir.is_some() {
+        tincy::trace::start();
+    }
+    let drainer = match &trace_dir {
+        Some(dir) => Some(TraceDrainer::spawn(
+            dir,
+            DrainConfig {
+                max_segment_events: segment_events.unwrap_or(512),
+                ..DrainConfig::default()
+            },
+        )?),
+        None => None,
+    };
     let mut scraped: Option<Result<Vec<PromSample>, String>> = None;
+    let mut slo_scraped: Option<Result<Vec<PromSample>, String>> = None;
     let report = run_fleet_loadgen_observed(config, &load, |fleet| {
         if scrape {
             scraped = Some(scrape_fleet(fleet));
         }
+        if slo_smoke {
+            slo_scraped = Some(scrape_fleet(fleet));
+        }
     })?;
+    let stitched = match (drainer, &trace_dir) {
+        (Some(drainer), Some(dir)) => {
+            let summary = drainer.finalize()?;
+            let _ = tincy::trace::finish();
+            println!(
+                "trace segments written to {dir} ({} segments, {} events, {} dropped, {} pruned)",
+                summary.segments, summary.events, summary.dropped, summary.pruned
+            );
+            Some(stitch_segments(Path::new(dir))?)
+        }
+        _ => None,
+    };
     print_fleet_view(&report, shards);
     if let Some(path) = metrics_json {
         std::fs::write(&path, json::fleet_report_json(&report.fleet))?;
@@ -808,9 +889,105 @@ fn cmd_fleet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             scraped.ok_or("scrape: the load generator never reached the observation point")??;
         check_fleet_scrape(&samples, &report, shards)?;
     }
-    if smoke {
-        return check_fleet_smoke(&report, faulted);
+    if slo_smoke {
+        let samples = slo_scraped
+            .ok_or("slo smoke: the load generator never reached the observation point")??;
+        check_slo_smoke(&samples)?;
     }
+    if smoke {
+        check_fleet_smoke(&report, faulted)?;
+        if let Some(trace) = &stitched {
+            check_fleet_trace(trace, &report, shards)?;
+        }
+    }
+    Ok(())
+}
+
+/// Asserts the stitched fleet timeline's per-request journeys: every
+/// traced request must verify (stage events present and causally
+/// ordered), and when admission rejections were re-dispatched and
+/// admitted elsewhere, at least one delivered journey must carry spans
+/// on two shards under a single trace id with its router→shard flow
+/// intact.
+fn check_fleet_trace(
+    trace: &tincy::trace::Trace,
+    report: &FleetLoadReport,
+    shards: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let journeys = tincy::trace::journeys(trace);
+    if journeys.is_empty() {
+        return Err("fleet trace: no request-tagged events in the stitched timeline".into());
+    }
+    for journey in &journeys {
+        journey.verify().map_err(|e| format!("fleet trace: {e}"))?;
+    }
+    let cross = journeys
+        .iter()
+        .filter(|j| j.delivered() && j.failovers > 0 && j.shards.len() >= 2 && j.flow_finished)
+        .count();
+    // More shard-side rejections than sheds alone can account for (a shed
+    // collects one rejection from every shard) means at least one request
+    // was refused by its owner and admitted by another shard — its
+    // journey must span both.
+    let rejections: u64 = report
+        .fleet
+        .shards
+        .iter()
+        .map(|s| s.rejected_queue_full + s.rejected_client_full + s.rejected_draining)
+        .sum();
+    if rejections > report.fleet.sheds * shards as u64 && cross == 0 {
+        return Err(
+            "fleet trace: rejections were re-dispatched, but no delivered journey \
+                    spans two shards under one trace id"
+                .into(),
+        );
+    }
+    println!(
+        "fleet trace: ok ({} journeys verified, {} delivered across >=2 shards with the \
+         router flow intact)",
+        journeys.len(),
+        cross
+    );
+    Ok(())
+}
+
+/// Asserts the burn-rate engine's behavior over one faulted run from the
+/// fleet's aggregated `/metrics`: at least one `tincy_slo_alerts_total`
+/// edge fired during the session, and every `tincy_slo_alert_active`
+/// gauge is back to zero by the observation point (all clients served,
+/// faulted shard re-admitted).
+fn check_slo_smoke(samples: &[PromSample]) -> Result<(), Box<dyn std::error::Error>> {
+    let fired: f64 = samples
+        .iter()
+        .filter(|s| s.name == "tincy_slo_alerts_total")
+        .map(|s| s.value)
+        .sum();
+    let active: Vec<String> = samples
+        .iter()
+        .filter(|s| s.name == "tincy_slo_alert_active" && s.value != 0.0)
+        .map(|s| {
+            s.labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    if !samples.iter().any(|s| s.name == "tincy_slo_alert_active") {
+        return Err("slo smoke: no tincy_slo_alert_active series on /metrics".into());
+    }
+    if fired < 1.0 {
+        return Err("slo smoke: the injected fault never tripped a burn-rate alert".into());
+    }
+    if !active.is_empty() {
+        return Err(format!(
+            "slo smoke: {} alerts still active after re-admission: {}",
+            active.len(),
+            active.join(" ")
+        )
+        .into());
+    }
+    println!("slo smoke: ok ({fired} burn-rate alert edges fired, all cleared)");
     Ok(())
 }
 
@@ -1204,12 +1381,14 @@ fn write_trace(path: &str) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_trace_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut check = false;
+    let mut by_request = false;
     let mut threshold = 0.25;
     let mut path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--by-request" => by_request = true,
             "--threshold" => {
                 let pct: f64 = iter
                     .next()
@@ -1283,8 +1462,104 @@ fn cmd_trace_report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             if row.flagged { "DEVIATES" } else { "" }
         );
     }
+    if by_request {
+        report_journeys(&trace, check)?;
+    }
     if check {
         println!("trace check: ok ({} events)", trace.events.len());
+    }
+    Ok(())
+}
+
+/// The `--by-request` view: reconstructs each traced request's journey
+/// (admit → route → [failover…] → serve → deliver) and prints per-stage
+/// attribution — the distributed analogue of the Table III stage table.
+/// With `check`, every journey must verify: a delivered request with a
+/// missing or causally misordered stage is an error.
+fn report_journeys(
+    trace: &tincy::trace::Trace,
+    check: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let journeys = tincy::trace::journeys(trace);
+    if journeys.is_empty() {
+        return Err("--by-request: the trace carries no request-tagged events".into());
+    }
+    if check {
+        for journey in &journeys {
+            journey
+                .verify()
+                .map_err(|e| format!("journey check failed: {e}"))?;
+        }
+    }
+    let delivered: Vec<&tincy::trace::RequestJourney> =
+        journeys.iter().filter(|j| j.delivered()).collect();
+    let failed_over = delivered.iter().filter(|j| j.failovers > 0).count();
+    let cross_shard = delivered.iter().filter(|j| j.shards.len() >= 2).count();
+    let rejects: u32 = journeys.iter().map(|j| j.rejects).sum();
+    println!();
+    println!(
+        "per-request journeys: {} traced, {} delivered, {} failed over, {} cross-shard, \
+         {} shard rejections",
+        journeys.len(),
+        delivered.len(),
+        failed_over,
+        cross_shard,
+        rejects
+    );
+    let mean_ms = |pick: &dyn Fn(&tincy::trace::RequestJourney) -> Option<u64>| -> String {
+        let values: Vec<u64> = delivered.iter().filter_map(|j| pick(j)).collect();
+        if values.is_empty() {
+            return "-".to_owned();
+        }
+        format!(
+            "{:.3}",
+            values.iter().sum::<u64>() as f64 / values.len() as f64 / 1e6
+        )
+    };
+    println!(
+        "stage means over delivered requests: dispatch {} ms, queue wait {} ms, \
+         service {} ms, total {} ms",
+        mean_ms(&|j| j.dispatch_ns()),
+        mean_ms(&|j| j.queue_ns()),
+        mean_ms(&|j| j.service_ns()),
+        mean_ms(&|j| j.total_ns()),
+    );
+    let mut slowest = delivered.clone();
+    slowest.sort_by_key(|j| std::cmp::Reverse(j.total_ns().unwrap_or(0)));
+    println!(
+        "{:<16} {:>8} {:>9} {:>11} {:>10} {:>10} {:>9}",
+        "trace id", "shards", "failovers", "dispatch ms", "queue ms", "serve ms", "total ms"
+    );
+    let ms =
+        |v: Option<u64>| v.map_or_else(|| "-".to_owned(), |n| format!("{:.3}", n as f64 / 1e6));
+    for journey in slowest.iter().take(8) {
+        let shards = journey
+            .shards
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("+");
+        println!(
+            "{:016x} {:>8} {:>9} {:>11} {:>10} {:>10} {:>9}",
+            journey.trace_id,
+            if shards.is_empty() {
+                "-".to_owned()
+            } else {
+                shards
+            },
+            journey.failovers,
+            ms(journey.dispatch_ns()),
+            ms(journey.queue_ns()),
+            ms(journey.service_ns()),
+            ms(journey.total_ns()),
+        );
+    }
+    if check {
+        println!(
+            "journey check: ok ({} requests, {} delivered with full admit->deliver coverage)",
+            journeys.len(),
+            delivered.len()
+        );
     }
     Ok(())
 }

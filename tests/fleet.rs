@@ -14,14 +14,25 @@
 //!
 //! `TINCY_FLEET_CLIENTS` scales the client count up to a full soak.
 
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 use tincy::core::SystemConfig;
 use tincy::finn::FaultPlan;
 use tincy::serve::{
-    run_fleet_loadgen, run_fleet_loadgen_observed, ArrivalPattern, FleetConfig, FleetLoadConfig,
-    FleetLoadReport, RoutePolicy,
+    run_fleet_loadgen, run_fleet_loadgen_observed, ArrivalPattern, Fleet, FleetConfig,
+    FleetLoadConfig, FleetLoadReport, RoutePolicy, SloClass,
 };
-use tincy::video::SceneConfig;
+use tincy::trace::{journeys, stitch_segments, DrainConfig, TraceDrainer};
+use tincy::video::{SceneConfig, SyntheticCamera};
+
+/// The trace session is process-global: the traced test below must not
+/// overlap any other fleet run in this binary, or foreign spans (with
+/// colliding minted trace ids) would leak into its stitched timeline.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn session_lock() -> MutexGuard<'static, ()> {
+    SESSION.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 const FAULTED_SHARD: usize = 1;
 
@@ -96,6 +107,7 @@ fn assert_clean(label: &str, report: &FleetLoadReport) {
 
 #[test]
 fn fault_out_soak_drains_readmits_and_loses_nothing() {
+    let _guard = session_lock();
     let report = run_fleet_loadgen_observed(
         faulted_fleet(RoutePolicy::LeastLoaded),
         &soak_load(21),
@@ -130,6 +142,7 @@ fn fault_out_soak_drains_readmits_and_loses_nothing() {
 
 #[test]
 fn seeded_soaks_are_deterministic() {
+    let _guard = session_lock();
     let run = || {
         run_fleet_loadgen(faulted_fleet(RoutePolicy::LeastLoaded), &soak_load(33))
             .expect("fleet run succeeds")
@@ -151,6 +164,7 @@ fn seeded_soaks_are_deterministic() {
 
 #[test]
 fn hash_policy_reroutes_only_the_drained_shards_clients() {
+    let _guard = session_lock();
     let report = run_fleet_loadgen(faulted_fleet(RoutePolicy::ConsistentHash), &soak_load(55))
         .expect("fleet run succeeds");
     assert_clean("hash", &report);
@@ -164,4 +178,100 @@ fn hash_policy_reroutes_only_the_drained_shards_clients() {
         spread < report.outcomes.len(),
         "every client moved shards under hash routing"
     );
+}
+
+/// Distributed-tracing contract: a request refused by its
+/// consistent-hash owner and failed over to the peer shard must appear
+/// in the stitched timeline as ONE journey — its reject span on the
+/// owner and its admit/lease/deliver spans on the peer, all under the
+/// trace id the router minted, with the router→shard flow (start +
+/// finish link events) intact.
+///
+/// The failover is forced deterministically: both shards start paused
+/// (burst admission) with a 2-deep per-client quota, so the third
+/// submission MUST bounce off the owner and land on the peer — no
+/// timing or load dependence.
+#[test]
+fn failed_over_request_spans_both_shards_under_one_trace_id() {
+    let _guard = session_lock();
+    let dir = std::env::temp_dir().join(format!("tincy-fleet-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    tincy::trace::start();
+    let drainer = TraceDrainer::spawn(&dir, DrainConfig::default()).expect("spawn trace drainer");
+
+    let mut config = FleetConfig {
+        shards: 2,
+        policy: RoutePolicy::ConsistentHash,
+        ..Default::default()
+    };
+    config.base.system = SystemConfig {
+        input_size: 32,
+        seed: 5,
+        ..Default::default()
+    };
+    config.base.score_threshold = 0.0;
+    config.base.start_paused = true;
+    config.base.per_client_capacity = 2;
+
+    let fleet = Fleet::start(config).expect("fleet starts");
+    let mut client = fleet.client();
+    let mut camera = SyntheticCamera::with_limit(
+        SceneConfig {
+            width: 48,
+            height: 36,
+            ..Default::default()
+        },
+        11,
+        3,
+    );
+    for _ in 0..3 {
+        let image = camera.capture().expect("camera frame");
+        client
+            .submit(image, SloClass::Standard)
+            .expect("every submission is admitted somewhere");
+    }
+    assert_eq!(
+        client.shards_used(),
+        2,
+        "the third submission must have failed over to the peer shard"
+    );
+    fleet.resume_all();
+    client.collect_all();
+    let (submitted, accepted, _, completed) = client.counts();
+    assert_eq!((submitted, accepted, completed), (3, 3, 3));
+    drop(client);
+    let report = fleet.finish();
+    assert_eq!(report.sheds, 0, "no submission may shed in this scenario");
+
+    drainer.finalize().expect("finalize trace segments");
+    let _ = tincy::trace::finish();
+
+    let trace = stitch_segments(&dir).expect("stitched timeline");
+    trace.check().expect("stitched trace is well formed");
+    let by_request = journeys(&trace);
+    assert_eq!(by_request.len(), 3, "one journey per minted trace id");
+    for journey in &by_request {
+        journey.verify().expect("causally ordered stage coverage");
+        assert!(journey.delivered(), "every admitted request delivers");
+        assert!(
+            journey.flow_finished,
+            "trace {:016x}: the router→shard flow was never closed",
+            journey.trace_id
+        );
+    }
+    let cross: Vec<_> = by_request.iter().filter(|j| j.shards.len() >= 2).collect();
+    assert_eq!(
+        cross.len(),
+        1,
+        "exactly one request crossed shards: {by_request:?}"
+    );
+    let journey = cross[0];
+    assert_eq!(journey.shards, vec![0, 1]);
+    assert_eq!(
+        (journey.failovers, journey.rejects),
+        (1, 1),
+        "the cross-shard journey records its single reject + failover hop"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
