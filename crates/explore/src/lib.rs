@@ -33,6 +33,7 @@ pub mod evaluate;
 pub mod frontier;
 pub mod report;
 pub mod sweep;
+pub mod variants;
 
 pub use design::{DesignPoint, EditSet, HiddenProfile};
 pub use evaluate::{accuracy_proxy, evaluate, stage_budget, Calibration, Evaluation};
@@ -41,3 +42,4 @@ pub use report::{report_json, report_table};
 pub use sweep::{
     run_sweep, EvaluatedPoint, ExploreReport, PruneCounts, ResourceBudget, SweepConfig,
 };
+pub use variants::{point_from_id, servable_variants, FrontierVariant};

@@ -1,0 +1,180 @@
+//! Frontier → servable variant set.
+//!
+//! `tincy explore --frontier-out` writes the Pareto frontier as JSON;
+//! this module turns that file back into instantiable design points so
+//! a serve process can host several frontier picks as one variant
+//! ladder (`tincy serve --variants frontier.json`). Point ids are the
+//! stable `"{edits}/{profile}/pe{P}x{S}"` form, so the round trip needs
+//! no extra serialization — the id *is* the design point.
+
+use crate::design::{DesignPoint, EditSet, HiddenProfile};
+use tincy_nn::ModelSpec;
+use tincy_tensor::Shape3;
+
+/// One frontier pick, parsed back into an instantiable design point.
+#[derive(Debug, Clone)]
+pub struct FrontierVariant {
+    /// Stable point id (`"a+bc+d/w1a3/pe16x16"`).
+    pub id: String,
+    /// Accuracy proxy from the report (the ladder ordering key).
+    pub accuracy: f64,
+    /// Modeled pipelined throughput from the report.
+    pub fps: f64,
+    /// The reconstructed design point.
+    pub point: DesignPoint,
+}
+
+impl FrontierVariant {
+    /// The servable model at a given square input size: the design
+    /// point's `ModelSpec`, rescaled from the sweep's 416×416 to the
+    /// serve input (the topology, folds, precisions and weight seed are
+    /// size-independent, so bit-exactness probes carry over).
+    pub fn model_at(&self, input: usize) -> ModelSpec {
+        let mut model = self.point.model();
+        let channels = model.network.input.channels;
+        model.network.input = Shape3::new(channels, input, input);
+        model
+    }
+}
+
+/// Parses a stable point id back into its design point.
+///
+/// # Errors
+///
+/// Describes the malformed component (edit label, profile label or fold
+/// geometry).
+pub fn point_from_id(id: &str) -> Result<DesignPoint, String> {
+    let mut parts = id.split('/');
+    let (edits_label, profile_label, fold_label) =
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(e), Some(p), Some(f), None) => (e, p, f),
+            _ => {
+                return Err(format!(
+                    "malformed point id {id:?}: want edits/profile/peNxM"
+                ))
+            }
+        };
+    let edits = EditSet::ALL
+        .into_iter()
+        .find(|e| e.label() == edits_label)
+        .ok_or_else(|| format!("unknown edit set {edits_label:?} in {id:?}"))?;
+    let profile = HiddenProfile::ALL
+        .into_iter()
+        .find(|p| p.label() == profile_label)
+        .ok_or_else(|| format!("unknown precision profile {profile_label:?} in {id:?}"))?;
+    let fold = fold_label
+        .strip_prefix("pe")
+        .ok_or_else(|| format!("malformed fold {fold_label:?} in {id:?}"))?;
+    let (pe, simd) = fold
+        .split_once('x')
+        .ok_or_else(|| format!("malformed fold {fold_label:?} in {id:?}"))?;
+    let pe: usize = pe
+        .parse()
+        .map_err(|_| format!("bad pe in {fold_label:?}"))?;
+    let simd: usize = simd
+        .parse()
+        .map_err(|_| format!("bad simd in {fold_label:?}"))?;
+    Ok(DesignPoint {
+        edits,
+        profile,
+        pe,
+        simd,
+    })
+}
+
+/// Parses a frontier report (the `tincy explore --frontier-out` JSON)
+/// into servable variants: frontier points only, offloadable profiles
+/// only (serving needs a fabric segment for the FINN path), fastest
+/// first as the report orders them.
+///
+/// # Errors
+///
+/// Propagates JSON parse failures, a missing/empty `frontier` array and
+/// malformed point ids.
+pub fn servable_variants(json: &str) -> Result<Vec<FrontierVariant>, String> {
+    let root = tincy_json::parse(json)?;
+    let frontier = root
+        .get("frontier")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| "frontier report has no \"frontier\" array".to_string())?;
+    let mut variants = Vec::new();
+    for entry in frontier {
+        let id = entry
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| "frontier point without an \"id\"".to_string())?;
+        let point = point_from_id(id)?;
+        if !point.profile.offloadable() {
+            continue;
+        }
+        point.legal_fold()?;
+        let accuracy = entry
+            .get("accuracy_proxy")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("frontier point {id:?} without accuracy_proxy"))?;
+        let fps = entry.get("fps").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        variants.push(FrontierVariant {
+            id: id.to_string(),
+            accuracy,
+            fps,
+            point,
+        });
+    }
+    if variants.is_empty() {
+        return Err("frontier has no servable (offloadable) points".to_string());
+    }
+    Ok(variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::report_json;
+    use crate::sweep::{run_sweep, SweepConfig};
+
+    #[test]
+    fn point_id_round_trips() {
+        for edits in EditSet::ALL {
+            for profile in HiddenProfile::ALL {
+                let point = DesignPoint {
+                    edits,
+                    profile,
+                    pe: 8,
+                    simd: 4,
+                };
+                assert_eq!(point_from_id(&point.id()).unwrap(), point);
+            }
+        }
+        assert!(point_from_id("a+bc+d/w1a3").is_err());
+        assert!(point_from_id("zz/w1a3/pe4x4").is_err());
+        assert!(point_from_id("a/w9a9/pe4x4").is_err());
+        assert!(point_from_id("a/w1a3/4x4").is_err());
+    }
+
+    #[test]
+    fn frontier_report_yields_servable_variants() {
+        let report = run_sweep(&SweepConfig {
+            pe_bounds: (4, 16),
+            simd_bounds: (4, 16),
+            ..SweepConfig::default()
+        });
+        let variants = servable_variants(&report_json(&report)).unwrap();
+        assert!(!variants.is_empty());
+        for v in &variants {
+            assert!(v.point.profile.offloadable(), "{} not servable", v.id);
+            assert_eq!(v.point.id(), v.id);
+            let model = v.model_at(64);
+            assert_eq!(model.network.input.height, 64);
+            model.validate().unwrap();
+        }
+        // The paper's shipped point is on the frontier and comes back.
+        assert!(variants.iter().any(|v| v.point == DesignPoint::PAPER));
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(servable_variants("{}").is_err());
+        assert!(servable_variants("{\"frontier\":[]}").is_err());
+        assert!(servable_variants("{\"frontier\":[{\"fps\":1.0}]}").is_err());
+    }
+}

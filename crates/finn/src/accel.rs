@@ -260,6 +260,23 @@ impl QnnAccelerator {
             .out_shape()
     }
 
+    /// AXI cycles to stream one layer's weights onto the fabric.
+    fn layer_swap_cycles(&self, layer: &QnnLayerParams) -> u64 {
+        layer.weight_bits().div_ceil(self.axi_bits_per_cycle)
+    }
+
+    /// Total weight-swap cycles charged per accelerator invocation:
+    /// every layer's weights cross the AXI bus exactly once regardless
+    /// of batch size. This is the fixed cost a micro-batch amortizes,
+    /// and the per-invocation swap count the serving layer accounts
+    /// when it swaps between hosted model variants.
+    pub fn swap_cycles_per_invocation(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|layer| self.layer_swap_cycles(layer))
+            .sum()
+    }
+
     /// Runs the whole hidden stack on one engine, layer by layer.
     ///
     /// With a fault injector attached, the invocation first draws its fault
@@ -320,7 +337,7 @@ impl QnnAccelerator {
             let layer_ix = index as u32;
             // Weight swap: the engine streams this layer's weights in once
             // for the whole batch.
-            let swap_cycles = layer.weight_bits().div_ceil(self.axi_bits_per_cycle);
+            let swap_cycles = self.layer_swap_cycles(layer);
             swap += swap_cycles;
             tincy_trace::span(static_label!("finn.weight_swap"))
                 .layer(layer_ix)
@@ -610,6 +627,24 @@ mod tests {
             report.total_cycles(),
             report.layer_cycles.iter().sum::<u64>() + report.weight_swap_cycles
         );
+    }
+
+    #[test]
+    fn swap_cycles_per_invocation_matches_report_regardless_of_batch() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let accel = two_layer_accel(&mut rng);
+        let fixed = accel.swap_cycles_per_invocation();
+        assert!(fixed > 0);
+        for batch in [1usize, 4] {
+            let inputs: Vec<Tensor<u8>> = (0..batch)
+                .map(|_| Tensor::from_fn(accel.input_shape(), |_, _, _| rng.gen_range(0..8) as u8))
+                .collect();
+            let (_, report) = accel.run_batch(&inputs).unwrap();
+            assert_eq!(
+                report.weight_swap_cycles, fixed,
+                "swap traffic is per-invocation, not per-frame"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::drift::DriftHandle;
 use crate::request::SloClass;
+use crate::variants::{ShiftPolicy, VariantLadder};
 use std::time::Duration;
 use tincy_core::SystemConfig;
 use tincy_nn::ModelSpec;
@@ -68,6 +69,14 @@ pub struct ServeConfig {
     /// Feed the handle from a [`crate::SegmentCalibrator`] tailing the
     /// run's trace-segment directory.
     pub drift: Option<DriftHandle>,
+    /// Quantization-variant ladder to host. When unset the server runs a
+    /// one-rung ladder around [`Self::model_spec`] — the classic
+    /// single-model behavior. With multiple rungs, each SLO class is
+    /// routed to its home rung and a shift monitor demotes traffic down
+    /// the ladder under sustained drift or SLO burn.
+    pub variants: Option<VariantLadder>,
+    /// Hysteresis policy of the ladder shift monitor.
+    pub shift: ShiftPolicy,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +105,8 @@ impl Default for ServeConfig {
             status_addr: None,
             latency_buckets: Buckets::default(),
             drift: None,
+            variants: None,
+            shift: ShiftPolicy::default(),
         }
     }
 }
@@ -115,8 +126,20 @@ impl ServeConfig {
     }
 
     /// The design point this configuration serves (the explicit model, or
-    /// the Tincy model the `system` configuration describes).
+    /// the Tincy model the `system` configuration describes). On a
+    /// multi-variant ladder this is the cheapest rung.
     pub fn model_spec(&self) -> ModelSpec {
+        if let Some(ladder) = &self.variants {
+            return ladder.get(0).model.clone();
+        }
         self.model.clone().unwrap_or_else(|| self.system.model())
+    }
+
+    /// The variant ladder this configuration hosts: the configured one,
+    /// or a one-rung ladder around [`Self::model_spec`].
+    pub fn ladder(&self) -> VariantLadder {
+        self.variants
+            .clone()
+            .unwrap_or_else(|| VariantLadder::single(self.model_spec()))
     }
 }

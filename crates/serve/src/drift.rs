@@ -54,7 +54,10 @@ impl DriftHandle {
         self.status.lock().clone()
     }
 
-    fn publish(&self, status: DriftStatus) {
+    /// Replace the published drift state. Normally only the
+    /// [`SegmentCalibrator`] writes here; benches and fault-injection
+    /// tests publish synthetic alerts to drive the variant ladder.
+    pub fn publish(&self, status: DriftStatus) {
         *self.status.lock() = status;
     }
 }

@@ -581,6 +581,37 @@ impl FleetReport {
             0.0
         }
     }
+
+    /// Fleet-wide admissions per variant name, merged across shards
+    /// (every shard hosts the same ladder, so names line up; a shard
+    /// missing a name contributes nothing). Ladder order of shard 0.
+    pub fn variant_requests(&self) -> Vec<(String, [u64; 3])> {
+        let Some(first) = self.shards.first() else {
+            return Vec::new();
+        };
+        first
+            .variant_names
+            .iter()
+            .map(|name| {
+                let mut per_class = [0u64; 3];
+                for shard in &self.shards {
+                    if let Some(i) = shard.variant_names.iter().position(|n| n == name) {
+                        for (acc, v) in per_class.iter_mut().zip(shard.variant_requests[i]) {
+                            *acc += v;
+                        }
+                    }
+                }
+                (name.clone(), per_class)
+            })
+            .collect()
+    }
+
+    /// Ladder shifts taken across the fleet: `(down, up)`.
+    pub fn variant_shifts(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(down, up), s| {
+            (down + s.shifts_down, up + s.shifts_up)
+        })
+    }
 }
 
 /// Per-shard health phase, tracked by the monitor thread.

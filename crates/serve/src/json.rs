@@ -111,6 +111,39 @@ pub fn serve_report_json(report: &ServeReport) -> String {
         .f64("throughput_rps", report.throughput())
         .u64("max_depth", report.max_depth as u64)
         .raw("offload", &offload_stats_json(&report.offload))
+        .raw("variants", &variants_json(report))
+        .finish()
+}
+
+/// The per-variant breakdown of a serve report: the ladder (cheapest
+/// rung first) with per-class admissions, completions, latency and
+/// weight-swap accounting, plus the shift counters, the active rung per
+/// class and the shared weights-cache stats.
+pub fn variants_json(report: &ServeReport) -> String {
+    let mut rungs = String::from("[");
+    for (i, name) in report.variant_names.iter().enumerate() {
+        if i > 0 {
+            rungs.push(',');
+        }
+        rungs.push_str(
+            &JsonObject::new()
+                .str("name", name)
+                .raw("requests_by_class", &array_u64(&report.variant_requests[i]))
+                .u64("items", report.variant_items[i])
+                .raw("latency", &duration_stats_json(&report.variant_latency[i]))
+                .u64("weight_swaps", report.weight_swaps[i])
+                .finish(),
+        );
+    }
+    rungs.push(']');
+    let active: Vec<u64> = report.active_variant.iter().map(|&v| v as u64).collect();
+    JsonObject::new()
+        .raw("ladder", &rungs)
+        .raw("active_by_class", &array_u64(&active))
+        .u64("shifts_down", report.shifts_down)
+        .u64("shifts_up", report.shifts_up)
+        .u64("weight_entries", report.weight_entries)
+        .u64("weight_hits", report.weight_hits)
         .finish()
 }
 
@@ -154,9 +187,34 @@ pub fn fleet_report_json(report: &crate::fleet::FleetReport) -> String {
         .raw("latency", &duration_stats_json(&report.latency()))
         .raw("class_latency", &classes)
         .raw("offload", &offload_stats_json(&report.offload()))
+        .raw("variants", &fleet_variants_json(report))
         .f64("wall_us", micros(report.wall))
         .f64("throughput_rps", report.throughput())
         .raw("shard_reports", &shards)
+        .finish()
+}
+
+/// Fleet-wide variant summary: per-variant admissions merged across
+/// shards plus the total ladder shifts taken anywhere in the fleet.
+fn fleet_variants_json(report: &crate::fleet::FleetReport) -> String {
+    let mut rungs = String::from("[");
+    for (i, (name, per_class)) in report.variant_requests().iter().enumerate() {
+        if i > 0 {
+            rungs.push(',');
+        }
+        rungs.push_str(
+            &JsonObject::new()
+                .str("name", name)
+                .raw("requests_by_class", &array_u64(per_class))
+                .finish(),
+        );
+    }
+    rungs.push(']');
+    let (down, up) = report.variant_shifts();
+    JsonObject::new()
+        .raw("ladder", &rungs)
+        .u64("shifts_down", down)
+        .u64("shifts_up", up)
         .finish()
 }
 

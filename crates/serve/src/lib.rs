@@ -44,6 +44,7 @@ pub mod request;
 mod scheduler;
 pub mod server;
 mod telemetry;
+pub mod variants;
 
 pub use config::ServeConfig;
 pub use drift::{DriftHandle, DriftMonitor, DriftStatus, SegmentCalibrator};
@@ -59,3 +60,4 @@ pub use loadgen::{
 pub use metrics::ServeReport;
 pub use request::{AdmissionError, BackendKind, InferResponse, SloClass};
 pub use server::{ClientHandle, InferenceServer};
+pub use variants::{ServeVariant, Shift, ShiftPolicy, ShiftState, VariantLadder, WeightsCache};

@@ -50,9 +50,33 @@ pub struct ServeReport {
     pub wall: Duration,
     /// Deepest pending-queue occupancy observed.
     pub max_depth: usize,
-    /// Offload health counters of the FINN engine (faults, retries, CPU
-    /// fallbacks taken *inside* the resilience layer).
+    /// Offload health counters of the FINN engines, summed across
+    /// variants (faults, retries, CPU fallbacks taken *inside* the
+    /// resilience layer).
     pub offload: OffloadStats,
+    /// Hosted variant names, cheapest rung first (always at least one).
+    pub variant_names: Vec<String>,
+    /// Admissions per variant per SLO class (outer index = ladder rung,
+    /// inner = [`SloClass::index`]).
+    pub variant_requests: Vec<[u64; 3]>,
+    /// Completions per variant.
+    pub variant_items: Vec<u64>,
+    /// End-to-end latency per variant.
+    pub variant_latency: Vec<DurationStats>,
+    /// Fabric weight swaps charged per variant (one per weighted layer
+    /// per FINN invocation).
+    pub weight_swaps: Vec<u64>,
+    /// Active ladder rung per SLO class at report time.
+    pub active_variant: [usize; 3],
+    /// Ladder demotions taken (drift / SLO-burn driven shifts toward the
+    /// cheap end).
+    pub shifts_down: u64,
+    /// Ladder promotions taken (clean-streak shifts back toward home).
+    pub shifts_up: u64,
+    /// Distinct weight blobs in the shared weights cache.
+    pub weight_entries: u64,
+    /// Cross-variant weight-cache sharing hits at engine build.
+    pub weight_hits: u64,
 }
 
 impl ServeReport {
@@ -103,6 +127,16 @@ impl ServeReport {
     pub fn rejected_for(&self, class: SloClass) -> u64 {
         self.rejected_class[class.index()]
     }
+
+    /// Number of hosted variants (ladder rungs).
+    pub fn variants(&self) -> usize {
+        self.variant_names.len()
+    }
+
+    /// Admissions of one class onto one variant.
+    pub fn variant_requests_for(&self, variant: usize, class: SloClass) -> u64 {
+        self.variant_requests[variant][class.index()]
+    }
 }
 
 fn fraction(busy: Duration, wall: Duration, lanes: usize) -> f64 {
@@ -143,6 +177,16 @@ mod tests {
             wall: Duration::ZERO,
             max_depth: 0,
             offload: OffloadStats::default(),
+            variant_names: vec!["tincy".to_string()],
+            variant_requests: vec![[0; 3]],
+            variant_items: vec![0],
+            variant_latency: vec![DurationStats::new()],
+            weight_swaps: vec![0],
+            active_variant: [0; 3],
+            shifts_down: 0,
+            shifts_up: 0,
+            weight_entries: 0,
+            weight_hits: 0,
         }
     }
 

@@ -136,6 +136,10 @@ pub(crate) struct PendingRequest {
     /// scheduler itself for direct submissions) and stamped on every
     /// span the request touches, across shards and failovers.
     pub trace: Option<TraceContext>,
+    /// Ladder rung (variant index) the request was admitted onto. Fixed
+    /// at admission — a mid-flight ladder shift never reroutes queued
+    /// work, so every response is bit-exact with the variant it reports.
+    pub variant: usize,
     /// The frame to run detection on.
     pub image: Image,
 }
@@ -160,4 +164,7 @@ pub struct InferResponse {
     pub latency: Duration,
     /// Whether the latency exceeded the SLO target.
     pub slo_violated: bool,
+    /// Ladder rung (variant index) that computed the result. On a
+    /// single-variant server this is always 0.
+    pub variant: usize,
 }

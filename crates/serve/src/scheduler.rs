@@ -10,6 +10,14 @@
 //! This module is the pure, lock-free-of-threads core: admission control,
 //! the EDF queue, per-client in-order delivery and metric accumulation.
 //! [`crate::server`] wraps it in a mutex/condvar and worker threads.
+//!
+//! With a multi-rung [`crate::VariantLadder`] the queue gains a variant
+//! dimension: one EDF heap per hosted variant, admission stamps each
+//! request with its class's *active* rung (home rung minus the current
+//! demotion offset), and [`SchedState::apply_shift`] moves the active
+//! rungs when the shift monitor demotes or promotes. A request's variant
+//! is fixed at admission — shifting never reroutes queued work, so every
+//! response is bit-exact with the variant it reports.
 
 use crate::config::ServeConfig;
 use crate::metrics::ServeReport;
@@ -97,10 +105,33 @@ pub(crate) struct MetricsAcc {
     /// trace id — the tail exemplars attached to
     /// `tincy_serve_latency_hist_seconds` when exemplars are enabled.
     pub latency_exemplars: ExemplarStore,
+    /// Ladder rung names, cheapest first (the `variant` label values).
+    pub variant_names: Vec<String>,
+    /// Admissions per variant per SLO class.
+    pub variant_requests: Vec<[u64; 3]>,
+    /// Completions per variant.
+    pub variant_items: Vec<u64>,
+    /// End-to-end latency per variant.
+    pub variant_latency: Vec<DurationStats>,
+    /// Fabric weight swaps charged per variant: one per weighted layer
+    /// per FINN invocation, the accelerator's dominant reload cost.
+    pub weight_swaps: Vec<u64>,
+    /// Active ladder rung per SLO class (indexed by [`SloClass::index`])
+    /// — the single routing truth admission reads.
+    pub active_variant: [usize; 3],
+    /// Ladder demotions (shifts toward the cheap end).
+    pub shifts_down: u64,
+    /// Ladder promotions (shifts back toward the home rungs).
+    pub shifts_up: u64,
+    /// Distinct weight blobs in the shared weights cache.
+    pub weight_entries: u64,
+    /// Cross-variant weight-cache sharing hits at engine build.
+    pub weight_hits: u64,
 }
 
 impl MetricsAcc {
-    fn new(buckets: &tincy_telemetry::Buckets) -> Self {
+    fn new(buckets: &tincy_telemetry::Buckets, names: Vec<String>, homes: [usize; 3]) -> Self {
+        let variants = names.len();
         Self {
             accepted: 0,
             completed: 0,
@@ -124,6 +155,16 @@ impl MetricsAcc {
             cpu_busy: Duration::ZERO,
             max_depth: 0,
             latency_exemplars: ExemplarStore::new(buckets),
+            variant_names: names,
+            variant_requests: vec![[0; 3]; variants],
+            variant_items: vec![0; variants],
+            variant_latency: vec![DurationStats::new(); variants],
+            weight_swaps: vec![0; variants],
+            active_variant: homes,
+            shifts_down: 0,
+            shifts_up: 0,
+            weight_entries: 0,
+            weight_hits: 0,
         }
     }
 
@@ -158,13 +199,24 @@ impl MetricsAcc {
             wall,
             max_depth: self.max_depth,
             offload,
+            variant_names: self.variant_names.clone(),
+            variant_requests: self.variant_requests.clone(),
+            variant_items: self.variant_items.clone(),
+            variant_latency: self.variant_latency.clone(),
+            weight_swaps: self.weight_swaps.clone(),
+            active_variant: self.active_variant,
+            shifts_down: self.shifts_down,
+            shifts_up: self.shifts_up,
+            weight_entries: self.weight_entries,
+            weight_hits: self.weight_hits,
         }
     }
 }
 
 /// The mutex-protected scheduler state.
 pub(crate) struct SchedState {
-    pending: BinaryHeap<QueueEntry>,
+    /// One EDF heap per hosted variant (index = ladder rung).
+    pending: Vec<BinaryHeap<QueueEntry>>,
     clients: Vec<ClientState>,
     /// Requests dispatched to a backend but not yet completed.
     in_flight: usize,
@@ -176,10 +228,16 @@ pub(crate) struct SchedState {
     pub draining: bool,
     /// Drained and joined: workers exit.
     pub shutdown: bool,
-    /// Latest degradation verdict of the FINN engine's health probe; while
-    /// set, host workers engage unconditionally to shed load.
-    pub finn_degraded: bool,
+    /// Latest degradation verdict of each variant's FINN engine health
+    /// probe; while any is set, host workers engage unconditionally to
+    /// shed load.
+    pub finn_degraded: Vec<bool>,
     pub metrics: MetricsAcc,
+    /// Home rung per SLO class (demotion offset 0).
+    homes: [usize; 3],
+    /// Per-variant weighted-fabric-layer count — the weight swaps one
+    /// FINN invocation of that variant costs.
+    swap_layers: Vec<u64>,
     queue_capacity: usize,
     per_client_capacity: usize,
     cpu_engage_depth: usize,
@@ -209,16 +267,20 @@ impl Lease {
 
 impl SchedState {
     pub fn new(config: &ServeConfig) -> Self {
+        let ladder = config.ladder();
+        let homes = ladder.homes();
         Self {
-            pending: BinaryHeap::new(),
+            pending: (0..ladder.len()).map(|_| BinaryHeap::new()).collect(),
             clients: Vec::new(),
             in_flight: 0,
             next_global: 0,
             paused: config.start_paused,
             draining: false,
             shutdown: false,
-            finn_degraded: false,
-            metrics: MetricsAcc::new(&config.latency_buckets),
+            finn_degraded: vec![false; ladder.len()],
+            metrics: MetricsAcc::new(&config.latency_buckets, ladder.names(), homes),
+            homes,
+            swap_layers: ladder.variants().iter().map(|v| v.swap_layers()).collect(),
             queue_capacity: config.queue_capacity,
             per_client_capacity: config.per_client_capacity,
             cpu_engage_depth: config.cpu_engage_depth,
@@ -267,14 +329,19 @@ impl SchedState {
         self.clients.len() - 1
     }
 
-    /// Queue depth (admitted, not yet dispatched).
+    /// Queue depth (admitted, not yet dispatched), across all variants.
     pub fn depth(&self) -> usize {
-        self.pending.len()
+        self.pending.iter().map(BinaryHeap::len).sum()
+    }
+
+    /// The active ladder rung per SLO class.
+    pub fn active_variants(&self) -> [usize; 3] {
+        self.metrics.active_variant
     }
 
     /// True when every admitted request has been delivered.
     pub fn drained(&self) -> bool {
-        self.pending.is_empty() && self.in_flight == 0
+        self.depth() == 0 && self.in_flight == 0
     }
 
     /// Admission control: accept the request into the EDF queue or reject
@@ -290,13 +357,14 @@ impl SchedState {
         if self.draining || self.shutdown {
             return Err(self.reject(class, trace, AdmissionError::Draining));
         }
-        if self.pending.len() >= self.queue_capacity {
+        let depth = self.depth();
+        if depth >= self.queue_capacity {
             return Err(self.reject(
                 class,
                 trace,
                 AdmissionError::QueueFull {
                     capacity: self.queue_capacity,
-                    depth: self.pending.len(),
+                    depth,
                 },
             ));
         }
@@ -322,7 +390,10 @@ impl SchedState {
         // identity here, salted by shard so two shards' monitor probes
         // can never share a trace id.
         let trace = trace.or_else(|| Some(TraceContext::mint(self.mint_salt ^ client as u64, seq)));
-        self.pending.push(QueueEntry(PendingRequest {
+        // Route to the class's active ladder rung; the choice is fixed for
+        // the request's lifetime.
+        let variant = self.metrics.active_variant[class.index()];
+        self.pending[variant].push(QueueEntry(PendingRequest {
             client,
             seq,
             global,
@@ -330,18 +401,54 @@ impl SchedState {
             submitted: now,
             deadline: now + self.slo_targets[class.index()],
             trace,
+            variant,
             image,
         }));
         self.metrics.accepted += 1;
-        self.metrics.max_depth = self.metrics.max_depth.max(self.pending.len());
+        self.metrics.variant_requests[variant][class.index()] += 1;
+        self.metrics.max_depth = self.metrics.max_depth.max(self.depth());
+        let variant_name = self.metrics.variant_names[variant].clone();
         self.shard_tag(
             tincy_trace::span(static_label!("serve.admit"))
                 .request(global)
                 .frame(seq)
+                .variant(&variant_name)
                 .context(trace),
         )
         .emit();
         Ok(seq)
+    }
+
+    /// Applies a new ladder demotion offset: every class moves to `home −
+    /// offset` (saturating at the cheap end). Queued work keeps its
+    /// admission-time variant; only *new* admissions route to the shifted
+    /// rungs. Returns whether any class actually moved.
+    pub fn apply_shift(&mut self, offset: usize, demote: bool, reason: &'static str) -> bool {
+        let new_active = [
+            self.homes[0].saturating_sub(offset),
+            self.homes[1].saturating_sub(offset),
+            self.homes[2].saturating_sub(offset),
+        ];
+        if new_active == self.metrics.active_variant {
+            return false;
+        }
+        self.metrics.active_variant = new_active;
+        if demote {
+            self.metrics.shifts_down += 1;
+        } else {
+            self.metrics.shifts_up += 1;
+        }
+        // Attribute the shift to the best-effort class's new rung — the
+        // rung that moved furthest from its home.
+        let batch_rung = self.metrics.variant_names[new_active[SloClass::Batch.index()]].clone();
+        self.shard_tag(
+            tincy_trace::span(static_label!("serve.variant_shift"))
+                .variant(&batch_rung)
+                .fault(reason)
+                .attempt(u32::try_from(offset).unwrap_or(u32::MAX)),
+        )
+        .emit();
+        true
     }
 
     /// Books a rejection under the submitting class, burns the class's
@@ -371,30 +478,58 @@ impl SchedState {
         error
     }
 
-    /// Whether the FINN worker may take work right now.
-    pub fn finn_ready(&self) -> bool {
-        !self.paused && !self.pending.is_empty()
+    /// Whether the FINN worker serving `variant` may take work right now.
+    pub fn finn_ready(&self, variant: usize) -> bool {
+        !self.paused && !self.pending[variant].is_empty()
     }
 
     /// Whether a host worker may take work right now: only under queue
-    /// pressure, FINN degradation or drain — otherwise frames are left to
-    /// accumulate into FINN micro-batches.
+    /// pressure, FINN degradation (of any variant's engine) or drain —
+    /// otherwise frames are left to accumulate into FINN micro-batches.
     pub fn cpu_ready(&self) -> bool {
+        let depth = self.depth();
         !self.paused
-            && !self.pending.is_empty()
-            && (self.pending.len() > self.cpu_engage_depth || self.finn_degraded || self.draining)
+            && depth > 0
+            && (depth > self.cpu_engage_depth
+                || self.finn_degraded.iter().any(|d| *d)
+                || self.draining)
     }
 
-    /// Leases up to `max` earliest-deadline requests to a backend.
-    pub fn lease(&mut self, max: usize) -> Lease {
-        let n = max.min(self.pending.len());
+    /// Leases up to `max` earliest-deadline requests of one variant to
+    /// that variant's FINN backend.
+    pub fn lease(&mut self, variant: usize, max: usize) -> Lease {
+        let n = max.min(self.pending[variant].len());
         let mut requests = Vec::with_capacity(n);
         for _ in 0..n {
-            requests.push(self.pending.pop().expect("n bounded by len").0);
+            requests.push(self.pending[variant].pop().expect("n bounded by len").0);
         }
+        self.book_lease(&requests, n);
+        Lease { requests }
+    }
+
+    /// Leases the single earliest-deadline request across every variant
+    /// to a host worker (ties broken by admission order, like the heaps).
+    pub fn lease_host(&mut self) -> Lease {
+        let variant = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, heap)| heap.peek().map(|e| (i, e)))
+            .min_by(|(_, a), (_, b)| (a.0.deadline, a.0.global).cmp(&(b.0.deadline, b.0.global)))
+            .map(|(i, _)| i);
+        let requests = match variant {
+            Some(v) => vec![self.pending[v].pop().expect("peeked above").0],
+            None => Vec::new(),
+        };
+        let n = requests.len();
+        self.book_lease(&requests, n);
+        Lease { requests }
+    }
+
+    fn book_lease(&mut self, requests: &[PendingRequest], n: usize) {
         self.in_flight += requests.len();
         let now = Instant::now();
-        for request in &requests {
+        for request in requests {
             self.metrics
                 .queue_wait
                 .record(now.duration_since(request.submitted));
@@ -406,7 +541,6 @@ impl SchedState {
             )
             .emit();
         }
-        Lease { requests }
     }
 
     /// Completes a leased request: records latency/SLO metrics and routes
@@ -437,6 +571,8 @@ impl SchedState {
             BackendKind::Finn => self.metrics.finn_items += 1,
             BackendKind::Cpu => self.metrics.cpu_items += 1,
         }
+        self.metrics.variant_items[request.variant] += 1;
+        self.metrics.variant_latency[request.variant].record(latency);
         self.in_flight -= 1;
         let response = InferResponse {
             client: request.client,
@@ -447,6 +583,7 @@ impl SchedState {
             batch,
             latency,
             slo_violated,
+            variant: request.variant,
         };
         self.shard_tag(
             tincy_trace::span(static_label!("serve.deliver"))
@@ -481,14 +618,18 @@ impl SchedState {
         }
     }
 
-    /// Records one FINN invocation of the given batch size.
-    pub fn record_finn_batch(&mut self, batch: usize, busy: Duration) {
+    /// Records one FINN invocation of the given batch size against the
+    /// serving variant, charging the variant's per-invocation weight
+    /// swaps (one per weighted fabric layer — the amortization batching
+    /// exists to win).
+    pub fn record_finn_batch(&mut self, variant: usize, batch: usize, busy: Duration) {
         if self.metrics.batch_hist.len() <= batch {
             self.metrics.batch_hist.resize(batch + 1, 0);
         }
         self.metrics.batch_hist[batch] += 1;
         self.metrics.finn_batches += 1;
         self.metrics.finn_busy += busy;
+        self.metrics.weight_swaps[variant] += self.swap_layers[variant];
     }
 
     /// Records host-worker busy time.
@@ -534,7 +675,7 @@ mod tests {
         state
             .submit(c, SloClass::Interactive, frame(), None)
             .unwrap();
-        let lease = state.lease(2);
+        let lease = state.lease(0, 2);
         assert_eq!(lease.requests[0].class, SloClass::Interactive);
         assert_eq!(lease.requests[1].class, SloClass::Batch);
     }
@@ -613,7 +754,7 @@ mod tests {
         let c = state.register_client(tx);
         state.submit(c, SloClass::Standard, frame(), None).unwrap();
         state.submit(c, SloClass::Standard, frame(), None).unwrap();
-        let lease = state.lease(2);
+        let lease = state.lease(0, 2);
         let [first, second]: [PendingRequest; 2] =
             lease.requests.try_into().map_err(|_| ()).unwrap();
         // Complete the *second* request first: it must be held back.
@@ -633,11 +774,11 @@ mod tests {
         let (tx, _rx) = channel();
         let b = state.register_client(tx);
         state.submit(a, SloClass::Standard, frame(), None).unwrap();
-        assert!(state.finn_ready());
+        assert!(state.finn_ready(0));
         assert!(!state.cpu_ready(), "below the engage depth, CPU holds off");
-        state.finn_degraded = true;
+        state.finn_degraded[0] = true;
         assert!(state.cpu_ready(), "degraded FINN sheds load to the CPU");
-        state.finn_degraded = false;
+        state.finn_degraded[0] = false;
         state.draining = true;
         assert!(state.cpu_ready(), "drain engages every backend");
         state.draining = false;
@@ -656,9 +797,95 @@ mod tests {
         state
             .submit(c, SloClass::Interactive, frame(), None)
             .unwrap();
-        assert!(!state.finn_ready());
+        assert!(!state.finn_ready(0));
         assert!(!state.cpu_ready());
         state.paused = false;
-        assert!(state.finn_ready());
+        assert!(state.finn_ready(0));
+    }
+
+    fn ladder_config() -> ServeConfig {
+        use crate::variants::{ServeVariant, VariantLadder};
+        let model = ServeConfig::default().model_spec();
+        let ladder = VariantLadder::new(vec![
+            ServeVariant {
+                name: "cheap".to_string(),
+                model: model.clone(),
+                accuracy: 0.1,
+            },
+            ServeVariant {
+                name: "mid".to_string(),
+                model: model.clone(),
+                accuracy: 0.5,
+            },
+            ServeVariant {
+                name: "accurate".to_string(),
+                model,
+                accuracy: 0.9,
+            },
+        ])
+        .unwrap();
+        ServeConfig {
+            variants: Some(ladder),
+            ..config()
+        }
+    }
+
+    #[test]
+    fn classes_route_to_their_home_rungs() {
+        let mut state = SchedState::new(&ladder_config());
+        assert_eq!(state.active_variants(), [0, 1, 2]);
+        let (tx, _rx) = channel();
+        let c = state.register_client(tx);
+        state
+            .submit(c, SloClass::Interactive, frame(), None)
+            .unwrap();
+        state.submit(c, SloClass::Batch, frame(), None).unwrap();
+        assert!(state.finn_ready(0));
+        assert!(!state.finn_ready(1));
+        assert!(state.finn_ready(2));
+        let lease = state.lease(2, 1);
+        assert_eq!(lease.requests[0].class, SloClass::Batch);
+        assert_eq!(lease.requests[0].variant, 2);
+        assert_eq!(state.metrics.variant_requests[0], [1, 0, 0]);
+        assert_eq!(state.metrics.variant_requests[2], [0, 0, 1]);
+    }
+
+    #[test]
+    fn shifts_reroute_new_admissions_only() {
+        let mut state = SchedState::new(&ladder_config());
+        let (tx, _rx) = channel();
+        let c = state.register_client(tx);
+        state.submit(c, SloClass::Batch, frame(), None).unwrap();
+        assert!(state.apply_shift(1, true, "demote"));
+        assert_eq!(state.active_variants(), [0, 0, 1]);
+        assert_eq!(state.metrics.shifts_down, 1);
+        // The queued request stays on its admission-time rung.
+        assert!(state.finn_ready(2));
+        // New batch work lands on the demoted rung.
+        state.submit(c, SloClass::Batch, frame(), None).unwrap();
+        assert!(state.finn_ready(1));
+        // Re-applying the same offset is a no-op.
+        assert!(!state.apply_shift(1, true, "demote"));
+        assert_eq!(state.metrics.shifts_down, 1);
+        assert!(state.apply_shift(0, false, "promote"));
+        assert_eq!(state.active_variants(), [0, 1, 2]);
+        assert_eq!(state.metrics.shifts_up, 1);
+    }
+
+    #[test]
+    fn host_lease_picks_earliest_deadline_across_variants() {
+        let mut state = SchedState::new(&ladder_config());
+        let (tx, _rx) = channel();
+        let c = state.register_client(tx);
+        // Batch lands on rung 2 first, interactive on rung 0 second — the
+        // host worker must still take the interactive (nearer) deadline.
+        state.submit(c, SloClass::Batch, frame(), None).unwrap();
+        state
+            .submit(c, SloClass::Interactive, frame(), None)
+            .unwrap();
+        let lease = state.lease_host();
+        assert_eq!(lease.requests.len(), 1);
+        assert_eq!(lease.requests[0].class, SloClass::Interactive);
+        assert_eq!(lease.requests[0].variant, 0);
     }
 }

@@ -1,6 +1,12 @@
-//! The concurrent inference server: one FINN engine worker micro-batching
-//! the accelerated path, plus host workers running the bit-exact reference
-//! path under pressure, degradation or drain.
+//! The concurrent inference server: one FINN engine worker per hosted
+//! variant micro-batching the accelerated path, plus host workers running
+//! the bit-exact reference path under pressure, degradation or drain.
+//!
+//! With a multi-rung [`crate::VariantLadder`] the server also runs a
+//! *shift monitor* thread: it samples the calibration-drift handle and
+//! the per-class SLO burn-rate state at the configured cadence, feeds a
+//! hysteretic [`ShiftState`], and demotes traffic down the ladder under a
+//! sustained alert (promoting back after a clean streak).
 
 use crate::config::ServeConfig;
 use crate::engine::ServeEngine;
@@ -8,13 +14,14 @@ use crate::metrics::ServeReport;
 use crate::request::{AdmissionError, BackendKind, InferResponse, SloClass};
 use crate::scheduler::SchedState;
 use crate::telemetry::{bind_status, ServeCollector};
+use crate::variants::{Shift, ShiftState, WeightsCache};
 use parking_lot::{Condvar, Mutex};
 use std::net::SocketAddr;
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use tincy_nn::{NnError, OffloadHealth};
+use tincy_nn::{NnError, OffloadHealth, OffloadStats};
 use tincy_telemetry::StatusServer;
 use tincy_trace::{static_label, TraceContext};
 use tincy_video::Image;
@@ -42,7 +49,8 @@ impl Inner {
 pub struct InferenceServer {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
-    finn_health: OffloadHealth,
+    /// One health handle per variant's FINN engine, ladder order.
+    finn_healths: Vec<OffloadHealth>,
     started: Instant,
     cpu_workers: usize,
     /// Telemetry endpoint, alive for the server's lifetime when
@@ -112,24 +120,49 @@ impl InferenceServer {
     ///
     /// Propagates network construction failures.
     pub fn start(config: ServeConfig) -> Result<Self, NnError> {
-        let model = config.model_spec();
-        let finn_engine =
-            ServeEngine::finn_for_model(&model, &config.system, config.score_threshold)?;
-        let finn_health = finn_engine.health();
-        let mut cpu_engines = Vec::with_capacity(config.cpu_workers);
-        for _ in 0..config.cpu_workers {
-            cpu_engines.push(ServeEngine::cpu_for_model(
-                &model,
+        let ladder = config.ladder();
+        // Intern every variant's weighted-layer content into the shared
+        // cache: rungs sharing a layer (same spec, position, seed and
+        // activation step — hence bit-identical weights) store it once.
+        let weights = WeightsCache::new();
+        for variant in ladder.variants() {
+            weights.intern_model(&variant.model);
+        }
+        let mut finn_engines = Vec::with_capacity(ladder.len());
+        let mut finn_healths = Vec::with_capacity(ladder.len());
+        for variant in ladder.variants() {
+            let engine = ServeEngine::finn_for_model(
+                &variant.model,
                 &config.system,
                 config.score_threshold,
-            )?);
+            )?;
+            finn_healths.push(engine.health());
+            finn_engines.push(engine);
+        }
+        // Each host worker carries one reference engine per variant — a
+        // leased request runs on the engine of its admission-time rung,
+        // so the CPU path stays bit-exact per variant.
+        let mut cpu_engines = Vec::with_capacity(config.cpu_workers);
+        for _ in 0..config.cpu_workers {
+            let mut per_variant = Vec::with_capacity(ladder.len());
+            for variant in ladder.variants() {
+                per_variant.push(ServeEngine::cpu_for_model(
+                    &variant.model,
+                    &config.system,
+                    config.score_threshold,
+                )?);
+            }
+            cpu_engines.push(per_variant);
         }
 
+        let mut sched = SchedState::new(&config);
+        sched.metrics.weight_entries = weights.entries();
+        sched.metrics.weight_hits = weights.hits();
         let inner = Arc::new(Inner {
-            state: Mutex::new(SchedState::new(&config)),
+            state: Mutex::new(sched),
             cond: Condvar::new(),
         });
-        let mut workers = Vec::with_capacity(1 + config.cpu_workers);
+        let mut workers = Vec::with_capacity(ladder.len() + config.cpu_workers + 1);
         let max_batch = config.max_batch.max(1);
         // In a fleet every shard lives in one process (one trace
         // session), so worker thread names carry the shard id — the
@@ -138,19 +171,38 @@ impl InferenceServer {
             .shard
             .map(|shard| format!("shard{shard}-"))
             .unwrap_or_default();
-        workers.push(spawn_finn_worker(
-            Arc::clone(&inner),
-            finn_engine,
-            max_batch,
-            format!("{prefix}serve-finn"),
-            config.shard,
-        ));
-        for (i, engine) in cpu_engines.into_iter().enumerate() {
-            workers.push(spawn_cpu_worker(
+        let multi = ladder.len() > 1;
+        for (variant, engine) in finn_engines.into_iter().enumerate() {
+            // The single-variant name stays `serve-finn` so existing
+            // trace-based assertions and dashboards keep their tracks.
+            let name = if multi {
+                format!("{prefix}serve-finn-v{variant}")
+            } else {
+                format!("{prefix}serve-finn")
+            };
+            workers.push(spawn_finn_worker(
                 Arc::clone(&inner),
                 engine,
+                variant,
+                max_batch,
+                name,
+                config.shard,
+            ));
+        }
+        for (i, engines) in cpu_engines.into_iter().enumerate() {
+            workers.push(spawn_cpu_worker(
+                Arc::clone(&inner),
+                engines,
                 format!("{prefix}serve-cpu-{i}"),
                 config.shard,
+            ));
+        }
+        if multi {
+            workers.push(spawn_shift_monitor(
+                Arc::clone(&inner),
+                &config,
+                ladder.max_offset(),
+                format!("{prefix}serve-shift"),
             ));
         }
         let started = Instant::now();
@@ -158,7 +210,7 @@ impl InferenceServer {
             Some(addr) => {
                 let collector = Arc::new(ServeCollector {
                     inner: Arc::clone(&inner),
-                    health: finn_health.clone(),
+                    healths: finn_healths.clone(),
                     started,
                     cpu_workers: config.cpu_workers,
                     buckets: config.latency_buckets.clone(),
@@ -172,7 +224,7 @@ impl InferenceServer {
         Ok(Self {
             inner,
             workers,
-            finn_health,
+            finn_healths,
             started,
             cpu_workers: config.cpu_workers,
             status,
@@ -201,14 +253,21 @@ impl InferenceServer {
         self.inner.mutate(|state| state.paused = false);
     }
 
-    /// Current pending-queue depth.
+    /// Current pending-queue depth (across all variants).
     pub fn depth(&self) -> usize {
         self.inner.state.lock().depth()
     }
 
-    /// Live FINN health handle.
+    /// Live FINN health handle (of the cheapest rung's engine on a
+    /// multi-variant ladder — the rung tight traffic rides).
     pub fn finn_health(&self) -> OffloadHealth {
-        self.finn_health.clone()
+        self.finn_healths[0].clone()
+    }
+
+    /// The active ladder rung per SLO class, indexed by
+    /// [`SloClass::index`].
+    pub fn active_variants(&self) -> [usize; 3] {
+        self.inner.state.lock().active_variants()
     }
 
     /// Drains and shuts down: stops admitting, lets the backends finish
@@ -240,13 +299,28 @@ impl InferenceServer {
         let state = self.inner.state.lock();
         state
             .metrics
-            .report(self.cpu_workers, wall, self.finn_health.snapshot())
+            .report(self.cpu_workers, wall, sum_offload(&self.finn_healths))
     }
+}
+
+/// Sums the offload health counters of every variant's FINN engine.
+pub(crate) fn sum_offload(healths: &[OffloadHealth]) -> OffloadStats {
+    let mut total = OffloadStats::default();
+    for health in healths {
+        let s = health.snapshot();
+        total.forwards += s.forwards;
+        total.faults += s.faults;
+        total.retries += s.retries;
+        total.fallbacks += s.fallbacks;
+        total.degraded += s.degraded;
+    }
+    total
 }
 
 fn spawn_finn_worker(
     inner: Arc<Inner>,
     mut engine: ServeEngine,
+    variant: usize,
     max_batch: usize,
     name: String,
     shard: Option<u32>,
@@ -260,12 +334,12 @@ fn spawn_finn_worker(
                     if state.shutdown {
                         return;
                     }
-                    if state.finn_ready() {
+                    if state.finn_ready(variant) {
                         break;
                     }
                     inner.cond.wait(&mut state);
                 }
-                state.lease(max_batch)
+                state.lease(variant, max_batch)
             };
             let batch = lease.requests.len();
             // The batch span links every member request, so a timeline
@@ -293,8 +367,8 @@ fn spawn_finn_worker(
             // signals recovery and lets micro-batches form again.
             let degraded_now = health.snapshot().degraded > before.degraded;
             inner.mutate(|state| {
-                state.finn_degraded = degraded_now;
-                state.record_finn_batch(batch, busy);
+                state.finn_degraded[variant] = degraded_now;
+                state.record_finn_batch(variant, batch, busy);
                 for (request, dets) in lease.requests.into_iter().zip(detections) {
                     // A batch that needed the resilience machinery served
                     // its members degraded: they burn SLO latency budget
@@ -320,7 +394,7 @@ fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle
 
 fn spawn_cpu_worker(
     inner: Arc<Inner>,
-    mut engine: ServeEngine,
+    mut engines: Vec<ServeEngine>,
     name: String,
     shard: Option<u32>,
 ) -> JoinHandle<()> {
@@ -336,13 +410,12 @@ fn spawn_cpu_worker(
                 }
                 inner.cond.wait(&mut state);
             }
-            state.lease(1)
+            state.lease_host()
         };
-        let request = lease
-            .requests
-            .into_iter()
-            .next()
-            .expect("cpu lease holds one request");
+        let Some(request) = lease.requests.into_iter().next() else {
+            // Another worker raced us to the queue; go back to waiting.
+            continue;
+        };
         let t0 = Instant::now();
         let detections = {
             let mut span = tincy_trace::span(static_label!("serve.cpu"))
@@ -353,7 +426,7 @@ fn spawn_cpu_worker(
                 span = span.shard(shard);
             }
             let _span = span.start();
-            engine
+            engines[request.variant]
                 .process_host(&request.image)
                 .expect("reference path cannot fault")
         };
@@ -362,6 +435,47 @@ fn spawn_cpu_worker(
             state.record_cpu_busy(busy);
             state.complete(request, detections, BackendKind::Cpu, 1, false);
         });
+    })
+}
+
+/// Spawns the ladder shift monitor: at the policy cadence it samples the
+/// drift handle (when configured) and the per-class burn-rate state, and
+/// feeds the hysteretic [`ShiftState`]. A sustained dirty streak demotes
+/// every class one rung toward the cheap end; a sustained clean streak
+/// promotes back toward the home rungs.
+fn spawn_shift_monitor(
+    inner: Arc<Inner>,
+    config: &ServeConfig,
+    max_offset: usize,
+    name: String,
+) -> JoinHandle<()> {
+    let drift = config.drift.clone();
+    let policy = config.shift;
+    spawn_named(name, move || {
+        let mut shift = ShiftState::new();
+        loop {
+            {
+                let mut state = inner.state.lock();
+                if state.shutdown {
+                    return;
+                }
+                let burning = state
+                    .slo_status()
+                    .iter()
+                    .any(|s| s.fast_active || s.slow_active);
+                let drifting = drift.as_ref().is_some_and(|h| h.status().alerted);
+                match shift.observe(&policy, drifting || burning, max_offset) {
+                    Some(Shift::Demote { offset }) => {
+                        state.apply_shift(offset, true, "demote");
+                    }
+                    Some(Shift::Promote { offset }) => {
+                        state.apply_shift(offset, false, "promote");
+                    }
+                    None => {}
+                }
+            }
+            std::thread::sleep(policy.every);
+        }
     })
 }
 

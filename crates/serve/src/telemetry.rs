@@ -29,7 +29,8 @@ const REJECT_REASONS: [&str; 3] = ["queue-full", "client-full", "draining"];
 /// Scrape-time view of a running [`crate::InferenceServer`].
 pub(crate) struct ServeCollector {
     pub inner: Arc<Inner>,
-    pub health: OffloadHealth,
+    /// One health handle per hosted variant's FINN engine, ladder order.
+    pub healths: Vec<OffloadHealth>,
     pub started: Instant,
     pub cpu_workers: usize,
     pub buckets: Buckets,
@@ -47,7 +48,7 @@ impl ServeCollector {
         metrics.report(
             self.cpu_workers,
             self.started.elapsed(),
-            self.health.snapshot(),
+            crate::server::sum_offload(&self.healths),
         )
     }
 }
@@ -66,7 +67,7 @@ impl Collect for ServeCollector {
             let mut state = self.inner.state.lock();
             (state.metrics.clone(), state.depth(), state.slo_status())
         };
-        let offload = self.health.snapshot();
+        let offload = crate::server::sum_offload(&self.healths);
         let latency_hist = {
             let snap = HistogramSnapshot::from_stats(&m.latency, &self.buckets);
             if self.exemplars {
@@ -196,6 +197,70 @@ impl Collect for ServeCollector {
                 Value::Counter(status.alerts),
             ));
         }
+        // The variant ladder: which rung each class rides right now, the
+        // per-variant×class admission counters, shift counters and the
+        // per-invocation weight-swap accounting. Always emitted (a
+        // single-model server is a one-rung ladder) so the exposition
+        // shape is stable.
+        for class in SloClass::ALL {
+            out.push(
+                Sample::new(
+                    "tincy_variant_active",
+                    "Active variant-ladder rung per SLO class (0 = cheapest)",
+                    Value::Gauge(m.active_variant[class.index()] as f64),
+                )
+                .label("class", class.label()),
+            );
+        }
+        for (variant, name) in m.variant_names.iter().enumerate() {
+            for class in SloClass::ALL {
+                out.push(
+                    Sample::new(
+                        "tincy_variant_requests_total",
+                        "Requests admitted per variant and SLO class",
+                        Value::Counter(m.variant_requests[variant][class.index()]),
+                    )
+                    .label("variant", name)
+                    .label("class", class.label()),
+                );
+            }
+            out.push(
+                Sample::new(
+                    "tincy_variant_items_total",
+                    "Requests completed per variant",
+                    Value::Counter(m.variant_items[variant]),
+                )
+                .label("variant", name),
+            );
+            out.push(
+                Sample::new(
+                    "tincy_variant_weight_swaps_total",
+                    "Fabric weight swaps charged per variant (one per weighted layer per FINN invocation)",
+                    Value::Counter(m.weight_swaps[variant]),
+                )
+                .label("variant", name),
+            );
+        }
+        for (direction, count) in [("down", m.shifts_down), ("up", m.shifts_up)] {
+            out.push(
+                Sample::new(
+                    "tincy_variant_shifts_total",
+                    "Variant-ladder traffic shifts, by direction (down = demote toward the cheap rung)",
+                    Value::Counter(count),
+                )
+                .label("direction", direction),
+            );
+        }
+        out.push(Sample::new(
+            "tincy_variant_weight_entries",
+            "Distinct weight blobs in the shared weights cache",
+            Value::Gauge(m.weight_entries as f64),
+        ));
+        out.push(Sample::new(
+            "tincy_variant_weight_hits",
+            "Cross-variant weight-cache sharing hits at engine build",
+            Value::Gauge(m.weight_hits as f64),
+        ));
         let reasons = [
             m.rejected_queue_full,
             m.rejected_client_full,

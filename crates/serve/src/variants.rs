@@ -1,0 +1,479 @@
+//! Multi-variant serving: the variant ladder, shift hysteresis and the
+//! shared weights cache.
+//!
+//! One serve process can host several quantization variants of the
+//! detector — typically instantiated from the `tincy explore` Pareto
+//! frontier. The [`VariantLadder`] orders them by accuracy proxy
+//! (cheapest/fastest first); each SLO class gets a *home rung* (tight
+//! classes pinned to the cheap variant, best-effort to the accurate
+//! one), and a sustained calibration-drift or SLO burn-rate alert shifts
+//! every class *down* the ladder toward the cheap end — restoring rung
+//! by rung after a clean streak. [`ShiftState`] is the hysteresis state
+//! machine that keeps demote/promote from flapping; [`WeightsCache`]
+//! interns per-layer weight-content descriptors so identical layers
+//! shared between variants are stored once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tincy_nn::{LayerSpec, ModelSpec};
+
+use crate::request::SloClass;
+
+/// One servable quantization variant: a named design point plus its
+/// accuracy proxy (the ladder ordering key).
+#[derive(Debug, Clone)]
+pub struct ServeVariant {
+    /// Stable variant name (a frontier point id, or a model name).
+    pub name: String,
+    /// The design point to instantiate engines from.
+    pub model: ModelSpec,
+    /// Accuracy proxy from the DSE evaluation — higher is more accurate.
+    pub accuracy: f64,
+}
+
+impl ServeVariant {
+    /// Number of weighted fabric layers in this variant's offloaded
+    /// segment: each offloadable conv swaps its weights onto the fabric
+    /// once per FINN invocation, so this is the per-invocation swap count
+    /// the scheduler charges against `tincy_variant_weight_swaps_total`.
+    pub fn swap_layers(&self) -> u64 {
+        self.model
+            .network
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv(c) if c.precision.offloadable()))
+            .count() as u64
+    }
+}
+
+/// The variant ladder: every hosted variant, sorted cheapest-first
+/// (ascending accuracy proxy, name as the deterministic tie-break).
+/// Rung 0 is the fastest/least-accurate variant; the last rung the most
+/// accurate. The ordering is total — any two distinct variants compare
+/// consistently — so routing decisions are reproducible across runs.
+#[derive(Debug, Clone)]
+pub struct VariantLadder {
+    variants: Vec<ServeVariant>,
+}
+
+impl VariantLadder {
+    /// Builds a ladder from an unordered variant set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty set and duplicate variant names (the name is the
+    /// metrics label key — duplicates would merge unrelated series).
+    pub fn new(mut variants: Vec<ServeVariant>) -> Result<Self, String> {
+        if variants.is_empty() {
+            return Err("variant ladder needs at least one variant".to_string());
+        }
+        variants.sort_by(|a, b| {
+            a.accuracy
+                .partial_cmp(&b.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        for pair in variants.windows(2) {
+            if pair[0].name == pair[1].name {
+                return Err(format!("duplicate variant name {:?}", pair[0].name));
+            }
+        }
+        Ok(Self { variants })
+    }
+
+    /// A one-rung ladder hosting a single design point — the degenerate
+    /// case every pre-variant configuration maps onto.
+    pub fn single(model: ModelSpec) -> Self {
+        Self {
+            variants: vec![ServeVariant {
+                name: model.name.clone(),
+                model,
+                accuracy: 0.0,
+            }],
+        }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// A ladder is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The variant on rung `i` (cheapest first).
+    pub fn get(&self, i: usize) -> &ServeVariant {
+        &self.variants[i]
+    }
+
+    /// All rungs, cheapest first.
+    pub fn variants(&self) -> &[ServeVariant] {
+        &self.variants
+    }
+
+    /// Rung names, cheapest first.
+    pub fn names(&self) -> Vec<String> {
+        self.variants.iter().map(|v| v.name.clone()).collect()
+    }
+
+    /// The *home rung* of an SLO class: interactive traffic is pinned to
+    /// the cheap end (rung 0), batch rides the most accurate rung, and
+    /// standard sits mid-ladder. On a one-rung ladder every class shares
+    /// rung 0.
+    pub fn home(&self, class: SloClass) -> usize {
+        match class {
+            SloClass::Interactive => 0,
+            SloClass::Standard => (self.len() - 1) / 2,
+            SloClass::Batch => self.len() - 1,
+        }
+    }
+
+    /// Home rungs for all classes, indexed by [`SloClass::index`].
+    pub fn homes(&self) -> [usize; 3] {
+        [
+            self.home(SloClass::Interactive),
+            self.home(SloClass::Standard),
+            self.home(SloClass::Batch),
+        ]
+    }
+
+    /// The rung a class runs on at a given demotion offset: `offset`
+    /// rungs below its home, saturating at the cheap end. Demotion moves
+    /// *down* the ladder (toward rung 0) — trading accuracy for speed
+    /// while the system is drifting or burning its error budget.
+    pub fn active_for(&self, class: SloClass, offset: usize) -> usize {
+        self.home(class).saturating_sub(offset)
+    }
+
+    /// Largest meaningful demotion offset: past this every class is
+    /// already on rung 0.
+    pub fn max_offset(&self) -> usize {
+        self.len() - 1
+    }
+}
+
+/// Hysteresis policy for ladder shifts: how many consecutive dirty
+/// observations demote, how many consecutive clean ones promote, and the
+/// observation cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftPolicy {
+    /// Consecutive alerted observations before demoting one rung.
+    pub demote_after: u32,
+    /// Consecutive clean observations before promoting one rung back.
+    pub promote_after: u32,
+    /// Observation cadence of the shift monitor thread.
+    pub every: Duration,
+}
+
+impl Default for ShiftPolicy {
+    fn default() -> Self {
+        Self {
+            demote_after: 3,
+            promote_after: 6,
+            every: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A ladder shift decision, carrying the new demotion offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shift {
+    /// Traffic moves one rung down the ladder (toward the cheap end).
+    Demote {
+        /// The demotion offset after the shift.
+        offset: usize,
+    },
+    /// Traffic moves one rung back up toward the home rungs.
+    Promote {
+        /// The demotion offset after the shift.
+        offset: usize,
+    },
+}
+
+/// The demote/promote state machine. Feed it one observation per policy
+/// tick (`alerted` = drift alert raised or SLO budget burning); it
+/// answers with a [`Shift`] only after a full streak in one direction,
+/// and every shift resets both streaks — so an alternating signal never
+/// moves the ladder, and a second demotion needs a fresh dirty streak.
+#[derive(Debug, Clone, Default)]
+pub struct ShiftState {
+    offset: usize,
+    dirty: u32,
+    clean: u32,
+}
+
+impl ShiftState {
+    /// A fresh state at the home rungs (offset 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current demotion offset.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Absorbs one observation and decides whether to shift.
+    pub fn observe(
+        &mut self,
+        policy: &ShiftPolicy,
+        alerted: bool,
+        max_offset: usize,
+    ) -> Option<Shift> {
+        if alerted {
+            self.clean = 0;
+            self.dirty += 1;
+            if self.dirty >= policy.demote_after.max(1) && self.offset < max_offset {
+                self.offset += 1;
+                self.dirty = 0;
+                return Some(Shift::Demote {
+                    offset: self.offset,
+                });
+            }
+        } else {
+            self.dirty = 0;
+            self.clean += 1;
+            if self.clean >= policy.promote_after.max(1) && self.offset > 0 {
+                self.offset -= 1;
+                self.clean = 0;
+                return Some(Shift::Promote {
+                    offset: self.offset,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Shared weights cache keyed by layer content hash.
+///
+/// Variants instantiated from the same frontier share most of their
+/// topology; layers whose weight content is identical (same layer spec,
+/// seed and activation step — weights are a deterministic function of
+/// those) are interned once and shared by reference. Hash buckets hold
+/// every distinct content blob that hashed alike and interning compares
+/// full content within the bucket, so a hash collision can never alias
+/// layers from different variants — the collision probe in
+/// `crates/serve/tests/ladder.rs` pins this.
+#[derive(Debug, Default)]
+pub struct WeightsCache {
+    buckets: parking_lot::Mutex<HashMap<u64, Vec<Arc<[u8]>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WeightsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a content blob, returning the shared copy.
+    pub fn intern(&self, content: &[u8]) -> Arc<[u8]> {
+        self.intern_hashed(fnv1a(content), content)
+    }
+
+    /// Interns under an explicit hash — the collision-probe hook: two
+    /// different blobs forced onto the same hash must still come back as
+    /// two distinct allocations.
+    pub fn intern_hashed(&self, hash: u64, content: &[u8]) -> Arc<[u8]> {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(hash).or_default();
+        if let Some(found) = bucket.iter().find(|blob| ***blob == *content) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let blob: Arc<[u8]> = Arc::from(content);
+        bucket.push(Arc::clone(&blob));
+        blob
+    }
+
+    /// Interns every weighted layer of a model, returning one shared
+    /// descriptor per offloadable conv. The descriptor canonically
+    /// identifies the layer's weight content (spec + position + seed +
+    /// activation step), so two variants sharing a layer share one blob.
+    pub fn intern_model(&self, model: &ModelSpec) -> Vec<Arc<[u8]>> {
+        model
+            .network
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, LayerSpec::Conv(c) if c.precision.offloadable()))
+            .map(|(i, layer)| self.intern(layer_content(model, i, layer).as_bytes()))
+            .collect()
+    }
+
+    /// Interns that found an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Interns that allocated a new entry (== distinct blobs stored).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct blobs currently stored.
+    pub fn entries(&self) -> u64 {
+        self.buckets.lock().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// The canonical weight-content descriptor of one layer: everything the
+/// deterministic weight generator derives the tensor from. Two layers
+/// with equal descriptors have bit-identical weights.
+pub fn layer_content(model: &ModelSpec, index: usize, layer: &LayerSpec) -> String {
+    let input = model.network.input_shape_of(index);
+    format!(
+        "seed={};act_step={};layer_index={index};in={}x{}x{};layer={:?}",
+        model.seed, model.act_step, input.channels, input.height, input.width, layer
+    )
+}
+
+/// FNV-1a over a byte slice — the layer content hash. Small and
+/// deterministic; collision *safety* comes from full-content comparison
+/// inside each bucket, not from the hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tincy_core::SystemConfig;
+
+    fn variant(name: &str, accuracy: f64) -> ServeVariant {
+        ServeVariant {
+            name: name.to_string(),
+            model: SystemConfig::default().model(),
+            accuracy,
+        }
+    }
+
+    #[test]
+    fn ladder_sorts_cheapest_first_with_name_tiebreak() {
+        let ladder = VariantLadder::new(vec![
+            variant("c", 0.5),
+            variant("a", 0.9),
+            variant("b", 0.5),
+        ])
+        .unwrap();
+        assert_eq!(ladder.names(), ["b", "c", "a"]);
+        assert_eq!(ladder.max_offset(), 2);
+    }
+
+    #[test]
+    fn ladder_rejects_empty_and_duplicates() {
+        assert!(VariantLadder::new(Vec::new()).is_err());
+        assert!(VariantLadder::new(vec![variant("x", 0.1), variant("x", 0.2)]).is_err());
+    }
+
+    #[test]
+    fn homes_pin_interactive_cheap_and_batch_accurate() {
+        let ladder = VariantLadder::new(vec![
+            variant("a", 0.1),
+            variant("b", 0.2),
+            variant("c", 0.3),
+        ])
+        .unwrap();
+        assert_eq!(ladder.homes(), [0, 1, 2]);
+        let two = VariantLadder::new(vec![variant("a", 0.1), variant("b", 0.2)]).unwrap();
+        assert_eq!(two.homes(), [0, 0, 1]);
+        let one = VariantLadder::single(SystemConfig::default().model());
+        assert_eq!(one.homes(), [0, 0, 0]);
+    }
+
+    #[test]
+    fn demotion_offset_saturates_at_the_cheap_end() {
+        let ladder = VariantLadder::new(vec![
+            variant("a", 0.1),
+            variant("b", 0.2),
+            variant("c", 0.3),
+        ])
+        .unwrap();
+        assert_eq!(ladder.active_for(SloClass::Batch, 0), 2);
+        assert_eq!(ladder.active_for(SloClass::Batch, 1), 1);
+        assert_eq!(ladder.active_for(SloClass::Batch, 2), 0);
+        assert_eq!(ladder.active_for(SloClass::Interactive, 2), 0);
+    }
+
+    #[test]
+    fn shift_state_requires_full_streaks() {
+        let policy = ShiftPolicy {
+            demote_after: 2,
+            promote_after: 3,
+            every: Duration::from_millis(1),
+        };
+        let mut state = ShiftState::new();
+        assert_eq!(state.observe(&policy, true, 2), None);
+        assert_eq!(
+            state.observe(&policy, true, 2),
+            Some(Shift::Demote { offset: 1 })
+        );
+        // Alternating signals never move the ladder.
+        for _ in 0..8 {
+            assert_eq!(state.observe(&policy, true, 2), None);
+            assert_eq!(state.observe(&policy, false, 2), None);
+        }
+        assert_eq!(state.offset(), 1);
+        // The alternating loop left one clean observation on the streak;
+        // two more complete promote_after = 3.
+        assert_eq!(state.observe(&policy, false, 2), None);
+        assert_eq!(
+            state.observe(&policy, false, 2),
+            Some(Shift::Promote { offset: 0 })
+        );
+        // Already home: clean streaks are a no-op.
+        for _ in 0..8 {
+            assert_eq!(state.observe(&policy, false, 2), None);
+        }
+    }
+
+    #[test]
+    fn weights_cache_shares_identical_content_only() {
+        let cache = WeightsCache::new();
+        let a = cache.intern(b"layer-a");
+        let b = cache.intern(b"layer-a");
+        let c = cache.intern(b"layer-b");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn forced_hash_collision_never_aliases() {
+        let cache = WeightsCache::new();
+        let a = cache.intern_hashed(42, b"variant-one-weights");
+        let b = cache.intern_hashed(42, b"variant-two-weights");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, b"variant-one-weights");
+        assert_eq!(&*b, b"variant-two-weights");
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn model_interning_shares_layers_across_identical_variants() {
+        let model = SystemConfig::default().model();
+        let cache = WeightsCache::new();
+        let first = cache.intern_model(&model);
+        let second = cache.intern_model(&model);
+        assert!(!first.is_empty());
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert_eq!(cache.entries() as usize, first.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the variant ladder: ordering is total and
+//! monotone in the accuracy proxy, the shift hysteresis never flaps
+//! under adversarial drift signals, and the shared weights cache never
+//! aliases distinct layer content — even under forced hash collisions.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tincy_serve::{
+    ServeConfig, ServeVariant, ShiftPolicy, ShiftState, VariantLadder, WeightsCache,
+};
+
+fn variants_from(accuracies: &[f64]) -> Vec<ServeVariant> {
+    let model = ServeConfig::default().model_spec();
+    accuracies
+        .iter()
+        .enumerate()
+        .map(|(i, &accuracy)| ServeVariant {
+            name: format!("v{i}"),
+            model: model.clone(),
+            accuracy,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// However the variants arrive, the ladder is totally ordered and
+    /// monotone in the accuracy proxy: rung i's accuracy never exceeds
+    /// rung i+1's, and the per-class homes are monotone from the cheap
+    /// end (interactive) to the accurate end (batch).
+    #[test]
+    fn ladder_ordering_is_total_and_monotone(
+        accuracies in proptest::collection::vec(0.0f64..100.0, 1..8),
+        rotate in 0usize..8,
+    ) {
+        // Feed the variants in a rotated order to show the ordering is
+        // a property of the ladder, not of the input sequence.
+        let mut input = variants_from(&accuracies);
+        let pivot = rotate % input.len().max(1);
+        input.rotate_left(pivot);
+        let ladder = VariantLadder::new(input).expect("nonempty distinct names");
+        for i in 1..ladder.len() {
+            prop_assert!(
+                ladder.get(i - 1).accuracy <= ladder.get(i).accuracy,
+                "rung {i} breaks monotonicity"
+            );
+        }
+        let [interactive, standard, batch] = ladder.homes();
+        prop_assert_eq!(interactive, 0, "tight traffic homes on the cheap rung");
+        prop_assert_eq!(batch, ladder.len() - 1, "best-effort homes on the accurate rung");
+        prop_assert!(interactive <= standard && standard <= batch);
+        // Demotion offsets only ever move classes toward the cheap end,
+        // monotonically, and saturate at rung 0.
+        for class in tincy_serve::SloClass::ALL {
+            let mut prev = ladder.home(class);
+            for offset in 0..=ladder.max_offset() {
+                let active = ladder.active_for(class, offset);
+                prop_assert!(active <= prev, "demotion must be monotone");
+                prev = active;
+            }
+            prop_assert_eq!(ladder.active_for(class, ladder.max_offset() + 7), 0);
+        }
+    }
+
+    /// Hysteresis invariants under arbitrary drift signals: the offset
+    /// stays within the ladder, every demotion is preceded by a full
+    /// dirty streak and every promotion by a full clean streak.
+    #[test]
+    fn shift_hysteresis_requires_full_streaks(
+        signals in proptest::collection::vec(any::<bool>(), 1..200),
+        demote_after in 1u32..5,
+        promote_after in 1u32..5,
+        max_offset in 1usize..4,
+    ) {
+        let policy = ShiftPolicy {
+            demote_after,
+            promote_after,
+            every: Duration::from_millis(1),
+        };
+        let mut state = ShiftState::new();
+        let mut dirty_streak = 0u32;
+        let mut clean_streak = 0u32;
+        for &alerted in &signals {
+            if alerted {
+                dirty_streak += 1;
+                clean_streak = 0;
+            } else {
+                clean_streak += 1;
+                dirty_streak = 0;
+            }
+            let before = state.offset();
+            let shift = state.observe(&policy, alerted, max_offset);
+            prop_assert!(state.offset() <= max_offset, "offset escaped the ladder");
+            match shift {
+                Some(tincy_serve::Shift::Demote { offset }) => {
+                    prop_assert_eq!(offset, before + 1);
+                    prop_assert!(
+                        dirty_streak >= demote_after,
+                        "demoted after only {} dirty observations (need {})",
+                        dirty_streak, demote_after
+                    );
+                    dirty_streak = 0;
+                }
+                Some(tincy_serve::Shift::Promote { offset }) => {
+                    prop_assert_eq!(offset + 1, before);
+                    prop_assert!(
+                        clean_streak >= promote_after,
+                        "promoted after only {} clean observations (need {})",
+                        clean_streak, promote_after
+                    );
+                    clean_streak = 0;
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// A strictly alternating drift signal never moves the ladder when
+    /// both streak requirements exceed one observation: no flapping.
+    #[test]
+    fn alternating_signals_never_flap(
+        demote_after in 2u32..6,
+        promote_after in 2u32..6,
+        max_offset in 1usize..4,
+        rounds in 1usize..100,
+        start_dirty in any::<bool>(),
+    ) {
+        let policy = ShiftPolicy {
+            demote_after,
+            promote_after,
+            every: Duration::from_millis(1),
+        };
+        let mut state = ShiftState::new();
+        for i in 0..rounds {
+            let alerted = (i % 2 == 0) == start_dirty;
+            prop_assert!(
+                state.observe(&policy, alerted, max_offset).is_none(),
+                "an alternating signal must never complete a streak"
+            );
+            prop_assert_eq!(state.offset(), 0);
+        }
+    }
+
+    /// The weights cache never aliases distinct content: interning two
+    /// different blobs under the SAME hash (a forced collision, far
+    /// beyond what FNV-1a would produce on real layer descriptors)
+    /// still returns each caller its own bytes, while identical content
+    /// is shared.
+    #[test]
+    fn weights_cache_never_aliases_under_forced_collisions(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 2..12),
+        hash in any::<u64>(),
+    ) {
+        let cache = WeightsCache::new();
+        let interned: Vec<Arc<[u8]>> = blobs
+            .iter()
+            .map(|blob| cache.intern_hashed(hash, blob))
+            .collect();
+        for (blob, arc) in blobs.iter().zip(&interned) {
+            prop_assert_eq!(
+                &arc[..], &blob[..],
+                "a collision must never hand back another variant's bytes"
+            );
+        }
+        // Identical content shares one allocation; distinct content gets
+        // its own entry even inside one hash bucket.
+        let mut unique: Vec<&[u8]> = blobs.iter().map(Vec::as_slice).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(cache.entries(), unique.len() as u64);
+        for blob in &blobs {
+            let again = cache.intern_hashed(hash, blob);
+            let first = blobs.iter().position(|b| b == blob).expect("blob is present");
+            prop_assert!(
+                Arc::ptr_eq(&again, &interned[first]),
+                "identical content must be shared, not duplicated"
+            );
+        }
+    }
+}

@@ -109,6 +109,15 @@
 //!              --kernel-plan PATH  --trace-out PATH  --trace-dir DIR
 //!              --segment-events N  --status-addr HOST:PORT
 //!              --recalibrate-every MS  --drift-threshold PCT
+//!              --variants FRONTIER.json  --variant-smoke
+//!
+//! `--variants FRONTIER.json` hosts every servable design point from an
+//! `explore --frontier-out` dump as a quantization-variant ladder in one
+//! serve process: tight SLO classes are pinned to the cheap/fast rung,
+//! best-effort to the most accurate, and sustained drift or SLO burn
+//! shifts traffic down the ladder (back up after a clean streak).
+//! `--variant-smoke` asserts the multi-variant conservation invariants
+//! after the run.
 //!
 //! `--recalibrate-every MS` (requires `--trace-dir`) tails the streaming
 //! trace segments with a rolling calibrator: windowed measured stage
@@ -423,6 +432,8 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
     let mut mode = LoadMode::Burst;
     let mut smoke = false;
     let mut scrape = false;
+    let mut variants_path: Option<String> = None;
+    let mut variant_smoke = false;
     let mut recalibrate_every: Option<u64> = None;
     let mut drift_threshold: Option<f64> = None;
     let mut serve_config = ServeConfig::default();
@@ -502,6 +513,14 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
                         .map_err(|e| format!("--drift-threshold: {e}"))?,
                 );
             }
+            "--variants" => {
+                variants_path = Some(
+                    iter.next()
+                        .ok_or("--variants requires a frontier JSON path")?
+                        .clone(),
+                );
+            }
+            "--variant-smoke" => variant_smoke = true,
             "--smoke" => smoke = true,
             "--scrape" => scrape = true,
             other if other.starts_with('-') => {
@@ -522,6 +541,30 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         ..Default::default()
     };
     serve_config.score_threshold = 0.02;
+    if let Some(path) = &variants_path {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("--variants {path}: {e}"))?;
+        let frontier = tincy::explore::servable_variants(&json)
+            .map_err(|e| format!("--variants {path}: {e}"))?;
+        let ladder = tincy::serve::VariantLadder::new(
+            frontier
+                .iter()
+                .map(|fv| tincy::serve::ServeVariant {
+                    name: fv.id.clone(),
+                    model: fv.model_at(input),
+                    accuracy: fv.accuracy,
+                })
+                .collect(),
+        )
+        .map_err(|e| format!("--variants {path}: {e}"))?;
+        println!(
+            "variant ladder ({} rungs, cheapest first): {}",
+            ladder.len(),
+            ladder.names().join(" < ")
+        );
+        serve_config.variants = Some(ladder);
+    } else if variant_smoke {
+        return Err("--variant-smoke requires --variants (nothing to shift on one rung)".into());
+    }
     let load = LoadgenConfig {
         clients,
         requests_per_client: requests,
@@ -643,6 +686,9 @@ fn cmd_serve(args: &[String], client_view: bool) -> Result<(), Box<dyn std::erro
         let samples =
             scraped.ok_or("scrape: the load generator never reached the observation point")??;
         check_scrape(&samples, &report.serve)?;
+    }
+    if variant_smoke {
+        check_variant_smoke(&report)?;
     }
     if smoke {
         return check_smoke(&report);
@@ -1340,6 +1386,19 @@ fn print_server_view(report: &LoadgenReport) {
             s.offload.faults, s.offload.retries, s.offload.fallbacks, s.offload.degraded
         );
     }
+    if s.variants() > 1 {
+        for (i, name) in s.variant_names.iter().enumerate() {
+            println!(
+                "variant {i} {name}: {:?} admissions by class, {} items, {} weight swaps",
+                s.variant_requests[i], s.variant_items[i], s.weight_swaps[i]
+            );
+        }
+        println!(
+            "variant shifts: {} down, {} up — active rungs by class {:?}, \
+             weights cache {} entries / {} shared",
+            s.shifts_down, s.shifts_up, s.active_variant, s.weight_entries, s.weight_hits
+        );
+    }
 }
 
 fn print_client_view(report: &LoadgenReport) {
@@ -1659,6 +1718,60 @@ fn cmd_calibrate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         fps,
         paper_fps
     );
+    Ok(())
+}
+
+/// Asserts the multi-variant invariants of a `--variants` run: several
+/// rungs hosted, every admission and completion attributed to exactly
+/// one rung (conservation: nothing lost or double-counted across
+/// shifts), tight traffic on a cheaper-or-equal rung than best-effort,
+/// and the shared weights cache populated.
+fn check_variant_smoke(report: &LoadgenReport) -> Result<(), Box<dyn std::error::Error>> {
+    let s = &report.serve;
+    if s.variants() < 2 {
+        return Err(format!(
+            "variant smoke: expected a multi-rung ladder, got {} rung(s)",
+            s.variants()
+        )
+        .into());
+    }
+    let admitted: u64 = s.variant_requests.iter().flatten().sum();
+    if admitted != s.accepted {
+        return Err(format!(
+            "variant smoke: per-variant admissions {admitted} != accepted {}",
+            s.accepted
+        )
+        .into());
+    }
+    let items: u64 = s.variant_items.iter().sum();
+    if items != s.completed {
+        return Err(format!(
+            "variant smoke: per-variant completions {items} != completed {}",
+            s.completed
+        )
+        .into());
+    }
+    if report.dropped() != 0 {
+        return Err(format!(
+            "variant smoke: {} accepted requests were dropped",
+            report.dropped()
+        )
+        .into());
+    }
+    if !report.all_in_order() {
+        return Err("variant smoke: a client observed out-of-order delivery".into());
+    }
+    let [interactive, _, batch] = s.active_variant;
+    if interactive > batch {
+        return Err(format!(
+            "variant smoke: interactive rung {interactive} above best-effort rung {batch}"
+        )
+        .into());
+    }
+    if s.weight_entries == 0 {
+        return Err("variant smoke: the shared weights cache is empty".into());
+    }
+    println!("variant smoke: ok");
     Ok(())
 }
 

@@ -29,21 +29,27 @@ fn shrunk(point: DesignPoint, input: usize) -> ModelSpec {
     model
 }
 
-/// Picks a frontier point that exercises the fabric but is *not* the
-/// paper's shipped configuration.
-fn non_paper_offloaded_point() -> DesignPoint {
+/// Picks `n` distinct frontier points that exercise the fabric but are
+/// *not* the paper's shipped configuration.
+fn non_paper_offloaded_points(n: usize) -> Vec<DesignPoint> {
     let config = SweepConfig {
         pe_bounds: (4, 16),
         simd_bounds: (4, 16),
         ..SweepConfig::default()
     };
     let report = run_sweep(&config);
-    let point = report
+    let points: Vec<DesignPoint> = report
         .frontier_points()
         .map(|p| p.point)
-        .find(|p| p.profile.offloadable() && *p != DesignPoint::PAPER)
-        .expect("frontier holds an offloaded non-paper design");
-    point
+        .filter(|p| p.profile.offloadable() && *p != DesignPoint::PAPER)
+        .take(n)
+        .collect();
+    assert_eq!(
+        points.len(),
+        n,
+        "frontier holds {n} offloaded non-paper designs"
+    );
+    points
 }
 
 fn assert_bit_exact(model: &ModelSpec) {
@@ -64,10 +70,17 @@ fn assert_bit_exact(model: &ModelSpec) {
 }
 
 #[test]
-fn explore_selected_design_probes_bit_exact() {
-    let point = non_paper_offloaded_point();
-    assert_ne!(point, DesignPoint::PAPER);
-    assert_bit_exact(&shrunk(point, 64));
+fn explore_selected_designs_probe_bit_exact() {
+    // Two distinct non-paper frontier picks: instantiating several
+    // quantization variants from the same frontier is exactly what
+    // `tincy serve --variants` does, so both must probe bit-exact
+    // through the unchanged engine path.
+    let points = non_paper_offloaded_points(2);
+    assert_ne!(points[0], points[1]);
+    for point in points {
+        assert_ne!(point, DesignPoint::PAPER);
+        assert_bit_exact(&shrunk(point, 64));
+    }
 }
 
 #[test]

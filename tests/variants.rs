@@ -1,0 +1,259 @@
+//! Multi-variant serving invariants, exercised end to end through the
+//! public `tincy::serve` API: per-variant bit-exactness under a seeded
+//! FINN outage, drift-driven demotion and clean-streak promotion,
+//! in-order delivery across a mid-flight ladder shift, and seeded-run
+//! fingerprint determinism.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tincy::core::SystemConfig;
+use tincy::explore::DesignPoint;
+use tincy::finn::FaultPlan;
+use tincy::serve::{
+    run_loadgen, DriftHandle, DriftStatus, InferenceServer, LoadMode, LoadgenConfig, ServeConfig,
+    ServeEngine, ServeVariant, ShiftPolicy, SloClass, VariantLadder,
+};
+use tincy::tensor::Shape3;
+use tincy::video::{Image, SceneConfig, SyntheticCamera};
+
+/// The paper design point rescaled to a square `input`-px frame.
+fn variant_model(input: usize) -> tincy::nn::ModelSpec {
+    let mut model = DesignPoint::PAPER.model();
+    let channels = model.network.input.channels;
+    model.network.input = Shape3::new(channels, input, input);
+    model
+}
+
+/// A two-rung ladder: cheap 32-px rung below an accurate 48-px rung.
+fn two_rungs() -> VariantLadder {
+    VariantLadder::new(vec![
+        ServeVariant {
+            name: "cheap".to_owned(),
+            model: variant_model(32),
+            accuracy: 41.1,
+        },
+        ServeVariant {
+            name: "accurate".to_owned(),
+            model: variant_model(48),
+            accuracy: 48.5,
+        },
+    ])
+    .unwrap()
+}
+
+/// A ladder config that never shifts on its own (the drift tests swap in
+/// a twitchy policy explicitly).
+fn ladder_config(fault_plan: FaultPlan) -> ServeConfig {
+    ServeConfig {
+        system: SystemConfig {
+            input_size: 32,
+            seed: 5,
+            fault_plan,
+            ..Default::default()
+        },
+        variants: Some(two_rungs()),
+        cpu_workers: 1,
+        max_batch: 3,
+        queue_capacity: 128,
+        per_client_capacity: 32,
+        score_threshold: 0.0,
+        shift: ShiftPolicy {
+            demote_after: 1_000_000,
+            promote_after: 1_000_000,
+            every: Duration::from_millis(5),
+        },
+        ..Default::default()
+    }
+}
+
+fn small_scene() -> SceneConfig {
+    SceneConfig {
+        width: 48,
+        height: 36,
+        ..Default::default()
+    }
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
+}
+
+#[test]
+fn responses_are_bit_exact_with_their_variant_mid_outage() {
+    // A seeded FINN outage faults the fabric mid-run; the resilience
+    // layer retries/falls back, and every response must still match the
+    // bit-exact software reference of the variant that computed it —
+    // never the other rung's.
+    let config = ladder_config(FaultPlan::outage(1, 2));
+    let server = InferenceServer::start(config.clone()).unwrap();
+    let client = server.client();
+    let mut camera = SyntheticCamera::with_limit(small_scene(), 9, 12);
+    let mut by_seq: HashMap<u64, Image> = HashMap::new();
+    for i in 0..12u64 {
+        let image = camera.capture().unwrap();
+        let class = if i % 2 == 0 {
+            SloClass::Interactive // home: cheap rung
+        } else {
+            SloClass::Batch // home: accurate rung
+        };
+        let seq = client.submit(image.clone(), class).unwrap();
+        by_seq.insert(seq, image);
+    }
+    let ladder = config.ladder();
+    let mut references: Vec<ServeEngine> = ladder
+        .variants()
+        .iter()
+        .map(|v| ServeEngine::cpu_for_model(&v.model, &config.system, 0.0).unwrap())
+        .collect();
+    let mut variants_seen = [0u64; 2];
+    for _ in 0..12 {
+        let response = client.recv().unwrap();
+        variants_seen[response.variant] += 1;
+        let expected = references[response.variant]
+            .process_host(&by_seq[&response.seq])
+            .unwrap();
+        assert_eq!(
+            response.detections, expected,
+            "variant {} response must match that variant's reference path",
+            response.variant
+        );
+    }
+    let report = server.finish();
+    assert!(
+        variants_seen.iter().all(|&n| n > 0),
+        "both rungs saw traffic"
+    );
+    assert!(report.offload.faults > 0, "the outage must actually fault");
+}
+
+#[test]
+fn drift_alert_demotes_and_clean_streak_restores() {
+    // A sustained drift alert must shift every class toward the cheap
+    // rung; a sustained clean streak must shift them back home.
+    let drift = DriftHandle::default();
+    let config = ServeConfig {
+        drift: Some(drift.clone()),
+        shift: ShiftPolicy {
+            demote_after: 2,
+            promote_after: 2,
+            every: Duration::from_millis(2),
+        },
+        ..ladder_config(FaultPlan::none())
+    };
+    let server = InferenceServer::start(config).unwrap();
+    assert_eq!(server.active_variants(), [0, 0, 1], "home routing");
+    drift.publish(DriftStatus {
+        alerted: true,
+        ..Default::default()
+    });
+    assert!(
+        wait_until(Duration::from_secs(5), || server.active_variants()
+            == [0, 0, 0]),
+        "sustained drift must demote the batch class to the cheap rung"
+    );
+    drift.publish(DriftStatus::default());
+    assert!(
+        wait_until(Duration::from_secs(5), || server.active_variants()
+            == [0, 0, 1]),
+        "a clean streak must restore home routing"
+    );
+    let report = server.finish();
+    assert!(report.shifts_down >= 1);
+    assert!(report.shifts_up >= 1);
+}
+
+#[test]
+fn in_order_delivery_survives_mid_flight_shift() {
+    // Queue work on the accurate rung, shift the ladder while it is
+    // still pending, queue more (now routed to the cheap rung), then
+    // dispatch everything: each client must see its responses in
+    // submission order even though the variant changed mid-stream, and
+    // the queued work must stay on its admission-time rung.
+    let drift = DriftHandle::default();
+    let config = ServeConfig {
+        drift: Some(drift.clone()),
+        start_paused: true,
+        shift: ShiftPolicy {
+            demote_after: 2,
+            promote_after: 2,
+            every: Duration::from_millis(2),
+        },
+        ..ladder_config(FaultPlan::none())
+    };
+    let server = InferenceServer::start(config).unwrap();
+    let clients = [server.client(), server.client()];
+    let mut cameras: Vec<SyntheticCamera> = (0..2)
+        .map(|i| SyntheticCamera::with_limit(small_scene(), 31 + i, 6))
+        .collect();
+    let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); 2];
+    for (i, client) in clients.iter().enumerate() {
+        for _ in 0..3 {
+            let image = cameras[i].capture().unwrap();
+            submitted[i].push(client.submit(image, SloClass::Batch).unwrap());
+        }
+    }
+    drift.publish(DriftStatus {
+        alerted: true,
+        ..Default::default()
+    });
+    assert!(
+        wait_until(Duration::from_secs(5), || server.active_variants()[2] == 0),
+        "the shift must land while the first half is still queued"
+    );
+    for (i, client) in clients.iter().enumerate() {
+        for _ in 0..3 {
+            let image = cameras[i].capture().unwrap();
+            submitted[i].push(client.submit(image, SloClass::Batch).unwrap());
+        }
+    }
+    server.resume();
+    for (i, client) in clients.iter().enumerate() {
+        let responses: Vec<_> = (0..6).map(|_| client.recv().unwrap()).collect();
+        let seqs: Vec<u64> = responses.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, submitted[i], "client {i} delivery order");
+        let variants: Vec<usize> = responses.iter().map(|r| r.variant).collect();
+        assert_eq!(
+            variants,
+            vec![1, 1, 1, 0, 0, 0],
+            "queued work keeps its admission-time rung across the shift"
+        );
+    }
+    let report = server.finish();
+    assert_eq!(report.completed, 12);
+    assert!(report.shifts_down >= 1);
+}
+
+#[test]
+fn seeded_runs_fingerprint_identically() {
+    // Same seeds, same ladder, two independent runs: the bit-exact
+    // backends and deterministic cameras must produce identical
+    // detection fingerprints and identical per-variant routing totals.
+    let load = LoadgenConfig {
+        clients: 3,
+        requests_per_client: 6,
+        mode: LoadMode::Closed,
+        scene: small_scene(),
+        ..Default::default()
+    };
+    let run = || run_loadgen(ladder_config(FaultPlan::none()), &load).unwrap();
+    let (a, b) = (run(), run());
+    assert!(a.all_in_order() && b.all_in_order());
+    assert_eq!(a.dropped(), 0);
+    assert_eq!(b.dropped(), 0);
+    assert_eq!(a.detections(), b.detections(), "detection fingerprint");
+    let per_client = |r: &tincy::serve::LoadgenReport| -> Vec<u64> {
+        r.outcomes.iter().map(|o| o.detections).collect()
+    };
+    assert_eq!(per_client(&a), per_client(&b), "per-client fingerprints");
+    assert_eq!(
+        a.serve.variant_requests, b.serve.variant_requests,
+        "per-variant routing totals"
+    );
+}
